@@ -1,0 +1,53 @@
+"""Shared driver for the figure benchmarks (Figures 1-8)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from benchmarks.conftest import figure_results
+from repro.analysis.figures import figure_series
+from repro.analysis.plotting import ascii_figure
+
+
+def run_figure(
+    benchmark,
+    arch: str,
+    nets: Tuple[int, ...],
+    length: int,
+    title: str,
+    use_scaled_traffic: bool = False,
+):
+    """Regenerate one miss-vs-traffic figure and print it as ASCII.
+
+    Returns the per-net sweep results so callers can make additional
+    assertions.  The sweep is memoized per (arch, nets, length): the
+    nibble-mode figures re-plot the same simulations under the scaled
+    bus model, exactly as the paper does.
+    """
+    results = benchmark.pedantic(
+        figure_results, args=(arch, nets, length), rounds=1, iterations=1
+    )
+    series = figure_series(results, use_scaled_traffic=use_scaled_traffic)
+    print()
+    print(ascii_figure(series, title=title))
+
+    benchmark.extra_info["series"] = len(series)
+    benchmark.extra_info["points"] = sum(len(s.points) for s in series)
+
+    # Structural claims common to every figure: along a constant-block
+    # (solid) line, miss ratio falls as the sub-block grows; under the
+    # linear bus model traffic also rises.  (Under the nibble model the
+    # traffic curve has an interior minimum — that is Figures 7/8's
+    # point — so the traffic check only applies to the standard model.)
+    solid = [s for s in series if s.solid and len(s.points) >= 2]
+    assert solid, "every figure has at least one constant-block line"
+    monotone = 0
+    for line in solid:
+        traffics = [x for x, _ in line.points]
+        misses = [y for _, y in line.points]
+        miss_falls = misses == sorted(misses, reverse=True)
+        traffic_ok = use_scaled_traffic or traffics == sorted(traffics)
+        if miss_falls and traffic_ok:
+            monotone += 1
+    assert monotone >= 0.8 * len(solid)
+    return results

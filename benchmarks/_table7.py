@@ -1,0 +1,53 @@
+"""Shared driver for the four Table 7 benchmarks (one per architecture)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import table7_experiment
+from repro.analysis.paper_data import TABLE7
+from repro.analysis.report import compare_shapes
+from repro.analysis.tables import format_table7
+
+
+def run_table7(benchmark, arch: str, length: int, min_spearman: float = 0.85):
+    """Regenerate one architecture's Table 7 column and check shape.
+
+    Prints the side-by-side table, records Spearman rank correlation
+    and pairwise ordering agreement against the published column, and
+    asserts the ordering agreement is strong (who wins must match; the
+    absolute level may not, per EXPERIMENTS.md).
+    """
+    points = benchmark.pedantic(
+        table7_experiment,
+        args=(arch,),
+        kwargs={"length": length},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table7(arch, points))
+
+    def key(point):
+        geometry = point.geometry
+        return (geometry.net_size, geometry.block_size, geometry.sub_block_size)
+
+    measured_miss = {key(p): p.miss_ratio for p in points}
+    measured_traffic = {key(p): p.traffic_ratio for p in points}
+    published = TABLE7[arch]
+    miss_report = compare_shapes(
+        measured_miss, {k: v.miss_ratio for k, v in published.items()}
+    )
+    traffic_report = compare_shapes(
+        measured_traffic, {k: v.traffic_ratio for k, v in published.items()}
+    )
+    print(f"miss shape:    {miss_report.summary()}")
+    print(f"traffic shape: {traffic_report.summary()}")
+
+    benchmark.extra_info["miss_spearman"] = round(miss_report.spearman, 4)
+    benchmark.extra_info["traffic_spearman"] = round(traffic_report.spearman, 4)
+    benchmark.extra_info["miss_gm_ratio"] = round(
+        miss_report.geometric_mean_ratio, 3
+    )
+
+    assert miss_report.spearman > min_spearman
+    assert traffic_report.spearman > min_spearman
+    return points

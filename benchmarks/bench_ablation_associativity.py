@@ -1,0 +1,36 @@
+"""E-A2 ablation: associativity 1/2/4/8.
+
+Strecker (quoted in Section 1.1): performance improves from 1- to 2- to
+4-way, "but little is gained for degrees of associativity of greater
+than 4" — the basis for the paper fixing 4-way mapping.
+"""
+
+from repro.analysis.sweep import sweep
+from repro.core.config import CacheGeometry
+from repro.workloads.suites import suite_traces
+
+
+def _ablation(length):
+    traces = suite_traces("pdp11", length=length)
+    results = {}
+    for ways in (1, 2, 4, 8):
+        geometry = CacheGeometry(1024, 16, 8, associativity=ways)
+        results[ways] = sweep([*traces], [geometry], word_size=2)[0]
+    return results
+
+
+def test_ablation_associativity(benchmark, trace_length):
+    results = benchmark.pedantic(
+        _ablation, args=(trace_length,), rounds=1, iterations=1
+    )
+    print()
+    print("Associativity ablation (PDP-11 suite, 1024B 16,8)")
+    for ways, point in sorted(results.items()):
+        print(f"  {ways}-way: miss={point.miss_ratio:.4f}")
+        benchmark.extra_info[f"miss_{ways}way"] = round(point.miss_ratio, 4)
+
+    misses = {w: p.miss_ratio for w, p in results.items()}
+    assert misses[1] >= misses[2] >= misses[4]
+    gain_direct_to_4 = misses[1] - misses[4]
+    gain_4_to_8 = misses[4] - misses[8]
+    assert gain_4_to_8 < 0.5 * gain_direct_to_4 + 0.002

@@ -1,0 +1,43 @@
+"""E-A1 ablation: LRU versus FIFO versus RANDOM replacement.
+
+Strecker's observation, which the paper relies on to fix LRU
+(Section 3.1): "there is little difference in the performance of LRU,
+FIFO, and RANDOM replacement algorithms."
+"""
+
+from repro.analysis.sweep import sweep
+from repro.core.config import CacheGeometry
+from repro.workloads.suites import suite_traces
+
+GEOMETRIES = [CacheGeometry(256, 16, 8), CacheGeometry(1024, 16, 8)]
+
+
+def _ablation(length):
+    traces = suite_traces("pdp11", length=length)
+    results = {}
+    for name in ("lru", "fifo", "random"):
+        results[name] = sweep(
+            [*traces], GEOMETRIES, word_size=2, replacement=name
+        )
+    return results
+
+
+def test_ablation_replacement_policy(benchmark, trace_length):
+    results = benchmark.pedantic(
+        _ablation, args=(trace_length,), rounds=1, iterations=1
+    )
+    print()
+    print("Replacement-policy ablation (PDP-11 suite)")
+    for index, geometry in enumerate(GEOMETRIES):
+        row = {name: results[name][index].miss_ratio for name in results}
+        print(
+            f"  {geometry.net_size:5d}B {geometry.label:>6s}: "
+            + "  ".join(f"{name}={miss:.4f}" for name, miss in row.items())
+        )
+        spread = max(row.values()) - min(row.values())
+        benchmark.extra_info[f"spread_{geometry.net_size}"] = round(spread, 4)
+        # Second-order effect: the policies differ by far less than the
+        # first-order design parameters do.
+        assert max(row.values()) < 1.8 * min(row.values()) + 0.01
+        # LRU is at least competitive (it never loses badly).
+        assert row["lru"] <= min(row.values()) * 1.3 + 0.005

@@ -1,0 +1,51 @@
+"""E-A6 ablation: task-switching effects.
+
+Section 3.3 notes the traces were "run for 1 million addresses without
+context switches" and that "the omission of task switching effects will
+bias our estimated performance upward, although the small sizes of the
+caches studied make this effect minor."  This ablation measures that
+bias directly: interleave the PDP-11 programs round-robin (a simple
+multiprogramming model) and compare against the unweighted average of
+dedicated runs, for a small and a large cache.
+"""
+
+from repro.analysis.sweep import sweep
+from repro.core.config import CacheGeometry
+from repro.core.sim import run_config
+from repro.trace.filters import interleave, reads_only
+from repro.workloads.suites import suite_traces
+
+GEOMETRIES = [CacheGeometry(64, 16, 8), CacheGeometry(1024, 16, 8)]
+QUANTUM = 5_000  # references per scheduling quantum
+
+
+def _ablation(length):
+    traces = suite_traces("pdp11", length=length)
+    merged = reads_only(interleave(traces, quantum=QUANTUM, name="multiprog"))
+    results = {}
+    for geometry in GEOMETRIES:
+        dedicated = sweep([*traces], [geometry], word_size=2)[0].miss_ratio
+        switched = run_config(geometry, merged, word_size=2).miss_ratio
+        results[geometry] = (dedicated, switched)
+    return results
+
+
+def test_ablation_task_switching(benchmark, trace_length):
+    results = benchmark.pedantic(
+        _ablation, args=(trace_length,), rounds=1, iterations=1
+    )
+    print()
+    print(f"Task-switching ablation (PDP-11 suite, quantum {QUANTUM})")
+    for geometry, (dedicated, switched) in results.items():
+        penalty = switched / dedicated if dedicated else float("inf")
+        print(
+            f"  {geometry.net_size:5d}B {geometry.label:>6s}: dedicated="
+            f"{dedicated:.4f} multiprogrammed={switched:.4f} (x{penalty:.2f})"
+        )
+        benchmark.extra_info[f"penalty_{geometry.net_size}"] = round(penalty, 3)
+        # The paper's expectation: switching hurts (bias is upward)...
+        assert switched >= 0.9 * dedicated
+    # ...but the effect is minor for these small caches: well under an
+    # order of magnitude even for the 1 KiB cache.
+    big_dedicated, big_switched = results[GEOMETRIES[1]]
+    assert big_switched < 10 * big_dedicated + 0.01

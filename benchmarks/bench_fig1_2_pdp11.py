@@ -1,0 +1,27 @@
+"""E-F1/F2: Figures 1 and 2 — PDP-11 miss ratio versus traffic ratio
+for net sizes 32/128/512 and 64/256/1024 (Section 4.2.1)."""
+
+from benchmarks._figures import run_figure
+from repro.analysis.experiments import FIGURE_NETS
+
+
+def test_figure1_pdp11_small_nets(benchmark, trace_length):
+    run_figure(
+        benchmark, "pdp11", FIGURE_NETS["part1"], trace_length,
+        title="Figure 1: PDP-11, nets 32/128/512 (miss vs traffic)",
+    )
+
+
+def test_figure2_pdp11_large_nets(benchmark, trace_length):
+    results = run_figure(
+        benchmark, "pdp11", FIGURE_NETS["part2"], trace_length,
+        title="Figure 2: PDP-11, nets 64/256/1024 (miss vs traffic)",
+    )
+    # Section 4.2.1: at 1024 bytes the b32 line spans the trade-off —
+    # large sub-blocks minimize miss, small sub-blocks minimize traffic.
+    points = {
+        (p.geometry.block_size, p.geometry.sub_block_size): p
+        for p in results[1024]
+    }
+    assert points[(32, 32)].miss_ratio < points[(32, 2)].miss_ratio
+    assert points[(32, 2)].traffic_ratio < points[(32, 32)].traffic_ratio

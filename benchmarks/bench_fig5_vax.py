@@ -1,0 +1,24 @@
+"""E-F5: Figure 5 — VAX-11 miss ratio versus traffic ratio for net
+sizes 64/256/1024 (Section 4.2.3)."""
+
+from benchmarks._figures import run_figure
+from repro.analysis.experiments import FIGURE_NETS
+
+
+def test_figure5_vax(benchmark, trace_length):
+    results = run_figure(
+        benchmark, "vax", FIGURE_NETS["part2"], trace_length,
+        title="Figure 5: VAX-11, nets 64/256/1024 (miss vs traffic)",
+    )
+    # A 1024-byte cache helps the VAX workload substantially (the paper
+    # reports 0.1058 at 16,8) while 64 bytes is marginal.
+    big = next(
+        p for p in results[1024]
+        if p.geometry.block_size == 16 and p.geometry.sub_block_size == 8
+    )
+    small = next(
+        p for p in results[64]
+        if p.geometry.block_size == 16 and p.geometry.sub_block_size == 8
+    )
+    assert big.miss_ratio < 0.25
+    assert small.miss_ratio > 2 * big.miss_ratio

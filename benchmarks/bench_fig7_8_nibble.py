@@ -1,0 +1,38 @@
+"""E-F7/F8: Figures 7 and 8 — PDP-11 results under the nibble-mode bus
+cost model ``1 + (w-1)/3`` (Section 4.3).
+
+The simulations are the same as Figures 1/2 (the sweep is memoized);
+only the traffic axis is rescaled — exactly the paper's procedure.
+"""
+
+from benchmarks._figures import run_figure
+from repro.analysis.experiments import FIGURE_NETS
+
+
+def test_figure7_pdp11_nibble_small_nets(benchmark, trace_length):
+    run_figure(
+        benchmark, "pdp11", FIGURE_NETS["part1"], trace_length,
+        title="Figure 7: PDP-11 nibble mode, nets 32/128/512",
+        use_scaled_traffic=True,
+    )
+
+
+def test_figure8_pdp11_nibble_large_nets(benchmark, trace_length):
+    results = run_figure(
+        benchmark, "pdp11", FIGURE_NETS["part2"], trace_length,
+        title="Figure 8: PDP-11 nibble mode, nets 64/256/1024",
+        use_scaled_traffic=True,
+    )
+    # Section 4.3's conclusion: the sub-block size minimizing traffic
+    # roughly doubles under the scaled model.
+    for net in (256, 1024):
+        for block in (8, 16):
+            family = [
+                p for p in results[net] if p.geometry.block_size == block
+            ]
+            std_best = min(family, key=lambda p: p.traffic_ratio)
+            scaled_best = min(family, key=lambda p: p.scaled_traffic_ratio)
+            assert (
+                scaled_best.geometry.sub_block_size
+                >= 2 * std_best.geometry.sub_block_size
+            ), (net, block)

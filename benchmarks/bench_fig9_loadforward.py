@@ -1,0 +1,71 @@
+"""E-F9: Figure 9 — load-forward versus demand fetch on 64- and
+256-byte caches, Z8000 traces CPP/C1/C2 (Section 4.4)."""
+
+from repro.analysis.figures import FigureSeries
+from repro.analysis.plotting import ascii_figure
+from repro.analysis.sweep import sweep
+from repro.core.config import CacheGeometry
+from repro.core.fetch import LoadForwardFetch
+from repro.workloads.suites import Z8000_LOADFORWARD_TRACES, suite_traces
+
+
+def _figure9_points(length):
+    traces = suite_traces("z8000", length=length, names=Z8000_LOADFORWARD_TRACES)
+    configs = [
+        # (net, block, sub, load_forward) — the curves of Figure 9.
+        (64, 8, 8, False),
+        (64, 8, 2, True),
+        (64, 8, 2, False),
+        (64, 2, 2, False),
+        (256, 16, 16, False),
+        (256, 16, 2, True),
+        (256, 16, 2, False),
+        (256, 8, 8, False),
+        (256, 8, 2, True),
+        (256, 8, 2, False),
+        (256, 2, 2, False),
+    ]
+    results = {}
+    for net, block, sub, load_forward in configs:
+        geometry = CacheGeometry(net, block, sub)
+        fetch = LoadForwardFetch() if load_forward else None
+        point = sweep([*traces], [geometry], word_size=2, fetch=fetch)[0]
+        results[(net, block, sub, load_forward)] = point
+    return results
+
+
+def test_figure9_load_forward(benchmark, trace_length):
+    results = benchmark.pedantic(
+        _figure9_points, args=(trace_length,), rounds=1, iterations=1
+    )
+    series = []
+    for net in (64, 256):
+        points = tuple(
+            (point.traffic_ratio, point.miss_ratio)
+            for key, point in sorted(results.items())
+            if key[0] == net
+        )
+        series.append(FigureSeries(f"net{net}", net, True, points))
+    print()
+    print(ascii_figure(series, title="Figure 9: load-forward (Z8000 CPP/C1/C2)"))
+    for key, point in sorted(results.items()):
+        net, block, sub, load_forward = key
+        label = f"{block},{sub}{',LF' if load_forward else ''}"
+        print(
+            f"  net {net:3d} {label:>8s}: miss={point.miss_ratio:.4f} "
+            f"traffic={point.traffic_ratio:.4f} (gross {point.gross_size:.0f}B)"
+        )
+
+    # The Z80,000-style point (b16-s2-LF on the 256-byte cache) must
+    # cut traffic versus full-block fetch at a small miss-ratio cost.
+    full = results[(256, 16, 16, False)]
+    forward = results[(256, 16, 2, True)]
+    demand_small = results[(256, 16, 2, False)]
+    assert forward.traffic_ratio < full.traffic_ratio
+    assert forward.miss_ratio < demand_small.miss_ratio
+    benchmark.extra_info["lf_traffic_cut"] = round(
+        1 - forward.traffic_ratio / full.traffic_ratio, 3
+    )
+    benchmark.extra_info["lf_miss_cost"] = round(
+        forward.miss_ratio / full.miss_ratio - 1, 3
+    )

@@ -1,0 +1,61 @@
+"""E-X1: the RISC II instruction cache results quoted in Section 2.3 —
+miss ratio versus size, remote-PC prediction, and code compaction."""
+
+from repro.analysis.paper_data import RISCII_MISS_RATIOS
+from repro.analysis.report import compare_shapes
+from repro.core.sim import simulate
+from repro.extensions.riscii import (
+    RemoteProgramCounter,
+    compact_code,
+    riscii_icache,
+)
+from repro.trace.filters import only_kind
+from repro.trace.record import AccessType
+from repro.workloads.suites import suite_trace
+
+
+def _riscii_experiment(length):
+    trace = only_kind(
+        suite_trace("vax", "c2", length=length), AccessType.IFETCH
+    )
+    misses = {}
+    for size in sorted(RISCII_MISS_RATIOS):
+        stats = simulate(riscii_icache(size), trace, warmup="fill")
+        misses[size] = stats.miss_ratio
+
+    rpc = RemoteProgramCounter(word_size=4)
+    for access in trace:
+        rpc.observe(access.addr)
+
+    compact = simulate(
+        riscii_icache(512), compact_code(trace, reduction=0.20), warmup="fill"
+    ).miss_ratio
+    return misses, rpc, compact
+
+
+def test_riscii_instruction_cache(benchmark, trace_length):
+    misses, rpc, compact_miss = benchmark.pedantic(
+        _riscii_experiment, args=(trace_length,), rounds=1, iterations=1
+    )
+    print()
+    print("RISC II instruction cache (Section 2.3)")
+    print(f"{'size':>6s} {'miss':>7s}   | paper")
+    for size, miss in sorted(misses.items()):
+        print(f"{size:>6d} {miss:7.4f}   | {RISCII_MISS_RATIOS[size]:.3f}")
+    print(f"remote PC accuracy: {rpc.accuracy:.3f} (paper: 0.899)")
+    print(
+        f"access-time reduction: {rpc.access_time_reduction():.3f} (paper: 0.422)"
+    )
+    improvement = 1 - compact_miss / misses[512]
+    print(f"code-compaction miss improvement: {improvement:.3f} (paper: 0.270)")
+
+    report = compare_shapes(misses, RISCII_MISS_RATIOS)
+    benchmark.extra_info["size_curve_spearman"] = round(report.spearman, 4)
+    benchmark.extra_info["rpc_accuracy"] = round(rpc.accuracy, 4)
+    benchmark.extra_info["compaction_gain"] = round(improvement, 4)
+
+    # Shape claims: miss declines with size; the remote PC predicts
+    # most fetches; compaction improves the miss ratio.
+    assert report.spearman == 1.0
+    assert rpc.accuracy > 0.6
+    assert improvement > 0.05

@@ -1,0 +1,43 @@
+"""Engineering benchmarks: simulator throughput and the Mattson
+stack-distance shortcut.
+
+These time the library itself rather than reproducing a paper artifact:
+cache-access throughput bounds how long a full 1M-reference
+reproduction takes, and the stack-distance benchmark demonstrates the
+"LRU permits more efficient simulation" point (one pass instead of one
+simulation per cache size).
+"""
+
+from repro.analysis.stackdist import miss_ratio_curve
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.sim import simulate
+from repro.trace.filters import reads_only
+from repro.workloads.suites import suite_trace
+
+
+def test_simulator_throughput(benchmark, trace_length):
+    trace = reads_only(suite_trace("pdp11", "ED", length=trace_length))
+
+    def run():
+        cache = SubBlockCache(CacheGeometry(1024, 16, 8))
+        simulate(cache, trace)
+        return cache.stats.accesses
+
+    accesses = benchmark(run)
+    benchmark.extra_info["accesses_per_round"] = accesses
+
+
+def test_stack_distance_all_sizes_single_pass(benchmark, trace_length):
+    trace = reads_only(suite_trace("pdp11", "ED", length=min(trace_length, 30_000)))
+    sizes = [64, 128, 256, 512, 1024, 2048]
+
+    curve = benchmark.pedantic(
+        miss_ratio_curve, args=(trace, 16, sizes), rounds=1, iterations=1
+    )
+    print()
+    print("Mattson one-pass miss-ratio curve (PDP-11 ED, 16B blocks):")
+    for size in sizes:
+        print(f"  {size:5d}B: {curve[size]:.4f}")
+    values = [curve[s] for s in sizes]
+    assert values == sorted(values, reverse=True)

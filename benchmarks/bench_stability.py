@@ -1,0 +1,40 @@
+"""E-S1: measurement stability versus trace length.
+
+Backs the EXPERIMENTS.md claim that shapes are stable across trace
+lengths: the reference configuration's miss ratio must converge as the
+trace grows toward the benchmark length.
+"""
+
+from repro.analysis.stability import length_sensitivity, max_relative_drift
+from repro.core.config import CacheGeometry
+from repro.workloads.suites import suite_trace
+
+
+def test_stability_across_trace_lengths(benchmark, trace_length):
+    lengths = [
+        n for n in (10_000, 20_000, 40_000, 80_000) if n <= max(trace_length, 40_000)
+    ]
+    geometry = CacheGeometry(1024, 16, 8)
+
+    def run():
+        return {
+            name: length_sensitivity(
+                lambda n, name=name: suite_trace("pdp11", name, length=n),
+                geometry,
+                lengths,
+            )
+            for name in ("OPSYS", "ED")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Miss-ratio convergence (PDP-11, 1024B 16,8)")
+    for name, points in results.items():
+        series = " ".join(f"{p.length//1000}k:{p.miss_ratio:.4f}" for p in points)
+        drift = max_relative_drift(points)
+        print(f"  {name:6s} {series}  (max drift {drift:.1%})")
+        benchmark.extra_info[f"drift_{name}"] = round(drift, 3)
+        # Doubling the trace length never swings the synthetic OPSYS
+        # trace much; the program traces can phase-shift more but stay
+        # in regime.
+        assert drift < 0.8

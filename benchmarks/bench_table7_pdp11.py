@@ -1,0 +1,7 @@
+"""E-T7 (PDP-11): the PDP-11 column of Table 7 (Section 4.2.1)."""
+
+from benchmarks._table7 import run_table7
+
+
+def test_table7_pdp11(benchmark, trace_length):
+    run_table7(benchmark, "pdp11", trace_length)

@@ -1,0 +1,7 @@
+"""E-T7 (System/370): the System/370 column of Table 7 (Section 4.2.4)."""
+
+from benchmarks._table7 import run_table7
+
+
+def test_table7_s370(benchmark, trace_length):
+    run_table7(benchmark, "s370", trace_length)

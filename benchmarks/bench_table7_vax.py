@@ -1,0 +1,7 @@
+"""E-T7 (VAX-11): the VAX-11 column of Table 7 (Section 4.2.3)."""
+
+from benchmarks._table7 import run_table7
+
+
+def test_table7_vax(benchmark, trace_length):
+    run_table7(benchmark, "vax", trace_length)

@@ -1,0 +1,7 @@
+"""E-T7 (Z8000): the Z8000 column of Table 7 (Section 4.2.2)."""
+
+from benchmarks._table7 import run_table7
+
+
+def test_table7_z8000(benchmark, trace_length):
+    run_table7(benchmark, "z8000", trace_length)

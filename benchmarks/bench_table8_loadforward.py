@@ -1,0 +1,42 @@
+"""E-T8: Table 8 — load-forward on the Z8000 compiler traces
+(Section 4.4)."""
+
+from repro.analysis.experiments import table8_experiment
+from repro.analysis.paper_data import TABLE8
+from repro.analysis.report import compare_shapes
+from repro.analysis.tables import format_table8
+
+
+def test_table8_load_forward(benchmark, trace_length):
+    rows = benchmark.pedantic(
+        table8_experiment, kwargs={"length": trace_length}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table8(rows))
+
+    def key(row):
+        geometry = row.geometry
+        return (
+            geometry.net_size,
+            geometry.block_size,
+            geometry.sub_block_size,
+            row.load_forward,
+        )
+
+    measured = {key(r): r.miss_ratio for r in rows}
+    report = compare_shapes(
+        measured, {k: v.miss_ratio for k, v in TABLE8.items()}
+    )
+    print(f"miss shape: {report.summary()}")
+    benchmark.extra_info["miss_spearman"] = round(report.spearman, 4)
+
+    by_key = {key(r): r for r in rows}
+    full = by_key[(256, 16, 16, False)]
+    small = by_key[(256, 16, 2, False)]
+    forward = by_key[(256, 16, 2, True)]
+    # Section 4.4 headline: LF traffic sits well below full-block
+    # fetch at a small miss-ratio cost; few redundant loads occur.
+    assert forward.traffic_ratio < full.traffic_ratio
+    assert forward.miss_ratio < small.miss_ratio
+    assert forward.redundant_fraction < 0.25
+    assert report.spearman > 0.8

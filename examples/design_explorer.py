@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Find the cheapest cache meeting a design goal (Section 5's method).
+
+The paper's conclusion names, per architecture, the smallest cache that
+cuts references by 10x and bus traffic by 5x.  This example reruns that
+search on the Z8000 suite and prints the Pareto frontier of qualifying
+designs by gross cost.
+
+Run:  python examples/design_explorer.py [max_miss] [max_traffic]
+"""
+
+import sys
+
+from repro.analysis.design import DesignGoal, find_minimum_design
+from repro.trace import reads_only
+from repro.workloads import Z8000_FIGURE_TRACES, suite_traces
+import os
+
+TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "50000"))
+
+
+def main() -> None:
+    max_miss = float(sys.argv[1]) if len(sys.argv) > 1 else 0.10
+    max_traffic = float(sys.argv[2]) if len(sys.argv) > 2 else 0.20
+    goal = DesignGoal(max_miss_ratio=max_miss, max_traffic_ratio=max_traffic)
+
+    traces = [
+        reads_only(t)
+        for t in suite_traces("z8000", length=TRACE_LEN, names=Z8000_FIGURE_TRACES)
+    ]
+    print(
+        f"goal: miss <= {goal.max_miss_ratio}, "
+        f"traffic <= {goal.max_traffic_ratio} (Z8000 suite)\n"
+    )
+    search = find_minimum_design(traces, goal, word_size=2)
+    if search.best is None:
+        print(f"no configuration qualifies ({search.evaluated} tried)")
+        return
+
+    print(f"{len(search.qualifying)} of {search.evaluated} configurations "
+          "qualify; cheapest first:\n")
+    print(f"{'net':>5s} {'b,s':>6s} {'gross':>6s} {'miss':>7s} {'traffic':>8s}")
+    for point in search.qualifying[:10]:
+        geometry = point.geometry
+        marker = "  <- best" if point is search.best else ""
+        print(
+            f"{geometry.net_size:>5d} {geometry.label:>6s} "
+            f"{geometry.gross_size:>6.0f} {point.miss_ratio:7.4f} "
+            f"{point.traffic_ratio:8.4f}{marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

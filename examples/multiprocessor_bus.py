@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""How many processors can share one bus? (the Section 1 motivation)
+
+The paper's case for minimizing traffic ratio: "bus traffic can
+seriously limit system performance ... particularly acute if the bus is
+to be shared among two or more microprocessors."  This example turns a
+simulated traffic ratio into a processor-count estimate: if one
+cacheless processor saturates the bus, a processor with traffic ratio
+``t`` uses a fraction ``t`` of it, so roughly ``1/t`` cached processors
+fit before the bus saturates again.
+
+Run:  python examples/multiprocessor_bus.py
+"""
+
+from repro.analysis import sweep
+from repro.core import CacheGeometry
+from repro.memory import Bus, NIBBLE_MODE_BUS
+from repro.workloads import suite_traces
+import os
+
+TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "50000"))
+
+
+def main() -> None:
+    traces = suite_traces("pdp11", length=TRACE_LEN)
+    print("PDP-11 suite; how many processors can one memory bus carry?\n")
+    print(f"{'cache':>22s} {'traffic':>8s} {'processors':>11s} "
+          f"{'(nibble bus)':>13s}")
+
+    configs = [
+        ("no cache", None),
+        ("64B minimum (4,2)", CacheGeometry(64, 4, 2)),
+        ("256B (8,4)", CacheGeometry(256, 8, 4)),
+        ("512B (4,4)", CacheGeometry(512, 4, 4)),
+        ("1024B (16,8)", CacheGeometry(1024, 16, 8)),
+        ("1024B (16,2)", CacheGeometry(1024, 16, 2)),
+    ]
+    for label, geometry in configs:
+        if geometry is None:
+            traffic = scaled = 1.0
+        else:
+            point = sweep(traces, [geometry], word_size=2)[0]
+            traffic = point.traffic_ratio
+            scaled = point.scaled_traffic_ratio
+        print(
+            f"{label:>22s} {traffic:8.4f} {1 / traffic:11.1f} "
+            f"{1 / scaled:13.1f}"
+        )
+
+    # A concrete bus-utilization computation with the Bus model: replay
+    # one cache's fetch transactions against a nibble-mode bus.
+    geometry = CacheGeometry(1024, 16, 8)
+    point = sweep(traces[:1], [geometry], word_size=2)[0]
+    bus = Bus(NIBBLE_MODE_BUS)
+    print(
+        f"\nBus accounting for {traces[0].name} on the 1024B (16,8) cache:"
+    )
+    from repro.core import SubBlockCache, simulate
+    from repro.trace import reads_only
+
+    cache = SubBlockCache(geometry, word_size=2)
+    simulate(cache, reads_only(traces[0]), warmup="fill")
+    bus.replay(cache.stats.transaction_words)
+    print(f"  {bus.transactions:,} transactions, {bus.words_moved:,} words, "
+          f"total cost {bus.total_cost:,.0f} word-times")
+
+
+if __name__ == "__main__":
+    main()

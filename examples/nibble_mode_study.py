@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Nibble-mode memories double the optimal sub-block size (Section 4.3).
+
+For a 512-byte PDP-11 cache with 16-byte blocks, finds the sub-block
+size minimizing bus cost under three bus models:
+
+* a linear bus (cost proportional to bytes moved);
+* the paper's nibble-mode model, ``cost(w) = 1 + (w-1)/3``;
+* a model built directly from Bursky's 160 ns / 55 ns DRAM latencies.
+
+Run:  python examples/nibble_mode_study.py
+"""
+
+from repro.analysis import sweep
+from repro.core import CacheGeometry
+from repro.memory import BusCostModel, LINEAR_BUS, NIBBLE_MODE_BUS
+from repro.workloads import suite_traces
+import os
+
+TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "50000"))
+
+NET, BLOCK = 512, 16
+
+
+def main() -> None:
+    traces = suite_traces("pdp11", length=TRACE_LEN)
+    geometries = [CacheGeometry(NET, BLOCK, sub) for sub in (2, 4, 8, 16)]
+    bursky = BusCostModel.from_latencies(160, 55, name="bursky")
+
+    print(f"{NET}-byte cache, {BLOCK}-byte blocks, PDP-11 suite\n")
+    header = f"{'sub':>4s} {'miss':>7s} {'linear':>8s} {'nibble':>8s} {'bursky':>8s}"
+    print(header)
+    best = {"linear": None, "nibble": None, "bursky": None}
+    for model_name, model in (
+        ("linear", LINEAR_BUS), ("nibble", NIBBLE_MODE_BUS), ("bursky", bursky)
+    ):
+        points = sweep(traces, geometries, word_size=2, bus_model=model)
+        for point in points:
+            sub = point.geometry.sub_block_size
+            if best[model_name] is None or (
+                point.scaled_traffic_ratio < best[model_name][1]
+            ):
+                best[model_name] = (sub, point.scaled_traffic_ratio)
+        if model_name == "linear":
+            linear_points = points
+        elif model_name == "nibble":
+            nibble_points = points
+        else:
+            bursky_points = points
+
+    for linear, nibble, burskyp in zip(linear_points, nibble_points, bursky_points):
+        print(
+            f"{linear.geometry.sub_block_size:>4d} {linear.miss_ratio:7.4f} "
+            f"{linear.scaled_traffic_ratio:8.4f} "
+            f"{nibble.scaled_traffic_ratio:8.4f} "
+            f"{burskyp.scaled_traffic_ratio:8.4f}"
+        )
+
+    print()
+    for model_name, (sub, cost) in best.items():
+        print(f"optimal sub-block under {model_name:>6s} bus: {sub:2d} B "
+              f"(scaled traffic {cost:.4f})")
+    print(
+        "\nAs in the paper, per-transaction overhead rewards larger "
+        "transfers:\nthe optimum roughly doubles when moving from a "
+        "linear to a nibble-mode bus."
+    )
+
+
+if __name__ == "__main__":
+    main()

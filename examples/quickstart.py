@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one on-chip cache over one workload.
+
+Builds the paper's headline configuration — a 1024-byte, 4-way
+set-associative cache with 16-byte blocks and 8-byte sub-blocks — and
+drives it with a generated PDP-11-style workload trace, printing the
+metrics the paper reports (miss ratio, traffic ratio, nibble-scaled
+traffic ratio) plus the gross-size cost and an effective-access-time
+estimate.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import CacheGeometry, SubBlockCache, simulate
+from repro.memory import MemoryTiming, NIBBLE_MODE_BUS
+from repro.trace import reads_only
+from repro.workloads import suite_trace
+import os
+
+TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "100000"))
+
+
+def main() -> None:
+    # 1. A workload: the paper's "ED" trace (a text-editor-style string
+    #    search executed on the toy machine).
+    trace = reads_only(suite_trace("pdp11", "ED", length=TRACE_LEN))
+    print(f"workload: {trace.name}, {len(trace):,} read/ifetch references")
+
+    # 2. A cache: net 1024 B, block 16 B, sub-block 8 B, 4-way, LRU.
+    geometry = CacheGeometry(net_size=1024, block_size=16, sub_block_size=8)
+    cache = SubBlockCache(geometry, word_size=2)
+    print(f"cache:    {geometry}")
+
+    # 3. Simulate with the paper's warm-start methodology.
+    stats = simulate(cache, trace, warmup="fill")
+
+    # 4. The paper's metrics.
+    print(f"miss ratio:            {stats.miss_ratio:.4f}")
+    print(f"traffic ratio:         {stats.traffic_ratio():.4f}")
+    print(
+        "scaled traffic ratio:  "
+        f"{stats.scaled_traffic_ratio(NIBBLE_MODE_BUS, word_size=2):.4f}"
+        "  (nibble-mode bus)"
+    )
+
+    # 5. What that means for latency (Section 3.2's t_eff model with
+    #    Bursky's 1983 DRAM figures).
+    timing = MemoryTiming(t_cache_ns=100)
+    t_eff = timing.effective_access_ns(
+        stats.miss_ratio, sub_block_words=geometry.sub_block_size // 2
+    )
+    print(f"effective access time: {t_eff:.0f} ns "
+          f"(cache {timing.t_cache_ns:.0f} ns, "
+          f"miss penalty {timing.miss_penalty_ns(4):.0f} ns)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The RISC II instruction cache's three tricks (Section 2.3).
+
+1. A direct-mapped 512-byte instruction cache (64 x 8-byte blocks).
+2. A *remote program counter* that guesses the next fetch address so
+   the cache can start its array access early.
+3. *Code compaction*: selected 16-bit instruction forms shrink the
+   code ~20%, which raises cache density and cuts misses.
+
+Run:  python examples/riscii_icache.py
+"""
+
+from repro.core import simulate
+from repro.extensions import (
+    RemoteProgramCounter,
+    compact_code,
+    riscii_icache,
+)
+from repro.trace import AccessType, only_kind
+from repro.workloads import suite_trace
+import os
+
+TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "100000"))
+
+
+def main() -> None:
+    trace = only_kind(
+        suite_trace("vax", "c2", length=TRACE_LEN), AccessType.IFETCH
+    )
+    print(f"instruction stream: {len(trace):,} fetches\n")
+
+    print("cache size vs miss ratio (paper: .148 / .125 / .098 / .078):")
+    base_miss = None
+    for size in (512, 1024, 2048, 4096):
+        stats = simulate(riscii_icache(size), trace, warmup="fill")
+        if size == 512:
+            base_miss = stats.miss_ratio
+        print(f"  {size:5d} B: {stats.miss_ratio:.4f}")
+
+    rpc = RemoteProgramCounter(word_size=4)
+    for access in trace:
+        rpc.observe(access.addr)
+    print(
+        f"\nremote program counter: {rpc.accuracy:.1%} of next addresses "
+        f"predicted (paper: 89.9%)"
+    )
+    print(
+        f"estimated access-time reduction: {rpc.access_time_reduction():.1%} "
+        f"(paper: 42.2%)"
+    )
+
+    compact_trace = compact_code(trace, reduction=0.20)
+    compact_miss = simulate(riscii_icache(512), compact_trace, warmup="fill").miss_ratio
+    print(
+        f"\ncode compaction (20% smaller code): miss {base_miss:.4f} -> "
+        f"{compact_miss:.4f} ({1 - compact_miss / base_miss:.1%} better; "
+        f"paper: 27%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The 360/85 sector cache versus a modern set-associative design
+(Section 4.1, Table 6).
+
+The first cache ever shipped associated one tag with a whole 1024-byte
+sector to keep the associative-search hardware small.  Fifteen years of
+cheaper logic later, the paper shows that design performs ~3x worse
+than 4-way set-associative mapping at the same data size — and that 72%
+of a resident sector's sub-blocks are never referenced.
+
+Run:  python examples/sector_cache_360_85.py
+"""
+
+from repro.core import (
+    model85_cache,
+    set_associative_equivalent,
+    simulate,
+)
+from repro.trace import reads_only
+from repro.workloads import suite_traces
+import os
+
+TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "100000"))
+
+
+def main() -> None:
+    traces = [reads_only(t) for t in suite_traces("mainframe", length=TRACE_LEN)]
+    print("16 KiB caches on a six-trace mainframe workload\n")
+
+    designs = [
+        ("360/85 sector cache (16 x 1024B, 64B sub-blocks)", model85_cache),
+        ("4-way set-assoc, 64B blocks", lambda: set_associative_equivalent(4)),
+        ("8-way set-assoc, 64B blocks", lambda: set_associative_equivalent(8)),
+        ("16-way set-assoc, 64B blocks", lambda: set_associative_equivalent(16)),
+    ]
+    baseline = None
+    for label, factory in designs:
+        miss_sum = util_sum = 0.0
+        for trace in traces:
+            cache = factory()
+            stats = simulate(cache, trace, warmup="fill", flush_at_end=True)
+            miss_sum += stats.miss_ratio
+            util_sum += stats.mean_eviction_utilization
+        miss = miss_sum / len(traces)
+        util = util_sum / len(traces)
+        if baseline is None:
+            baseline = miss
+        print(
+            f"{label:<50s} miss={miss:.4f} "
+            f"(rel {miss / baseline:.3f}, sub-blocks referenced {util:.1%})"
+        )
+
+    print(
+        "\nPaper's Table 6: sector 0.0258, 4-way 0.0088 (rel 0.341), "
+        "8-way 0.314, 16-way 0.294;\n72% of sector sub-blocks never "
+        "referenced while resident."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The central trade-off: sub-block size versus miss and traffic ratio.
+
+Reproduces the paper's key design insight (Section 4.2): for a fixed
+net size and block size, shrinking the sub-block size trades a higher
+miss ratio for lower bus traffic — a cache that can vary its sub-block
+size "can be set to run at different operating points depending on the
+relative importance of miss ratio and traffic ratio".
+
+Sweeps the b32 line of Figure 2 (1024-byte cache, 32-byte blocks) over
+the PDP-11 suite and renders the figure as ASCII.
+
+Run:  python examples/subblock_tradeoff.py
+"""
+
+from repro.analysis import ascii_figure, figure_series, sweep
+from repro.core import CacheGeometry
+from repro.workloads import suite_traces
+import os
+
+TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "50000"))
+
+NET = 1024
+BLOCK = 32
+
+
+def main() -> None:
+    traces = suite_traces("pdp11", length=TRACE_LEN)
+    geometries = [
+        CacheGeometry(NET, BLOCK, sub) for sub in (2, 4, 8, 16, 32)
+    ]
+    points = sweep(traces, geometries, word_size=2)
+
+    print(f"{NET}-byte cache, {BLOCK}-byte blocks, PDP-11 suite")
+    print(f"{'sub':>4s} {'gross':>6s} {'miss':>7s} {'traffic':>8s}")
+    for point in points:
+        print(
+            f"{point.geometry.sub_block_size:>4d} "
+            f"{point.geometry.gross_size:>6.0f} "
+            f"{point.miss_ratio:7.4f} {point.traffic_ratio:8.4f}"
+        )
+
+    # The two ends of the line are the paper's two operating points:
+    # plentiful bus bandwidth -> large sub-blocks (low miss ratio);
+    # bus-limited system -> small sub-blocks (low traffic ratio).
+    big, small = points[-1], points[0]
+    print(
+        f"\nlarge sub-blocks ({BLOCK}B): miss {big.miss_ratio:.3f}, "
+        f"traffic {big.traffic_ratio:.3f}"
+    )
+    print(
+        f"small sub-blocks (2B):  miss {small.miss_ratio:.3f}, "
+        f"traffic {small.traffic_ratio:.3f}"
+    )
+    print(
+        f"trade: miss x{small.miss_ratio / big.miss_ratio:.1f} "
+        f"for traffic /{big.traffic_ratio / small.traffic_ratio:.1f}"
+    )
+
+    print()
+    print(ascii_figure(
+        figure_series({NET: points}),
+        title=f"b{BLOCK} line, net {NET} B (PDP-11)",
+        width=60, height=16,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of Hill & Smith, ISCA 1984.
+
+*Experimental Evaluation of On-Chip Microprocessor Cache Memories*:
+trace-driven simulation of small (32–2048 byte) on-chip caches with
+sub-block placement, load-forward fetching, nibble-mode bus cost
+scaling, and the 360/85 sector-cache comparison.
+
+Subpackages:
+
+* :mod:`repro.core` — the sub-block cache simulator (the paper's
+  contribution).
+* :mod:`repro.memory` — bus cost models, nibble mode, access timing.
+* :mod:`repro.trace` — trace records, file formats, transforms.
+* :mod:`repro.workloads` — the workload substrate standing in for the
+  paper's proprietary 1984 traces (toy-machine programs plus a
+  calibrated statistical locality model).
+* :mod:`repro.analysis` — sweeps, tables, figures, stack-distance
+  analysis, and the paper's published numbers.
+* :mod:`repro.extensions` — minimum cache / instruction buffer, the
+  RISC II instruction cache, sequential prefetching.
+
+Quickstart:
+    >>> from repro.core import CacheGeometry, run_config
+    >>> from repro.workloads import suite_trace
+    >>> trace = suite_trace("pdp11", "ED", length=50_000)
+    >>> stats = run_config(CacheGeometry(1024, 16, 8), trace)
+    >>> 0.0 <= stats.miss_ratio <= 1.0
+    True
+"""
+
+from repro.errors import (
+    AssemblyError,
+    ConfigurationError,
+    MachineError,
+    ReproError,
+    TraceFormatError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblyError",
+    "ConfigurationError",
+    "MachineError",
+    "ReproError",
+    "TraceFormatError",
+    "__version__",
+]

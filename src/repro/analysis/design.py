@@ -1,0 +1,102 @@
+"""Design-space exploration: the paper's Section 5 methodology.
+
+The conclusions section reasons in terms of *design goals*: "a more
+aggressive goal for an on-chip cache is to reduce references by a
+factor of ten (miss ratio 0.10) and bus traffic by a factor of five
+(traffic ratio 0.20)", then names the cheapest configuration achieving
+it per architecture.  :func:`find_minimum_design` automates that
+search: sweep a geometry grid and return the qualifying configuration
+with the smallest gross size (the paper's cost metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.sweep import SweepPoint, geometry_grid, sweep
+from repro.errors import ConfigurationError
+from repro.trace.record import Trace
+
+__all__ = ["DesignGoal", "DesignSearch", "find_minimum_design"]
+
+
+@dataclass(frozen=True)
+class DesignGoal:
+    """Performance targets a design must meet.
+
+    Attributes:
+        max_miss_ratio: Upper bound on the suite-average miss ratio.
+        max_traffic_ratio: Upper bound on the suite-average traffic
+            ratio (the standard, linear-bus one).
+    """
+
+    max_miss_ratio: float = 0.10
+    max_traffic_ratio: float = 0.20
+
+    def __post_init__(self) -> None:
+        if not 0 < self.max_miss_ratio <= 1:
+            raise ConfigurationError(
+                f"max_miss_ratio must be in (0, 1], got {self.max_miss_ratio}"
+            )
+        if self.max_traffic_ratio <= 0:
+            raise ConfigurationError(
+                f"max_traffic_ratio must be positive, got {self.max_traffic_ratio}"
+            )
+
+    def met_by(self, point: SweepPoint) -> bool:
+        """True if a sweep point satisfies both bounds."""
+        return (
+            point.miss_ratio <= self.max_miss_ratio
+            and point.traffic_ratio <= self.max_traffic_ratio
+        )
+
+
+@dataclass(frozen=True)
+class DesignSearch:
+    """Result of a design-space search.
+
+    Attributes:
+        best: Qualifying point with the smallest gross size, or None
+            if no configuration meets the goal.
+        qualifying: Every qualifying point, cheapest first.
+        evaluated: Number of configurations simulated.
+    """
+
+    best: Optional[SweepPoint]
+    qualifying: List[SweepPoint]
+    evaluated: int
+
+
+def find_minimum_design(
+    traces: Sequence[Trace],
+    goal: DesignGoal,
+    word_size: int = 2,
+    net_sizes: Sequence[int] = (64, 128, 256, 512, 1024, 2048),
+) -> DesignSearch:
+    """Find the cheapest cache meeting a design goal on a suite.
+
+    Args:
+        traces: Suite traces (write filtering is applied, as in every
+            paper experiment).
+        goal: Miss/traffic bounds to satisfy.
+        word_size: Data-path width of the architecture.
+        net_sizes: Net sizes to explore (the grid uses the paper's
+            block/sub-block ranges at each).
+
+    Returns:
+        A :class:`DesignSearch`; ``best`` is None when the goal is out
+        of reach on this workload (as the paper found for the
+        System/370 at on-chip sizes).
+    """
+    geometries = geometry_grid(list(net_sizes), min_sub=word_size)
+    points = sweep(traces, geometries, word_size=word_size)
+    qualifying = sorted(
+        (point for point in points if goal.met_by(point)),
+        key=lambda point: (point.gross_size, point.miss_ratio),
+    )
+    return DesignSearch(
+        best=qualifying[0] if qualifying else None,
+        qualifying=qualifying,
+        evaluated=len(points),
+    )

@@ -1,0 +1,109 @@
+"""Series construction for the paper's figures.
+
+Every figure in the paper plots miss ratio against traffic ratio, with
+*solid* lines connecting caches of constant block size (varying
+sub-block size) and *dashed* lines connecting caches of constant
+sub-block size (varying block size), one family per net cache size.
+:func:`figure_series` reorganizes sweep results into exactly those
+series; :mod:`repro.analysis.plotting` renders them as ASCII plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.sweep import SweepPoint
+
+__all__ = ["FigureSeries", "figure_series", "series_to_csv"]
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One line of a miss-vs-traffic figure.
+
+    Attributes:
+        label: The paper's label style — ``b16`` for a constant-block
+            (solid) line, ``s4`` for a constant-sub-block (dashed) one.
+        net_size: Net cache size of the family this line belongs to.
+        solid: True for constant-block lines.
+        points: ``(traffic ratio, miss ratio)`` pairs, ordered along
+            the varying parameter.
+    """
+
+    label: str
+    net_size: int
+    solid: bool
+    points: Tuple[Tuple[float, float], ...]
+
+
+def figure_series(
+    results: Dict[int, List[SweepPoint]],
+    use_scaled_traffic: bool = False,
+) -> List[FigureSeries]:
+    """Build the constant-b and constant-s lines of a figure.
+
+    Args:
+        results: ``{net size: sweep points}`` as returned by
+            :func:`repro.analysis.experiments.figure_experiment`.
+        use_scaled_traffic: Plot the nibble-mode scaled traffic ratio
+            instead of the standard one (Figures 7 and 8).
+
+    Returns:
+        All series of the figure, constant-block lines first.
+    """
+    series: List[FigureSeries] = []
+    for net, points in sorted(results.items()):
+        def traffic(point: SweepPoint) -> float:
+            return (
+                point.scaled_traffic_ratio
+                if use_scaled_traffic
+                else point.traffic_ratio
+            )
+
+        by_block: Dict[int, List[SweepPoint]] = {}
+        by_sub: Dict[int, List[SweepPoint]] = {}
+        for point in points:
+            by_block.setdefault(point.geometry.block_size, []).append(point)
+            by_sub.setdefault(point.geometry.sub_block_size, []).append(point)
+        for block, group in sorted(by_block.items()):
+            if len(group) < 2:
+                continue
+            group = sorted(group, key=lambda p: p.geometry.sub_block_size)
+            series.append(
+                FigureSeries(
+                    label=f"b{block}",
+                    net_size=net,
+                    solid=True,
+                    points=tuple((traffic(p), p.miss_ratio) for p in group),
+                )
+            )
+        for sub, group in sorted(by_sub.items()):
+            if len(group) < 2:
+                continue
+            group = sorted(group, key=lambda p: p.geometry.block_size)
+            series.append(
+                FigureSeries(
+                    label=f"s{sub}",
+                    net_size=net,
+                    solid=False,
+                    points=tuple((traffic(p), p.miss_ratio) for p in group),
+                )
+            )
+    return series
+
+
+def series_to_csv(series: Sequence[FigureSeries]) -> str:
+    """Render figure series as CSV for external plotting tools.
+
+    Columns: net size, series label, solid flag, traffic ratio, miss
+    ratio — one row per point, ordered as plotted.
+    """
+    lines = ["net_size,series,solid,traffic_ratio,miss_ratio"]
+    for line in series:
+        for traffic, miss in line.points:
+            lines.append(
+                f"{line.net_size},{line.label},{int(line.solid)},"
+                f"{traffic:.6f},{miss:.6f}"
+            )
+    return "\n".join(lines) + "\n"

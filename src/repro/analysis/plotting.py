@@ -1,0 +1,89 @@
+"""ASCII rendering of miss-versus-traffic figures.
+
+A dependency-free stand-in for the paper's plots: a log-log character
+grid with one marker per cache configuration, suitable for terminals,
+logs, and EXPERIMENTS.md.  Markers cycle per series; a legend maps them
+back to the paper's ``b``/``s`` labels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.analysis.figures import FigureSeries
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_figure"]
+
+_MARKERS = "ox+*#@%&$abcdefghijklm"
+
+
+def ascii_figure(
+    series: Sequence[FigureSeries],
+    width: int = 72,
+    height: int = 24,
+    title: str = "",
+    x_label: str = "traffic ratio",
+    y_label: str = "miss ratio",
+) -> str:
+    """Render figure series as a log-log ASCII scatter plot.
+
+    Args:
+        series: Lines to plot (see
+            :func:`repro.analysis.figures.figure_series`).
+        width / height: Plot area in characters.
+        title: Optional heading.
+        x_label / y_label: Axis captions.
+
+    Returns:
+        The plot as a multi-line string (empty-series input yields a
+        short placeholder).
+    """
+    if width < 10 or height < 5:
+        raise ConfigurationError("plot area must be at least 10x5 characters")
+    points = [
+        (x, y)
+        for line in series
+        for (x, y) in line.points
+        if x > 0 and y > 0
+    ]
+    if not points:
+        return f"{title}\n(no positive data points)"
+
+    xs = [math.log10(x) for x, _ in points]
+    ys = [math.log10(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((math.log10(x) - x_lo) / x_span * (width - 1))
+        row = round((y_hi - math.log10(y)) / y_span * (height - 1))
+        grid[row][col] = marker
+
+    legend: List[str] = []
+    for index, line in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        kind = "solid" if line.solid else "dashed"
+        legend.append(f"  {marker} {line.label} (net {line.net_size}, {kind})")
+        for x, y in line.points:
+            if x > 0 and y > 0:
+                place(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (log) {10 ** y_hi:.3f}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"{10 ** x_lo:.3f}  {x_label} (log)  {10 ** x_hi:.3f}   "
+        f"(y min {10 ** y_lo:.3f})"
+    )
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Measurement-stability analysis (reproduction hygiene).
+
+The paper runs 1 M-reference traces; this library defaults to shorter
+ones.  :func:`length_sensitivity` quantifies what that costs: it
+re-simulates a configuration at a ladder of trace lengths and reports
+how the metrics converge, so EXPERIMENTS.md claims like "shapes are
+stable across lengths" are backed by data rather than hope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.core.config import CacheGeometry
+from repro.core.sim import run_config
+from repro.errors import ConfigurationError
+from repro.trace.filters import reads_only
+from repro.trace.record import Trace
+
+__all__ = ["StabilityPoint", "length_sensitivity", "max_relative_drift"]
+
+
+@dataclass(frozen=True)
+class StabilityPoint:
+    """Metrics measured at one trace length."""
+
+    length: int
+    miss_ratio: float
+    traffic_ratio: float
+
+
+def length_sensitivity(
+    build_trace: Callable[[int], Trace],
+    geometry: CacheGeometry,
+    lengths: Sequence[int],
+    word_size: int = 2,
+) -> List[StabilityPoint]:
+    """Measure one configuration at several trace lengths.
+
+    Args:
+        build_trace: Callback producing a trace of a requested length
+            (e.g. ``lambda n: suite_trace("pdp11", "ED", length=n)``).
+        geometry: Cache configuration to evaluate.
+        lengths: Trace lengths, in increasing order.
+        word_size: Data-path width.
+
+    Raises:
+        ConfigurationError: If ``lengths`` is empty or unsorted.
+    """
+    if not lengths:
+        raise ConfigurationError("at least one length is required")
+    if list(lengths) != sorted(lengths):
+        raise ConfigurationError("lengths must be increasing")
+    points = []
+    for length in lengths:
+        trace = reads_only(build_trace(length))
+        stats = run_config(geometry, trace, word_size=word_size)
+        points.append(
+            StabilityPoint(
+                length=length,
+                miss_ratio=stats.miss_ratio,
+                traffic_ratio=stats.traffic_ratio(),
+            )
+        )
+    return points
+
+
+def max_relative_drift(points: Sequence[StabilityPoint]) -> float:
+    """Largest relative change in miss ratio between adjacent lengths.
+
+    A value of 0.10 means no doubling of trace length moved the miss
+    ratio by more than 10% — the convergence criterion used by the
+    stability benchmark.
+    """
+    drift = 0.0
+    for previous, current in zip(points, points[1:]):
+        if previous.miss_ratio > 0:
+            drift = max(
+                drift,
+                abs(current.miss_ratio - previous.miss_ratio) / previous.miss_ratio,
+            )
+    return drift

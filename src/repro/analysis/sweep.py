@@ -1,0 +1,160 @@
+"""Parameter sweeps over cache geometries and trace suites.
+
+The paper's core experiment: simulate every (net size, block size,
+sub-block size) combination over a suite of traces and report the
+*unweighted average* of per-trace miss and traffic ratios ("multiple-
+trace miss and traffic ratios are the unweighted average of the miss
+and traffic ratios of individual runs", Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+from repro.core.config import CacheGeometry
+from repro.core.fetch import FetchPolicy, make_fetch
+from repro.core.replacement import make_replacement
+from repro.core.sim import run_config
+from repro.memory.nibble import BusCostModel, NIBBLE_MODE_BUS
+from repro.trace.record import Trace
+from repro.trace.filters import reads_only
+
+__all__ = ["SweepPoint", "sweep", "geometry_grid"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Averaged results for one geometry over a suite.
+
+    Attributes:
+        geometry: The simulated cache shape.
+        miss_ratio / traffic_ratio: Unweighted suite averages.
+        scaled_traffic_ratio: Suite-average scaled (nibble-mode)
+            traffic ratio.
+        per_trace: ``{trace name: (miss, traffic, scaled traffic)}``.
+        fetch_name: Fetch policy used (``demand`` / ``load-forward``).
+    """
+
+    geometry: CacheGeometry
+    miss_ratio: float
+    traffic_ratio: float
+    scaled_traffic_ratio: float
+    per_trace: Dict[str, tuple] = field(default_factory=dict, compare=False)
+    fetch_name: str = "demand"
+
+    @property
+    def gross_size(self) -> float:
+        return self.geometry.gross_size
+
+    @property
+    def label(self) -> str:
+        return self.geometry.label
+
+
+def sweep(
+    traces: Sequence[Trace],
+    geometries: Sequence[CacheGeometry],
+    word_size: int = 2,
+    fetch: Union[str, FetchPolicy, None] = None,
+    replacement: str = "lru",
+    warmup: Union[int, str] = "fill",
+    bus_model: BusCostModel = NIBBLE_MODE_BUS,
+    filter_writes: bool = True,
+) -> List[SweepPoint]:
+    """Simulate each geometry over each trace and average the ratios.
+
+    Args:
+        traces: Suite traces (already generated).
+        geometries: Cache shapes to evaluate.
+        word_size: Data-path width of the traced architecture.
+        fetch: Fetch policy (name or instance); demand when None.
+        replacement: Replacement policy name (fresh instance per run).
+        warmup: Warm-start mode forwarded to the simulator.
+        bus_model: Cost model used for the scaled traffic ratio.
+        filter_writes: Apply the paper's read-only filtering first.
+
+    Returns:
+        One :class:`SweepPoint` per geometry, in input order.
+    """
+    prepared = [reads_only(trace) if filter_writes else trace for trace in traces]
+    points = []
+    for geometry in geometries:
+        per_trace: Dict[str, tuple] = {}
+        miss_sum = traffic_sum = scaled_sum = 0.0
+        for trace in prepared:
+            fetch_policy = (
+                make_fetch(fetch) if isinstance(fetch, str)
+                else fetch if fetch is not None
+                else None
+            )
+            stats = run_config(
+                geometry,
+                trace,
+                replacement=make_replacement(replacement),
+                fetch=fetch_policy,
+                word_size=word_size,
+                warmup=warmup,
+            )
+            miss = stats.miss_ratio
+            traffic = stats.traffic_ratio()
+            scaled = stats.scaled_traffic_ratio(bus_model, word_size)
+            per_trace[trace.name] = (miss, traffic, scaled)
+            miss_sum += miss
+            traffic_sum += traffic
+            scaled_sum += scaled
+        count = max(len(prepared), 1)
+        fetch_name = (
+            fetch if isinstance(fetch, str)
+            else fetch.name if fetch is not None
+            else "demand"
+        )
+        points.append(
+            SweepPoint(
+                geometry=geometry,
+                miss_ratio=miss_sum / count,
+                traffic_ratio=traffic_sum / count,
+                scaled_traffic_ratio=scaled_sum / count,
+                per_trace=per_trace,
+                fetch_name=fetch_name,
+            )
+        )
+    return points
+
+
+def geometry_grid(
+    net_sizes: Sequence[int],
+    block_sizes: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    sub_block_sizes: Sequence[int] = (2, 4, 8, 16, 32),
+    associativity: int = 4,
+    min_sub: int = 2,
+    max_block_fraction: int = 4,
+) -> List[CacheGeometry]:
+    """Build the paper's geometry grid (Table 1 parameter ranges).
+
+    Includes every (net, block, sub) with ``sub <= block``,
+    ``sub >= min_sub``, and ``block <= net / max_block_fraction`` (the
+    paper never simulates blocks larger than a quarter of the cache).
+
+    Args:
+        net_sizes: Net cache sizes in bytes.
+        block_sizes / sub_block_sizes: Candidate values (Table 1 lists
+            blocks 2–64 and sub-blocks 2–32).
+        associativity: Requested associativity (clamped per geometry).
+        min_sub: Smallest sub-block; use the word size so 32-bit
+            architectures skip 2-byte sub-blocks, as Table 7 does.
+        max_block_fraction: Excludes blocks bigger than
+            ``net / max_block_fraction``.
+    """
+    grid = []
+    for net in net_sizes:
+        for block in block_sizes:
+            if block > net // max_block_fraction:
+                continue
+            for sub in sub_block_sizes:
+                if sub > block or sub < min_sub:
+                    continue
+                grid.append(
+                    CacheGeometry(net, block, sub, associativity=associativity)
+                )
+    return grid

@@ -1,0 +1,105 @@
+"""Text rendering of the paper's tables.
+
+These functions format experiment results in the layout of the paper's
+Tables 6, 7 and 8, optionally alongside the published values, so a
+reproduction run prints something directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.experiments import Table6Row, Table8Row
+from repro.analysis.paper_data import TABLE6, TABLE7, TABLE8, PaperPoint
+from repro.analysis.sweep import SweepPoint
+
+__all__ = ["format_table6", "format_table7", "format_table8"]
+
+
+def _fmt(value: Optional[float], width: int = 7, digits: int = 4) -> str:
+    if value is None:
+        return " " * width
+    return f"{value:{width}.{digits}f}"
+
+
+def format_table6(rows: Sequence[Table6Row], include_paper: bool = True) -> str:
+    """Render the 360/85 comparison (Table 6)."""
+    lines = [
+        "Table 6: 16 KiB caches on the 360/85 workload",
+        f"{'organization':>12s} {'miss':>8s} {'rel':>6s} {'util':>6s}"
+        + ("   | paper miss / rel" if include_paper else ""),
+    ]
+    for row in rows:
+        line = (
+            f"{row.organization:>12s} {row.miss_ratio:8.4f} "
+            f"{row.relative_to_sector:6.3f} {row.sub_block_utilization:6.3f}"
+        )
+        if include_paper and row.organization in TABLE6:
+            miss, rel = TABLE6[row.organization]
+            line += f"   | {miss:.4f} / {rel:.3f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_table7(
+    arch: str, points: Sequence[SweepPoint], include_paper: bool = True
+) -> str:
+    """Render one architecture's Table 7 column.
+
+    Columns: gross size, block,sub label, then measured miss, traffic,
+    and nibble-scaled traffic ratios — with the published triple
+    alongside where the paper has one.
+    """
+    header = (
+        f"{'net':>5s} {'gross':>6s} {'b,s':>6s} "
+        f"{'miss':>7s} {'traffic':>8s} {'nibble':>7s}"
+    )
+    if include_paper:
+        header += f"   | {'paper miss':>10s} {'traffic':>8s}"
+    lines = [f"Table 7 ({arch})", header]
+    published = TABLE7.get(arch, {})
+    for point in points:
+        geometry = point.geometry
+        line = (
+            f"{geometry.net_size:>5d} {geometry.gross_size:>6.0f} "
+            f"{geometry.label:>6s} {point.miss_ratio:7.4f} "
+            f"{point.traffic_ratio:8.4f} {point.scaled_traffic_ratio:7.4f}"
+        )
+        if include_paper:
+            key = (geometry.net_size, geometry.block_size, geometry.sub_block_size)
+            paper: Optional[PaperPoint] = published.get(key)
+            if paper is not None:
+                line += f"   | {paper.miss_ratio:10.4f} {paper.traffic_ratio:8.4f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_table8(rows: Sequence[Table8Row], include_paper: bool = True) -> str:
+    """Render the load-forward comparison (Table 8)."""
+    header = (
+        f"{'net':>5s} {'gross':>6s} {'config':>9s} "
+        f"{'miss':>7s} {'traffic':>8s} {'nibble':>7s} {'redund':>7s}"
+    )
+    if include_paper:
+        header += f"   | {'paper miss':>10s} {'traffic':>8s}"
+    lines = ["Table 8: load-forward on Z8000 CPP/C1/C2", header]
+    for row in rows:
+        geometry = row.geometry
+        line = (
+            f"{geometry.net_size:>5d} {geometry.gross_size:>6.0f} "
+            f"{row.label:>9s} {row.miss_ratio:7.4f} "
+            f"{row.traffic_ratio:8.4f} {row.scaled_traffic_ratio:7.4f} "
+            f"{row.redundant_fraction:7.4f}"
+        )
+        if include_paper:
+            key = (
+                geometry.net_size,
+                geometry.block_size,
+                geometry.sub_block_size,
+                row.load_forward,
+            )
+            paper = TABLE8.get(key)
+            if paper is not None:
+                line += f"   | {paper.miss_ratio:10.4f} {paper.traffic_ratio:8.4f}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table6 [--length N]
+    python -m repro table7 {pdp11,z8000,vax,s370} [--length N]
+    python -m repro table8 [--length N]
+    python -m repro figure {1,2,3,4,5,6,7,8} [--length N]
+    python -m repro riscii [--length N]
+    python -m repro suites
+    python -m repro trace SUITE NAME [--length N] [--out FILE.din]
+
+``--length`` defaults to the ``REPRO_TRACE_LEN`` environment variable
+or 100 000 references (the paper used 1 000 000).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    FIGURE_NETS,
+    default_trace_length,
+    figure_experiment,
+    table6_experiment,
+    table7_experiment,
+    table8_experiment,
+)
+from repro.analysis.figures import figure_series, series_to_csv
+from repro.analysis.plotting import ascii_figure
+from repro.analysis.tables import format_table6, format_table7, format_table8
+from repro.trace.writer import write_din
+from repro.workloads.suites import suite_names, suite_specs, suite_trace
+
+__all__ = ["main"]
+
+#: Figure number -> (architecture, net sizes, scaled-traffic?).
+_FIGURES = {
+    1: ("pdp11", FIGURE_NETS["part1"], False),
+    2: ("pdp11", FIGURE_NETS["part2"], False),
+    3: ("z8000", FIGURE_NETS["part1"], False),
+    4: ("z8000", FIGURE_NETS["part2"], False),
+    5: ("vax", FIGURE_NETS["part2"], False),
+    6: ("s370", FIGURE_NETS["part2"], False),
+    7: ("pdp11", FIGURE_NETS["part1"], True),
+    8: ("pdp11", FIGURE_NETS["part2"], True),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Hill & Smith (ISCA 1984) tables and figures.",
+    )
+    parser.add_argument(
+        "--length",
+        type=int,
+        default=None,
+        help="trace length in references (default: REPRO_TRACE_LEN or 100000)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("table6", help="360/85 sector cache comparison")
+    table7 = commands.add_parser("table7", help="miss/traffic table, one architecture")
+    table7.add_argument("arch", choices=["pdp11", "z8000", "vax", "s370"])
+    commands.add_parser("table8", help="load-forward results")
+    figure = commands.add_parser("figure", help="one of the paper's figures")
+    figure.add_argument("number", type=int, choices=sorted(_FIGURES))
+    figure.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of an ASCII plot"
+    )
+    commands.add_parser("riscii", help="RISC II instruction-cache results")
+    commands.add_parser("suites", help="list the workload suites and traces")
+    trace = commands.add_parser("trace", help="generate one trace")
+    trace.add_argument("suite")
+    trace.add_argument("name")
+    trace.add_argument("--out", default=None, help="write din format to this file")
+    simulate = commands.add_parser(
+        "simulate", help="simulate one cache over a din trace file"
+    )
+    simulate.add_argument("din", help="trace file in din format")
+    simulate.add_argument("--net", type=int, default=1024, help="net size (bytes)")
+    simulate.add_argument("--block", type=int, default=16, help="block size")
+    simulate.add_argument("--sub", type=int, default=None, help="sub-block size")
+    simulate.add_argument("--assoc", type=int, default=4, help="associativity")
+    simulate.add_argument("--word", type=int, default=2, help="data-path width")
+    simulate.add_argument(
+        "--fetch",
+        default="demand",
+        choices=["demand", "load-forward", "load-forward-optimized"],
+    )
+    simulate.add_argument(
+        "--replacement", default="lru", choices=["lru", "fifo", "random"]
+    )
+    simulate.add_argument(
+        "--cold", action="store_true",
+        help="cold-start statistics (default: the paper's warm start)",
+    )
+    simulate.add_argument(
+        "--keep-writes", action="store_true",
+        help="keep write accesses (default: the paper's read filtering)",
+    )
+    return parser
+
+
+def _cmd_riscii(length: int) -> None:
+    from repro.analysis.paper_data import RISCII_MISS_RATIOS
+    from repro.core.sim import simulate
+    from repro.extensions.riscii import RemoteProgramCounter, riscii_icache
+    from repro.trace.filters import only_kind
+    from repro.trace.record import AccessType
+
+    trace = only_kind(
+        suite_trace("vax", "c2", length=length), AccessType.IFETCH
+    )
+    print("RISC II instruction cache (Section 2.3)")
+    for size in sorted(RISCII_MISS_RATIOS):
+        stats = simulate(riscii_icache(size), trace, warmup="fill")
+        print(
+            f"  {size:5d} B: miss {stats.miss_ratio:.4f} "
+            f"(paper {RISCII_MISS_RATIOS[size]:.3f})"
+        )
+    rpc = RemoteProgramCounter(word_size=4)
+    for access in trace:
+        rpc.observe(access.addr)
+    print(f"  remote PC accuracy: {rpc.accuracy:.3f} (paper 0.899)")
+
+
+def _cmd_suites() -> None:
+    for suite in suite_names():
+        print(f"{suite}:")
+        for spec in suite_specs(suite):
+            source = spec.program or "synthetic"
+            print(f"  {spec.name:<8s} {source}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    length = args.length if args.length is not None else default_trace_length()
+
+    if args.command == "table6":
+        print(format_table6(table6_experiment(length=length)))
+    elif args.command == "table7":
+        print(format_table7(args.arch, table7_experiment(args.arch, length=length)))
+    elif args.command == "table8":
+        print(format_table8(table8_experiment(length=length)))
+    elif args.command == "figure":
+        arch, nets, scaled = _FIGURES[args.number]
+        results = figure_experiment(arch, nets, length=length)
+        series = figure_series(results, use_scaled_traffic=scaled)
+        if args.csv:
+            print(series_to_csv(series), end="")
+        else:
+            mode = " (nibble mode)" if scaled else ""
+            print(ascii_figure(series, title=f"Figure {args.number}: {arch}{mode}"))
+    elif args.command == "riscii":
+        _cmd_riscii(length)
+    elif args.command == "suites":
+        _cmd_suites()
+    elif args.command == "trace":
+        trace = suite_trace(args.suite, args.name, length=length)
+        if args.out:
+            write_din(trace, args.out)
+            print(f"wrote {len(trace)} accesses to {args.out}")
+        else:
+            print(f"{trace!r}: {trace.total_bytes} bytes referenced, "
+                  f"{trace.unique_addresses()} unique addresses")
+    elif args.command == "simulate":
+        _cmd_simulate(args)
+    return 0
+
+
+def _cmd_simulate(args) -> None:
+    from repro.core.config import CacheGeometry
+    from repro.core.fetch import make_fetch
+    from repro.core.replacement import make_replacement
+    from repro.core.sim import run_config
+    from repro.memory.nibble import NIBBLE_MODE_BUS
+    from repro.trace.filters import reads_only
+    from repro.trace.reader import read_din
+
+    trace = read_din(args.din, size=args.word)
+    if not args.keep_writes:
+        trace = reads_only(trace)
+    geometry = CacheGeometry(
+        net_size=args.net,
+        block_size=args.block,
+        sub_block_size=args.sub if args.sub is not None else args.block,
+        associativity=args.assoc,
+    )
+    stats = run_config(
+        geometry,
+        trace,
+        replacement=make_replacement(args.replacement),
+        fetch=make_fetch(args.fetch),
+        word_size=args.word,
+        warmup=0 if args.cold else "fill",
+    )
+    print(f"trace:        {args.din} ({len(trace)} accesses after filtering)")
+    print(f"cache:        {geometry}")
+    print(f"policies:     {args.replacement} replacement, {args.fetch} fetch")
+    print(f"miss ratio:   {stats.miss_ratio:.4f}")
+    print(f"traffic:      {stats.traffic_ratio():.4f}")
+    print(
+        f"nibble:       "
+        f"{stats.scaled_traffic_ratio(NIBBLE_MODE_BUS, args.word):.4f}"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""The paper's primary contribution: sub-block cache simulation.
+
+Public surface:
+
+* :class:`CacheGeometry` — validated shape + the gross-size cost model.
+* :class:`SubBlockCache` — the simulator itself.
+* Replacement policies (LRU / FIFO / Random) and fetch policies
+  (demand / load-forward).
+* :func:`simulate` / :func:`run_config` — trace-driven drivers with
+  warm-start support.
+* Sector-cache constructors for the 360/85 comparison.
+* :class:`SplitCache` and :class:`WritePolicy` extensions.
+"""
+
+from repro.core.block import Block, mask_of_range, popcount
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry, is_power_of_two, log2_int
+from repro.core.fetch import (
+    DemandFetch,
+    FetchPlan,
+    FetchPolicy,
+    LoadForwardFetch,
+    contiguous_runs,
+    make_fetch,
+)
+from repro.core.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    make_replacement,
+)
+from repro.core.sector import model85_cache, sector_cache, set_associative_equivalent
+from repro.core.sim import run_config, simulate
+from repro.core.split import SplitCache
+from repro.core.stats import CacheStats
+from repro.core.write import WritePolicy, make_write_policy
+
+__all__ = [
+    "Block",
+    "mask_of_range",
+    "popcount",
+    "SubBlockCache",
+    "CacheGeometry",
+    "is_power_of_two",
+    "log2_int",
+    "DemandFetch",
+    "FetchPlan",
+    "FetchPolicy",
+    "LoadForwardFetch",
+    "contiguous_runs",
+    "make_fetch",
+    "FIFOReplacement",
+    "LRUReplacement",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "make_replacement",
+    "model85_cache",
+    "sector_cache",
+    "set_associative_equivalent",
+    "run_config",
+    "simulate",
+    "SplitCache",
+    "CacheStats",
+    "WritePolicy",
+    "make_write_policy",
+]

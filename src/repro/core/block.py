@@ -1,0 +1,61 @@
+"""The cache block (a.k.a. line, or sector in 360/85 terminology).
+
+A block is one address tag plus a bitmask of sub-block valid bits.  Two
+extra masks support the paper's analyses: ``referenced`` records which
+sub-blocks were touched while the block was resident (Section 4.1
+reports that 72% of the 360/85's sub-blocks are never referenced), and
+``dirty`` supports the write-back extension.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Block", "popcount", "mask_of_range"]
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    return bin(mask).count("1")
+
+
+def mask_of_range(first: int, last: int) -> int:
+    """Bitmask with bits ``first..last`` (inclusive) set."""
+    return ((1 << (last - first + 1)) - 1) << first
+
+
+class Block:
+    """One cache block: a tag and per-sub-block state masks.
+
+    Bit ``i`` of each mask corresponds to sub-block ``i`` (lowest
+    addresses first).
+
+    Attributes:
+        tag: Tag of the resident block (full block address less the
+            set-index contribution).
+        valid: Sub-blocks currently holding memory data.
+        referenced: Sub-blocks touched by any access since the block
+            was allocated.
+        dirty: Sub-blocks modified under a write-back policy.
+    """
+
+    __slots__ = ("tag", "valid", "referenced", "dirty")
+
+    def __init__(self, tag: int) -> None:
+        self.tag = tag
+        self.valid = 0
+        self.referenced = 0
+        self.dirty = 0
+
+    def holds(self, sub_mask: int) -> bool:
+        """True if every sub-block in ``sub_mask`` is valid."""
+        return (sub_mask & ~self.valid) == 0
+
+    def missing(self, sub_mask: int) -> int:
+        """Sub-blocks of ``sub_mask`` that are not valid."""
+        return sub_mask & ~self.valid
+
+    def utilization(self, sub_blocks_per_block: int) -> float:
+        """Fraction of the block's sub-blocks ever referenced."""
+        return popcount(self.referenced) / sub_blocks_per_block
+
+    def __repr__(self) -> str:
+        return f"<Block tag={self.tag:#x} valid={self.valid:b}>"

@@ -1,0 +1,329 @@
+"""The sub-block set-associative cache simulator.
+
+This is the paper's primary subject: a set-associative cache in which
+an address tag covers a *block* of one or more *sub-blocks*, each with
+its own valid bit.  On a reference to a block not resident, an entire
+block frame is allocated but only the sub-blocks chosen by the fetch
+policy are loaded; on a reference to a resident block whose needed
+sub-block is invalid, only sub-blocks are fetched.  Setting
+``sub_block_size == block_size`` recovers a conventional cache, and a
+geometry whose block count does not exceed its associativity is fully
+associative — which is how the 360/85 sector cache of Section 4.1 is
+expressed (see :mod:`repro.core.sector`).
+
+Example:
+    >>> from repro.core import CacheGeometry, SubBlockCache
+    >>> cache = SubBlockCache(CacheGeometry(1024, 16, 8))
+    >>> cache.access(0x100)   # cold miss
+    False
+    >>> cache.access(0x100)   # now resident
+    True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.block import Block, mask_of_range, popcount
+from repro.core.config import CacheGeometry
+from repro.core.fetch import DemandFetch, FetchPolicy
+from repro.core.replacement import LRUReplacement, ReplacementPolicy
+from repro.core.stats import CacheStats
+from repro.core.write import WritePolicy
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessType
+
+__all__ = ["SubBlockCache"]
+
+
+class SubBlockCache:
+    """A set-associative cache with sub-block placement.
+
+    Args:
+        geometry: Validated cache shape (see
+            :class:`~repro.core.config.CacheGeometry`).
+        replacement: Block replacement policy; defaults to LRU as in
+            the paper.
+        fetch: Miss-time fetch policy; defaults to demand fetch.
+        write_policy: Handling of write accesses (the paper's traces
+            are read-filtered, so this only matters for the write
+            extension).
+        word_size: Processor data-path width in bytes; used to convert
+            fetch transactions into word counts for the nibble-mode
+            cost model and as the default access size.
+
+    Attributes:
+        stats: The :class:`~repro.core.stats.CacheStats` accumulated so
+            far.  Call ``stats.reset()`` (or use
+            :func:`repro.core.sim.simulate` with a warm-up) for
+            warm-start measurement.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        replacement: Optional[ReplacementPolicy] = None,
+        fetch: Optional[FetchPolicy] = None,
+        write_policy: WritePolicy = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+        word_size: int = 2,
+    ) -> None:
+        if word_size < 1:
+            raise ConfigurationError(f"word_size must be >= 1, got {word_size}")
+        if word_size > geometry.sub_block_size:
+            raise ConfigurationError(
+                f"word_size ({word_size}) exceeds sub_block_size "
+                f"({geometry.sub_block_size}); a single word transfer "
+                "could not fill a sub-block"
+            )
+        self.geometry = geometry
+        self.replacement = replacement if replacement is not None else LRUReplacement()
+        self.fetch = fetch if fetch is not None else DemandFetch()
+        self.write_policy = write_policy
+        self.word_size = word_size
+        self.stats = CacheStats()
+
+        self._sets: List[List[Optional[Block]]] = [
+            [None] * geometry.ways for _ in range(geometry.num_sets)
+        ]
+        self._policy_state = [
+            self.replacement.new_set(geometry.ways) for _ in range(geometry.num_sets)
+        ]
+        self._filled_blocks = 0
+
+    # -- Public API --------------------------------------------------------
+
+    @property
+    def is_full(self) -> bool:
+        """True once every block frame has been allocated at least once."""
+        return self._filled_blocks >= self.geometry.num_blocks
+
+    def access(self, addr: int, kind: AccessType = AccessType.READ, size: int = 0) -> bool:
+        """Present one memory reference to the cache.
+
+        Args:
+            addr: Byte address.
+            kind: Reference kind; writes follow the write policy.
+            size: Bytes referenced; 0 means one data-path word.
+
+        Returns:
+            True on a hit (every needed sub-block was valid), False on
+            a miss.  An access spanning several sub-blocks or blocks
+            counts as a single hit or miss.
+        """
+        if size <= 0:
+            size = self.word_size
+        geometry = self.geometry
+        stats = self.stats
+        stats.accesses += 1
+        stats.accesses_by_kind[kind] += 1
+        stats.bytes_accessed += size
+
+        block_size = geometry.block_size
+        first_block = addr // block_size
+        last_block = (addr + size - 1) // block_size
+        missed = False
+        for block_addr in range(first_block, last_block + 1):
+            base = block_addr * block_size
+            lo = max(addr, base) - base
+            hi = min(addr + size, base + block_size) - 1 - base
+            sub = geometry.sub_block_size
+            first_sub = lo // sub
+            needed = mask_of_range(first_sub, hi // sub)
+            if self._access_block(block_addr, needed, first_sub, kind, hi - lo + 1):
+                missed = True
+        if missed:
+            stats.misses += 1
+            stats.misses_by_kind[kind] += 1
+        return not missed
+
+    def prefetch(self, addr: int) -> bool:
+        """Load the sub-block containing ``addr`` without an access.
+
+        Used by the prefetching extension (Section 3.1 names
+        prefetching as further work): allocates the block if absent
+        (evicting as usual) and fetches just that sub-block.  Fetch
+        traffic is accounted; accesses, misses and the referenced mask
+        are not.
+
+        Returns:
+            True if a fetch was issued, False if the sub-block was
+            already resident.
+        """
+        geometry = self.geometry
+        block_addr = addr // geometry.block_size
+        set_index = block_addr % geometry.num_sets
+        tag = block_addr // geometry.num_sets
+        ways = self._sets[set_index]
+        state = self._policy_state[set_index]
+        sub_mask = 1 << geometry.sub_block_index(addr)
+
+        blk = None
+        for way, candidate in enumerate(ways):
+            if candidate is not None and candidate.tag == tag:
+                blk = candidate
+                break
+        if blk is not None:
+            if blk.valid & sub_mask:
+                return False
+        else:
+            victim_way = None
+            for way, candidate in enumerate(ways):
+                if candidate is None:
+                    victim_way = way
+                    break
+            if victim_way is None:
+                victim_way = self.replacement.victim(state)
+                self._evict(ways[victim_way])
+            else:
+                self._filled_blocks += 1
+            blk = Block(tag)
+            ways[victim_way] = blk
+            self.replacement.on_fill(state, victim_way)
+        sub_size = geometry.sub_block_size
+        self.stats.record_transaction(sub_size // self.word_size)
+        self.stats.bytes_fetched += sub_size
+        self.stats.prefetches += 1
+        blk.valid |= sub_mask
+        return True
+
+    def flush(self) -> None:
+        """Evict every resident block.
+
+        Dirty sub-blocks are written back and utilization statistics
+        recorded, exactly as for a replacement eviction.  Useful at the
+        end of a run so utilization covers still-resident blocks.
+        """
+        for set_index, ways in enumerate(self._sets):
+            for way, blk in enumerate(ways):
+                if blk is not None:
+                    self._evict(blk)
+                    ways[way] = None
+            self._policy_state[set_index] = self.replacement.new_set(
+                self.geometry.ways
+            )
+
+    def contents(self) -> Dict[int, int]:
+        """Resident state: ``{block address: valid sub-block mask}``."""
+        resident: Dict[int, int] = {}
+        num_sets = self.geometry.num_sets
+        for set_index, ways in enumerate(self._sets):
+            for blk in ways:
+                if blk is not None:
+                    resident[blk.tag * num_sets + set_index] = blk.valid
+        return resident
+
+    # -- Internals ----------------------------------------------------------
+
+    def _access_block(
+        self,
+        block_addr: int,
+        needed: int,
+        first_sub: int,
+        kind: AccessType,
+        nbytes: int,
+    ) -> bool:
+        """Handle the ``nbytes`` of an access that fall in one block.
+
+        Returns True if any needed sub-block had to be fetched (or, for
+        a non-allocating write, would have been absent).
+        """
+        geometry = self.geometry
+        set_index = block_addr % geometry.num_sets
+        tag = block_addr // geometry.num_sets
+        ways = self._sets[set_index]
+        state = self._policy_state[set_index]
+        is_write = kind is AccessType.WRITE
+
+        blk = None
+        for way, candidate in enumerate(ways):
+            if candidate is not None and candidate.tag == tag:
+                blk = candidate
+                break
+        if blk is not None:
+            self.replacement.on_hit(state, way)
+            missing = needed & ~blk.valid
+            blk.referenced |= needed
+            if not missing:
+                self._complete_write(blk, needed, is_write, nbytes)
+                return False
+            if is_write and not self.write_policy.allocates:
+                # Write-through-no-allocate: a write to an invalid
+                # sub-block goes straight to memory without fetching.
+                self._complete_write(blk, 0, True, nbytes)
+                return True
+            self.stats.sub_block_misses += 1
+            self._apply_fetch(blk, missing)
+            self._complete_write(blk, needed, is_write, nbytes)
+            return True
+
+        # Block miss: the tag is absent.
+        if is_write and not self.write_policy.allocates:
+            self.stats.bytes_written_through += nbytes
+            return True
+        self.stats.block_misses += 1
+        victim_way = None
+        for way, candidate in enumerate(ways):
+            if candidate is None:
+                victim_way = way
+                break
+        if victim_way is None:
+            victim_way = self.replacement.victim(state)
+            self._evict(ways[victim_way])
+        else:
+            self._filled_blocks += 1
+        blk = Block(tag)
+        ways[victim_way] = blk
+        self.replacement.on_fill(state, victim_way)
+        self._apply_fetch(blk, needed)
+        blk.referenced |= needed
+        self._complete_write(blk, needed, is_write, nbytes)
+        return True
+
+    def _apply_fetch(self, blk: Block, needed_missing: int) -> None:
+        """Run the fetch policy for a miss and account the traffic."""
+        geometry = self.geometry
+        first_needed = (needed_missing & -needed_missing).bit_length() - 1
+        plan = self.fetch.plan(
+            needed_missing, first_needed, blk.valid, geometry.sub_blocks_per_block
+        )
+        sub_size = geometry.sub_block_size
+        stats = self.stats
+        for run in plan.transactions:
+            stats.record_transaction(run * sub_size // self.word_size)
+            stats.bytes_fetched += run * sub_size
+        stats.redundant_bytes_fetched += popcount(plan.redundant_mask) * sub_size
+        blk.valid |= plan.fetch_mask
+
+    def _complete_write(
+        self, blk: Block, needed: int, is_write: bool, nbytes: int
+    ) -> None:
+        """Apply write-policy side effects after the data is resident.
+
+        Write-through moves exactly the written bytes to memory;
+        write-back dirties the touched sub-blocks (which are written
+        back at sub-block granularity on eviction).
+        """
+        if not is_write:
+            return
+        if self.write_policy.writes_through:
+            self.stats.bytes_written_through += nbytes
+        else:
+            blk.dirty |= needed
+
+    def _evict(self, blk: Block) -> None:
+        """Account statistics and write-backs for a displaced block."""
+        stats = self.stats
+        stats.evictions += 1
+        stats.evicted_sub_blocks_referenced += popcount(blk.referenced)
+        stats.evicted_sub_blocks_total += self.geometry.sub_blocks_per_block
+        if blk.dirty:
+            stats.writebacks += 1
+            stats.bytes_written_back += (
+                popcount(blk.dirty) * self.geometry.sub_block_size
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<SubBlockCache {self.geometry} "
+            f"{self.replacement.name}/{self.fetch.name}>"
+        )

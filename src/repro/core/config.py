@@ -1,0 +1,191 @@
+"""Cache geometry and the paper's gross-size cost model.
+
+A cache configuration in this study is a triple ``(net size, block
+size, sub-block size)`` plus an associativity (fixed at 4-way in the
+paper).  *Net size* counts data bytes only.  *Gross size* adds the
+address-tag and sub-block-valid-bit overhead and is the paper's cost
+metric, computed for a 32-bit address space even for the 16-bit
+machines (Section 3.2).
+
+The paper's accounting (verified against every gross size in Tables 7
+and 8 and the minimum-cache example of Section 2.2) stores the full
+block address as the tag — it deliberately neglects the set-index bits
+("we neglect the lower-order effects of changes in the number of bits
+in the address tag"):
+
+    tag bits per block   = address_bits - log2(block_size)
+    valid bits per block = block_size / sub_block_size
+    gross bits           = num_blocks * (tag + valid + 8 * block_size)
+
+For example the paper's ``16,8`` 64-byte cache is 4 blocks of
+(28 tag + 2 valid + 128 data) bits = 79 bytes gross, exactly as listed
+in Table 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheGeometry", "is_power_of_two", "log2_int"]
+
+
+def is_power_of_two(value: int) -> bool:
+    """True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises:
+        ConfigurationError: If ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Validated cache shape and its cost model.
+
+    Args:
+        net_size: Data capacity in bytes.
+        block_size: Bytes covered by one address tag (the paper's
+            "block"; also called a line or, in the 360/85, a sector).
+        sub_block_size: Bytes moved per memory transfer, each guarded
+            by a valid bit.  Equal to ``block_size`` for a conventional
+            cache.
+        associativity: Requested set associativity.  When the cache
+            holds fewer blocks than this, the effective associativity
+            is clamped to the block count (the cache degenerates to
+            fully associative), matching how the paper treats e.g. a
+            64-byte cache with 32-byte blocks.
+        address_bits: Address-space width used for tag sizing.  The
+            paper uses 32 throughout, "since we are interested in the
+            newer 32-bit architectures".
+
+    Raises:
+        ConfigurationError: For non-power-of-two sizes, a sub-block
+            larger than its block, a block larger than the cache, or a
+            non-positive associativity.
+    """
+
+    net_size: int
+    block_size: int
+    sub_block_size: int
+    associativity: int = 4
+    address_bits: int = 32
+
+    # Derived fields, filled in __post_init__.
+    num_blocks: int = field(init=False, repr=False, compare=False)
+    ways: int = field(init=False, repr=False, compare=False)
+    num_sets: int = field(init=False, repr=False, compare=False)
+    sub_blocks_per_block: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("net_size", self.net_size),
+            ("block_size", self.block_size),
+            ("sub_block_size", self.sub_block_size),
+        ):
+            if not is_power_of_two(value):
+                raise ConfigurationError(
+                    f"{label} must be a positive power of two, got {value}"
+                )
+        if self.sub_block_size > self.block_size:
+            raise ConfigurationError(
+                f"sub_block_size ({self.sub_block_size}) exceeds "
+                f"block_size ({self.block_size})"
+            )
+        if self.block_size > self.net_size:
+            raise ConfigurationError(
+                f"block_size ({self.block_size}) exceeds net_size ({self.net_size})"
+            )
+        if self.associativity < 1:
+            raise ConfigurationError(
+                f"associativity must be >= 1, got {self.associativity}"
+            )
+        if not is_power_of_two(self.associativity):
+            raise ConfigurationError(
+                f"associativity must be a power of two, got {self.associativity}"
+            )
+        if not 1 <= self.address_bits <= 64:
+            raise ConfigurationError(
+                f"address_bits must be in [1, 64], got {self.address_bits}"
+            )
+        num_blocks = self.net_size // self.block_size
+        ways = min(self.associativity, num_blocks)
+        object.__setattr__(self, "num_blocks", num_blocks)
+        object.__setattr__(self, "ways", ways)
+        object.__setattr__(self, "num_sets", num_blocks // ways)
+        object.__setattr__(
+            self, "sub_blocks_per_block", self.block_size // self.sub_block_size
+        )
+
+    # -- Cost model -----------------------------------------------------
+
+    @property
+    def tag_bits(self) -> int:
+        """Tag bits per block under the paper's full-block-address model."""
+        return self.address_bits - log2_int(self.block_size)
+
+    @property
+    def valid_bits_per_block(self) -> int:
+        """One valid bit per sub-block."""
+        return self.sub_blocks_per_block
+
+    @property
+    def gross_bits(self) -> int:
+        """Total storage in bits: tags + valid bits + data."""
+        per_block = self.tag_bits + self.valid_bits_per_block + 8 * self.block_size
+        return self.num_blocks * per_block
+
+    @property
+    def gross_size(self) -> float:
+        """Gross cache size in bytes (the paper's cost metric).
+
+        Returns an ``int`` when the bit total divides evenly by 8,
+        which it does for every configuration in the paper.
+        """
+        bits = self.gross_bits
+        return bits // 8 if bits % 8 == 0 else bits / 8
+
+    @property
+    def tag_overhead(self) -> float:
+        """Fraction of gross storage that is not data."""
+        data_bits = 8 * self.net_size
+        return 1.0 - data_bits / self.gross_bits
+
+    # -- Addressing helpers ----------------------------------------------
+
+    def block_address(self, addr: int) -> int:
+        """Block-granule address (byte address / block size)."""
+        return addr // self.block_size
+
+    def set_index(self, addr: int) -> int:
+        """Set the byte address maps to."""
+        return (addr // self.block_size) % self.num_sets
+
+    def tag(self, addr: int) -> int:
+        """Tag stored for the byte address."""
+        return addr // self.block_size // self.num_sets
+
+    def sub_block_index(self, addr: int) -> int:
+        """Index of the sub-block within its block."""
+        return (addr % self.block_size) // self.sub_block_size
+
+    # -- Presentation ----------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """The paper's short ``block,sub`` label, e.g. ``"16,8"``."""
+        return f"{self.block_size},{self.sub_block_size}"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.net_size}B net ({self.label}) "
+            f"{self.ways}-way, gross {self.gross_size}B"
+        )

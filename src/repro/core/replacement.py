@@ -1,0 +1,154 @@
+"""Block replacement policies.
+
+The paper fixes LRU replacement because "LRU permits more efficient
+simulation and reasonable alternatives perform comparably" (Section
+3.1), citing Strecker's observation that LRU, FIFO and RANDOM differ
+little.  We implement all three so that claim is checkable (the
+``bench_ablation_replacement`` benchmark reruns the PDP-11 suite under
+each policy).
+
+A policy instance owns one small state object per cache set.  The cache
+tells the policy when a block is filled into a way and when a way hits;
+the policy answers victim queries.  Ways that are empty are filled
+before the policy is ever consulted, so ``victim`` may assume a full
+set.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, List
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUReplacement",
+    "FIFOReplacement",
+    "RandomReplacement",
+    "make_replacement",
+]
+
+
+class ReplacementPolicy(ABC):
+    """Interface between the cache and a replacement algorithm."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def new_set(self, ways: int) -> Any:
+        """Create per-set policy state for a set with ``ways`` ways."""
+
+    @abstractmethod
+    def on_fill(self, state: Any, way: int) -> None:
+        """A new block was installed into ``way``."""
+
+    @abstractmethod
+    def on_hit(self, state: Any, way: int) -> None:
+        """The block in ``way`` was referenced."""
+
+    @abstractmethod
+    def victim(self, state: Any) -> int:
+        """Choose the way to evict from a full set."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class LRUReplacement(ReplacementPolicy):
+    """Least-recently-used replacement (the paper's policy).
+
+    Per-set state is a list of way indices ordered most- to
+    least-recently used.
+    """
+
+    name = "lru"
+
+    def new_set(self, ways: int) -> List[int]:
+        return []
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        if way in state:
+            state.remove(way)
+        state.insert(0, way)
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        if state and state[0] == way:
+            return
+        state.remove(way)
+        state.insert(0, way)
+
+    def victim(self, state: List[int]) -> int:
+        return state[-1]
+
+
+class FIFOReplacement(ReplacementPolicy):
+    """First-in first-out replacement: evict the oldest fill.
+
+    Hits do not refresh a block's position.
+    """
+
+    name = "fifo"
+
+    def new_set(self, ways: int) -> List[int]:
+        return []
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        if way in state:
+            state.remove(way)
+        state.append(way)
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        pass
+
+    def victim(self, state: List[int]) -> int:
+        return state[0]
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Uniform random replacement with a seedable generator.
+
+    Deterministic for a given seed, so simulations remain repeatable.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def new_set(self, ways: int) -> int:
+        return ways
+
+    def on_fill(self, state: int, way: int) -> None:
+        pass
+
+    def on_hit(self, state: int, way: int) -> None:
+        pass
+
+    def victim(self, state: int) -> int:
+        return self._rng.randrange(state)
+
+
+_FACTORIES = {
+    "lru": LRUReplacement,
+    "fifo": FIFOReplacement,
+    "random": RandomReplacement,
+}
+
+
+def make_replacement(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Build a replacement policy by name (``lru``, ``fifo``, ``random``).
+
+    Raises:
+        ConfigurationError: For an unknown policy name.
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {sorted(_FACTORIES)}"
+        )
+    if key == "random":
+        return RandomReplacement(seed=seed)
+    return _FACTORIES[key]()

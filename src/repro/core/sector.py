@@ -1,0 +1,73 @@
+"""The IBM System/360 Model 85 sector cache (Section 4.1).
+
+The 360/85 held 16 fully-associative *sectors* of 1024 bytes, each an
+address tag over sixteen 64-byte sub-blocks ("blocks" in Liptay's
+terminology), with LRU replacement and demand sub-block loading.  In
+this library that is just a :class:`~repro.core.cache.SubBlockCache`
+whose geometry has as many ways as blocks, so this module provides the
+historically-named constructor plus the comparison helper used by the
+Table 6 reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.replacement import ReplacementPolicy
+
+__all__ = ["sector_cache", "model85_cache", "set_associative_equivalent"]
+
+
+def sector_cache(
+    sectors: int,
+    sector_size: int,
+    sub_block_size: int,
+    replacement: Optional[ReplacementPolicy] = None,
+    word_size: int = 4,
+    address_bits: int = 32,
+) -> SubBlockCache:
+    """Build a fully-associative sector cache.
+
+    Args:
+        sectors: Number of sectors (blocks with tags).
+        sector_size: Bytes per sector.
+        sub_block_size: Transfer unit within a sector.
+        replacement: Defaults to LRU.
+        word_size: Data-path width in bytes.
+        address_bits: Address-space width for the cost model.
+    """
+    geometry = CacheGeometry(
+        net_size=sectors * sector_size,
+        block_size=sector_size,
+        sub_block_size=sub_block_size,
+        associativity=sectors,
+        address_bits=address_bits,
+    )
+    return SubBlockCache(geometry, replacement=replacement, word_size=word_size)
+
+
+def model85_cache(word_size: int = 4) -> SubBlockCache:
+    """The 360/85 configuration: 16 sectors x 1024 B, 64 B sub-blocks."""
+    return sector_cache(
+        sectors=16, sector_size=1024, sub_block_size=64, word_size=word_size
+    )
+
+
+def set_associative_equivalent(
+    associativity: int, net_size: int = 16 * 1024, block_size: int = 64,
+    word_size: int = 4,
+) -> SubBlockCache:
+    """The modern design Table 6 compares the 360/85 against.
+
+    Same net size, 64-byte blocks with block-sized sub-blocks (a
+    conventional cache), LRU, at the requested associativity.
+    """
+    geometry = CacheGeometry(
+        net_size=net_size,
+        block_size=block_size,
+        sub_block_size=block_size,
+        associativity=associativity,
+    )
+    return SubBlockCache(geometry, word_size=word_size)

@@ -1,0 +1,123 @@
+"""Split instruction/data caches (the paper's "further studies" item).
+
+Section 3.1 names "partitioning instruction and data caches" as future
+work.  :class:`SplitCache` routes instruction fetches to one sub-block
+cache and data references to another, while presenting the same
+``access`` interface and combined metrics as a unified cache, so the
+unified-vs-split question can be answered with the same harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.cache import SubBlockCache
+from repro.core.stats import CacheStats
+from repro.trace.record import AccessType
+
+__all__ = ["SplitCache"]
+
+
+class SplitCache:
+    """A Harvard-style pair of caches behind a unified interface.
+
+    Args:
+        icache: Cache receiving :data:`AccessType.IFETCH` references.
+        dcache: Cache receiving reads and writes.
+
+    The combined ``stats`` views aggregate both halves; per-side stats
+    remain available as ``icache.stats`` and ``dcache.stats``.
+    """
+
+    def __init__(self, icache: SubBlockCache, dcache: SubBlockCache) -> None:
+        self.icache = icache
+        self.dcache = dcache
+
+    def access(self, addr: int, kind: AccessType = AccessType.READ, size: int = 0) -> bool:
+        """Route one reference to the appropriate side."""
+        side = self.icache if kind is AccessType.IFETCH else self.dcache
+        return side.access(addr, kind, size)
+
+    def flush(self) -> None:
+        """Flush both sides."""
+        self.icache.flush()
+        self.dcache.flush()
+
+    @property
+    def is_full(self) -> bool:
+        """True once both sides have filled every frame."""
+        return self.icache.is_full and self.dcache.is_full
+
+    @property
+    def stats(self) -> "_CombinedStats":
+        return _CombinedStats(self.icache.stats, self.dcache.stats)
+
+    @property
+    def net_size(self) -> int:
+        """Combined data capacity in bytes."""
+        return self.icache.geometry.net_size + self.dcache.geometry.net_size
+
+    @property
+    def gross_size(self) -> float:
+        """Combined gross size (tags + valid bits + data) in bytes."""
+        return self.icache.geometry.gross_size + self.dcache.geometry.gross_size
+
+    def __repr__(self) -> str:
+        return f"<SplitCache I={self.icache.geometry} D={self.dcache.geometry}>"
+
+
+class _CombinedStats:
+    """Read-only union of the two sides' statistics.
+
+    Supports the subset of the :class:`~repro.core.stats.CacheStats`
+    interface the analysis layer uses (miss ratio, traffic ratio,
+    ``reset``), computed over both sides together.
+    """
+
+    def __init__(self, istats: CacheStats, dstats: CacheStats) -> None:
+        self._sides = (istats, dstats)
+
+    @property
+    def accesses(self) -> int:
+        return sum(side.accesses for side in self._sides)
+
+    @property
+    def misses(self) -> int:
+        return sum(side.misses for side in self._sides)
+
+    @property
+    def bytes_accessed(self) -> int:
+        return sum(side.bytes_accessed for side in self._sides)
+
+    @property
+    def bytes_fetched(self) -> int:
+        return sum(side.bytes_fetched for side in self._sides)
+
+    @property
+    def miss_ratio(self) -> float:
+        accesses = self.accesses
+        return self.misses / accesses if accesses else 0.0
+
+    def traffic_ratio(self, include_writes: bool = False) -> float:
+        accessed = self.bytes_accessed
+        if accessed == 0:
+            return 0.0
+        traffic = self.bytes_fetched
+        if include_writes:
+            traffic += sum(
+                side.bytes_written_back + side.bytes_written_through
+                for side in self._sides
+            )
+        return traffic / accessed
+
+    def reset(self) -> None:
+        for side in self._sides:
+            side.reset()
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "miss_ratio": self.miss_ratio,
+            "traffic_ratio": self.traffic_ratio(),
+        }

@@ -1,0 +1,197 @@
+"""Simulation statistics and the paper's performance metrics.
+
+The two headline metrics (Section 3.2):
+
+* **miss ratio** — cache misses / cache accesses.  An access that
+  touches several missing sub-blocks still counts as one miss.
+* **traffic ratio** — bus traffic with the cache / bus traffic without
+  it.  Without a cache every access moves exactly its own bytes, so the
+  denominator is total bytes accessed; the numerator is bytes fetched
+  from memory (plus, optionally, write traffic for the write-policy
+  extension).
+
+For the nibble-mode analysis (Section 4.3) the stats also keep a
+histogram of fetch-transaction lengths in words, from which
+:meth:`CacheStats.scaled_traffic_ratio` evaluates any ``a + b*w`` bus
+cost model without re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.trace.record import AccessType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.memory.nibble import BusCostModel
+
+__all__ = ["CacheStats"]
+
+_KINDS = (AccessType.READ, AccessType.WRITE, AccessType.IFETCH)
+
+
+class CacheStats:
+    """Mutable counters accumulated during a simulation run.
+
+    Attributes:
+        accesses: Total accesses presented to the cache.
+        misses: Accesses that required at least one memory fetch.
+        block_misses: Misses whose tag was absent (a block had to be
+            allocated).
+        sub_block_misses: Misses whose tag was present but a needed
+            sub-block was invalid (only possible when sub-block size is
+            smaller than block size).
+        bytes_accessed: Total bytes the processor referenced.
+        bytes_fetched: Bytes moved from memory into the cache.
+        redundant_bytes_fetched: Bytes re-fetched although already
+            valid (the simple load-forward scheme does this).
+        transaction_words: Histogram mapping fetch-transaction length
+            in words to its occurrence count.
+        evictions: Blocks displaced by replacement.
+        evicted_sub_blocks_referenced / evicted_sub_blocks_total:
+            Accumulators for the sub-block utilization statistic.
+        writebacks / bytes_written_back: Write-back extension traffic.
+        bytes_written_through: Write-through extension traffic.
+    """
+
+    __slots__ = (
+        "accesses",
+        "misses",
+        "block_misses",
+        "sub_block_misses",
+        "accesses_by_kind",
+        "misses_by_kind",
+        "bytes_accessed",
+        "bytes_fetched",
+        "redundant_bytes_fetched",
+        "transaction_words",
+        "evictions",
+        "evicted_sub_blocks_referenced",
+        "evicted_sub_blocks_total",
+        "writebacks",
+        "bytes_written_back",
+        "bytes_written_through",
+        "prefetches",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (used to start warm-start measurement)."""
+        self.accesses = 0
+        self.misses = 0
+        self.block_misses = 0
+        self.sub_block_misses = 0
+        self.accesses_by_kind = {kind: 0 for kind in _KINDS}
+        self.misses_by_kind = {kind: 0 for kind in _KINDS}
+        self.bytes_accessed = 0
+        self.bytes_fetched = 0
+        self.redundant_bytes_fetched = 0
+        self.transaction_words: Dict[int, int] = {}
+        self.evictions = 0
+        self.evicted_sub_blocks_referenced = 0
+        self.evicted_sub_blocks_total = 0
+        self.writebacks = 0
+        self.bytes_written_back = 0
+        self.bytes_written_through = 0
+        self.prefetches = 0
+
+    # -- Recording (called by the cache) ---------------------------------
+
+    def record_transaction(self, words: int) -> None:
+        """Record one memory fetch transaction of ``words`` words."""
+        self.transaction_words[words] = self.transaction_words.get(words, 0) + 1
+
+    # -- Derived metrics ---------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access; 0.0 for an empty run."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_ratio(self) -> float:
+        return 1.0 - self.miss_ratio if self.accesses else 0.0
+
+    def traffic_ratio(self, include_writes: bool = False) -> float:
+        """Bus traffic relative to a cacheless system.
+
+        Args:
+            include_writes: Add write-through and write-back traffic to
+                the numerator.  The paper's results exclude writes.
+        """
+        if self.bytes_accessed == 0:
+            return 0.0
+        traffic = self.bytes_fetched
+        if include_writes:
+            traffic += self.bytes_written_back + self.bytes_written_through
+        return traffic / self.bytes_accessed
+
+    def scaled_traffic_ratio(self, model: "BusCostModel", word_size: int) -> float:
+        """Traffic ratio under a non-linear bus cost model.
+
+        The cacheless baseline moves one word per word accessed at
+        ``model.cost(1)`` each; the cache's cost is the model applied
+        to every recorded fetch transaction.
+
+        Args:
+            model: A bus cost model with a ``cost(words)`` method (see
+                :mod:`repro.memory.nibble`).
+            word_size: Data-path width in bytes, used to convert
+                accessed bytes into the baseline word count.
+        """
+        words_accessed = self.bytes_accessed / word_size
+        if words_accessed == 0:
+            return 0.0
+        scaled = sum(
+            model.cost(words) * count
+            for words, count in self.transaction_words.items()
+        )
+        return scaled / (words_accessed * model.cost(1))
+
+    @property
+    def mean_eviction_utilization(self) -> float:
+        """Mean fraction of sub-blocks referenced per evicted block.
+
+        This is the statistic behind the paper's finding that 72% of
+        the 360/85's sub-blocks are never referenced while resident
+        (i.e. utilization ~0.28).
+        """
+        if self.evicted_sub_blocks_total == 0:
+            return 0.0
+        return self.evicted_sub_blocks_referenced / self.evicted_sub_blocks_total
+
+    def miss_ratio_of(self, kind: AccessType) -> float:
+        """Miss ratio restricted to one access kind."""
+        count = self.accesses_by_kind[kind]
+        if count == 0:
+            return 0.0
+        return self.misses_by_kind[kind] / count
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict summary, convenient for tables and JSON dumps."""
+        return {
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "miss_ratio": self.miss_ratio,
+            "traffic_ratio": self.traffic_ratio(),
+            "block_misses": self.block_misses,
+            "sub_block_misses": self.sub_block_misses,
+            "bytes_accessed": self.bytes_accessed,
+            "bytes_fetched": self.bytes_fetched,
+            "redundant_bytes_fetched": self.redundant_bytes_fetched,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheStats accesses={self.accesses} miss_ratio={self.miss_ratio:.4f} "
+            f"traffic_ratio={self.traffic_ratio():.4f}>"
+        )

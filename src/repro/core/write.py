@@ -1,0 +1,61 @@
+"""Write policies (the paper's "further studies" extension).
+
+The paper filters writes out of its metrics ("write-back issues were
+filtered out of our results", Section 3.1) and names write-through
+versus copy-back as future work.  This module supplies that extension:
+the cache accepts write accesses and handles them under one of three
+policies, accumulating write traffic separately from fetch traffic so
+the paper's read-only metrics are unaffected.
+
+Policies:
+
+* ``WRITE_THROUGH_NO_ALLOCATE`` — every write goes to memory; a write
+  miss does not allocate or fetch.  The simplest hardware, the default.
+* ``WRITE_THROUGH_ALLOCATE`` — writes go to memory and a write miss
+  also fetches the block like a read miss.
+* ``WRITE_BACK`` — writes dirty the cached sub-block; dirty sub-blocks
+  are written to memory on eviction.  A write miss fetches first
+  (fetch-on-write).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+__all__ = ["WritePolicy", "make_write_policy"]
+
+
+class WritePolicy(enum.Enum):
+    """How the cache handles write accesses."""
+
+    WRITE_THROUGH_NO_ALLOCATE = "write-through-no-allocate"
+    WRITE_THROUGH_ALLOCATE = "write-through-allocate"
+    WRITE_BACK = "write-back"
+
+    @property
+    def allocates(self) -> bool:
+        """True if a write miss installs the block in the cache."""
+        return self is not WritePolicy.WRITE_THROUGH_NO_ALLOCATE
+
+    @property
+    def writes_through(self) -> bool:
+        """True if every write is immediately sent to memory."""
+        return self is not WritePolicy.WRITE_BACK
+
+
+def make_write_policy(name: str) -> WritePolicy:
+    """Look up a write policy by its value string.
+
+    Raises:
+        ConfigurationError: For an unknown name.
+    """
+    key = name.lower().replace("_", "-")
+    for policy in WritePolicy:
+        if policy.value == key:
+            return policy
+    raise ConfigurationError(
+        f"unknown write policy {name!r}; choose from "
+        f"{[p.value for p in WritePolicy]}"
+    )

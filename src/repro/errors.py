@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch everything the library raises with a single ``except``
+clause while still distinguishing configuration problems from trace-format
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid cache, memory, or workload configuration was supplied.
+
+    Raised when geometry parameters are inconsistent (e.g. a sub-block
+    larger than its block, a non-power-of-two size, or a net cache size
+    that cannot hold a single set).
+    """
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A trace file or trace record could not be parsed."""
+
+
+class MachineError(ReproError, RuntimeError):
+    """The toy workload machine hit an illegal state.
+
+    Examples: executing an undefined opcode, jumping outside the code
+    segment, or exceeding the configured step budget (runaway program).
+    """
+
+
+class AssemblyError(ReproError, ValueError):
+    """The toy-machine assembler rejected a source program."""

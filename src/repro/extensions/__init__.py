@@ -1,0 +1,25 @@
+"""Extensions: the paper's proposals and "further studies" items.
+
+* :mod:`repro.extensions.instruction_buffer` — the Section 2.2 minimum
+  cache and VAX/CRAY-style instruction buffers.
+* :mod:`repro.extensions.riscii` — the Section 2.3 RISC II instruction
+  cache, remote program counter, and code compaction.
+* :mod:`repro.extensions.prefetch` — sequential prefetching.
+"""
+
+from repro.extensions.instruction_buffer import InstructionBuffer, minimum_cache
+from repro.extensions.prefetch import simulate_with_prefetch
+from repro.extensions.riscii import (
+    RemoteProgramCounter,
+    compact_code,
+    riscii_icache,
+)
+
+__all__ = [
+    "InstructionBuffer",
+    "minimum_cache",
+    "simulate_with_prefetch",
+    "RemoteProgramCounter",
+    "compact_code",
+    "riscii_icache",
+]

@@ -1,0 +1,123 @@
+"""The minimum cache and instruction buffers (Section 2.2).
+
+The paper sketches two cheap alternatives to a full cache:
+
+* The **minimum cache** — "32 data words broken into 16 2-word blocks,
+  where only the requested word is loaded on a miss ... 2-way
+  set-associative placement with RANDOM replacement", costing "about
+  190 bytes of RAM" on a 32-bit machine.  :func:`minimum_cache` builds
+  exactly that configuration (its geometry's gross size is 190 bytes,
+  matching the paper's arithmetic).
+* **Instruction buffers** — a window of consecutive instruction bytes
+  that reduces latency but, without branch-target recognition, "does
+  not reduce the number of bytes required from the memory system".
+  :class:`InstructionBuffer` models both variants: the VAX-style
+  sequential window and the CRAY-style buffer set that recognizes
+  branch targets (and so can hold entire loops).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.replacement import RandomReplacement
+from repro.core.stats import CacheStats
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessType
+
+__all__ = ["minimum_cache", "InstructionBuffer"]
+
+
+def minimum_cache(word_size: int = 4, seed: int = 0) -> SubBlockCache:
+    """Build the paper's minimum cache for a given word size.
+
+    32 data words as 16 two-word blocks, one-word sub-blocks, 2-way
+    set-associative, RANDOM replacement.
+    """
+    geometry = CacheGeometry(
+        net_size=32 * word_size,
+        block_size=2 * word_size,
+        sub_block_size=word_size,
+        associativity=2,
+    )
+    return SubBlockCache(
+        geometry,
+        replacement=RandomReplacement(seed=seed),
+        word_size=word_size,
+    )
+
+
+class InstructionBuffer:
+    """A buffer of one or more blocks of consecutive instruction bytes.
+
+    Args:
+        blocks: Number of buffer entries (1 models the VAX-11/780's
+            8-byte buffer; 4 x 512 bytes models the CRAY-1's).
+        block_size: Bytes per entry.
+        word_size: Fetch width in bytes.
+        recognize_branch_targets: If True, a fetch that jumps to a
+            block still resident in the buffer hits (CRAY-style, loops
+            fit); if False, only the sequential window hits and any
+            jump outside the newest block flushes nothing but simply
+            misses (VAX-style).
+
+    Attributes:
+        stats: Accesses/misses/bytes in a
+            :class:`~repro.core.stats.CacheStats` (only the fetch-side
+            fields are used).
+    """
+
+    def __init__(
+        self,
+        blocks: int = 1,
+        block_size: int = 8,
+        word_size: int = 4,
+        recognize_branch_targets: bool = False,
+    ) -> None:
+        if blocks < 1:
+            raise ConfigurationError(f"blocks must be >= 1, got {blocks}")
+        if block_size < word_size:
+            raise ConfigurationError(
+                f"block_size ({block_size}) must be >= word_size ({word_size})"
+            )
+        self.blocks = blocks
+        self.block_size = block_size
+        self.word_size = word_size
+        self.recognize_branch_targets = recognize_branch_targets
+        self.stats = CacheStats()
+        self._resident: List[int] = []  # block addresses, oldest first
+
+    def access(self, addr: int, kind: AccessType = AccessType.IFETCH, size: int = 0) -> bool:
+        """Fetch one instruction word through the buffer."""
+        if size <= 0:
+            size = self.word_size
+        stats = self.stats
+        stats.accesses += 1
+        stats.accesses_by_kind[kind] += 1
+        stats.bytes_accessed += size
+        block = addr // self.block_size
+        if block in self._resident:
+            if self.recognize_branch_targets or block == self._resident[-1]:
+                return True
+            # Sequential-only buffer: a backwards jump inside the window
+            # still re-fetches (the buffer cannot recognize it).
+        stats.misses += 1
+        stats.misses_by_kind[kind] += 1
+        stats.block_misses += 1
+        stats.bytes_fetched += self.block_size
+        stats.record_transaction(self.block_size // self.word_size)
+        if block in self._resident:
+            self._resident.remove(block)
+        self._resident.append(block)
+        if len(self._resident) > self.blocks:
+            self._resident.pop(0)
+            self.stats.evictions += 1
+        return False
+
+    def __repr__(self) -> str:
+        kind = "branch-aware" if self.recognize_branch_targets else "sequential"
+        return (
+            f"<InstructionBuffer {self.blocks}x{self.block_size}B {kind}>"
+        )

@@ -1,0 +1,137 @@
+"""The RISC II instruction cache (Section 2.3).
+
+The paper's implemented example of a smart on-chip cache: a 512-byte
+direct-mapped instruction cache (64 blocks of 8 bytes) with two
+innovations — a *remote program counter* that guesses the next
+instruction address so the cache can start its array access early, and
+*code compaction* (selected 16-bit instruction forms) that shrinks the
+code footprint about 20% and improved miss ratios 27%.
+
+This module provides the cache constructor, a remote-PC model, and the
+code-compaction trace transform, so the quoted results (miss ratios of
+0.148/0.125/0.098/0.078 for 512–4096 bytes, 89.9% prediction accuracy)
+can be re-derived on this library's workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessType, Trace
+
+__all__ = ["riscii_icache", "RemoteProgramCounter", "compact_code"]
+
+
+def riscii_icache(net_size: int = 512, word_size: int = 4) -> SubBlockCache:
+    """A RISC II-style direct-mapped instruction cache.
+
+    Defaults to the implemented chip's geometry: 512 bytes as 64
+    direct-mapped blocks of 8 bytes (block == sub-block).
+    """
+    geometry = CacheGeometry(
+        net_size=net_size, block_size=8, sub_block_size=8, associativity=1
+    )
+    return SubBlockCache(geometry, word_size=word_size)
+
+
+class RemoteProgramCounter:
+    """Next-instruction-address predictor.
+
+    Models the RISC II remote program counter: by default the next
+    fetch is predicted sequential (current address + word); a small
+    direct-mapped table of jump targets — standing in for the chip's
+    "limited instruction-decode ability and static jump-likely hints" —
+    overrides the sequential guess for addresses that recently jumped.
+
+    Args:
+        table_entries: Jump-target table size (power of two).
+        word_size: Instruction word size in bytes.
+    """
+
+    def __init__(self, table_entries: int = 64, word_size: int = 4) -> None:
+        if table_entries < 1 or table_entries & (table_entries - 1):
+            raise ConfigurationError(
+                f"table_entries must be a positive power of two, got {table_entries}"
+            )
+        self.word_size = word_size
+        self._mask = table_entries - 1
+        self._targets: Dict[int, int] = {}
+        self._last_addr: int = -1
+        self.predictions = 0
+        self.correct = 0
+
+    def _predict(self) -> int:
+        slot = (self._last_addr // self.word_size) & self._mask
+        target = self._targets.get(slot)
+        if target is not None and self._targets.get(-slot - 1) == self._last_addr:
+            return target
+        return self._last_addr + self.word_size
+
+    def observe(self, addr: int) -> bool:
+        """Feed the actual next fetch address; returns prediction hit.
+
+        The first observation primes the predictor and counts neither
+        way.
+        """
+        if self._last_addr < 0:
+            self._last_addr = addr
+            return True
+        predicted = self._predict()
+        hit = predicted == addr
+        self.predictions += 1
+        self.correct += int(hit)
+        if addr != self._last_addr + self.word_size:
+            slot = (self._last_addr // self.word_size) & self._mask
+            self._targets[slot] = addr
+            self._targets[-slot - 1] = self._last_addr  # tag for the slot
+        self._last_addr = addr
+        return hit
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of next-instruction addresses predicted correctly."""
+        return self.correct / self.predictions if self.predictions else 0.0
+
+    def access_time_reduction(self, hit_gain: float = 0.47) -> float:
+        """Estimated access-time saving from correct predictions.
+
+        A correct prediction overlaps the cache array access with the
+        processor's address generation, saving ``hit_gain`` of the
+        access time on that fetch (the chip measured a 42.2% overall
+        reduction at 89.9% accuracy, implying a per-hit gain of ~0.47).
+        """
+        return self.accuracy * hit_gain
+
+
+def compact_code(trace: Trace, reduction: float = 0.20, word_size: int = 4) -> Trace:
+    """Model RISC II code compaction on an instruction trace.
+
+    Selected half-word instructions shrink the static code by about
+    ``reduction``; at trace level that contracts the instruction
+    address space uniformly toward its base, raising cache density.
+    Data references are passed through untouched.
+
+    Args:
+        trace: Input trace (typically instruction fetches only).
+        reduction: Fractional code-size reduction (0.20 in the paper).
+        word_size: Alignment of the compacted addresses.
+
+    Returns:
+        A new trace with compacted instruction-fetch addresses.
+    """
+    if not 0.0 <= reduction < 1.0:
+        raise ConfigurationError(
+            f"reduction must be in [0, 1), got {reduction}"
+        )
+    ifetch = trace.kinds == int(AccessType.IFETCH)
+    addrs = trace.addrs.copy()
+    code = addrs[ifetch]
+    if len(code):
+        base = code.min()
+        compacted = base + ((code - base) * (1.0 - reduction)).astype(addrs.dtype)
+        compacted = (compacted // word_size) * word_size
+        addrs[ifetch] = compacted
+    return Trace(addrs, trace.kinds, trace.sizes, name=trace.name)

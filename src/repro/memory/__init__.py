@@ -1,0 +1,21 @@
+"""Memory-system models: bus cost, nibble-mode scaling, access timing."""
+
+from repro.memory.bus import Bus
+from repro.memory.multiproc import SharedBusResult, SharedBusSystem
+from repro.memory.nibble import (
+    BusCostModel,
+    LINEAR_BUS,
+    NIBBLE_MODE_BUS,
+    scaled_traffic_factor,
+)
+from repro.memory.timing import MemoryTiming, effective_access_time
+
+__all__ = [
+    "Bus",
+    "BusCostModel",
+    "LINEAR_BUS",
+    "NIBBLE_MODE_BUS",
+    "scaled_traffic_factor",
+    "MemoryTiming",
+    "effective_access_time",
+]

@@ -1,0 +1,89 @@
+"""A shared-bus accounting model.
+
+The paper motivates the traffic ratio with bus-limited microprocessor
+systems, "particularly acute if the bus is to be shared among two or
+more microprocessors" (Section 1).  :class:`Bus` tallies transactions
+against a :class:`~repro.memory.nibble.BusCostModel` and reports
+utilization, letting examples estimate how many cached processors a bus
+could carry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.memory.nibble import BusCostModel, LINEAR_BUS
+
+__all__ = ["Bus"]
+
+
+class Bus:
+    """Accumulates transaction costs under a bus cost model.
+
+    Args:
+        model: Cost model applied to every transaction.
+        words_per_cycle: Bus bandwidth used to convert accumulated cost
+            into busy cycles for utilization estimates.
+    """
+
+    def __init__(self, model: BusCostModel = LINEAR_BUS, words_per_cycle: float = 1.0):
+        if words_per_cycle <= 0:
+            raise ConfigurationError(
+                f"words_per_cycle must be positive, got {words_per_cycle}"
+            )
+        self.model = model
+        self.words_per_cycle = words_per_cycle
+        self.transactions = 0
+        self.words_moved = 0
+        self.total_cost = 0.0
+        self._histogram: Dict[int, int] = {}
+
+    def transfer(self, words: int) -> float:
+        """Record one transaction; returns its cost."""
+        if words < 1:
+            raise ConfigurationError(f"a transfer must move >= 1 word, got {words}")
+        cost = self.model.cost(words)
+        self.transactions += 1
+        self.words_moved += words
+        self.total_cost += cost
+        self._histogram[words] = self._histogram.get(words, 0) + 1
+        return cost
+
+    def replay(self, transaction_words: Dict[int, int]) -> float:
+        """Record a whole transaction histogram (e.g. from CacheStats).
+
+        Returns the total cost added.
+        """
+        added = 0.0
+        for words, count in transaction_words.items():
+            cost = self.model.cost(words) * count
+            self.transactions += count
+            self.words_moved += words * count
+            self.total_cost += cost
+            self._histogram[words] = self._histogram.get(words, 0) + count
+            added += cost
+        return added
+
+    @property
+    def histogram(self) -> Dict[int, int]:
+        """Copy of the transaction-length histogram."""
+        return dict(self._histogram)
+
+    def busy_cycles(self) -> float:
+        """Bus-busy time implied by the accumulated cost."""
+        return self.total_cost / self.words_per_cycle
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Fraction of ``elapsed_cycles`` the bus was busy (capped at 1)."""
+        if elapsed_cycles <= 0:
+            raise ConfigurationError(
+                f"elapsed_cycles must be positive, got {elapsed_cycles}"
+            )
+        return min(1.0, self.busy_cycles() / elapsed_cycles)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Bus {self.model.name} transactions={self.transactions} "
+            f"words={self.words_moved} cost={self.total_cost:.1f}>"
+        )

@@ -1,0 +1,148 @@
+"""A shared-bus multiprocessor simulator.
+
+The paper's opening motivation for the traffic ratio: "bus traffic can
+seriously limit system performance.  This problem is particularly acute
+if the bus is to be shared among two or more microprocessors."  This
+module makes that concrete: N processors, each with its own on-chip
+cache and its own reference stream, contend for one first-come
+first-served memory bus whose transactions cost ``a + b*w`` bus cycles.
+
+The simulation is event-driven at access granularity: a processor
+executes hits locally (one processor cycle each) and, on a miss, waits
+for the bus, holds it for the transaction's cost, then continues.  The
+result quantifies how cache traffic ratio translates into sustainable
+processor count — the ``1/t`` rule of thumb, with queueing effects
+included.
+
+Coherence is out of scope, as it was for the paper (its traces are
+uniprocessor and its metrics read-only); processors here share the bus,
+not data.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.cache import SubBlockCache
+from repro.errors import ConfigurationError
+from repro.memory.nibble import BusCostModel, NIBBLE_MODE_BUS
+from repro.trace.record import Trace
+
+__all__ = ["SharedBusSystem", "SharedBusResult"]
+
+
+@dataclass(frozen=True)
+class SharedBusResult:
+    """Outcome of one shared-bus simulation.
+
+    Attributes:
+        finish_times: Per-processor completion time in cycles.
+        makespan: Time at which the last processor finished.
+        bus_busy: Cycles the bus spent transferring data.
+        bus_wait: Total cycles processors spent queued for the bus.
+        accesses: Total accesses executed across all processors.
+    """
+
+    finish_times: List[float]
+    makespan: float
+    bus_busy: float
+    bus_wait: float
+    accesses: int
+
+    @property
+    def bus_utilization(self) -> float:
+        """Fraction of the makespan the bus was busy."""
+        return self.bus_busy / self.makespan if self.makespan else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Accesses completed per cycle, system-wide."""
+        return self.accesses / self.makespan if self.makespan else 0.0
+
+    @property
+    def mean_wait_per_access(self) -> float:
+        """Average bus-queueing delay per access (contention measure)."""
+        return self.bus_wait / self.accesses if self.accesses else 0.0
+
+
+class SharedBusSystem:
+    """N processors with private caches sharing one memory bus.
+
+    Args:
+        caches: One cache per processor (their stats accumulate as
+            usual, so per-CPU miss ratios remain available).
+        traces: One reference stream per processor (same length not
+            required; processors finish independently).
+        bus_model: Transaction cost model in bus cycles per the affine
+            ``a + b*w`` form; defaults to the paper's nibble-mode
+            model.
+        hit_cycles: Processor time per access that hits (or per access
+            issue, for misses, before the bus transaction).
+    """
+
+    def __init__(
+        self,
+        caches: Sequence[SubBlockCache],
+        traces: Sequence[Trace],
+        bus_model: BusCostModel = NIBBLE_MODE_BUS,
+        hit_cycles: float = 1.0,
+    ) -> None:
+        if len(caches) != len(traces):
+            raise ConfigurationError(
+                f"{len(caches)} caches but {len(traces)} traces"
+            )
+        if not caches:
+            raise ConfigurationError("at least one processor is required")
+        if hit_cycles <= 0:
+            raise ConfigurationError(f"hit_cycles must be positive, got {hit_cycles}")
+        self.caches = list(caches)
+        self.traces = list(traces)
+        self.bus_model = bus_model
+        self.hit_cycles = hit_cycles
+
+    def run(self) -> SharedBusResult:
+        """Simulate to completion and return system metrics."""
+        iterators = [iter(trace) for trace in self.traces]
+        # Heap of (processor-ready-time, cpu index); deterministic
+        # tie-break by index.
+        heap = [(0.0, cpu) for cpu in range(len(self.caches))]
+        heapq.heapify(heap)
+        finish = [0.0] * len(self.caches)
+        bus_free = 0.0
+        bus_busy = 0.0
+        bus_wait = 0.0
+        accesses = 0
+
+        while heap:
+            now, cpu = heapq.heappop(heap)
+            record = next(iterators[cpu], None)
+            if record is None:
+                finish[cpu] = now
+                continue
+            cache = self.caches[cpu]
+            words_before = cache.stats.bytes_fetched
+            hit = cache.access(record.addr, record.kind, record.size)
+            accesses += 1
+            ready = now + self.hit_cycles
+            if not hit:
+                fetched_words = (
+                    cache.stats.bytes_fetched - words_before
+                ) // cache.word_size
+                if fetched_words > 0:
+                    grant = max(ready, bus_free)
+                    bus_wait += grant - ready
+                    cost = self.bus_model.cost(fetched_words)
+                    bus_free = grant + cost
+                    bus_busy += cost
+                    ready = bus_free
+            heapq.heappush(heap, (ready, cpu))
+
+        return SharedBusResult(
+            finish_times=finish,
+            makespan=max(finish) if finish else 0.0,
+            bus_busy=bus_busy,
+            bus_wait=bus_wait,
+            accesses=accesses,
+        )

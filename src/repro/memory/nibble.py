@@ -1,0 +1,98 @@
+"""Bus cost models, including the paper's nibble-mode model.
+
+Section 4.3 observes that nibble/page-mode memories and transactional
+busses make the cost of fetching ``w`` sequential words affine rather
+than linear: ``cost(w) = a + b*w``.  Using Bursky's figures — 160 ns for
+the first word, 55 ns for subsequent words, approximated as 3:1 with
+unit cost for one word — the paper's model is::
+
+    cost(w) = 1 + (w - 1) / 3
+
+The *scaled traffic ratio* multiplies the standard traffic ratio by
+``cost(w) / w`` for a cache that always transfers ``w``-word
+sub-blocks.  :meth:`repro.core.stats.CacheStats.scaled_traffic_ratio`
+generalizes this to mixed transaction sizes (load-forward issues
+variable-length transfers) using the transaction histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BusCostModel",
+    "LINEAR_BUS",
+    "NIBBLE_MODE_BUS",
+    "scaled_traffic_factor",
+]
+
+
+@dataclass(frozen=True)
+class BusCostModel:
+    """Affine bus cost: fetching ``w`` sequential words costs ``a + b*w``.
+
+    Attributes:
+        base: The per-transaction overhead ``a`` (address cycle, RAS
+            latency, bus arbitration).
+        per_word: The marginal word cost ``b``.
+        name: Label used in table output.
+    """
+
+    base: float
+    per_word: float
+    name: str = "bus"
+
+    def __post_init__(self) -> None:
+        if self.per_word <= 0:
+            raise ConfigurationError(
+                f"per_word cost must be positive, got {self.per_word}"
+            )
+        if self.base < 0:
+            raise ConfigurationError(f"base cost must be >= 0, got {self.base}")
+
+    def cost(self, words: int) -> float:
+        """Cost of one transaction moving ``words`` sequential words."""
+        if words <= 0:
+            return 0.0
+        return self.base + self.per_word * words
+
+    @classmethod
+    def from_latencies(
+        cls, first: float, subsequent: float, name: str = "latency-bus"
+    ) -> "BusCostModel":
+        """Build a model from first/subsequent word latencies.
+
+        Normalized so a single-word transaction has unit cost:
+        ``cost(w) = 1 + (w-1) * subsequent/first``.
+
+        >>> BusCostModel.from_latencies(160, 55).cost(4)  # doctest: +ELLIPSIS
+        2.03...
+        """
+        if first <= 0 or subsequent <= 0:
+            raise ConfigurationError("latencies must be positive")
+        ratio = subsequent / first
+        return cls(base=1.0 - ratio, per_word=ratio, name=name)
+
+
+#: Cost proportional to bytes moved — the paper's default assumption.
+LINEAR_BUS = BusCostModel(base=0.0, per_word=1.0, name="linear")
+
+#: The paper's nibble-mode model: ``cost(w) = 1 + (w-1)/3``.
+NIBBLE_MODE_BUS = BusCostModel(base=2.0 / 3.0, per_word=1.0 / 3.0, name="nibble")
+
+
+def scaled_traffic_factor(words_per_transfer: int, model: BusCostModel) -> float:
+    """The paper's analytic scaling factor ``cost(w) / (w * cost(1))``.
+
+    Multiplying a standard traffic ratio by this factor yields the
+    scaled traffic ratio for a cache whose every transfer moves
+    ``words_per_transfer`` words.  Under :data:`NIBBLE_MODE_BUS` this
+    is ``(1/w) * (1 + (w-1)/3)``, the expression in Section 4.3.
+    """
+    if words_per_transfer < 1:
+        raise ConfigurationError(
+            f"words_per_transfer must be >= 1, got {words_per_transfer}"
+        )
+    return model.cost(words_per_transfer) / (words_per_transfer * model.cost(1))

@@ -1,0 +1,72 @@
+"""Effective-access-time model (Section 3.2).
+
+The paper's simplest latency model::
+
+    t_eff = t_cache * (1 - m) + t_mem * m
+
+where ``m`` is the miss ratio.  :class:`MemoryTiming` adds the
+nibble-mode refinement: the miss penalty for loading a ``w``-word
+sub-block is ``first + (w - 1) * subsequent`` nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["effective_access_time", "MemoryTiming"]
+
+
+def effective_access_time(miss_ratio: float, t_cache: float, t_mem: float) -> float:
+    """The paper's ``t_eff`` model.
+
+    Args:
+        miss_ratio: Cache miss ratio in [0, 1].
+        t_cache: Cache hit access time.
+        t_mem: Memory access time on a miss (same unit as ``t_cache``).
+
+    Raises:
+        ConfigurationError: If the miss ratio is outside [0, 1] or a
+            latency is negative.
+    """
+    if not 0.0 <= miss_ratio <= 1.0:
+        raise ConfigurationError(f"miss_ratio must be in [0, 1], got {miss_ratio}")
+    if t_cache < 0 or t_mem < 0:
+        raise ConfigurationError("access times must be non-negative")
+    return t_cache * (1.0 - miss_ratio) + t_mem * miss_ratio
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """Latency parameters for a nibble-mode main memory.
+
+    Defaults are Bursky's figures quoted in Section 4.3: 160 ns for the
+    first word of a transfer and 55 ns for each subsequent word.
+
+    Attributes:
+        t_cache_ns: Cache hit time (the RISC II chip achieved 250 ns;
+            we default to a nominal 100 ns).
+        first_word_ns: Latency of the first word of a memory transfer.
+        subsequent_word_ns: Latency of each additional sequential word.
+    """
+
+    t_cache_ns: float = 100.0
+    first_word_ns: float = 160.0
+    subsequent_word_ns: float = 55.0
+
+    def __post_init__(self) -> None:
+        if min(self.t_cache_ns, self.first_word_ns, self.subsequent_word_ns) < 0:
+            raise ConfigurationError("timing parameters must be non-negative")
+
+    def miss_penalty_ns(self, words: int) -> float:
+        """Time to load a ``words``-word sub-block from memory."""
+        if words < 1:
+            raise ConfigurationError(f"a transfer moves >= 1 word, got {words}")
+        return self.first_word_ns + (words - 1) * self.subsequent_word_ns
+
+    def effective_access_ns(self, miss_ratio: float, sub_block_words: int) -> float:
+        """``t_eff`` with the miss penalty set by the sub-block size."""
+        return effective_access_time(
+            miss_ratio, self.t_cache_ns, self.miss_penalty_ns(sub_block_words)
+        )

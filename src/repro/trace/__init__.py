@@ -1,0 +1,39 @@
+"""Address traces: the record model, file formats, transforms, statistics."""
+
+from repro.trace.record import Access, AccessType, Trace
+from repro.trace.reader import read_din, read_npz
+from repro.trace.writer import write_din, write_npz
+from repro.trace.filters import (
+    align_addresses,
+    interleave,
+    mask_addresses,
+    only_kind,
+    reads_only,
+    truncate,
+)
+from repro.trace.stats import (
+    TraceProfile,
+    profile_trace,
+    run_length_histogram,
+    working_set_curve,
+)
+
+__all__ = [
+    "Access",
+    "AccessType",
+    "Trace",
+    "read_din",
+    "read_npz",
+    "write_din",
+    "write_npz",
+    "reads_only",
+    "only_kind",
+    "truncate",
+    "mask_addresses",
+    "align_addresses",
+    "interleave",
+    "TraceProfile",
+    "profile_trace",
+    "run_length_histogram",
+    "working_set_curve",
+]

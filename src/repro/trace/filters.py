@@ -1,0 +1,124 @@
+"""Trace transforms.
+
+These are the preprocessing steps the paper applies before simulation:
+
+* **Write filtering** — the paper computes metrics "for only data reads
+  and instruction fetches" (Section 3.1), so :func:`reads_only` drops
+  writes from a trace.
+* **Truncation** — traces "were run for 1 million addresses" (Section
+  3.3); :func:`truncate` cuts a trace at a reference budget.
+* **Address masking** — 16-bit traces live in a 64 KiB space;
+  :func:`mask_addresses` folds addresses into a given address-space
+  width, which is how a narrower machine would see them.
+* **Interleaving** — :func:`interleave` merges traces round-robin, a
+  simple model of multiprogramming used by the task-switching ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessType, Trace
+
+__all__ = [
+    "reads_only",
+    "truncate",
+    "mask_addresses",
+    "align_addresses",
+    "interleave",
+    "only_kind",
+]
+
+
+def reads_only(trace: Trace) -> Trace:
+    """Drop write accesses, keeping data reads and instruction fetches.
+
+    This mirrors the paper's method of filtering write-back policy
+    effects out of the miss- and traffic-ratio results.
+    """
+    keep = trace.kinds != int(AccessType.WRITE)
+    return Trace(
+        trace.addrs[keep], trace.kinds[keep], trace.sizes[keep], name=trace.name
+    )
+
+
+def only_kind(trace: Trace, kind: AccessType) -> Trace:
+    """Keep only accesses of one kind (e.g. instruction fetches)."""
+    keep = trace.kinds == int(kind)
+    return Trace(
+        trace.addrs[keep], trace.kinds[keep], trace.sizes[keep], name=trace.name
+    )
+
+
+def truncate(trace: Trace, limit: int) -> Trace:
+    """Keep at most ``limit`` accesses from the front of the trace."""
+    if limit < 0:
+        raise ConfigurationError(f"truncation limit must be >= 0, got {limit}")
+    return trace[:limit]
+
+
+def mask_addresses(trace: Trace, address_bits: int) -> Trace:
+    """Fold all addresses into an ``address_bits``-wide address space."""
+    if not 1 <= address_bits <= 62:
+        raise ConfigurationError(
+            f"address_bits must be in [1, 62], got {address_bits}"
+        )
+    mask = (1 << address_bits) - 1
+    return Trace(trace.addrs & mask, trace.kinds, trace.sizes, name=trace.name)
+
+
+def align_addresses(trace: Trace, word: int) -> Trace:
+    """Round every address down to a multiple of ``word`` bytes.
+
+    Trace hardware of the paper's era recorded word-aligned references;
+    generators that emit byte addresses use this to model that.
+    """
+    if word < 1:
+        raise ConfigurationError(f"alignment word must be >= 1, got {word}")
+    return Trace(
+        (trace.addrs // word) * word, trace.kinds, trace.sizes, name=trace.name
+    )
+
+
+def interleave(traces: Sequence[Trace], quantum: int, name: str = "") -> Trace:
+    """Merge traces round-robin in slices of ``quantum`` accesses.
+
+    A lightweight model of multiprogramming / task switching: the
+    processor runs ``quantum`` references of one program, then switches
+    to the next.  Exhausted traces drop out of the rotation.
+    """
+    if quantum < 1:
+        raise ConfigurationError(f"interleave quantum must be >= 1, got {quantum}")
+    if not traces:
+        return Trace([], [], [], name=name)
+    chunks_addrs = []
+    chunks_kinds = []
+    chunks_sizes = []
+    positions = [0] * len(traces)
+    live = list(range(len(traces)))
+    while live:
+        next_live = []
+        for index in live:
+            trace = traces[index]
+            start = positions[index]
+            stop = min(start + quantum, len(trace))
+            if stop > start:
+                chunks_addrs.append(trace.addrs[start:stop])
+                chunks_kinds.append(trace.kinds[start:stop])
+                chunks_sizes.append(trace.sizes[start:stop])
+                positions[index] = stop
+            if positions[index] < len(trace):
+                next_live.append(index)
+        live = next_live
+    merged_name = name or "+".join(t.name for t in traces if t.name)
+    if not chunks_addrs:  # every input was empty
+        return Trace([], [], [], name=merged_name)
+    return Trace(
+        np.concatenate(chunks_addrs),
+        np.concatenate(chunks_kinds),
+        np.concatenate(chunks_sizes),
+        name=merged_name,
+    )

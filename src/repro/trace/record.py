@@ -1,0 +1,189 @@
+"""Memory-reference records and address traces.
+
+The unit of work for every simulator in this library is the *access*: a
+single memory reference with an address, an access kind (instruction
+fetch, data read, or data write), and a size in bytes.  The paper's
+traces were produced assuming a fixed processor-to-memory data path —
+2 bytes for the 16-bit architectures (PDP-11, Z8000) and 4 bytes for the
+32-bit architectures (VAX-11, System/370) — so most accesses in this
+library are one data-path word wide.
+
+A :class:`Trace` is a compact, immutable sequence of accesses backed by
+NumPy arrays.  Traces iterate as :class:`Access` tuples and support
+slicing, concatenation and equality, which the trace-transform helpers
+in :mod:`repro.trace.filters` build on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, NamedTuple, Sequence, Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+
+__all__ = ["AccessType", "Access", "Trace"]
+
+
+class AccessType(enum.IntEnum):
+    """Kind of memory reference.
+
+    The integer values follow the DineroIV / ``din`` trace convention
+    (0 = read, 1 = write, 2 = instruction fetch) so traces round-trip
+    through the text format without a translation table.
+    """
+
+    READ = 0
+    WRITE = 1
+    IFETCH = 2
+
+    @property
+    def is_fetch_or_read(self) -> bool:
+        """True for the reference kinds the paper's metrics include.
+
+        The paper filters write-back effects out of its results by
+        computing miss and traffic ratios over data reads and
+        instruction fetches only (Section 3.1).
+        """
+        return self is not AccessType.WRITE
+
+
+class Access(NamedTuple):
+    """One memory reference.
+
+    Attributes:
+        addr: Byte address of the reference.
+        kind: The :class:`AccessType` of the reference.
+        size: Number of bytes referenced (usually one data-path word).
+    """
+
+    addr: int
+    kind: AccessType
+    size: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}@{self.addr:#x}/{self.size}"
+
+
+class Trace:
+    """An immutable sequence of memory accesses.
+
+    Stored column-wise as NumPy arrays for compactness (a million-access
+    trace fits in ~6 MB).  Iteration yields :class:`Access` records.
+
+    Args:
+        addrs: Byte addresses, one per access.
+        kinds: :class:`AccessType` values (or their integer codes).
+        sizes: Access sizes in bytes.  A scalar broadcasts to all
+            accesses.
+        name: Optional human-readable label (e.g. the workload name);
+            carried through slices.
+    """
+
+    __slots__ = ("addrs", "kinds", "sizes", "name")
+
+    def __init__(
+        self,
+        addrs: Union[Sequence[int], np.ndarray],
+        kinds: Union[Sequence[int], np.ndarray],
+        sizes: Union[int, Sequence[int], np.ndarray] = 2,
+        name: str = "",
+    ) -> None:
+        self.addrs = np.asarray(addrs, dtype=np.int64)
+        self.kinds = np.asarray(kinds, dtype=np.uint8)
+        if np.isscalar(sizes):
+            self.sizes = np.full(len(self.addrs), int(sizes), dtype=np.uint8)
+        else:
+            self.sizes = np.asarray(sizes, dtype=np.uint8)
+        if not (len(self.addrs) == len(self.kinds) == len(self.sizes)):
+            raise TraceFormatError(
+                "trace columns have mismatched lengths: "
+                f"{len(self.addrs)} addrs, {len(self.kinds)} kinds, "
+                f"{len(self.sizes)} sizes"
+            )
+        if len(self.addrs) and self.addrs.min() < 0:
+            raise TraceFormatError("trace contains a negative address")
+        self.name = name
+
+    @classmethod
+    def from_accesses(cls, accesses: Iterable[Access], name: str = "") -> "Trace":
+        """Build a trace from an iterable of :class:`Access` records."""
+        records = list(accesses)
+        if not records:
+            return cls([], [], [], name=name)
+        addrs = [a.addr for a in records]
+        kinds = [int(a.kind) for a in records]
+        sizes = [a.size for a in records]
+        return cls(addrs, kinds, sizes, name=name)
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    def __iter__(self) -> Iterator[Access]:
+        # tolist() converts to native ints once, which is much faster
+        # than per-element ndarray indexing in the simulator hot loop.
+        addrs = self.addrs.tolist()
+        kinds = self.kinds.tolist()
+        sizes = self.sizes.tolist()
+        for addr, kind, size in zip(addrs, kinds, sizes):
+            yield Access(addr, AccessType(kind), size)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(
+                self.addrs[index], self.kinds[index], self.sizes[index], name=self.name
+            )
+        return Access(
+            int(self.addrs[index]),
+            AccessType(int(self.kinds[index])),
+            int(self.sizes[index]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            np.array_equal(self.addrs, other.addrs)
+            and np.array_equal(self.kinds, other.kinds)
+            and np.array_equal(self.sizes, other.sizes)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - traces are not hashable
+        raise TypeError("Trace objects are mutable-array-backed and unhashable")
+
+    def __add__(self, other: "Trace") -> "Trace":
+        """Concatenate two traces (the name of the left operand wins)."""
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return Trace(
+            np.concatenate([self.addrs, other.addrs]),
+            np.concatenate([self.kinds, other.kinds]),
+            np.concatenate([self.sizes, other.sizes]),
+            name=self.name or other.name,
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Trace{label} len={len(self)}>"
+
+    # -- Convenience statistics used throughout the analysis layer ------
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes referenced; the traffic-ratio denominator."""
+        return int(self.sizes.sum())
+
+    def count(self, kind: AccessType) -> int:
+        """Number of accesses of the given kind."""
+        return int((self.kinds == int(kind)).sum())
+
+    def unique_addresses(self) -> int:
+        """Number of distinct byte addresses touched."""
+        return int(len(np.unique(self.addrs)))
+
+    def address_span(self) -> int:
+        """Highest minus lowest address touched (0 for an empty trace)."""
+        if not len(self):
+            return 0
+        return int(self.addrs.max() - self.addrs.min())

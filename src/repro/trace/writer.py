@@ -1,0 +1,40 @@
+"""Trace writers for the formats understood by :mod:`repro.trace.reader`."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.trace.record import Trace
+
+__all__ = ["write_din", "write_npz"]
+
+
+def write_din(trace: Trace, destination: Union[str, Path, io.TextIOBase]) -> None:
+    """Write a trace in ``din`` text format.
+
+    Access sizes are not representable in ``din`` and are dropped; the
+    reader reassigns a uniform size on load.
+    """
+    if isinstance(destination, (str, Path)):
+        with Path(destination).open("w", encoding="ascii") as handle:
+            write_din(trace, handle)
+        return
+    kinds = trace.kinds.tolist()
+    addrs = trace.addrs.tolist()
+    lines = [f"{kind} {addr:x}\n" for kind, addr in zip(kinds, addrs)]
+    destination.writelines(lines)
+
+
+def write_npz(trace: Trace, destination: Union[str, Path]) -> None:
+    """Write a trace to the library's compressed binary format."""
+    np.savez_compressed(
+        Path(destination),
+        addrs=trace.addrs,
+        kinds=trace.kinds,
+        sizes=trace.sizes,
+        name=np.array(trace.name),
+    )

@@ -1,0 +1,88 @@
+"""Architecture profiles for the four traced machines (Tables 2–5).
+
+The paper attributes the inter-architecture miss-ratio ordering to the
+traces, "not ... the architectures, except for address space size":
+the Z8000 traces are small compact UNIX utilities, the PDP-11 programs
+small 16-bit-address-space programs, the VAX a mixture of small and
+large, and the System/370 programs large memory-intensive jobs using
+hundreds of kilobytes (Section 4.2.5).  An :class:`ArchProfile`
+therefore carries the data-path width the traces were collected with
+(Section 3.3: 2 bytes for Z8000/PDP-11, 4 bytes for VAX/370), the
+address-space width, and the working-set *scale* its suite targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ArchProfile", "ARCHITECTURES", "get_architecture"]
+
+
+@dataclass(frozen=True)
+class ArchProfile:
+    """One traced architecture.
+
+    Attributes:
+        name: Registry key (``pdp11``, ``z8000``, ``vax``, ``s370``,
+            ``mainframe``).
+        word_size: Data-path width in bytes; every trace access is one
+            word.
+        address_bits: Native address-space width (cost models still use
+            32 bits, as the paper does).
+        description: Provenance note.
+    """
+
+    name: str
+    word_size: int
+    address_bits: int
+    description: str
+
+
+ARCHITECTURES = {
+    "pdp11": ArchProfile(
+        name="pdp11",
+        word_size=2,
+        address_bits=16,
+        description="DEC PDP-11: small 16-bit programs (Table 2)",
+    ),
+    "z8000": ArchProfile(
+        name="z8000",
+        word_size=2,
+        address_bits=16,
+        description="Zilog Z8000: compact C-compiled UNIX utilities (Table 3)",
+    ),
+    "vax": ArchProfile(
+        name="vax",
+        word_size=4,
+        address_bits=32,
+        description="DEC VAX-11: mixed small and large programs (Table 4)",
+    ),
+    "s370": ArchProfile(
+        name="s370",
+        word_size=4,
+        address_bits=32,
+        description="IBM System/370: large memory-intensive jobs (Table 5)",
+    ),
+    "mainframe": ArchProfile(
+        name="mainframe",
+        word_size=4,
+        address_bits=32,
+        description="System/360-85 study workload (Table 6)",
+    ),
+}
+
+
+def get_architecture(name: str) -> ArchProfile:
+    """Look up an architecture profile by name.
+
+    Raises:
+        ConfigurationError: For an unknown architecture.
+    """
+    key = name.lower()
+    if key not in ARCHITECTURES:
+        raise ConfigurationError(
+            f"unknown architecture {name!r}; choose from {sorted(ARCHITECTURES)}"
+        )
+    return ARCHITECTURES[key]

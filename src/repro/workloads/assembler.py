@@ -1,0 +1,274 @@
+"""Two-pass assembler for the toy workload machine.
+
+Source syntax (one statement per line, ``;`` starts a comment)::
+
+    ; data directives (assembled into the data segment, word-granular)
+    .space  buf 128          ; reserve 128 words, define symbol buf
+    .words  tab 4 8 15 16    ; initialized words, symbol tab
+
+    ; code
+    start:
+        li   r0, 10          ; load immediate (symbols allowed)
+        li   r1, tab         ; data symbols resolve to byte addresses
+        ld   r2, r1, 0       ; r2 = M[r1 + 0]
+        addi r1, 2           ; immediates are in bytes
+        blt  r3, r0, start   ; branches compare two registers
+        call subroutine
+        halt
+
+Register operands are ``r0``–``r7`` with aliases ``fp`` (r6) and ``sp``
+(r7).  Immediates may be decimal or hex integers, label names, data
+symbols, or the special token ``@word`` (the word size in bytes), which
+lets programs written once run correctly on both 16- and 32-bit
+profiles.  ``name+offset`` arithmetic is supported for symbols.
+
+The assembler lays code from ``code_base`` and data after the code
+(word-aligned), and returns an :class:`AssembledProgram` ready for the
+:class:`~repro.workloads.machine.Machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblyError
+from repro.workloads.isa import HAS_IMMEDIATE, Instruction, Op, OPCODES, REGISTER_ALIASES
+
+__all__ = ["AssembledProgram", "assemble"]
+
+_REG_OPERANDS = {
+    Op.MOV: 2, Op.ADD: 2, Op.SUB: 2, Op.MUL: 2, Op.DIV: 2, Op.MOD: 2,
+    Op.AND: 2, Op.OR: 2, Op.XOR: 2, Op.SHL: 2, Op.SHR: 2,
+    Op.PUSH: 1, Op.POP: 1,
+    Op.HALT: 0, Op.NOP: 0, Op.RET: 0,
+}
+
+
+@dataclass
+class AssembledProgram:
+    """Output of :func:`assemble`.
+
+    Attributes:
+        instructions: Decoded instructions in address order.
+        addr_to_index: Byte address of an instruction -> its index.
+        data: Initial data memory as ``{byte address: word value}``.
+        symbols: Label and data-symbol byte addresses.
+        word_size: Word size the program was assembled for.
+        code_base: First code byte address.
+        data_base: First data byte address.
+        data_limit: One past the last data byte address.
+    """
+
+    instructions: List[Instruction]
+    addr_to_index: Dict[int, int]
+    data: Dict[int, int]
+    symbols: Dict[str, int]
+    word_size: int
+    code_base: int
+    data_base: int
+    data_limit: int
+
+    @property
+    def code_bytes(self) -> int:
+        """Size of the code segment in bytes."""
+        return self.data_base - self.code_base
+
+
+def _parse_register(token: str, lineno: int) -> int:
+    name = token.lower()
+    if name in REGISTER_ALIASES:
+        return REGISTER_ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        index = int(name[1:])
+        if 0 <= index <= 7:
+            return index
+    raise AssemblyError(f"line {lineno}: {token!r} is not a register")
+
+
+def _parse_int(token: str) -> Optional[int]:
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+class _ImmediateRef:
+    """An unresolved immediate: integer, symbol, or symbol+offset."""
+
+    __slots__ = ("text", "lineno")
+
+    def __init__(self, text: str, lineno: int) -> None:
+        self.text = text
+        self.lineno = lineno
+
+    def resolve(self, symbols: Dict[str, int], word_size: int) -> int:
+        text = self.text
+        value = _parse_int(text)
+        if value is not None:
+            return value
+        if text == "@word":
+            return word_size
+        base, sep, offset_text = text.partition("+")
+        offset = 0
+        if sep:
+            parsed = _parse_int(offset_text)
+            if parsed is None:
+                raise AssemblyError(
+                    f"line {self.lineno}: bad offset in {text!r}"
+                )
+            offset = parsed
+        if base == "@word":
+            return word_size + offset
+        if base not in symbols:
+            raise AssemblyError(f"line {self.lineno}: undefined symbol {base!r}")
+        return symbols[base] + offset
+
+
+def assemble(source: str, word_size: int = 2, code_base: int = 0x100) -> AssembledProgram:
+    """Assemble toy-machine source into an executable program.
+
+    Args:
+        source: Assembly text (see module docstring for the syntax).
+        word_size: Target word size in bytes (2 or 4).
+        code_base: Byte address of the first instruction.
+
+    Raises:
+        AssemblyError: On any syntax error, unknown mnemonic, bad
+            register, or undefined symbol.
+    """
+    if word_size not in (2, 4):
+        raise AssemblyError(f"word_size must be 2 or 4, got {word_size}")
+
+    # Pass 1: tokenize, place instructions, gather labels and data.
+    pending: List[Tuple[int, str, List[str]]] = []  # (lineno, mnemonic, operands)
+    labels: Dict[str, int] = {}  # label -> instruction index
+    data_directives: List[Tuple[str, List[int], int]] = []  # (symbol, words, lineno)
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(pending)
+            line = rest.strip()
+        if not line:
+            continue
+        parts = line.replace(",", " ").split()
+        head = parts[0].lower()
+        if head == ".space":
+            if len(parts) != 3:
+                raise AssemblyError(f"line {lineno}: .space needs 'name count'")
+            count = _parse_int(parts[2])
+            if count is None or count < 0:
+                raise AssemblyError(f"line {lineno}: bad .space count {parts[2]!r}")
+            data_directives.append((parts[1], [0] * count, lineno))
+        elif head == ".words":
+            if len(parts) < 3:
+                raise AssemblyError(f"line {lineno}: .words needs 'name v1 ...'")
+            values = []
+            for token in parts[2:]:
+                value = _parse_int(token)
+                if value is None:
+                    raise AssemblyError(f"line {lineno}: bad word value {token!r}")
+                values.append(value)
+            data_directives.append((parts[1], values, lineno))
+        else:
+            if head not in OPCODES:
+                raise AssemblyError(f"line {lineno}: unknown mnemonic {head!r}")
+            pending.append((lineno, head, parts[1:]))
+
+    # Place instructions: two words when an immediate is carried.
+    addresses: List[int] = []
+    addr = code_base
+    for lineno, mnemonic, operands in pending:
+        addresses.append(addr)
+        addr += word_size * (2 if OPCODES[mnemonic] in HAS_IMMEDIATE else 1)
+    data_base = addr
+    # Data symbols placed sequentially after code.
+    symbols: Dict[str, int] = {}
+    data: Dict[int, int] = {}
+    for name, values, lineno in data_directives:
+        if not name.isidentifier():
+            raise AssemblyError(f"line {lineno}: bad data symbol {name!r}")
+        if name in symbols or name in labels:
+            raise AssemblyError(f"line {lineno}: duplicate symbol {name!r}")
+        symbols[name] = addr
+        for value in values:
+            data[addr] = value
+            addr += word_size
+    data_limit = addr
+    for label, index in labels.items():
+        if label in symbols:
+            raise AssemblyError(f"label {label!r} collides with a data symbol")
+        symbols[label] = (
+            addresses[index] if index < len(addresses) else data_base
+        )
+
+    # Pass 2: build instructions with resolved operands.
+    instructions: List[Instruction] = []
+    addr_to_index: Dict[int, int] = {}
+    for index, (lineno, mnemonic, operands) in enumerate(pending):
+        op = OPCODES[mnemonic]
+        a = b = -1
+        imm: Optional[int] = None
+        if op in _REG_OPERANDS:
+            want = _REG_OPERANDS[op]
+            if len(operands) != want:
+                raise AssemblyError(
+                    f"line {lineno}: {mnemonic} takes {want} register operand(s)"
+                )
+            if want >= 1:
+                a = _parse_register(operands[0], lineno)
+            if want >= 2:
+                b = _parse_register(operands[1], lineno)
+        elif op in (Op.LI, Op.ADDI):
+            if len(operands) != 2:
+                raise AssemblyError(f"line {lineno}: {mnemonic} takes 'rd, imm'")
+            a = _parse_register(operands[0], lineno)
+            imm = _ImmediateRef(operands[1], lineno).resolve(symbols, word_size)
+        elif op in (Op.LD, Op.ST, Op.LDB, Op.STB):
+            if len(operands) != 3:
+                raise AssemblyError(
+                    f"line {lineno}: {mnemonic} takes 'r, r, offset'"
+                )
+            a = _parse_register(operands[0], lineno)
+            b = _parse_register(operands[1], lineno)
+            imm = _ImmediateRef(operands[2], lineno).resolve(symbols, word_size)
+        elif op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+            if len(operands) != 3:
+                raise AssemblyError(
+                    f"line {lineno}: {mnemonic} takes 'r, r, label'"
+                )
+            a = _parse_register(operands[0], lineno)
+            b = _parse_register(operands[1], lineno)
+            imm = _ImmediateRef(operands[2], lineno).resolve(symbols, word_size)
+        elif op in (Op.JMP, Op.CALL):
+            if len(operands) != 1:
+                raise AssemblyError(f"line {lineno}: {mnemonic} takes a label")
+            imm = _ImmediateRef(operands[0], lineno).resolve(symbols, word_size)
+        else:  # pragma: no cover - every opcode is covered above
+            raise AssemblyError(f"line {lineno}: unhandled mnemonic {mnemonic!r}")
+        words = 2 if op in HAS_IMMEDIATE else 1
+        instruction = Instruction(
+            op=op, a=a, b=b, imm=imm, addr=addresses[index], words=words
+        )
+        addr_to_index[addresses[index]] = index
+        instructions.append(instruction)
+
+    return AssembledProgram(
+        instructions=instructions,
+        addr_to_index=addr_to_index,
+        data=data,
+        symbols=symbols,
+        word_size=word_size,
+        code_base=code_base,
+        data_base=data_base,
+        data_limit=data_limit,
+    )

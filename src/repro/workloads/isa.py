@@ -1,0 +1,139 @@
+"""Instruction set of the toy workload machine.
+
+The machine is a small load/store register architecture rich enough to
+express the paper's workload programs (sorting, searching, formatting,
+simulation kernels) while staying trivial to interpret.  It exists to
+*generate memory-reference traces*, not to model any real ISA: what
+matters is that instruction fetches, loads, stores and stack traffic
+come from genuinely executing programs, so the traces carry the
+temporal and spatial locality the paper's proprietary traces had.
+
+Architecture summary:
+
+* Eight general registers ``r0``–``r7``; by convention ``r6`` is the
+  frame pointer (``fp``) and ``r7`` the stack pointer (``sp``).
+* Word size is set by the architecture profile (2 bytes for the 16-bit
+  machines, 4 for the 32-bit ones); addresses are byte addresses.
+* Instructions occupy one word, or two when they carry an immediate
+  (the immediate lives in the following word) — so code addresses and
+  instruction-fetch traffic scale with the word size, like the real
+  machines the paper traced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Op", "Instruction", "OPCODES", "HAS_IMMEDIATE", "REGISTER_ALIASES"]
+
+
+class Op:
+    """Opcode constants (plain ints for fast interpreter dispatch)."""
+
+    HALT = 0
+    NOP = 1
+    LI = 2        # li   rd, imm        rd = imm
+    MOV = 3       # mov  rd, rs
+    ADD = 4       # add  rd, rs         rd += rs
+    SUB = 5       # sub  rd, rs
+    MUL = 6       # mul  rd, rs
+    DIV = 7       # div  rd, rs         integer division toward zero
+    MOD = 8       # mod  rd, rs
+    AND = 9       # and  rd, rs
+    OR = 10       # or   rd, rs
+    XOR = 11      # xor  rd, rs
+    SHL = 12      # shl  rd, rs
+    SHR = 13      # shr  rd, rs
+    ADDI = 14     # addi rd, imm
+    LD = 15       # ld   rd, rs, imm    rd = M[rs + imm]
+    ST = 16       # st   rs, rb, imm    M[rb + imm] = rs
+    LDB = 17      # ldb  rd, rs, imm    byte load
+    STB = 18      # stb  rs, rb, imm    byte store
+    BEQ = 19      # beq  r1, r2, label
+    BNE = 20      # bne  r1, r2, label
+    BLT = 21      # blt  r1, r2, label  (signed)
+    BGE = 22      # bge  r1, r2, label
+    JMP = 23      # jmp  label
+    CALL = 24     # call label          push return address, jump
+    RET = 25      # ret                 pop return address, jump
+    PUSH = 26     # push rs
+    POP = 27      # pop  rd
+
+
+#: Mnemonic -> opcode.
+OPCODES = {
+    "halt": Op.HALT,
+    "nop": Op.NOP,
+    "li": Op.LI,
+    "mov": Op.MOV,
+    "add": Op.ADD,
+    "sub": Op.SUB,
+    "mul": Op.MUL,
+    "div": Op.DIV,
+    "mod": Op.MOD,
+    "and": Op.AND,
+    "or": Op.OR,
+    "xor": Op.XOR,
+    "shl": Op.SHL,
+    "shr": Op.SHR,
+    "addi": Op.ADDI,
+    "ld": Op.LD,
+    "st": Op.ST,
+    "ldb": Op.LDB,
+    "stb": Op.STB,
+    "beq": Op.BEQ,
+    "bne": Op.BNE,
+    "blt": Op.BLT,
+    "bge": Op.BGE,
+    "jmp": Op.JMP,
+    "call": Op.CALL,
+    "ret": Op.RET,
+    "push": Op.PUSH,
+    "pop": Op.POP,
+}
+
+#: Opcodes whose encoding carries an immediate word (two-word instructions).
+HAS_IMMEDIATE = frozenset(
+    {
+        Op.LI,
+        Op.ADDI,
+        Op.LD,
+        Op.ST,
+        Op.LDB,
+        Op.STB,
+        Op.BEQ,
+        Op.BNE,
+        Op.BLT,
+        Op.BGE,
+        Op.JMP,
+        Op.CALL,
+    }
+)
+
+#: Register-name sugar accepted by the assembler.
+REGISTER_ALIASES = {"fp": 6, "sp": 7}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction, placed at a byte address.
+
+    Attributes:
+        op: Opcode constant from :class:`Op`.
+        a: First register operand (or -1 when unused).
+        b: Second register operand (or -1).
+        imm: Immediate / branch target in bytes (or None).
+        addr: Byte address of the instruction's first word.
+        words: Encoded length in words (1 or 2).
+    """
+
+    op: int
+    a: int = -1
+    b: int = -1
+    imm: Optional[int] = None
+    addr: int = 0
+    words: int = 1
+
+    def operands(self) -> Tuple[int, int, Optional[int]]:
+        return self.a, self.b, self.imm

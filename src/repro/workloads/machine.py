@@ -1,0 +1,255 @@
+"""Interpreter for the toy workload machine.
+
+The :class:`Machine` executes an :class:`~repro.workloads.assembler.AssembledProgram`
+and records every memory reference it makes — instruction fetches
+(one per instruction word), loads, stores, and the stack traffic of
+``push``/``pop``/``call``/``ret``.  The recorded stream is returned as
+a :class:`~repro.trace.record.Trace`, which is what the cache
+simulators consume.
+
+Values are Python integers (no word wrap-around); programs that need
+modular arithmetic use ``mod`` explicitly.  Memory is word-granular and
+sparse, so programs can use widely separated code, data, and stack
+segments without cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import MachineError
+from repro.trace.record import AccessType, Trace
+from repro.workloads.assembler import AssembledProgram
+from repro.workloads.isa import Op
+
+__all__ = ["Machine", "MachineResult"]
+
+_IFETCH = int(AccessType.IFETCH)
+_READ = int(AccessType.READ)
+_WRITE = int(AccessType.WRITE)
+
+
+class MachineResult:
+    """Outcome of one :meth:`Machine.run`.
+
+    Attributes:
+        trace: The recorded memory-reference trace.
+        steps: Instructions executed.
+        halted: True if the program reached ``halt`` (False means the
+            step or reference budget expired first, which is a normal
+            way to cap trace length).
+    """
+
+    __slots__ = ("trace", "steps", "halted")
+
+    def __init__(self, trace: Trace, steps: int, halted: bool) -> None:
+        self.trace = trace
+        self.steps = steps
+        self.halted = halted
+
+
+class Machine:
+    """Executes toy-machine programs and records their references.
+
+    Args:
+        program: The assembled program to run.
+        stack_words: Capacity reserved for the stack, which is placed
+            above the data segment and grows downward.
+        trace_name: Name given to the recorded trace.
+    """
+
+    def __init__(
+        self,
+        program: AssembledProgram,
+        stack_words: int = 4096,
+        trace_name: str = "",
+    ) -> None:
+        self.program = program
+        self.word = program.word_size
+        self.registers: List[int] = [0] * 8
+        self.memory: Dict[int, int] = dict(program.data)
+        guard = 64 * self.word
+        self.stack_limit = program.data_limit + guard
+        self.stack_top = self.stack_limit + stack_words * self.word
+        self.registers[7] = self.stack_top
+        self.trace_name = trace_name
+        self._addrs: List[int] = []
+        self._kinds: List[int] = []
+
+    def run(
+        self, max_steps: int = 10_000_000, max_refs: Optional[int] = None
+    ) -> MachineResult:
+        """Execute from the program's first instruction.
+
+        Args:
+            max_steps: Instruction budget; exceeding it stops the run
+                (useful for long-running programs — the paper also
+                truncated its traces).
+            max_refs: Optional memory-reference budget.
+
+        Returns:
+            A :class:`MachineResult` with the recorded trace.
+
+        Raises:
+            MachineError: On a jump to a non-instruction address, a
+                division by zero, or a stack overflow into the data
+                segment.
+        """
+        program = self.program
+        instructions = program.instructions
+        addr_to_index = program.addr_to_index
+        regs = self.registers
+        memory = self.memory
+        word = self.word
+        addrs = self._addrs
+        kinds = self._kinds
+        ref_limit = max_refs if max_refs is not None else float("inf")
+
+        index = 0
+        steps = 0
+        halted = False
+        n_instructions = len(instructions)
+        while steps < max_steps and len(addrs) < ref_limit:
+            if not 0 <= index < n_instructions:
+                raise MachineError(f"execution fell off the code segment ({index})")
+            inst = instructions[index]
+            op = inst.op
+            # Instruction fetch: one reference per instruction word.
+            addrs.append(inst.addr)
+            kinds.append(_IFETCH)
+            if inst.words == 2:
+                addrs.append(inst.addr + word)
+                kinds.append(_IFETCH)
+            steps += 1
+            next_index = index + 1
+
+            if op == Op.LD:
+                addr = regs[inst.b] + inst.imm
+                addrs.append(addr)
+                kinds.append(_READ)
+                regs[inst.a] = memory.get(addr, 0)
+            elif op == Op.ST:
+                addr = regs[inst.b] + inst.imm
+                addrs.append(addr)
+                kinds.append(_WRITE)
+                memory[addr] = regs[inst.a]
+            elif op == Op.LI:
+                regs[inst.a] = inst.imm
+            elif op == Op.ADDI:
+                regs[inst.a] += inst.imm
+            elif op == Op.ADD:
+                regs[inst.a] += regs[inst.b]
+            elif op == Op.SUB:
+                regs[inst.a] -= regs[inst.b]
+            elif op == Op.MOV:
+                regs[inst.a] = regs[inst.b]
+            elif op == Op.BEQ:
+                if regs[inst.a] == regs[inst.b]:
+                    next_index = addr_to_index[inst.imm]
+            elif op == Op.BNE:
+                if regs[inst.a] != regs[inst.b]:
+                    next_index = addr_to_index[inst.imm]
+            elif op == Op.BLT:
+                if regs[inst.a] < regs[inst.b]:
+                    next_index = addr_to_index[inst.imm]
+            elif op == Op.BGE:
+                if regs[inst.a] >= regs[inst.b]:
+                    next_index = addr_to_index[inst.imm]
+            elif op == Op.JMP:
+                next_index = addr_to_index[inst.imm]
+            elif op == Op.CALL:
+                sp = regs[7] - word
+                if sp < self.stack_limit:
+                    raise MachineError("stack overflow")
+                regs[7] = sp
+                addrs.append(sp)
+                kinds.append(_WRITE)
+                memory[sp] = instructions[index + 1].addr if index + 1 < n_instructions else 0
+                next_index = addr_to_index[inst.imm]
+            elif op == Op.RET:
+                sp = regs[7]
+                addrs.append(sp)
+                kinds.append(_READ)
+                regs[7] = sp + word
+                return_addr = memory.get(sp, 0)
+                if return_addr not in addr_to_index:
+                    raise MachineError(
+                        f"return to non-instruction address {return_addr:#x}"
+                    )
+                next_index = addr_to_index[return_addr]
+            elif op == Op.PUSH:
+                sp = regs[7] - word
+                if sp < self.stack_limit:
+                    raise MachineError("stack overflow")
+                regs[7] = sp
+                addrs.append(sp)
+                kinds.append(_WRITE)
+                memory[sp] = regs[inst.a]
+            elif op == Op.POP:
+                sp = regs[7]
+                addrs.append(sp)
+                kinds.append(_READ)
+                regs[7] = sp + word
+                regs[inst.a] = memory.get(sp, 0)
+            elif op == Op.MUL:
+                regs[inst.a] *= regs[inst.b]
+            elif op == Op.DIV:
+                divisor = regs[inst.b]
+                if divisor == 0:
+                    raise MachineError("division by zero")
+                quotient = abs(regs[inst.a]) // abs(divisor)
+                if (regs[inst.a] < 0) != (divisor < 0):
+                    quotient = -quotient
+                regs[inst.a] = quotient
+            elif op == Op.MOD:
+                divisor = regs[inst.b]
+                if divisor == 0:
+                    raise MachineError("modulo by zero")
+                regs[inst.a] %= divisor
+            elif op == Op.AND:
+                regs[inst.a] &= regs[inst.b]
+            elif op == Op.OR:
+                regs[inst.a] |= regs[inst.b]
+            elif op == Op.XOR:
+                regs[inst.a] ^= regs[inst.b]
+            elif op == Op.SHL:
+                regs[inst.a] <<= regs[inst.b]
+            elif op == Op.SHR:
+                regs[inst.a] >>= regs[inst.b]
+            elif op == Op.LDB:
+                addr = regs[inst.b] + inst.imm
+                base = addr - addr % word
+                addrs.append(addr)
+                kinds.append(_READ)
+                shift = 8 * (addr - base)
+                regs[inst.a] = (memory.get(base, 0) >> shift) & 0xFF
+            elif op == Op.STB:
+                addr = regs[inst.b] + inst.imm
+                base = addr - addr % word
+                addrs.append(addr)
+                kinds.append(_WRITE)
+                shift = 8 * (addr - base)
+                old = memory.get(base, 0)
+                memory[base] = (old & ~(0xFF << shift)) | ((regs[inst.a] & 0xFF) << shift)
+            elif op == Op.NOP:
+                pass
+            elif op == Op.HALT:
+                halted = True
+                break
+            else:  # pragma: no cover - assembler emits only known opcodes
+                raise MachineError(f"illegal opcode {op}")
+            index = next_index
+
+        trace = Trace(addrs, kinds, word, name=self.trace_name)
+        return MachineResult(trace=trace, steps=steps, halted=halted)
+
+    # -- Test / inspection helpers ----------------------------------------
+
+    def read_words(self, addr: int, count: int) -> List[int]:
+        """Read ``count`` consecutive words starting at byte ``addr``."""
+        return [self.memory.get(addr + i * self.word, 0) for i in range(count)]
+
+    def write_words(self, addr: int, values: List[int]) -> None:
+        """Write consecutive words starting at byte ``addr``."""
+        for offset, value in enumerate(values):
+            self.memory[addr + offset * self.word] = value

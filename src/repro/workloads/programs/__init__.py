@@ -1,0 +1,48 @@
+"""The workload program library.
+
+Thirteen real algorithms written in toy-machine assembly.  Each module's
+``build(**params)`` returns a
+:class:`~repro.workloads.programs._common.ProgramSpec` whose verifier
+checks the computed answer, so every generated trace comes from a
+program proven to have done its job.
+
+:data:`PROGRAMS` maps program names to their builders.
+"""
+
+from typing import Callable, Dict
+
+from repro.workloads.programs._common import ProgramSpec
+from repro.workloads.programs import (
+    bubble,
+    editor,
+    fib,
+    format_text,
+    hanoi,
+    linklist,
+    matmul,
+    qsort,
+    sieve,
+    strsearch,
+    tokenize,
+    tree,
+    wordcount,
+)
+
+#: Program name -> builder (each returns a ProgramSpec).
+PROGRAMS: Dict[str, Callable[..., ProgramSpec]] = {
+    "bubble": bubble.build,
+    "qsort": qsort.build,
+    "strsearch": strsearch.build,
+    "wordcount": wordcount.build,
+    "matmul": matmul.build,
+    "sieve": sieve.build,
+    "fib": fib.build,
+    "format_text": format_text.build,
+    "linklist": linklist.build,
+    "tree": tree.build,
+    "tokenize": tokenize.build,
+    "editor": editor.build,
+    "hanoi": hanoi.build,
+}
+
+__all__ = ["PROGRAMS", "ProgramSpec"]

@@ -1,0 +1,84 @@
+"""Shared helpers for the workload program library.
+
+Each program module exposes a ``build(**params)`` function returning a
+:class:`ProgramSpec`: the assembly source, the parameters it was built
+with, and a verifier that checks the program computed the right answer
+(so the trace generator is itself tested end-to-end — a trace from a
+program that sorted incorrectly would be a trace of the wrong
+workload).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.workloads.machine import Machine
+
+__all__ = ["ProgramSpec", "random_words", "random_text", "pack_words"]
+
+
+@dataclass
+class ProgramSpec:
+    """A buildable workload program.
+
+    Attributes:
+        name: Program name (registry key).
+        source: Toy-machine assembly text.
+        params: The parameters the source was built with.
+        verify: Callback ``(machine) -> bool`` run after execution to
+            check the program's output; machines are passed post-run.
+    """
+
+    name: str
+    source: str
+    params: Dict[str, int]
+    verify: Callable[[Machine], bool] = field(default=lambda machine: True)
+
+
+def random_words(count: int, seed: int, lo: int = 0, hi: int = 9999) -> List[int]:
+    """Deterministic pseudo-random word values for program data."""
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(count)]
+
+
+_WORD_POOL = (
+    "the cache memory block trace miss ratio chip bus data line tag set "
+    "fetch load store word byte address processor system design small "
+    "size cost area time access hit valid dirty sub sector forward"
+).split()
+
+
+def random_text(length: int, seed: int, line_width: int = 40) -> str:
+    """Deterministic pseudo-English text of exactly ``length`` characters.
+
+    Built from a small vocabulary with spaces and newlines, so the
+    text-processing programs (search, word count, formatting) see
+    realistic token structure.
+    """
+    rng = random.Random(seed)
+    pieces: List[str] = []
+    column = 0
+    total = 0
+    while total < length:
+        word = rng.choice(_WORD_POOL)
+        if column + len(word) + 1 > line_width:
+            pieces.append("\n")
+            total += 1
+            column = 0
+            continue
+        if column:
+            pieces.append(" ")
+            total += 1
+            column += 1
+        pieces.append(word)
+        total += len(word)
+        column += len(word)
+    text = "".join(pieces)
+    return text[:length]
+
+
+def pack_words(text: str) -> List[int]:
+    """One character per word (the layout the text programs use)."""
+    return [ord(ch) for ch in text]

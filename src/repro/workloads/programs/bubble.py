@@ -1,0 +1,58 @@
+"""Bubble sort: the classic nested-loop array workload.
+
+Quadratic passes over one array give strong spatial locality with a
+working set of exactly the array — a good model for the small, compact
+utility programs of the paper's 16-bit traces.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec, random_words
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; bubble sort of {n} words at 'arr'
+main:
+    li   r0, arr
+    li   r2, {n}
+    addi r2, -1          ; end = n-1
+outer:
+    li   r3, 1
+    blt  r2, r3, done    ; while end >= 1
+    li   r3, 0           ; j = 0
+inner:
+    bge  r3, r2, endinner
+    mov  r4, r3
+    li   r5, @word
+    mul  r4, r5
+    add  r4, r0          ; r4 = &arr[j]
+    ld   r5, r4, 0       ; a = arr[j]
+    ld   r1, r4, @word   ; b = arr[j+1]
+    bge  r1, r5, noswap
+    st   r1, r4, 0
+    st   r5, r4, @word
+noswap:
+    addi r3, 1
+    jmp  inner
+endinner:
+    addi r2, -1
+    jmp  outer
+done:
+    halt
+
+.words arr {values}
+"""
+
+
+def build(n: int = 64, seed: int = 1) -> ProgramSpec:
+    """Bubble sort of ``n`` pseudo-random words."""
+    values = random_words(n, seed)
+    source = _TEMPLATE.format(n=n, values=" ".join(map(str, values)))
+
+    def verify(machine: Machine) -> bool:
+        arr = machine.program.symbols["arr"]
+        return machine.read_words(arr, n) == sorted(values)
+
+    return ProgramSpec("bubble", source, {"n": n, "seed": seed}, verify)

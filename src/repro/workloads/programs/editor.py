@@ -1,0 +1,160 @@
+"""Array-based text-editor buffer — the ``ED`` workload.
+
+Replays an edit script (inserts and deletes at moving positions)
+against a flat character buffer, shifting the tail on every operation
+the way a simple editor's line buffer does.  The reference pattern is
+distinctive: a hot region around the cursor, long sequential shift
+bursts, and a working set that is the whole document.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec, pack_words, random_text
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; replay {m} edit operations against a {initial}-char buffer
+main:
+    li   r0, 0           ; op index
+oploop:
+    li   r1, {m}
+    bge  r0, r1, done
+    push r0
+    mov  r1, r0          ; &ops[3*idx]
+    add  r1, r0
+    add  r1, r0
+    li   r2, @word
+    mul  r1, r2
+    li   r2, ops
+    add  r1, r2
+    ld   r2, r1, 0       ; kind (0 = insert, 1 = delete)
+    ld   r0, r1, @word   ; position
+    addi r1, @word
+    ld   r3, r1, @word   ; character
+    li   r4, 0
+    bne  r2, r4, isdel
+    call insert
+    jmp  opnext
+isdel:
+    call delete
+opnext:
+    pop  r0
+    addi r0, 1
+    jmp  oploop
+done:
+    halt
+
+insert:                  ; r0 = pos, r3 = ch; shifts tail right
+    li   r1, len
+    ld   r2, r1, 0
+    mov  r1, r2          ; i = len
+shiftr:
+    bge  r0, r1, place   ; until i == pos
+    addi r1, -1
+    mov  r4, r1
+    li   r5, @word
+    mul  r4, r5
+    li   r5, text
+    add  r4, r5          ; &text[i-1]
+    ld   r5, r4, 0
+    st   r5, r4, @word   ; text[i] = text[i-1]
+    jmp  shiftr
+place:
+    mov  r4, r0
+    li   r5, @word
+    mul  r4, r5
+    li   r5, text
+    add  r4, r5
+    st   r3, r4, 0
+    li   r1, len
+    ld   r2, r1, 0
+    addi r2, 1
+    st   r2, r1, 0
+    ret
+
+delete:                  ; r0 = pos; shifts tail left
+    li   r1, len
+    ld   r2, r1, 0
+    addi r2, -1          ; last index
+    mov  r1, r0          ; i = pos
+shiftl:
+    bge  r1, r2, dend    ; while i < len-1
+    mov  r4, r1
+    li   r5, @word
+    mul  r4, r5
+    li   r5, text
+    add  r4, r5
+    ld   r5, r4, @word
+    st   r5, r4, 0       ; text[i] = text[i+1]
+    addi r1, 1
+    jmp  shiftl
+dend:
+    li   r1, len
+    ld   r2, r1, 0
+    addi r2, -1
+    st   r2, r1, 0
+    ret
+
+.words len {initial}
+.words ops {op_words}
+.words text {text_words}
+.space textpad {pad}
+"""
+
+
+def _edit_script(
+    initial: int, m: int, seed: int
+) -> Tuple[List[Tuple[int, int, int]], List[int]]:
+    """Generate (ops, expected final buffer) with a wandering cursor."""
+    rng = random.Random(seed)
+    buffer = pack_words(random_text(initial, seed))
+    ops: List[Tuple[int, int, int]] = []
+    cursor = initial // 2
+    for _ in range(m):
+        # Editors edit locally: the cursor drifts, with occasional jumps.
+        if rng.random() < 0.1:
+            cursor = rng.randrange(len(buffer) + 1)
+        else:
+            cursor = max(0, min(len(buffer), cursor + rng.randint(-20, 20)))
+        if len(buffer) and rng.random() < 0.45:
+            position = min(cursor, len(buffer) - 1)
+            ops.append((1, position, 0))
+            del buffer[position]
+        else:
+            char = rng.randrange(97, 123)
+            position = min(cursor, len(buffer))
+            ops.append((0, position, char))
+            buffer.insert(position, char)
+    return ops, buffer
+
+
+def build(initial: int = 600, m: int = 120, seed: int = 10) -> ProgramSpec:
+    """Replay ``m`` edits against an ``initial``-char document."""
+    text = pack_words(random_text(initial, seed))
+    ops, expected = _edit_script(initial, m, seed)
+    op_words = []
+    for kind, position, char in ops:
+        op_words.extend((kind, position, char))
+    source = _TEMPLATE.format(
+        m=m,
+        initial=initial,
+        op_words=" ".join(map(str, op_words)),
+        text_words=" ".join(map(str, text)),
+        pad=m + 1,  # .space lays 'textpad' right after 'text'
+    )
+
+    def verify(machine: Machine) -> bool:
+        symbols = machine.program.symbols
+        length = machine.read_words(symbols["len"], 1)[0]
+        if length != len(expected):
+            return False
+        return machine.read_words(symbols["text"], length) == expected
+
+    return ProgramSpec(
+        "editor", source, {"initial": initial, "m": m, "seed": seed}, verify
+    )

@@ -1,0 +1,61 @@
+"""Recursive Fibonacci — a call-stack-dominated workload.
+
+Exponentially many tiny stack frames: deep temporal locality at the
+stack top, very compact code.  Models the control-heavy, allocation-
+light behaviour of the paper's "toy operating system" trace.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; result = fib({n}) by naive double recursion
+main:
+    li   r0, {n}
+    call fib
+    li   r2, result
+    st   r0, r2, 0
+    halt
+
+fib:                     ; argument and result in r0
+    li   r1, 2
+    bge  r0, r1, rec
+    ret                  ; fib(0) = 0, fib(1) = 1
+rec:
+    push r0
+    addi r0, -1
+    call fib
+    pop  r1              ; original n
+    push r0              ; fib(n-1)
+    mov  r0, r1
+    addi r0, -2
+    call fib
+    pop  r1
+    add  r0, r1
+    ret
+
+.words result 0
+"""
+
+
+def _fib(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def build(n: int = 15) -> ProgramSpec:
+    """Compute ``fib(n)`` by naive recursion."""
+    expected = _fib(n)
+    source = _TEMPLATE.format(n=n)
+
+    def verify(machine: Machine) -> bool:
+        result = machine.program.symbols["result"]
+        return machine.read_words(result, 1)[0] == expected
+
+    return ProgramSpec("fib", source, {"n": n}, verify)

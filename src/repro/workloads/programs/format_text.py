@@ -1,0 +1,81 @@
+"""Line-filling text formatter — the ``roff``/``nroff``/``troff`` workload.
+
+Copies a character buffer to an output buffer, folding lines at the
+first space past a target width.  Two synchronized sequential streams
+(read pointer, write pointer) plus a little global state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec, pack_words, random_text
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; reflow 'text' ({tlen} chars) into 'out' folding at width {width}
+main:
+    li   r0, text        ; in ptr
+    li   r1, out         ; out ptr
+    li   r2, {tlen}      ; remaining
+    li   r3, 0           ; column
+loop:
+    li   r4, 0
+    beq  r2, r4, done
+    ld   r4, r0, 0       ; ch
+    li   r5, 10
+    bne  r4, r5, notnl
+    li   r4, 32          ; newline -> space
+notnl:
+    li   r5, {width}
+    blt  r3, r5, emit    ; column < width: copy as is
+    li   r5, 32
+    bne  r4, r5, emit    ; fold only at a space
+    li   r4, 10
+    li   r3, -1          ; column restarts after the newline
+emit:
+    st   r4, r1, 0
+    addi r1, @word
+    addi r3, 1
+    addi r0, @word
+    addi r2, -1
+    jmp  loop
+done:
+    halt
+
+.space out {tlen}
+.words text {text_words}
+"""
+
+
+def _reflow(text: str, width: int) -> List[int]:
+    out: List[int] = []
+    column = 0
+    for ch in text:
+        if ch == "\n":
+            ch = " "
+        if column >= width and ch == " ":
+            ch = "\n"
+            column = -1
+        out.append(ord(ch))
+        column += 1
+    return out
+
+
+def build(tlen: int = 2000, width: int = 60, seed: int = 6) -> ProgramSpec:
+    """Reflow ``tlen`` chars of pseudo-text to ``width`` columns."""
+    text = random_text(tlen, seed)
+    expected = _reflow(text, width)
+    source = _TEMPLATE.format(
+        tlen=tlen, width=width, text_words=" ".join(map(str, pack_words(text)))
+    )
+
+    def verify(machine: Machine) -> bool:
+        out = machine.program.symbols["out"]
+        return machine.read_words(out, tlen) == expected
+
+    return ProgramSpec(
+        "format_text", source, {"tlen": tlen, "width": width, "seed": seed}, verify
+    )

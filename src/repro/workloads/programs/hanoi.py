@@ -1,0 +1,76 @@
+"""Towers of Hanoi — deep recursion, tiny code, pure stack locality.
+
+2^n - 1 moves via double recursion: the reference stream is dominated
+by call/return stack traffic around a slowly moving stack top, the
+extreme of temporal locality.  A good model for interpretive,
+control-heavy code.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; count the moves of an {n}-disc Towers of Hanoi
+main:
+    li   r0, {n}
+    li   r1, 0           ; from peg
+    li   r2, 1           ; to peg
+    li   r3, 2           ; via peg
+    call hanoi
+    halt
+
+hanoi:                   ; r0 = discs, r1/r2/r3 = pegs
+    li   r4, 0
+    bne  r0, r4, rec
+    ret
+rec:
+    push r0              ; hanoi(n-1, from, via, to)
+    push r1
+    push r2
+    push r3
+    addi r0, -1
+    mov  r4, r2
+    mov  r2, r3
+    mov  r3, r4
+    call hanoi
+    pop  r3
+    pop  r2
+    pop  r1
+    pop  r0
+    li   r4, moves       ; record the move of disc n
+    ld   r5, r4, 0
+    addi r5, 1
+    st   r5, r4, 0
+    push r0              ; hanoi(n-1, via, to, from)
+    push r1
+    push r2
+    push r3
+    addi r0, -1
+    mov  r4, r1
+    mov  r1, r3
+    mov  r3, r4
+    call hanoi
+    pop  r3
+    pop  r2
+    pop  r1
+    pop  r0
+    ret
+
+.words moves 0
+"""
+
+
+def build(n: int = 12) -> ProgramSpec:
+    """Solve Hanoi with ``n`` discs (2^n - 1 moves)."""
+    expected = 2 ** n - 1
+    source = _TEMPLATE.format(n=n)
+
+    def verify(machine: Machine) -> bool:
+        moves = machine.program.symbols["moves"]
+        return machine.read_words(moves, 1)[0] == expected
+
+    return ProgramSpec("hanoi", source, {"n": n}, verify)

@@ -1,0 +1,79 @@
+"""Linked-list traversal — a pointer-chasing workload.
+
+Nodes are two-word records (value, next-index) laid out in a *shuffled*
+order, so successive hops jump around the node array the way a
+heap-allocated list does.  Repeated full traversals give temporal reuse
+of a scattered working set — poor spatial, good temporal locality, the
+opposite profile of the streaming programs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec, random_words
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; traverse a {n}-node linked list {repeats} times, summing values
+main:
+    li   r0, {repeats}
+rep:
+    li   r1, 0
+    beq  r0, r1, done
+    li   r2, {start}     ; index of head node
+    li   r4, 0           ; sum
+trav:
+    li   r1, -1
+    beq  r2, r1, endtrav
+    mov  r1, r2          ; node byte offset = index * 2 * @word
+    add  r1, r1
+    li   r3, @word
+    mul  r1, r3
+    li   r3, nodes
+    add  r1, r3
+    ld   r3, r1, 0       ; value
+    add  r4, r3
+    ld   r2, r1, @word   ; next index
+    jmp  trav
+endtrav:
+    li   r1, sum
+    st   r4, r1, 0
+    addi r0, -1
+    jmp  rep
+done:
+    halt
+
+.words sum 0
+.words nodes {node_words}
+"""
+
+
+def build(n: int = 200, repeats: int = 5, seed: int = 7) -> ProgramSpec:
+    """Build and repeatedly traverse an ``n``-node shuffled list."""
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)  # order[k] = array slot of the k-th list element
+    values = random_words(n, seed + 1)
+    node_words = [0] * (2 * n)
+    for position, slot in enumerate(order):
+        next_slot = order[position + 1] if position + 1 < n else -1
+        node_words[2 * slot] = values[slot]
+        node_words[2 * slot + 1] = next_slot
+    expected = sum(values)
+    source = _TEMPLATE.format(
+        n=n,
+        repeats=repeats,
+        start=order[0],
+        node_words=" ".join(map(str, node_words)),
+    )
+
+    def verify(machine: Machine) -> bool:
+        sum_addr = machine.program.symbols["sum"]
+        return machine.read_words(sum_addr, 1)[0] == expected
+
+    return ProgramSpec(
+        "linklist", source, {"n": n, "repeats": repeats, "seed": seed}, verify
+    )

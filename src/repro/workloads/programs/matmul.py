@@ -1,0 +1,100 @@
+"""Dense matrix multiply — the FORTRAN-style numeric workload.
+
+``C = A * B`` with the classic triple loop.  Row scans of ``A`` are
+sequential, column scans of ``B`` stride by a full row — the mixture of
+spatial-locality patterns the paper's scientific traces (PLOT, SIMP,
+spice, FGO1) would have had.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec, random_words
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; c = a * b for {n}x{n} matrices of words
+main:
+    li   r0, 0           ; i
+iloop:
+    li   r1, {n}
+    bge  r0, r1, done
+    li   r1, 0           ; j
+jloop:
+    li   r2, {n}
+    bge  r1, r2, iend
+    li   r2, 0           ; acc
+    li   r3, 0           ; k
+kloop:
+    li   r4, {n}
+    bge  r3, r4, kend
+    mov  r4, r0          ; A[i][k]
+    li   r5, {n}
+    mul  r4, r5
+    add  r4, r3
+    li   r5, @word
+    mul  r4, r5
+    li   r5, a
+    add  r4, r5
+    ld   r4, r4, 0
+    push r4
+    mov  r4, r3          ; B[k][j]
+    li   r5, {n}
+    mul  r4, r5
+    add  r4, r1
+    li   r5, @word
+    mul  r4, r5
+    li   r5, b
+    add  r4, r5
+    ld   r4, r4, 0
+    pop  r5
+    mul  r4, r5
+    add  r2, r4
+    addi r3, 1
+    jmp  kloop
+kend:
+    mov  r4, r0          ; &C[i][j]
+    li   r5, {n}
+    mul  r4, r5
+    add  r4, r1
+    li   r5, @word
+    mul  r4, r5
+    li   r5, c
+    add  r4, r5
+    st   r2, r4, 0
+    addi r1, 1
+    jmp  jloop
+iend:
+    addi r0, 1
+    jmp  iloop
+done:
+    halt
+
+.words a {a_words}
+.words b {b_words}
+.space c {n_sq}
+"""
+
+
+def build(n: int = 12, seed: int = 5) -> ProgramSpec:
+    """Multiply two ``n`` x ``n`` matrices of small pseudo-random words."""
+    a = random_words(n * n, seed, lo=0, hi=99)
+    b = random_words(n * n, seed + 1, lo=0, hi=99)
+    expected = [
+        sum(a[i * n + k] * b[k * n + j] for k in range(n))
+        for i in range(n)
+        for j in range(n)
+    ]
+    source = _TEMPLATE.format(
+        n=n,
+        n_sq=n * n,
+        a_words=" ".join(map(str, a)),
+        b_words=" ".join(map(str, b)),
+    )
+
+    def verify(machine: Machine) -> bool:
+        c = machine.program.symbols["c"]
+        return machine.read_words(c, n * n) == expected
+
+    return ProgramSpec("matmul", source, {"n": n, "seed": seed}, verify)

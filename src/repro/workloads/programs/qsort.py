@@ -1,0 +1,79 @@
+"""Recursive quicksort — the ``qsort`` trace of the paper's VAX suite.
+
+Lomuto partition with genuine recursion through ``call``/``ret``, so
+the trace carries real call-stack traffic on top of the array's
+partition scans.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec, random_words
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; quicksort of {n} words at 'arr' (byte-address bounds, inclusive)
+main:
+    li   r1, {n}
+    addi r1, -1
+    li   r2, @word
+    mul  r1, r2
+    li   r0, arr
+    add  r1, r0          ; r1 = &arr[n-1]
+    call qsort
+    halt
+
+qsort:                   ; args r0=lo addr, r1=hi addr
+    bge  r0, r1, qret
+    push r0
+    push r1
+    ld   r2, r1, 0       ; pivot = M[hi]
+    mov  r3, r0          ; i = lo (store boundary)
+    mov  r4, r0          ; j = lo
+part:
+    bge  r4, r1, partdone
+    ld   r5, r4, 0
+    bge  r5, r2, nswap
+    ld   r0, r3, 0       ; swap M[i], M[j]
+    st   r5, r3, 0
+    st   r0, r4, 0
+    addi r3, @word
+nswap:
+    addi r4, @word
+    jmp  part
+partdone:
+    ld   r5, r3, 0       ; swap M[i], M[hi]
+    ld   r0, r1, 0
+    st   r0, r3, 0
+    st   r5, r1, 0
+    pop  r1              ; hi
+    pop  r0              ; lo
+    push r3              ; pivot index
+    push r1
+    mov  r1, r3
+    li   r5, @word
+    sub  r1, r5
+    call qsort           ; qsort(lo, i-word)
+    pop  r1              ; hi
+    pop  r0              ; pivot index i
+    li   r5, @word
+    add  r0, r5
+    call qsort           ; qsort(i+word, hi)
+qret:
+    ret
+
+.words arr {values}
+"""
+
+
+def build(n: int = 128, seed: int = 2) -> ProgramSpec:
+    """Quicksort of ``n`` pseudo-random words."""
+    values = random_words(n, seed)
+    source = _TEMPLATE.format(n=n, values=" ".join(map(str, values)))
+
+    def verify(machine: Machine) -> bool:
+        arr = machine.program.symbols["arr"]
+        return machine.read_words(arr, n) == sorted(values)
+
+    return ProgramSpec("qsort", source, {"n": n, "seed": seed}, verify)

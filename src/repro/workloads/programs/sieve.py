@@ -1,0 +1,80 @@
+"""Sieve of Eratosthenes — a strided-write numeric workload.
+
+The marking loop writes with stride ``p`` words, sweeping the flag
+array repeatedly at growing strides; a classic source of conflict and
+spatial-locality behaviour (and the benchmark of the era's
+microprocessor comparisons).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; sieve of Eratosthenes over [2, {n}); prime count left in 'count'
+main:
+    li   r0, 2           ; p
+ploop:
+    li   r1, {n}
+    bge  r0, r1, done
+    mov  r2, r0          ; &flags[p]
+    li   r3, @word
+    mul  r2, r3
+    li   r3, flags
+    add  r2, r3
+    ld   r4, r2, 0
+    li   r5, 0
+    bne  r4, r5, next
+    li   r4, count       ; p is prime
+    ld   r5, r4, 0
+    addi r5, 1
+    st   r5, r4, 0
+    mov  r2, r0          ; m = 2p
+    add  r2, r0
+mloop:
+    li   r3, {n}
+    bge  r2, r3, next
+    mov  r4, r2
+    li   r5, @word
+    mul  r4, r5
+    li   r5, flags
+    add  r4, r5
+    li   r3, 1
+    st   r3, r4, 0
+    add  r2, r0
+    jmp  mloop
+next:
+    addi r0, 1
+    jmp  ploop
+done:
+    halt
+
+.words count 0
+.space flags {n}
+"""
+
+
+def _prime_count(n: int) -> int:
+    flags = bytearray(n)
+    count = 0
+    for p in range(2, n):
+        if not flags[p]:
+            count += 1
+            for m in range(2 * p, n, p):
+                flags[m] = 1
+    return count
+
+
+def build(n: int = 1000) -> ProgramSpec:
+    """Sieve primes below ``n``."""
+    expected = _prime_count(n)
+    source = _TEMPLATE.format(n=n)
+
+    def verify(machine: Machine) -> bool:
+        count = machine.program.symbols["count"]
+        return machine.read_words(count, 1)[0] == expected
+
+    return ProgramSpec("sieve", source, {"n": n}, verify)

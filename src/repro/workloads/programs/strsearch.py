@@ -1,0 +1,89 @@
+"""Naive substring search — the ``grep``/``sedx`` style text workload.
+
+Scans a character buffer (one character per word) for every occurrence
+of a pattern, with the sequential forward references the paper notes
+text processing exhibits.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import (
+    ProgramSpec,
+    pack_words,
+    random_text,
+)
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; count occurrences of 'pat' ({plen} chars) in 'text' ({tlen} chars)
+main:
+    li   r0, 0           ; i = 0
+outer:
+    li   r1, {limit}
+    blt  r1, r0, done    ; while i <= tlen - plen
+    li   r2, 0           ; j = 0
+inner:
+    li   r3, {plen}
+    bge  r2, r3, match
+    mov  r3, r0
+    add  r3, r2
+    li   r4, @word
+    mul  r3, r4
+    li   r4, text
+    add  r3, r4
+    ld   r5, r3, 0       ; text[i+j]
+    mov  r3, r2
+    li   r4, @word
+    mul  r3, r4
+    li   r4, pat
+    add  r3, r4
+    ld   r4, r3, 0       ; pat[j]
+    bne  r5, r4, nomatch
+    addi r2, 1
+    jmp  inner
+match:
+    li   r3, count
+    ld   r4, r3, 0
+    addi r4, 1
+    st   r4, r3, 0
+nomatch:
+    addi r0, 1
+    jmp  outer
+done:
+    halt
+
+.words count 0
+.words pat {pat_words}
+.words text {text_words}
+"""
+
+
+def build(tlen: int = 2000, plen: int = 4, seed: int = 3) -> ProgramSpec:
+    """Search pseudo-text of ``tlen`` chars for a ``plen``-char pattern."""
+    text = random_text(tlen, seed)
+    # Pick a pattern that actually occurs: a slice from mid-text, made
+    # of letters (skip separators) so matches are non-trivial.
+    start = tlen // 3
+    while text[start] in " \n":
+        start += 1
+    pattern = text[start : start + plen]
+    expected = sum(
+        1 for i in range(tlen - plen + 1) if text[i : i + plen] == pattern
+    )
+    source = _TEMPLATE.format(
+        plen=plen,
+        tlen=tlen,
+        limit=tlen - plen,
+        pat_words=" ".join(map(str, pack_words(pattern))),
+        text_words=" ".join(map(str, pack_words(text))),
+    )
+
+    def verify(machine: Machine) -> bool:
+        count_addr = machine.program.symbols["count"]
+        return machine.read_words(count_addr, 1)[0] == expected
+
+    return ProgramSpec(
+        "strsearch", source, {"tlen": tlen, "plen": plen, "seed": seed}, verify
+    )

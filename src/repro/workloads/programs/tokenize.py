@@ -1,0 +1,138 @@
+"""Tokenizer with a hash symbol table — the compiler-phase workload.
+
+Scans text into identifier tokens, computes a rolling hash per token,
+and interns each into an open-addressing hash table (two-word entries:
+signature, count).  Sequential scan traffic interleaved with scattered
+hash-table probes models the C-compiler phases (CPP, C1, C2) of the
+paper's Z8000 suite.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec, pack_words, random_text
+
+__all__ = ["build"]
+
+_MOD = 65521  # largest prime below 2**16, so signatures fit a 16-bit word
+
+_TEMPLATE = """
+; tokenize 'text' ({tlen} chars) and intern tokens into a {tsize}-slot table
+main:
+    li   r0, text        ; ptr
+    li   r1, {tlen}      ; remaining
+scan:
+    li   r2, 0
+    beq  r1, r2, done
+    ld   r2, r0, 0       ; ch
+    li   r3, 97
+    blt  r2, r3, skip    ; separators are below 'a'
+    li   r4, 0           ; sig
+tok:
+    li   r3, 0
+    beq  r1, r3, tokend
+    ld   r2, r0, 0
+    li   r3, 97
+    blt  r2, r3, tokend
+    li   r3, 31          ; sig = (sig*31 + ch) mod {mod}
+    mul  r4, r3
+    add  r4, r2
+    li   r3, {mod}
+    mod  r4, r3
+    addi r0, @word
+    addi r1, -1
+    jmp  tok
+tokend:
+    call intern
+    jmp  scan
+skip:
+    addi r0, @word
+    addi r1, -1
+    jmp  scan
+done:
+    halt
+
+intern:                  ; sig in r4; preserves r0, r1
+    push r0
+    push r1
+    mov  r1, r4          ; slot = sig mod tsize
+    li   r5, {tsize}
+    mod  r1, r5
+probe:
+    mov  r5, r1          ; entry addr = table + 2*slot*@word
+    add  r5, r1
+    li   r2, @word
+    mul  r5, r2
+    li   r2, table
+    add  r5, r2
+    ld   r2, r5, 0       ; stored signature+1 (0 = empty)
+    li   r3, 0
+    beq  r2, r3, empty
+    mov  r3, r4
+    addi r3, 1
+    beq  r2, r3, foundslot
+    addi r1, 1           ; linear probe
+    li   r2, {tsize}
+    blt  r1, r2, probe
+    li   r1, 0
+    jmp  probe
+empty:
+    mov  r2, r4
+    addi r2, 1
+    st   r2, r5, 0
+    li   r2, distinct
+    ld   r3, r2, 0
+    addi r3, 1
+    st   r3, r2, 0
+foundslot:
+    ld   r2, r5, @word   ; count++
+    addi r2, 1
+    st   r2, r5, @word
+    pop  r1
+    pop  r0
+    ret
+
+.words distinct 0
+.words text {text_words}
+.space table {table_space}
+"""
+
+
+def _signatures(text: str) -> Set[int]:
+    """Mirror of the program's token hashing, for verification."""
+    sigs: Set[int] = set()
+    sig = None
+    for ch in text + " ":
+        if ord(ch) >= 97:
+            sig = ((0 if sig is None else sig) * 31 + ord(ch)) % _MOD
+        elif sig is not None:
+            sigs.add(sig)
+            sig = None
+    return sigs
+
+
+def build(tlen: int = 2000, tsize: int = 128, seed: int = 9) -> ProgramSpec:
+    """Tokenize ``tlen`` chars into a ``tsize``-slot hash table."""
+    text = random_text(tlen, seed)
+    expected = len(_signatures(text))
+    if expected >= tsize:
+        raise ValueError(
+            f"hash table too small: {expected} distinct tokens, {tsize} slots"
+        )
+    source = _TEMPLATE.format(
+        tlen=tlen,
+        tsize=tsize,
+        mod=_MOD,
+        text_words=" ".join(map(str, pack_words(text))),
+        table_space=2 * tsize,
+    )
+
+    def verify(machine: Machine) -> bool:
+        distinct = machine.program.symbols["distinct"]
+        return machine.read_words(distinct, 1)[0] == expected
+
+    return ProgramSpec(
+        "tokenize", source, {"tlen": tlen, "tsize": tsize, "seed": seed}, verify
+    )

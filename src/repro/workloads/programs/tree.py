@@ -1,0 +1,164 @@
+"""Binary search tree — the symbol-table workload (``nm``, ``otmdl``).
+
+Inserts a stream of keys into an index-based BST (three-word nodes in
+an array), then runs membership probes.  Tree walks hop through the
+node array in key-dependent order: data-dependent branching with a
+mixed temporal profile (hot upper levels, cold leaves).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec, random_words
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; insert {n} keys into a BST, then probe {m} keys; hits counted in 'found'
+main:
+    li   r0, 0           ; i
+insloop:
+    li   r1, {n}
+    bge  r0, r1, searchphase
+    mov  r1, r0
+    li   r2, @word
+    mul  r1, r2
+    li   r2, keys
+    add  r1, r2
+    ld   r1, r1, 0       ; key
+    call insert
+    addi r0, 1
+    jmp  insloop
+searchphase:
+    li   r0, 0
+sloop:
+    li   r1, {m}
+    bge  r0, r1, done
+    mov  r1, r0
+    li   r2, @word
+    mul  r1, r2
+    li   r2, probes
+    add  r1, r2
+    ld   r1, r1, 0
+    call lookup
+    addi r0, 1
+    jmp  sloop
+done:
+    halt
+
+insert:                  ; key in r1; preserves r0
+    push r0
+    li   r2, nfree
+    ld   r3, r2, 0
+    li   r0, 0
+    bne  r3, r0, haveroot
+    li   r4, nodes       ; empty tree: root at slot 0
+    st   r1, r4, 0
+    li   r5, -1
+    st   r5, r4, @word
+    addi r4, @word
+    st   r5, r4, @word
+    li   r0, 1
+    st   r0, r2, 0
+    pop  r0
+    ret
+haveroot:
+    li   r4, 0           ; cur = 0
+walk:
+    mov  r5, r4          ; node addr = nodes + 3*cur*@word
+    add  r5, r4
+    add  r5, r4
+    li   r0, @word
+    mul  r5, r0
+    li   r0, nodes
+    add  r5, r0
+    ld   r0, r5, 0       ; node key
+    blt  r1, r0, goleft
+    addi r5, @word       ; r5 = &left
+    ld   r4, r5, @word   ; right child index
+    li   r0, -1
+    bne  r4, r0, walk
+    st   r3, r5, @word   ; attach as right child
+    jmp  attach
+goleft:
+    addi r5, @word
+    ld   r4, r5, 0       ; left child index
+    li   r0, -1
+    bne  r4, r0, walk
+    st   r3, r5, 0       ; attach as left child
+attach:
+    mov  r5, r3          ; init node at slot nfree
+    add  r5, r3
+    add  r5, r3
+    li   r0, @word
+    mul  r5, r0
+    li   r0, nodes
+    add  r5, r0
+    st   r1, r5, 0
+    li   r0, -1
+    st   r0, r5, @word
+    addi r5, @word
+    st   r0, r5, @word
+    addi r3, 1
+    st   r3, r2, 0
+    pop  r0
+    ret
+
+lookup:                  ; key in r1; preserves r0; bumps 'found' on hit
+    push r0
+    li   r4, 0
+look:
+    li   r0, -1
+    beq  r4, r0, missed
+    mov  r5, r4
+    add  r5, r4
+    add  r5, r4
+    li   r0, @word
+    mul  r5, r0
+    li   r0, nodes
+    add  r5, r0
+    ld   r0, r5, 0
+    beq  r0, r1, hitkey
+    blt  r1, r0, lleft
+    addi r5, @word
+    ld   r4, r5, @word
+    jmp  look
+lleft:
+    addi r5, @word
+    ld   r4, r5, 0
+    jmp  look
+hitkey:
+    li   r5, found
+    ld   r4, r5, 0
+    addi r4, 1
+    st   r4, r5, 0
+missed:
+    pop  r0
+    ret
+
+.words found 0
+.words nfree 0
+.words keys {key_words}
+.words probes {probe_words}
+.space nodes {node_space}
+"""
+
+
+def build(n: int = 150, m: int = 300, seed: int = 8) -> ProgramSpec:
+    """Insert ``n`` keys, probe ``m`` keys (roughly half present)."""
+    keys = random_words(n, seed, lo=0, hi=4 * n)
+    probes = random_words(m, seed + 1, lo=0, hi=4 * n)
+    expected = sum(1 for probe in probes if probe in set(keys))
+    source = _TEMPLATE.format(
+        n=n,
+        m=m,
+        key_words=" ".join(map(str, keys)),
+        probe_words=" ".join(map(str, probes)),
+        node_space=3 * n,
+    )
+
+    def verify(machine: Machine) -> bool:
+        found = machine.program.symbols["found"]
+        return machine.read_words(found, 1)[0] == expected
+
+    return ProgramSpec("tree", source, {"n": n, "m": m, "seed": seed}, verify)

@@ -1,0 +1,74 @@
+"""Word and line counting — an ``ed``/``wc`` style scanning workload.
+
+One forward pass over a character buffer with a small amount of global
+state (counts, in-word flag): almost pure sequential spatial locality.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.machine import Machine
+from repro.workloads.programs._common import ProgramSpec, pack_words, random_text
+
+__all__ = ["build"]
+
+_TEMPLATE = """
+; count words and lines in 'text' ({tlen} chars, one char per word)
+main:
+    li   r0, text        ; ptr
+    li   r1, {tlen}      ; remaining
+    li   r2, 0           ; in_word flag
+loop:
+    li   r3, 0
+    beq  r1, r3, done
+    ld   r3, r0, 0       ; ch
+    li   r4, 10
+    bne  r3, r4, notnl
+    li   r4, lines
+    ld   r5, r4, 0
+    addi r5, 1
+    st   r5, r4, 0
+notnl:
+    li   r4, 32
+    beq  r3, r4, issep
+    li   r4, 10
+    beq  r3, r4, issep
+    li   r4, 1
+    beq  r2, r4, cont    ; already inside a word
+    li   r4, words
+    ld   r5, r4, 0
+    addi r5, 1
+    st   r5, r4, 0
+    li   r2, 1
+    jmp  cont
+issep:
+    li   r2, 0
+cont:
+    addi r0, @word
+    addi r1, -1
+    jmp  loop
+done:
+    halt
+
+.words words 0
+.words lines 0
+.words text {text_words}
+"""
+
+
+def build(tlen: int = 2000, seed: int = 4) -> ProgramSpec:
+    """Count words and newlines in ``tlen`` chars of pseudo-text."""
+    text = random_text(tlen, seed)
+    expected_words = len(text.split())
+    expected_lines = text.count("\n")
+    source = _TEMPLATE.format(
+        tlen=tlen, text_words=" ".join(map(str, pack_words(text)))
+    )
+
+    def verify(machine: Machine) -> bool:
+        symbols = machine.program.symbols
+        return (
+            machine.read_words(symbols["words"], 1)[0] == expected_words
+            and machine.read_words(symbols["lines"], 1)[0] == expected_lines
+        )
+
+    return ProgramSpec("wordcount", source, {"tlen": tlen, "seed": seed}, verify)

@@ -1,0 +1,68 @@
+"""Design-space explorer tests."""
+
+import pytest
+
+from repro.analysis.design import DesignGoal, find_minimum_design
+from repro.errors import ConfigurationError
+from repro.trace.record import Trace
+from repro.workloads.suites import suite_traces
+
+
+class TestDesignGoal:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DesignGoal(max_miss_ratio=0)
+        with pytest.raises(ConfigurationError):
+            DesignGoal(max_traffic_ratio=-1)
+
+    def test_met_by(self):
+        from repro.analysis.sweep import SweepPoint
+        from repro.core.config import CacheGeometry
+
+        goal = DesignGoal(max_miss_ratio=0.1, max_traffic_ratio=0.2)
+        good = SweepPoint(CacheGeometry(512, 4, 4), 0.05, 0.15, 0.1)
+        bad_miss = SweepPoint(CacheGeometry(512, 4, 4), 0.15, 0.15, 0.1)
+        bad_traffic = SweepPoint(CacheGeometry(512, 4, 4), 0.05, 0.25, 0.2)
+        assert goal.met_by(good)
+        assert not goal.met_by(bad_miss)
+        assert not goal.met_by(bad_traffic)
+
+
+class TestFindMinimumDesign:
+    @pytest.fixture(scope="class")
+    def z8000(self):
+        return suite_traces("z8000", length=20_000, names=("GREP", "SORT"))
+
+    def test_finds_cheapest_qualifying(self, z8000):
+        search = find_minimum_design(
+            z8000, DesignGoal(0.10, 0.20), word_size=2,
+            net_sizes=(256, 512, 1024),
+        )
+        assert search.best is not None
+        assert search.evaluated > 10
+        gross_sizes = [point.gross_size for point in search.qualifying]
+        assert gross_sizes == sorted(gross_sizes)
+        assert search.best.gross_size == gross_sizes[0]
+        assert search.best.miss_ratio <= 0.10
+        assert search.best.traffic_ratio <= 0.20
+
+    def test_impossible_goal_returns_none(self, z8000):
+        search = find_minimum_design(
+            z8000, DesignGoal(1e-9, 1e-9), word_size=2, net_sizes=(64,)
+        )
+        assert search.best is None
+        assert search.qualifying == []
+
+    def test_trivial_goal_admits_everything(self, z8000):
+        search = find_minimum_design(
+            z8000, DesignGoal(1.0, 10.0), word_size=2, net_sizes=(64,)
+        )
+        assert len(search.qualifying) == search.evaluated
+
+    def test_hot_trace_qualifies_smallest_cache(self):
+        hot = Trace([0x100] * 2000, [0] * 2000, 2, name="hot")
+        search = find_minimum_design(
+            [hot], DesignGoal(0.01, 0.05), word_size=2, net_sizes=(64, 256)
+        )
+        assert search.best is not None
+        assert search.best.geometry.net_size == 64

@@ -1,0 +1,120 @@
+"""Consistency checks on the transcribed paper data."""
+
+import pytest
+
+from repro.analysis.paper_data import (
+    RISCII_MISS_RATIOS,
+    TABLE6,
+    TABLE7,
+    TABLE8,
+    table7_point,
+)
+from repro.core.config import CacheGeometry
+
+
+class TestTable7Consistency:
+    def test_all_keys_are_valid_geometries(self):
+        for arch, rows in TABLE7.items():
+            for net, block, sub in rows:
+                CacheGeometry(net, block, sub)  # must not raise
+
+    def test_ratios_in_plausible_range(self):
+        for rows in TABLE7.values():
+            for point in rows.values():
+                assert 0 < point.miss_ratio <= 1
+                assert 0 < point.traffic_ratio < 3
+
+    def test_demand_traffic_consistent_with_miss(self):
+        """Each miss fetches one sub-block, so traffic ~= miss * sub/word."""
+        words = {"pdp11": 2, "z8000": 2, "vax": 4, "s370": 4}
+        for arch, rows in TABLE7.items():
+            word = words[arch]
+            for (net, block, sub), point in rows.items():
+                expected = point.miss_ratio * sub / word
+                assert point.traffic_ratio == pytest.approx(expected, rel=0.12), (
+                    arch, net, block, sub,
+                )
+
+    def test_miss_decreases_with_net_size(self):
+        for arch, rows in TABLE7.items():
+            for net_small, net_large in ((64, 256), (256, 1024)):
+                for net, block, sub in rows:
+                    if net != net_small or (net_large, block, sub) not in rows:
+                        continue
+                    assert (
+                        rows[(net_large, block, sub)].miss_ratio
+                        < rows[(net, block, sub)].miss_ratio
+                    )
+
+    def test_miss_increases_as_sub_block_shrinks(self):
+        for arch, rows in TABLE7.items():
+            for (net, block, sub), point in rows.items():
+                smaller = (net, block, sub // 2)
+                if smaller in rows:
+                    assert rows[smaller].miss_ratio > point.miss_ratio
+
+    def test_architecture_ordering_at_reference_config(self):
+        key = (1024, 16, 8)
+        misses = [TABLE7[arch][key].miss_ratio for arch in ("z8000", "pdp11", "vax", "s370")]
+        assert misses == sorted(misses)
+
+    def test_lookup_helper(self):
+        point = table7_point("pdp11", 1024, 16, 8)
+        assert point.miss_ratio == 0.052
+        assert table7_point("pdp11", 1024, 128, 64) is None
+        assert table7_point("cray", 64, 16, 8) is None
+
+
+class TestTable6Consistency:
+    def test_sector_is_baseline(self):
+        assert TABLE6["360/85"][1] == 1.0
+
+    def test_set_associative_beats_sector_threefold(self):
+        assert TABLE6["360/85"][0] / TABLE6["4-way"][0] == pytest.approx(
+            2.93, rel=0.02
+        )
+
+    def test_diminishing_returns_with_associativity(self):
+        misses = [TABLE6[k][0] for k in ("4-way", "8-way", "16-way")]
+        assert misses == sorted(misses, reverse=True)
+        # The 4->16 way gain is small compared to the sector->4-way gain.
+        assert misses[0] - misses[2] < 0.002
+
+
+class TestTable8Consistency:
+    def test_load_forward_sits_between_extremes(self):
+        # LF should have miss near the big-sub config and traffic
+        # between small-sub demand and big-sub demand.
+        for net, block in ((64, 8), (256, 16), (256, 8)):
+            full = TABLE8[(net, block, block, False)]
+            small = TABLE8[(net, block, 2, False)]
+            forward = TABLE8[(net, block, 2, True)]
+            assert full.miss_ratio <= forward.miss_ratio <= small.miss_ratio
+            assert small.traffic_ratio <= forward.traffic_ratio <= full.traffic_ratio
+
+    def test_paper_quote_twenty_percent_traffic_cut(self):
+        # Section 4.4: for the Z80,000 design (16,16 -> 16,2,LF) the
+        # traffic ratio drops ~20% for a ~7% miss-ratio cost.
+        full = TABLE8[(256, 16, 16, False)]
+        forward = TABLE8[(256, 16, 2, True)]
+        assert 1 - forward.traffic_ratio / full.traffic_ratio == pytest.approx(
+            0.20, abs=0.02
+        )
+        assert forward.miss_ratio / full.miss_ratio - 1 == pytest.approx(
+            0.07, abs=0.01
+        )
+
+
+class TestRisciiData:
+    def test_miss_declines_with_size(self):
+        sizes = sorted(RISCII_MISS_RATIOS)
+        misses = [RISCII_MISS_RATIOS[s] for s in sizes]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_doubling_reduces_about_twenty_percent(self):
+        # Section 2.3: doubling the cache size reduced miss ratio by
+        # about 20 percent.
+        pairs = [(512, 1024), (1024, 2048), (2048, 4096)]
+        for small, large in pairs:
+            gain = 1 - RISCII_MISS_RATIOS[large] / RISCII_MISS_RATIOS[small]
+            assert 0.1 < gain < 0.3

@@ -1,0 +1,66 @@
+"""Shape-comparison report tests."""
+
+import pytest
+
+from repro.analysis.report import compare_shapes
+
+
+class TestCompareShapes:
+    def test_identical_series(self):
+        series = {"a": 0.1, "b": 0.2, "c": 0.4}
+        report = compare_shapes(series, dict(series))
+        assert report.n == 3
+        assert report.spearman == pytest.approx(1.0)
+        assert report.pair_agreement == 1.0
+        assert report.geometric_mean_ratio == pytest.approx(1.0)
+
+    def test_scaled_series_keeps_perfect_rank(self):
+        measured = {"a": 0.05, "b": 0.10, "c": 0.20}
+        published = {"a": 0.1, "b": 0.2, "c": 0.4}
+        report = compare_shapes(measured, published)
+        assert report.spearman == pytest.approx(1.0)
+        assert report.geometric_mean_ratio == pytest.approx(0.5)
+
+    def test_reversed_series(self):
+        measured = {"a": 1.0, "b": 2.0, "c": 3.0}
+        published = {"a": 3.0, "b": 2.0, "c": 1.0}
+        report = compare_shapes(measured, published)
+        assert report.spearman == pytest.approx(-1.0)
+        assert report.pair_agreement == 0.0
+
+    def test_only_shared_keys_compared(self):
+        report = compare_shapes({"a": 1.0, "x": 9.0}, {"a": 2.0, "y": 9.0})
+        assert report.n == 1
+
+    def test_no_shared_keys(self):
+        report = compare_shapes({"a": 1.0}, {"b": 1.0})
+        assert report.n == 0
+
+    def test_single_point(self):
+        report = compare_shapes({"a": 1.0}, {"a": 4.0})
+        assert report.n == 1
+        assert report.geometric_mean_ratio == pytest.approx(0.25)
+
+    def test_ties_ignored_in_pair_agreement(self):
+        measured = {"a": 1.0, "b": 1.0, "c": 2.0}
+        published = {"a": 1.0, "b": 2.0, "c": 3.0}
+        report = compare_shapes(measured, published)
+        # Pair (a, b) is tied in measured and excluded.
+        assert report.pair_agreement == 1.0
+
+    def test_ratio_extremes(self):
+        measured = {"a": 1.0, "b": 8.0}
+        published = {"a": 2.0, "b": 2.0}
+        report = compare_shapes(measured, published)
+        assert report.min_ratio == pytest.approx(0.5)
+        assert report.max_ratio == pytest.approx(4.0)
+
+    def test_summary_is_one_line(self):
+        report = compare_shapes({"a": 1.0, "b": 2.0}, {"a": 1.0, "b": 2.0})
+        assert "\n" not in report.summary()
+        assert "spearman" in report.summary()
+
+    def test_tuple_keys_supported(self):
+        measured = {(64, 16, 8): 0.2, (64, 8, 8): 0.3}
+        published = {(64, 16, 8): 0.4, (64, 8, 8): 0.5}
+        assert compare_shapes(measured, published).n == 2

@@ -1,0 +1,73 @@
+"""Stability-analysis tests."""
+
+import pytest
+
+from repro.analysis.stability import (
+    StabilityPoint,
+    length_sensitivity,
+    max_relative_drift,
+)
+from repro.core.config import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.trace.record import Trace
+
+
+def synthetic_builder(n):
+    # A perfectly stable workload: cyclic reuse of a small set.
+    addrs = [(i % 64) * 2 for i in range(n)]
+    return Trace(addrs, [0] * n, 2)
+
+
+class TestLengthSensitivity:
+    def test_stable_workload_has_zero_drift(self):
+        # The 128-byte working set overfills a 64-byte cache, so the
+        # warm-start window opens and the steady-state miss ratio is
+        # identical at every length.
+        points = length_sensitivity(
+            synthetic_builder, CacheGeometry(64, 16, 8), [1000, 2000, 4000]
+        )
+        assert len(points) == 3
+        assert max_relative_drift(points) < 0.05
+
+    def test_lengths_recorded(self):
+        points = length_sensitivity(
+            synthetic_builder, CacheGeometry(256, 16, 8), [500, 1000]
+        )
+        assert [p.length for p in points] == [500, 1000]
+
+    def test_empty_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            length_sensitivity(synthetic_builder, CacheGeometry(256, 16, 8), [])
+
+    def test_unsorted_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            length_sensitivity(
+                synthetic_builder, CacheGeometry(256, 16, 8), [2000, 1000]
+            )
+
+    def test_suite_trace_converges(self):
+        from repro.workloads.suites import suite_trace
+
+        points = length_sensitivity(
+            lambda n: suite_trace("pdp11", "OPSYS", length=n),
+            CacheGeometry(1024, 16, 8),
+            [10_000, 20_000, 40_000],
+        )
+        assert max_relative_drift(points) < 0.5
+
+
+class TestMaxRelativeDrift:
+    def test_single_point(self):
+        assert max_relative_drift([StabilityPoint(1000, 0.1, 0.2)]) == 0.0
+
+    def test_computes_largest_step(self):
+        points = [
+            StabilityPoint(1000, 0.10, 0.2),
+            StabilityPoint(2000, 0.11, 0.2),  # +10%
+            StabilityPoint(4000, 0.088, 0.2),  # -20%
+        ]
+        assert max_relative_drift(points) == pytest.approx(0.2)
+
+    def test_zero_baseline_skipped(self):
+        points = [StabilityPoint(1000, 0.0, 0.0), StabilityPoint(2000, 0.5, 0.5)]
+        assert max_relative_drift(points) == 0.0

@@ -1,0 +1,118 @@
+"""Mattson stack-distance tests, including the cross-check against the
+direct simulator that justifies the paper's choice of LRU."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stackdist import (
+    miss_ratio_curve,
+    stack_distance_histogram,
+    success_function,
+)
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.trace.record import Trace
+
+
+def make_trace(addrs, word=2):
+    return Trace(list(addrs), [0] * len(addrs), word)
+
+
+class TestHistogram:
+    def test_cold_misses_counted_as_negative_one(self):
+        histogram = stack_distance_histogram(make_trace([0, 16, 32]), 16)
+        assert histogram == {-1: 3}
+
+    def test_immediate_reuse_is_distance_one(self):
+        histogram = stack_distance_histogram(make_trace([0, 0, 0]), 16)
+        assert histogram == {-1: 1, 1: 2}
+
+    def test_distance_counts_distinct_blocks(self):
+        trace = make_trace([0, 16, 32, 0])  # 3 blocks, reuse at depth 3
+        histogram = stack_distance_histogram(trace, 16)
+        assert histogram[3] == 1
+
+    def test_total_equals_trace_length(self, random_trace):
+        histogram = stack_distance_histogram(random_trace, 8)
+        assert sum(histogram.values()) == len(random_trace)
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stack_distance_histogram(make_trace([0]), 0)
+
+
+class TestMissRatioCurve:
+    def test_monotone_in_size(self, random_trace):
+        curve = miss_ratio_curve(random_trace, 16, [32, 64, 128, 256, 512])
+        values = [curve[s] for s in sorted(curve)]
+        assert values == sorted(values, reverse=True)
+
+    def test_infinite_cache_only_cold_misses(self, random_trace):
+        huge = 1 << 20
+        curve = miss_ratio_curve(random_trace, 16, [huge])
+        blocks = len(set((random_trace.addrs // 16).tolist()))
+        assert curve[huge] == pytest.approx(blocks / len(random_trace))
+
+    def test_unaligned_size_rejected(self, random_trace):
+        with pytest.raises(ConfigurationError):
+            miss_ratio_curve(random_trace, 16, [40])
+
+    def test_empty_trace(self):
+        assert miss_ratio_curve(make_trace([]), 16, [64]) == {64: 0.0}
+
+    def test_matches_direct_simulation(self, random_trace):
+        """The efficiency trick must agree with brute force exactly.
+
+        Fully-associative LRU caches with block == sub-block size obey
+        the inclusion property, so the one-pass curve and a per-size
+        direct simulation give identical cold-start miss ratios.  The
+        trace is re-labelled all-reads because the stack model has no
+        notion of write policy.
+        """
+        reads = make_trace(random_trace.addrs.tolist())
+        block = 16
+        for net in (32, 64, 128, 256):
+            geometry = CacheGeometry(
+                net, block, block, associativity=net // block
+            )
+            cache = SubBlockCache(geometry, word_size=2)
+            for access in reads:
+                cache.access(access.addr, access.kind, access.size)
+            direct = cache.stats.miss_ratio
+            curve = miss_ratio_curve(reads, block, [net])
+            assert curve[net] == pytest.approx(direct)
+
+    @given(
+        addr_pool=st.integers(2, 40),
+        length=st.integers(1, 300),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_direct_simulation_random(self, addr_pool, length, seed):
+        rng = random.Random(seed)
+        trace = make_trace(
+            [rng.randrange(addr_pool) * 8 for _ in range(length)], word=8
+        )
+        geometry = CacheGeometry(64, 8, 8, associativity=8)
+        cache = SubBlockCache(geometry, word_size=8)
+        for access in trace:
+            cache.access(access.addr, access.kind, access.size)
+        curve = miss_ratio_curve(trace, 8, [64])
+        assert curve[64] == pytest.approx(cache.stats.miss_ratio)
+
+
+class TestSuccessFunction:
+    def test_non_decreasing(self, random_trace):
+        function = success_function(random_trace, 16)
+        assert all(a <= b for a, b in zip(function, function[1:]))
+
+    def test_complement_of_curve(self, random_trace):
+        function = success_function(random_trace, 16)
+        curve = miss_ratio_curve(random_trace, 16, [16 * len(function)])
+        assert function[-1] == pytest.approx(1 - curve[16 * len(function)])
+
+    def test_empty_trace(self):
+        assert success_function(make_trace([]), 16) == []

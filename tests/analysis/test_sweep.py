@@ -1,0 +1,104 @@
+"""Sweep-runner tests."""
+
+import pytest
+
+from repro.analysis.sweep import geometry_grid, sweep
+from repro.core.config import CacheGeometry
+from repro.trace.record import Trace
+
+
+def constant_trace(addr, n=200, name="const"):
+    return Trace([addr] * n, [0] * n, 2, name=name)
+
+
+class TestGeometryGrid:
+    def test_paper_net64_grid(self):
+        grid = geometry_grid([64])
+        labels = {(g.block_size, g.sub_block_size) for g in grid}
+        # Blocks up to net/4 = 16, subs >= 2.
+        assert (16, 8) in labels and (2, 2) in labels
+        assert all(block <= 16 for block, _ in labels)
+
+    def test_min_sub_excludes_sub_word_transfers(self):
+        grid = geometry_grid([256], min_sub=4)
+        assert all(g.sub_block_size >= 4 for g in grid)
+
+    def test_sub_never_exceeds_block(self):
+        grid = geometry_grid([64, 256, 1024])
+        assert all(g.sub_block_size <= g.block_size for g in grid)
+
+    def test_empty_for_tiny_cache(self):
+        assert geometry_grid([4]) == []
+
+
+class TestSweep:
+    def test_single_hot_address_has_near_zero_ratios(self):
+        points = sweep(
+            [constant_trace(0x100)], [CacheGeometry(64, 16, 8)], word_size=2
+        )
+        point = points[0]
+        # The cache never fills on a one-address trace, so the single
+        # cold miss stays in the statistics; ratios are still tiny.
+        assert point.miss_ratio <= 1 / 200
+        assert point.traffic_ratio <= 8 / (2 * 200)
+
+    def test_unweighted_average_across_traces(self):
+        # One trace that always hits, one that always misses: averages
+        # must sit exactly halfway regardless of trace lengths.
+        hot = constant_trace(0x100, n=400, name="hot")
+        addrs = [i * 64 for i in range(200)]
+        cold = Trace(addrs, [0] * 200, 2, name="cold")
+        points = sweep(
+            [hot, cold], [CacheGeometry(64, 16, 16)], word_size=2, warmup=0
+        )
+        per_trace = points[0].per_trace
+        expected = (per_trace["hot"][0] + per_trace["cold"][0]) / 2
+        assert points[0].miss_ratio == pytest.approx(expected)
+
+    def test_write_filtering_default(self):
+        trace = Trace([0, 0, 0], [1, 1, 0], 2, name="w")  # 2 writes, 1 read
+        points = sweep([trace], [CacheGeometry(64, 16, 8)], warmup=0)
+        # Only the read survives the filter.
+        assert points[0].per_trace["w"][0] == 1.0
+
+    def test_fetch_policy_by_name(self, z8000_grep_trace):
+        geometry = CacheGeometry(256, 16, 2)
+        # Cold start so both runs measure identical windows; under
+        # warm start the two caches fill at different times.
+        demand = sweep([z8000_grep_trace], [geometry], word_size=2, warmup=0)[0]
+        forward = sweep(
+            [z8000_grep_trace], [geometry], word_size=2,
+            fetch="load-forward", warmup=0,
+        )[0]
+        assert forward.fetch_name == "load-forward"
+        assert forward.miss_ratio <= demand.miss_ratio
+        assert forward.traffic_ratio >= demand.traffic_ratio
+
+    def test_replacement_policy_by_name(self, z8000_grep_trace):
+        geometry = CacheGeometry(256, 16, 8)
+        lru = sweep([z8000_grep_trace], [geometry], word_size=2)[0]
+        rand = sweep(
+            [z8000_grep_trace], [geometry], word_size=2, replacement="random"
+        )[0]
+        # Strecker: policies differ, but stay in the same regime.
+        assert rand.miss_ratio < 3 * lru.miss_ratio + 0.01
+        assert lru.miss_ratio < 3 * rand.miss_ratio + 0.01
+
+    def test_scaled_traffic_never_exceeds_standard(self, z8000_grep_trace):
+        points = sweep(
+            [z8000_grep_trace], geometry_grid([256]), word_size=2
+        )
+        for point in points:
+            assert point.scaled_traffic_ratio <= point.traffic_ratio + 1e-12
+
+    def test_points_in_input_order(self, z8000_grep_trace):
+        geometries = [CacheGeometry(64, 16, 8), CacheGeometry(64, 8, 8)]
+        points = sweep([z8000_grep_trace], geometries, word_size=2)
+        assert [p.geometry for p in points] == geometries
+
+    def test_gross_size_and_label_passthrough(self):
+        point = sweep(
+            [constant_trace(0)], [CacheGeometry(64, 16, 8)], word_size=2
+        )[0]
+        assert point.gross_size == 79
+        assert point.label == "16,8"

@@ -1,0 +1,118 @@
+"""Table formatting, figure series, and ASCII plotting tests."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    figure_experiment,
+    table6_experiment,
+    table7_experiment,
+    table8_experiment,
+)
+from repro.analysis.figures import FigureSeries, figure_series
+from repro.analysis.plotting import ascii_figure
+from repro.analysis.sweep import SweepPoint
+from repro.analysis.tables import format_table6, format_table7, format_table8
+from repro.core.config import CacheGeometry
+from repro.errors import ConfigurationError
+
+LEN = 8_000
+
+
+def make_point(net, block, sub, miss, traffic):
+    return SweepPoint(
+        geometry=CacheGeometry(net, block, sub),
+        miss_ratio=miss,
+        traffic_ratio=traffic,
+        scaled_traffic_ratio=traffic / 2,
+    )
+
+
+class TestFigureSeries:
+    def test_constant_block_and_sub_lines(self):
+        points = [
+            make_point(256, 16, 4, 0.30, 0.60),
+            make_point(256, 16, 8, 0.20, 0.80),
+            make_point(256, 8, 4, 0.35, 0.70),
+            make_point(256, 8, 8, 0.25, 1.00),
+        ]
+        series = figure_series({256: points})
+        labels = {(s.label, s.solid) for s in series}
+        assert ("b16", True) in labels
+        assert ("b8", True) in labels
+        assert ("s4", False) in labels
+        assert ("s8", False) in labels
+
+    def test_solid_lines_ordered_by_sub_block(self):
+        points = [
+            make_point(256, 16, 8, 0.20, 0.80),
+            make_point(256, 16, 4, 0.30, 0.60),
+        ]
+        series = [s for s in figure_series({256: points}) if s.label == "b16"]
+        (line,) = series
+        # Ordered along increasing sub-block size: (traffic, miss).
+        assert line.points == ((0.60, 0.30), (0.80, 0.20))
+
+    def test_singleton_groups_dropped(self):
+        points = [make_point(256, 16, 8, 0.2, 0.8)]
+        assert figure_series({256: points}) == []
+
+    def test_scaled_traffic_selection(self):
+        points = [
+            make_point(256, 16, 4, 0.30, 0.60),
+            make_point(256, 16, 8, 0.20, 0.80),
+        ]
+        standard = figure_series({256: points})[0]
+        scaled = figure_series({256: points}, use_scaled_traffic=True)[0]
+        assert scaled.points[0][0] == standard.points[0][0] / 2
+
+    def test_real_experiment_series(self):
+        results = figure_experiment("z8000", (256,), length=LEN)
+        series = figure_series(results)
+        assert any(s.solid for s in series)
+        assert any(not s.solid for s in series)
+
+
+class TestAsciiFigure:
+    def test_renders_markers_and_legend(self):
+        line = FigureSeries("b16", 256, True, ((0.5, 0.2), (0.8, 0.1)))
+        plot = ascii_figure([line], title="demo")
+        assert "demo" in plot
+        assert "b16" in plot
+        assert "o" in plot
+
+    def test_empty_series(self):
+        assert "no positive data" in ascii_figure([], title="x")
+
+    def test_rejects_tiny_plot_area(self):
+        line = FigureSeries("b16", 256, True, ((0.5, 0.2),))
+        with pytest.raises(ConfigurationError):
+            ascii_figure([line], width=5, height=2)
+
+    def test_nonpositive_points_skipped(self):
+        line = FigureSeries("b16", 256, True, ((0.0, 0.2), (0.5, 0.1)))
+        plot = ascii_figure([line])
+        assert "o" in plot
+
+
+class TestTableFormatting:
+    def test_table6_includes_paper_column(self):
+        text = format_table6(table6_experiment(length=20_000))
+        assert "360/85" in text
+        assert "0.0258" in text  # the paper's sector miss ratio
+
+    def test_table7_rows_and_paper_values(self):
+        points = table7_experiment("z8000", length=LEN)
+        text = format_table7("z8000", points)
+        assert "16,8" in text
+        assert "0.0230" in text  # paper's z8000 1024 16,8 miss ratio
+        assert text.count("\n") >= len(points)
+
+    def test_table7_without_paper_column(self):
+        points = table7_experiment("z8000", length=LEN)
+        text = format_table7("z8000", points, include_paper=False)
+        assert "paper" not in text
+
+    def test_table8_formatting(self):
+        text = format_table8(table8_experiment(length=LEN))
+        assert "16,2,LF" in text
+        assert "0.1280" in text  # paper's 16,2,LF miss ratio

@@ -1,0 +1,67 @@
+"""Shared fixtures for the repro test suite.
+
+Trace lengths here are deliberately small (a few thousand references)
+so the whole suite runs in well under a minute; the benchmarks exercise
+paper-scale lengths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.trace.record import Access, AccessType, Trace
+from repro.workloads.suites import suite_trace
+
+
+@pytest.fixture
+def small_geometry() -> CacheGeometry:
+    """The paper's favourite small configuration: 64 B, 16,8 blocks."""
+    return CacheGeometry(64, 16, 8)
+
+
+@pytest.fixture
+def reference_geometry() -> CacheGeometry:
+    """The paper's headline configuration: 1024 B, 16,8, 4-way."""
+    return CacheGeometry(1024, 16, 8)
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """A fixed ten-access trace with reuse, used by exact-count tests."""
+    accesses = [
+        Access(0x100, AccessType.IFETCH, 2),
+        Access(0x102, AccessType.IFETCH, 2),
+        Access(0x200, AccessType.READ, 2),
+        Access(0x100, AccessType.IFETCH, 2),
+        Access(0x202, AccessType.WRITE, 2),
+        Access(0x300, AccessType.READ, 2),
+        Access(0x100, AccessType.IFETCH, 2),
+        Access(0x200, AccessType.READ, 2),
+        Access(0x104, AccessType.IFETCH, 2),
+        Access(0x300, AccessType.READ, 2),
+    ]
+    return Trace.from_accesses(accesses, name="tiny")
+
+
+@pytest.fixture
+def random_trace() -> Trace:
+    """A seeded pseudo-random word-aligned trace (2000 accesses)."""
+    rng = random.Random(1234)
+    addrs = [rng.randrange(0, 4096) * 2 for _ in range(2000)]
+    kinds = [rng.choice([0, 0, 2, 2, 1]) for _ in range(2000)]
+    return Trace(addrs, kinds, 2, name="random")
+
+
+@pytest.fixture(scope="session")
+def z8000_grep_trace() -> Trace:
+    """A small real workload trace (string search on the Z8000)."""
+    return suite_trace("z8000", "GREP", length=8_000)
+
+
+@pytest.fixture(scope="session")
+def vax_c2_trace() -> Trace:
+    """A small synthetic large-program trace (VAX compiler profile)."""
+    return suite_trace("vax", "c2", length=8_000)

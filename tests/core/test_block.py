@@ -1,0 +1,53 @@
+"""Block and bitmask helper tests."""
+
+from repro.core.block import Block, mask_of_range, popcount
+
+
+class TestHelpers:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 64) - 1) == 64
+
+    def test_mask_of_range_single(self):
+        assert mask_of_range(3, 3) == 0b1000
+
+    def test_mask_of_range_span(self):
+        assert mask_of_range(1, 3) == 0b1110
+
+    def test_mask_of_range_from_zero(self):
+        assert mask_of_range(0, 4) == 0b11111
+
+
+class TestBlock:
+    def test_new_block_is_empty(self):
+        block = Block(tag=7)
+        assert block.tag == 7
+        assert block.valid == 0
+        assert block.referenced == 0
+        assert block.dirty == 0
+
+    def test_holds(self):
+        block = Block(0)
+        block.valid = 0b0110
+        assert block.holds(0b0100)
+        assert block.holds(0b0110)
+        assert not block.holds(0b0001)
+        assert not block.holds(0b1110)
+
+    def test_missing(self):
+        block = Block(0)
+        block.valid = 0b0110
+        assert block.missing(0b1111) == 0b1001
+        assert block.missing(0b0110) == 0
+
+    def test_utilization(self):
+        block = Block(0)
+        block.referenced = 0b0011
+        assert block.utilization(8) == 0.25
+        assert block.utilization(2) == 1.0
+
+    def test_repr(self):
+        block = Block(0xAB)
+        block.valid = 0b101
+        assert "0xab" in repr(block)

@@ -1,0 +1,257 @@
+"""Behavioural unit tests for the sub-block cache."""
+
+import pytest
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.fetch import LoadForwardFetch
+from repro.core.replacement import FIFOReplacement
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessType
+
+
+def make_cache(net=64, block=16, sub=8, **kwargs) -> SubBlockCache:
+    return SubBlockCache(CacheGeometry(net, block, sub), **kwargs)
+
+
+class TestConstruction:
+    def test_word_size_cannot_exceed_sub_block(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(sub=2, word_size=4)
+
+    def test_bad_word_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(word_size=0)
+
+    def test_repr_mentions_policies(self):
+        assert "lru" in repr(make_cache())
+        assert "demand" in repr(make_cache())
+
+
+class TestBasicHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+
+    def test_same_sub_block_hits(self):
+        cache = make_cache()  # 8-byte sub-blocks
+        cache.access(0x100)
+        assert cache.access(0x106) is True
+
+    def test_other_sub_block_misses(self):
+        cache = make_cache()
+        cache.access(0x100)
+        assert cache.access(0x108) is False
+        assert cache.stats.sub_block_misses == 1
+        assert cache.stats.block_misses == 1
+
+    def test_conventional_cache_has_no_sub_block_misses(self):
+        cache = make_cache(block=8, sub=8)
+        for addr in range(0, 256, 2):
+            cache.access(addr)
+        assert cache.stats.sub_block_misses == 0
+
+    def test_miss_counts_once_per_access(self):
+        cache = make_cache(block=8, sub=2)
+        cache.access(0x100, size=8)  # touches 4 missing sub-blocks
+        assert cache.stats.misses == 1
+        assert cache.stats.accesses == 1
+
+    def test_access_spanning_two_blocks(self):
+        cache = make_cache(net=64, block=8, sub=2)
+        cache.access(0x106, size=4)  # bytes 0x106..0x109 span blocks
+        assert cache.stats.misses == 1
+        resident = cache.contents()
+        assert 0x106 // 8 in resident
+        assert 0x108 // 8 in resident
+
+
+class TestTrafficAccounting:
+    def test_demand_fetch_moves_one_sub_block(self):
+        cache = make_cache()
+        cache.access(0x100)
+        assert cache.stats.bytes_fetched == 8
+        assert cache.stats.transaction_words == {4: 1}
+
+    def test_bytes_accessed_accumulates(self):
+        cache = make_cache()
+        cache.access(0x100)
+        cache.access(0x100, size=4)
+        assert cache.stats.bytes_accessed == 2 + 4
+
+    def test_traffic_ratio_below_one_with_reuse(self):
+        cache = make_cache()
+        for _ in range(10):
+            cache.access(0x100)
+        assert cache.stats.traffic_ratio() == pytest.approx(8 / 20)
+
+    def test_one_word_sub_blocks_never_amplify_traffic(self):
+        # Section 4.2.1: caches with a sub-block size of one word
+        # always have traffic ratios <= 1.
+        cache = make_cache(net=32, block=4, sub=2)
+        for addr in range(0, 4096, 2):
+            cache.access(addr)
+        assert cache.stats.traffic_ratio() <= 1.0
+
+    def test_large_sub_blocks_can_amplify_traffic(self):
+        cache = make_cache(net=32, block=16, sub=16)
+        for addr in range(0, 4096, 32):  # one word per sub-block
+            cache.access(addr)
+        assert cache.stats.traffic_ratio() > 1.0
+
+
+class TestReplacementIntegration:
+    def test_lru_eviction_order(self):
+        cache = make_cache(net=32, block=16, sub=16)  # 2 blocks, 1 set
+        cache.access(0x000)
+        cache.access(0x010)
+        cache.access(0x000)  # refresh block 0
+        cache.access(0x020)  # evicts block 1 (LRU)
+        resident = set(cache.contents())
+        assert resident == {0x000 // 16, 0x020 // 16}
+
+    def test_fifo_eviction_order(self):
+        cache = make_cache(
+            net=32, block=16, sub=16, replacement=FIFOReplacement()
+        )
+        cache.access(0x000)
+        cache.access(0x010)
+        cache.access(0x000)  # hit does not refresh under FIFO
+        cache.access(0x020)  # evicts block 0 (first in)
+        assert set(cache.contents()) == {0x010 // 16, 0x020 // 16}
+
+    def test_eviction_clears_sub_block_validity(self):
+        cache = make_cache(net=32, block=16, sub=8)
+        cache.access(0x000)
+        cache.access(0x008)
+        cache.access(0x010)
+        cache.access(0x020)  # evicts block 0
+        assert cache.access(0x000) is False  # must re-fetch
+
+    def test_never_more_resident_blocks_than_frames(self, random_trace):
+        cache = make_cache(net=64, block=8, sub=4)
+        for access in random_trace:
+            cache.access(access.addr, access.kind, access.size)
+        assert len(cache.contents()) <= cache.geometry.num_blocks
+
+
+class TestSetMapping:
+    def test_conflicting_blocks_share_a_set(self):
+        # 4 sets, 4-way: 5 blocks mapping to set 0 overflow it.
+        cache = SubBlockCache(CacheGeometry(256, 16, 16, associativity=4))
+        num_sets = cache.geometry.num_sets
+        for i in range(5):
+            cache.access(i * 16 * num_sets)
+        assert len(cache.contents()) == 4
+        assert cache.stats.evictions == 1
+
+    def test_blocks_in_distinct_sets_do_not_conflict(self):
+        cache = SubBlockCache(CacheGeometry(256, 16, 16, associativity=4))
+        for i in range(cache.geometry.num_sets):
+            cache.access(i * 16)
+        assert cache.stats.evictions == 0
+
+
+class TestLoadForwardIntegration:
+    def test_forward_fetch_validates_rest_of_block(self):
+        cache = make_cache(net=64, block=16, sub=2, fetch=LoadForwardFetch())
+        cache.access(0x104)  # sub-block 2 of block 0x100
+        assert cache.access(0x106) is True  # forward part loaded
+        assert cache.access(0x10E) is True
+        assert cache.access(0x100) is False  # backward part was not
+
+    def test_redundant_traffic_recorded(self):
+        cache = make_cache(net=64, block=16, sub=2, fetch=LoadForwardFetch())
+        cache.access(0x108)  # loads sub-blocks 4..7
+        cache.access(0x100)  # loads 0..7, re-fetching 4..7 redundantly
+        assert cache.stats.redundant_bytes_fetched == 8
+
+    def test_optimized_scheme_avoids_redundant_traffic(self):
+        cache = make_cache(
+            net=64, block=16, sub=2, fetch=LoadForwardFetch(optimized=True)
+        )
+        cache.access(0x108)
+        cache.access(0x100)
+        assert cache.stats.redundant_bytes_fetched == 0
+        assert cache.stats.bytes_fetched == 8 + 8
+
+
+class TestKindAccounting:
+    def test_per_kind_counters(self):
+        cache = make_cache()
+        cache.access(0x100, AccessType.IFETCH)
+        cache.access(0x100, AccessType.READ)
+        cache.access(0x200, AccessType.READ)
+        assert cache.stats.accesses_by_kind[AccessType.IFETCH] == 1
+        assert cache.stats.accesses_by_kind[AccessType.READ] == 2
+        assert cache.stats.misses_by_kind[AccessType.IFETCH] == 1
+        assert cache.stats.misses_by_kind[AccessType.READ] == 1
+        assert cache.stats.miss_ratio_of(AccessType.READ) == 0.5
+
+
+class TestFlushAndUtilization:
+    def test_flush_empties_cache(self):
+        cache = make_cache()
+        cache.access(0x100)
+        cache.flush()
+        assert cache.contents() == {}
+        assert cache.access(0x100) is False
+
+    def test_utilization_tracks_referenced_sub_blocks(self):
+        cache = make_cache(net=32, block=16, sub=2)  # 8 sub-blocks/block
+        cache.access(0x100)  # touch 1 of 8
+        cache.flush()
+        assert cache.stats.mean_eviction_utilization == pytest.approx(1 / 8)
+
+    def test_full_utilization_for_fully_used_block(self):
+        cache = make_cache(net=32, block=16, sub=2)
+        for offset in range(0, 16, 2):
+            cache.access(0x100 + offset)
+        cache.flush()
+        assert cache.stats.mean_eviction_utilization == pytest.approx(1.0)
+
+
+class TestPrefetch:
+    def test_prefetch_loads_without_counting_access(self):
+        cache = make_cache()
+        assert cache.prefetch(0x100) is True
+        assert cache.stats.accesses == 0
+        assert cache.stats.misses == 0
+        assert cache.stats.prefetches == 1
+        assert cache.access(0x100) is True
+
+    def test_prefetch_of_resident_sub_block_is_free(self):
+        cache = make_cache()
+        cache.access(0x100)
+        fetched_before = cache.stats.bytes_fetched
+        assert cache.prefetch(0x100) is False
+        assert cache.stats.bytes_fetched == fetched_before
+
+    def test_prefetch_traffic_counted(self):
+        cache = make_cache()
+        cache.prefetch(0x100)
+        assert cache.stats.bytes_fetched == 8
+
+    def test_prefetch_can_evict(self):
+        cache = make_cache(net=32, block=16, sub=16)
+        cache.access(0x000)
+        cache.access(0x010)
+        cache.prefetch(0x020)
+        assert cache.stats.evictions == 1
+
+
+class TestIsFull:
+    def test_not_full_until_every_frame_used(self):
+        cache = make_cache(net=32, block=16, sub=16)
+        assert not cache.is_full
+        cache.access(0x000)
+        assert not cache.is_full
+        cache.access(0x010)
+        assert cache.is_full
+
+    def test_stays_full_after_evictions(self):
+        cache = make_cache(net=32, block=16, sub=16)
+        for i in range(10):
+            cache.access(i * 16)
+        assert cache.is_full

@@ -1,0 +1,206 @@
+"""Property-based tests for the cache core (hypothesis).
+
+The centrepiece is a differential test against an independent,
+deliberately naive reference model of a sub-block LRU cache: for any
+random geometry and access sequence, the production simulator must
+produce the identical hit/miss sequence and fetch-byte count.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.fetch import LoadForwardFetch
+from repro.trace.record import AccessType
+
+
+class ReferenceSubBlockCache:
+    """Straight-line reference model: sets of (tag, valid-set) entries,
+    LRU order kept as an explicit list, demand fetch only."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        # Per set: list of [tag, set-of-valid-sub-indices], MRU first.
+        self.sets: List[List[List]] = [[] for _ in range(geometry.num_sets)]
+        self.bytes_fetched = 0
+
+    def access(self, addr: int, size: int) -> bool:
+        geometry = self.geometry
+        hit = True
+        for byte in range(addr, addr + size):
+            block_addr = byte // geometry.block_size
+            sub_index = (byte % geometry.block_size) // geometry.sub_block_size
+            if not self._touch(block_addr, sub_index):
+                hit = False
+        return hit
+
+    def _touch(self, block_addr: int, sub_index: int) -> bool:
+        geometry = self.geometry
+        set_index = block_addr % geometry.num_sets
+        tag = block_addr // geometry.num_sets
+        entries = self.sets[set_index]
+        for position, entry in enumerate(entries):
+            if entry[0] == tag:
+                entries.insert(0, entries.pop(position))
+                if sub_index in entry[1]:
+                    return True
+                entry[1].add(sub_index)
+                self.bytes_fetched += geometry.sub_block_size
+                return False
+        if len(entries) == geometry.ways:
+            entries.pop()
+        entries.insert(0, [tag, {sub_index}])
+        self.bytes_fetched += geometry.sub_block_size
+        return False
+
+
+geometries = st.builds(
+    lambda net_exp, block_exp, sub_exp, assoc_exp: CacheGeometry(
+        2 ** net_exp,
+        2 ** min(block_exp, net_exp),
+        2 ** min(sub_exp, block_exp, net_exp),
+        associativity=2 ** assoc_exp,
+    ),
+    net_exp=st.integers(5, 10),
+    block_exp=st.integers(1, 6),
+    sub_exp=st.integers(1, 6),
+    assoc_exp=st.integers(0, 3),
+)
+
+word_accesses = st.lists(
+    st.tuples(st.integers(0, 2047), st.sampled_from([1, 2, 4])),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestDifferentialAgainstReference:
+    @given(geometry=geometries, accesses=word_accesses)
+    @settings(max_examples=150, deadline=None)
+    def test_hit_miss_sequence_matches_reference(self, geometry, accesses):
+        cache = SubBlockCache(geometry, word_size=1)
+        reference = ReferenceSubBlockCache(geometry)
+        for addr, size in accesses:
+            expected = reference.access(addr, size)
+            actual = cache.access(addr, size=size)
+            assert actual == expected, (geometry, addr, size)
+        assert cache.stats.bytes_fetched == reference.bytes_fetched
+
+
+class TestStatsInvariants:
+    @given(geometry=geometries, accesses=word_accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_counter_consistency(self, geometry, accesses):
+        cache = SubBlockCache(geometry, word_size=1)
+        for addr, size in accesses:
+            cache.access(addr, size=size)
+        stats = cache.stats
+        assert stats.accesses == len(accesses)
+        assert 0 <= stats.misses <= stats.accesses
+        assert 0.0 <= stats.miss_ratio <= 1.0
+        assert stats.bytes_accessed == sum(size for _, size in accesses)
+        # Fetch traffic equals the recorded transactions exactly.
+        transaction_bytes = sum(
+            words * cache.word_size * count
+            for words, count in stats.transaction_words.items()
+        )
+        assert stats.bytes_fetched == transaction_bytes
+
+    @given(geometry=geometries, accesses=word_accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_resident_state_invariants(self, geometry, accesses):
+        cache = SubBlockCache(geometry, word_size=1)
+        for addr, size in accesses:
+            cache.access(addr, size=size)
+        contents = cache.contents()
+        assert len(contents) <= geometry.num_blocks
+        full_mask = (1 << geometry.sub_blocks_per_block) - 1
+        touched_blocks = {
+            byte // geometry.block_size
+            for addr, size in accesses
+            for byte in range(addr, addr + size)
+        }
+        for block_addr, valid in contents.items():
+            assert 0 < valid <= full_mask
+            assert block_addr in touched_blocks
+
+    @given(accesses=word_accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_second_touch_always_hits(self, accesses):
+        cache = SubBlockCache(CacheGeometry(64, 16, 8), word_size=1)
+        for addr, size in accesses:
+            cache.access(addr, size=size)
+            assert cache.access(addr, size=size) is True
+
+    @given(geometry=geometries, accesses=word_accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_demand_fetch_is_never_redundant(self, geometry, accesses):
+        cache = SubBlockCache(geometry, word_size=1)
+        for addr, size in accesses:
+            cache.access(addr, size=size)
+        assert cache.stats.redundant_bytes_fetched == 0
+
+    @given(geometry=geometries, accesses=word_accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_conventional_cache_never_sub_block_misses(self, geometry, accesses):
+        conventional = CacheGeometry(
+            geometry.net_size,
+            geometry.block_size,
+            geometry.block_size,
+            associativity=geometry.associativity,
+        )
+        cache = SubBlockCache(conventional, word_size=1)
+        for addr, size in accesses:
+            cache.access(addr, size=size)
+        assert cache.stats.sub_block_misses == 0
+
+
+class TestLoadForwardProperties:
+    @given(accesses=word_accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_load_forward_never_misses_more_than_demand(self, accesses):
+        geometry = CacheGeometry(128, 16, 2)
+        demand = SubBlockCache(geometry, word_size=1)
+        forward = SubBlockCache(
+            geometry, fetch=LoadForwardFetch(), word_size=1
+        )
+        for addr, size in accesses:
+            demand.access(addr, size=size)
+            forward.access(addr, size=size)
+        assert forward.stats.misses <= demand.stats.misses
+
+    @given(accesses=word_accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_optimized_never_fetches_more_than_redundant(self, accesses):
+        geometry = CacheGeometry(128, 16, 2)
+        redundant = SubBlockCache(
+            geometry, fetch=LoadForwardFetch(optimized=False), word_size=1
+        )
+        optimized = SubBlockCache(
+            geometry, fetch=LoadForwardFetch(optimized=True), word_size=1
+        )
+        for addr, size in accesses:
+            redundant.access(addr, size=size)
+            optimized.access(addr, size=size)
+        assert optimized.stats.bytes_fetched <= redundant.stats.bytes_fetched
+        # Both schemes validate the same sub-blocks, so they agree on
+        # hits and misses exactly.
+        assert optimized.stats.misses == redundant.stats.misses
+
+
+class TestFlushProperties:
+    @given(geometry=geometries, accesses=word_accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_flush_accounts_every_resident_block(self, geometry, accesses):
+        cache = SubBlockCache(geometry, word_size=1)
+        for addr, size in accesses:
+            cache.access(addr, size=size)
+        resident = len(cache.contents())
+        evictions_before = cache.stats.evictions
+        cache.flush()
+        assert cache.stats.evictions == evictions_before + resident
+        assert cache.contents() == {}

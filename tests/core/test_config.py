@@ -1,0 +1,178 @@
+"""Geometry and cost-model tests, validated against the paper."""
+
+import pytest
+
+from repro.core.config import CacheGeometry, is_power_of_two, log2_int
+from repro.errors import ConfigurationError
+
+
+class TestPowerOfTwoHelpers:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-2)
+        assert not is_power_of_two(24)
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(1024) == 10
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            log2_int(12)
+
+
+class TestValidation:
+    def test_sub_block_larger_than_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(64, 8, 16)
+
+    def test_block_larger_than_cache_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(64, 128, 8)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(100, 16, 8)
+
+    def test_bad_associativity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(64, 16, 8, associativity=0)
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(64, 16, 8, associativity=3)
+
+    def test_bad_address_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(64, 16, 8, address_bits=0)
+
+
+class TestDerivedShape:
+    def test_basic_counts(self):
+        geometry = CacheGeometry(1024, 16, 8, associativity=4)
+        assert geometry.num_blocks == 64
+        assert geometry.ways == 4
+        assert geometry.num_sets == 16
+        assert geometry.sub_blocks_per_block == 2
+
+    def test_associativity_clamps_to_block_count(self):
+        # A 64-byte cache with 16-byte blocks holds only 4 blocks; the
+        # paper still calls it 4-way (it is fully associative).
+        geometry = CacheGeometry(64, 32, 8, associativity=4)
+        assert geometry.num_blocks == 2
+        assert geometry.ways == 2
+        assert geometry.num_sets == 1
+
+    def test_conventional_cache_has_one_sub_block(self):
+        geometry = CacheGeometry(256, 16, 16)
+        assert geometry.sub_blocks_per_block == 1
+
+
+class TestPaperGrossSizes:
+    """Every gross size printed in Table 7 must reproduce exactly."""
+
+    TABLE7_GROSS = {
+        (64, 16, 8): 79,
+        (64, 16, 4): 80,
+        (64, 16, 2): 82,
+        (64, 8, 8): 94,
+        (64, 8, 4): 95,
+        (64, 8, 2): 97,
+        (64, 4, 4): 126,
+        (64, 4, 2): 128,
+        (64, 2, 2): 192,
+        (256, 32, 32): 284,
+        (256, 32, 16): 285,
+        (256, 32, 8): 287,
+        (256, 32, 4): 291,
+        (256, 32, 2): 299,
+        (256, 16, 16): 314,
+        (256, 16, 8): 316,
+        (256, 16, 4): 320,
+        (256, 16, 2): 328,
+        (256, 8, 8): 376,
+        (256, 8, 4): 380,
+        (256, 8, 2): 388,
+        (256, 4, 4): 504,
+        (256, 4, 2): 512,
+        (256, 2, 2): 768,
+        (1024, 64, 16): 1084,
+        (1024, 64, 8): 1092,
+        (1024, 64, 4): 1108,
+        (1024, 32, 32): 1136,
+        (1024, 32, 16): 1140,
+        (1024, 32, 8): 1148,
+        (1024, 32, 4): 1164,
+        (1024, 32, 2): 1196,
+        (1024, 16, 16): 1256,
+        (1024, 16, 8): 1264,
+        (1024, 16, 4): 1280,
+        (1024, 16, 2): 1312,
+        (1024, 8, 8): 1504,
+        (1024, 8, 4): 1520,
+        (1024, 8, 2): 1552,
+        (1024, 4, 4): 2016,
+        (1024, 4, 2): 2048,
+        (1024, 2, 2): 3072,
+    }
+
+    @pytest.mark.parametrize("shape,expected", sorted(TABLE7_GROSS.items()))
+    def test_gross_size_matches_paper(self, shape, expected):
+        net, block, sub = shape
+        assert CacheGeometry(net, block, sub).gross_size == expected
+
+    def test_minimum_cache_is_190_bytes(self):
+        # Section 2.2: 16 blocks * [29 tag + 2 valid + 64 data] / 8.
+        geometry = CacheGeometry(128, 8, 4, associativity=2)
+        assert geometry.gross_size == 190
+
+    def test_vax_minimum_cache_is_95_bytes(self):
+        # Section 5: the 8,4 64-byte cache "requires only 95 bytes".
+        assert CacheGeometry(64, 8, 4).gross_size == 95
+
+
+class TestCostModelStructure:
+    def test_doubling_block_size_halves_tag_area(self):
+        # Section 4.2.1: the (2,2) 512-byte cache occupies 50% more
+        # area than the (4,2) one.
+        small_blocks = CacheGeometry(512, 2, 2)
+        large_blocks = CacheGeometry(512, 4, 2)
+        assert small_blocks.gross_size == 1536
+        assert large_blocks.gross_size == 1024
+
+    def test_doubling_sub_block_size_barely_changes_size(self):
+        # Section 4.2.1: going from a 32,4 to a 32,8 cache decreases
+        # the total size by only 1.4 percent.
+        with_small_subs = CacheGeometry(1024, 32, 4)
+        with_large_subs = CacheGeometry(1024, 32, 8)
+        shrink = 1 - with_large_subs.gross_size / with_small_subs.gross_size
+        assert 0.005 < shrink < 0.02
+
+    def test_tag_overhead_decreases_with_block_size(self):
+        overheads = [
+            CacheGeometry(1024, block, 2).tag_overhead
+            for block in (2, 4, 8, 16, 32)
+        ]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_gross_bits_consistent_with_size(self):
+        geometry = CacheGeometry(256, 16, 8)
+        assert geometry.gross_size == geometry.gross_bits / 8
+
+
+class TestAddressingHelpers:
+    def test_round_trip_decomposition(self):
+        geometry = CacheGeometry(1024, 16, 8)
+        addr = 0xBEEF
+        block_addr = geometry.block_address(addr)
+        assert block_addr == addr // 16
+        assert geometry.set_index(addr) == block_addr % geometry.num_sets
+        assert geometry.tag(addr) == block_addr // geometry.num_sets
+        assert geometry.sub_block_index(addr) == (addr % 16) // 8
+
+    def test_label(self):
+        assert CacheGeometry(64, 16, 8).label == "16,8"
+
+    def test_str_mentions_sizes(self):
+        text = str(CacheGeometry(64, 16, 8))
+        assert "64B" in text and "16,8" in text and "79" in text

@@ -1,0 +1,91 @@
+"""Fetch-policy tests: demand, load-forward, and the run splitter."""
+
+import pytest
+
+from repro.core.block import popcount
+from repro.core.fetch import (
+    DemandFetch,
+    LoadForwardFetch,
+    contiguous_runs,
+    make_fetch,
+)
+from repro.errors import ConfigurationError
+
+
+class TestContiguousRuns:
+    def test_empty_mask(self):
+        assert contiguous_runs(0) == ()
+
+    def test_single_run(self):
+        assert contiguous_runs(0b111) == (3,)
+
+    def test_split_runs(self):
+        assert contiguous_runs(0b1101) == (1, 2)
+
+    def test_high_isolated_bit(self):
+        assert contiguous_runs(0b1000_0001) == (1, 1)
+
+    def test_total_equals_popcount(self):
+        for mask in range(256):
+            assert sum(contiguous_runs(mask)) == popcount(mask)
+
+
+class TestDemandFetch:
+    def test_fetches_exactly_missing(self):
+        plan = DemandFetch().plan(0b0100, 2, 0b0011, 8)
+        assert plan.fetch_mask == 0b0100
+        assert plan.transactions == (1,)
+        assert plan.redundant_mask == 0
+
+    def test_multi_sub_block_access(self):
+        plan = DemandFetch().plan(0b0110, 1, 0, 8)
+        assert plan.fetch_mask == 0b0110
+        assert plan.transactions == (2,)
+
+    def test_never_redundant(self):
+        plan = DemandFetch().plan(0b1000, 3, 0b0111, 8)
+        assert plan.redundant_mask == 0
+
+
+class TestLoadForward:
+    def test_fetches_from_target_to_end(self):
+        plan = LoadForwardFetch().plan(0b0100, 2, 0, 8)
+        assert plan.fetch_mask == 0b1111_1100
+        assert plan.transactions == (6,)
+
+    def test_target_at_end_fetches_one(self):
+        plan = LoadForwardFetch().plan(0b1000_0000, 7, 0, 8)
+        assert plan.fetch_mask == 0b1000_0000
+        assert plan.transactions == (1,)
+
+    def test_redundant_refetch_counted(self):
+        # Sub-blocks 3 and 5 already valid; forward from 2 re-fetches
+        # them (the paper's simple scheme) and reports them redundant.
+        plan = LoadForwardFetch().plan(0b0100, 2, 0b0010_1000, 8)
+        assert plan.fetch_mask == 0b1111_1100
+        assert plan.redundant_mask == 0b0010_1000
+
+    def test_optimized_skips_valid(self):
+        plan = LoadForwardFetch(optimized=True).plan(0b0100, 2, 0b0010_1000, 8)
+        assert plan.fetch_mask == 0b1101_0100
+        assert plan.redundant_mask == 0
+        assert plan.transactions == (1, 1, 2)
+
+    def test_optimized_single_run_when_nothing_valid(self):
+        plan = LoadForwardFetch(optimized=True).plan(0b0100, 2, 0, 8)
+        assert plan.transactions == (6,)
+
+    def test_names(self):
+        assert LoadForwardFetch().name == "load-forward"
+        assert LoadForwardFetch(optimized=True).name == "load-forward-optimized"
+
+
+class TestFactory:
+    def test_builds_by_name(self):
+        assert isinstance(make_fetch("demand"), DemandFetch)
+        assert isinstance(make_fetch("load-forward"), LoadForwardFetch)
+        assert make_fetch("load_forward_optimized").optimized
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_fetch("oracle")

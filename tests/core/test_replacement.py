@@ -1,0 +1,99 @@
+"""Replacement-policy unit tests."""
+
+import pytest
+
+from repro.core.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    make_replacement,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLRU:
+    def test_victim_is_least_recent_fill(self):
+        policy = LRUReplacement()
+        state = policy.new_set(4)
+        for way in range(4):
+            policy.on_fill(state, way)
+        assert policy.victim(state) == 0
+
+    def test_hit_refreshes(self):
+        policy = LRUReplacement()
+        state = policy.new_set(4)
+        for way in range(4):
+            policy.on_fill(state, way)
+        policy.on_hit(state, 0)
+        assert policy.victim(state) == 1
+
+    def test_repeated_hits_are_stable(self):
+        policy = LRUReplacement()
+        state = policy.new_set(2)
+        policy.on_fill(state, 0)
+        policy.on_fill(state, 1)
+        policy.on_hit(state, 1)
+        policy.on_hit(state, 1)
+        assert policy.victim(state) == 0
+
+    def test_refill_of_same_way_moves_to_front(self):
+        policy = LRUReplacement()
+        state = policy.new_set(2)
+        policy.on_fill(state, 0)
+        policy.on_fill(state, 1)
+        policy.on_fill(state, 0)  # victim replaced in place
+        assert policy.victim(state) == 1
+
+
+class TestFIFO:
+    def test_victim_is_oldest_fill(self):
+        policy = FIFOReplacement()
+        state = policy.new_set(3)
+        for way in (2, 0, 1):
+            policy.on_fill(state, way)
+        assert policy.victim(state) == 2
+
+    def test_hits_do_not_refresh(self):
+        policy = FIFOReplacement()
+        state = policy.new_set(2)
+        policy.on_fill(state, 0)
+        policy.on_fill(state, 1)
+        policy.on_hit(state, 0)
+        assert policy.victim(state) == 0
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        a = RandomReplacement(seed=42)
+        b = RandomReplacement(seed=42)
+        state_a = a.new_set(8)
+        state_b = b.new_set(8)
+        assert [a.victim(state_a) for _ in range(20)] == [
+            b.victim(state_b) for _ in range(20)
+        ]
+
+    def test_victims_in_range(self):
+        policy = RandomReplacement(seed=1)
+        state = policy.new_set(4)
+        assert all(0 <= policy.victim(state) < 4 for _ in range(100))
+
+    def test_covers_all_ways(self):
+        policy = RandomReplacement(seed=3)
+        state = policy.new_set(4)
+        assert {policy.victim(state) for _ in range(200)} == {0, 1, 2, 3}
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lru", LRUReplacement), ("fifo", FIFOReplacement), ("random", RandomReplacement)],
+    )
+    def test_builds_by_name(self, name, cls):
+        assert isinstance(make_replacement(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_replacement("LRU"), LRUReplacement)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_replacement("belady")

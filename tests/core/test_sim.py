@@ -1,0 +1,95 @@
+"""Simulation-driver tests: warm start and run_config defaults."""
+
+import pytest
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.sim import run_config, simulate
+from repro.errors import ConfigurationError
+from repro.trace.record import Trace
+
+
+def sequential_trace(n, stride=2, start=0):
+    addrs = [start + i * stride for i in range(n)]
+    return Trace(addrs, [0] * n, 2)
+
+
+class TestColdStart:
+    def test_all_accesses_counted(self, tiny_trace):
+        cache = SubBlockCache(CacheGeometry(64, 16, 8))
+        stats = simulate(cache, tiny_trace, warmup=0)
+        assert stats.accesses == len(tiny_trace)
+
+    def test_returns_cache_stats_object(self, tiny_trace):
+        cache = SubBlockCache(CacheGeometry(64, 16, 8))
+        assert simulate(cache, tiny_trace) is cache.stats
+
+
+class TestCountWarmup:
+    def test_skips_first_n(self, tiny_trace):
+        cache = SubBlockCache(CacheGeometry(64, 16, 8))
+        stats = simulate(cache, tiny_trace, warmup=4)
+        assert stats.accesses == len(tiny_trace) - 4
+
+    def test_warmup_longer_than_trace_measures_nothing(self, tiny_trace):
+        cache = SubBlockCache(CacheGeometry(64, 16, 8))
+        stats = simulate(cache, tiny_trace, warmup=1000)
+        assert stats.accesses == len(tiny_trace)  # countdown never hit 0
+
+    def test_negative_warmup_rejected(self, tiny_trace):
+        cache = SubBlockCache(CacheGeometry(64, 16, 8))
+        with pytest.raises(ConfigurationError):
+            simulate(cache, tiny_trace, warmup=-1)
+
+    def test_bad_warmup_value_rejected(self, tiny_trace):
+        cache = SubBlockCache(CacheGeometry(64, 16, 8))
+        with pytest.raises(ConfigurationError):
+            simulate(cache, tiny_trace, warmup="lukewarm")
+
+
+class TestFillWarmup:
+    def test_excludes_initial_fill_misses(self):
+        # 64-byte cache (4 blocks); a 32-block sequential sweep fills
+        # it after 4 block misses; warm stats must exclude those.
+        trace = sequential_trace(256, stride=2)
+        cold = SubBlockCache(CacheGeometry(64, 16, 16))
+        warm = SubBlockCache(CacheGeometry(64, 16, 16))
+        cold_stats = simulate(cold, trace, warmup=0)
+        warm_stats = simulate(warm, trace, warmup="fill")
+        assert warm_stats.accesses < cold_stats.accesses
+        assert warm_stats.misses < cold_stats.misses
+
+    def test_warm_ratio_not_larger_for_looping_trace(self):
+        loop = sequential_trace(64, stride=2) + sequential_trace(64, stride=2)
+        cold = SubBlockCache(CacheGeometry(1024, 16, 8))
+        warm = SubBlockCache(CacheGeometry(1024, 16, 8))
+        cold_ratio = simulate(cold, loop, warmup=0).miss_ratio
+        warm_ratio = simulate(warm, loop, warmup="fill").miss_ratio
+        assert warm_ratio <= cold_ratio
+
+    def test_never_filled_cache_keeps_all_stats(self):
+        trace = sequential_trace(4, stride=2)  # too short to fill
+        cache = SubBlockCache(CacheGeometry(1024, 16, 8))
+        stats = simulate(cache, trace, warmup="fill")
+        assert stats.accesses == 4
+
+
+class TestFlushAtEnd:
+    def test_flush_records_resident_blocks(self, tiny_trace):
+        cache = SubBlockCache(CacheGeometry(64, 16, 8))
+        stats = simulate(cache, tiny_trace, flush_at_end=True)
+        assert stats.evictions >= len(cache.contents()) == 0
+
+
+class TestRunConfig:
+    def test_defaults_follow_paper(self, z8000_grep_trace):
+        stats = run_config(CacheGeometry(256, 16, 8), z8000_grep_trace)
+        assert 0.0 < stats.miss_ratio < 1.0
+        assert stats.traffic_ratio() > 0.0
+
+    def test_deterministic(self, z8000_grep_trace):
+        geometry = CacheGeometry(256, 16, 8)
+        first = run_config(geometry, z8000_grep_trace)
+        second = run_config(geometry, z8000_grep_trace)
+        assert first.miss_ratio == second.miss_ratio
+        assert first.traffic_ratio() == second.traffic_ratio()

@@ -1,0 +1,92 @@
+"""Split instruction/data cache tests."""
+
+import pytest
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.split import SplitCache
+from repro.trace.record import AccessType
+
+
+def make_split() -> SplitCache:
+    return SplitCache(
+        icache=SubBlockCache(CacheGeometry(512, 16, 8)),
+        dcache=SubBlockCache(CacheGeometry(512, 16, 8)),
+    )
+
+
+class TestRouting:
+    def test_ifetch_goes_to_icache(self):
+        split = make_split()
+        split.access(0x100, AccessType.IFETCH)
+        assert split.icache.stats.accesses == 1
+        assert split.dcache.stats.accesses == 0
+
+    def test_reads_and_writes_go_to_dcache(self):
+        split = make_split()
+        split.access(0x100, AccessType.READ)
+        split.access(0x200, AccessType.WRITE)
+        assert split.dcache.stats.accesses == 2
+        assert split.icache.stats.accesses == 0
+
+    def test_no_cross_interference(self):
+        split = make_split()
+        split.access(0x100, AccessType.IFETCH)
+        # Data access to the same address misses independently.
+        assert split.access(0x100, AccessType.READ) is False
+
+
+class TestCombinedStats:
+    def test_aggregation(self):
+        split = make_split()
+        split.access(0x100, AccessType.IFETCH)
+        split.access(0x100, AccessType.IFETCH)
+        split.access(0x200, AccessType.READ)
+        stats = split.stats
+        assert stats.accesses == 3
+        assert stats.misses == 2
+        assert stats.miss_ratio == pytest.approx(2 / 3)
+
+    def test_traffic_aggregation(self):
+        split = make_split()
+        split.access(0x100, AccessType.IFETCH)
+        split.access(0x200, AccessType.READ)
+        assert split.stats.bytes_fetched == 16
+        assert split.stats.traffic_ratio() == pytest.approx(16 / 4)
+
+    def test_reset_clears_both_sides(self):
+        split = make_split()
+        split.access(0x100, AccessType.IFETCH)
+        split.access(0x200, AccessType.READ)
+        split.stats.reset()
+        assert split.stats.accesses == 0
+        assert split.icache.stats.accesses == 0
+
+    def test_snapshot_keys(self):
+        split = make_split()
+        split.access(0x100, AccessType.READ)
+        snapshot = split.stats.snapshot()
+        assert set(snapshot) == {"accesses", "misses", "miss_ratio", "traffic_ratio"}
+
+
+class TestSizes:
+    def test_net_and_gross_sizes_sum(self):
+        split = make_split()
+        assert split.net_size == 1024
+        assert split.gross_size == 2 * split.icache.geometry.gross_size
+
+    def test_is_full_requires_both_sides(self, z8000_grep_trace):
+        split = make_split()
+        for access in z8000_grep_trace:
+            split.access(access.addr, access.kind, access.size)
+            if split.is_full:
+                break
+        assert split.is_full == (split.icache.is_full and split.dcache.is_full)
+
+    def test_flush_empties_both(self):
+        split = make_split()
+        split.access(0x100, AccessType.IFETCH)
+        split.access(0x200, AccessType.READ)
+        split.flush()
+        assert split.icache.contents() == {}
+        assert split.dcache.contents() == {}

@@ -1,0 +1,127 @@
+"""Write-policy extension tests."""
+
+import pytest
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.write import WritePolicy, make_write_policy
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessType
+
+WRITE = AccessType.WRITE
+READ = AccessType.READ
+
+
+def make_cache(policy: WritePolicy) -> SubBlockCache:
+    return SubBlockCache(CacheGeometry(64, 16, 8), write_policy=policy)
+
+
+class TestPolicyEnum:
+    def test_allocates(self):
+        assert not WritePolicy.WRITE_THROUGH_NO_ALLOCATE.allocates
+        assert WritePolicy.WRITE_THROUGH_ALLOCATE.allocates
+        assert WritePolicy.WRITE_BACK.allocates
+
+    def test_writes_through(self):
+        assert WritePolicy.WRITE_THROUGH_NO_ALLOCATE.writes_through
+        assert WritePolicy.WRITE_THROUGH_ALLOCATE.writes_through
+        assert not WritePolicy.WRITE_BACK.writes_through
+
+    def test_factory(self):
+        assert make_write_policy("write-back") is WritePolicy.WRITE_BACK
+        assert (
+            make_write_policy("WRITE_THROUGH_ALLOCATE")
+            is WritePolicy.WRITE_THROUGH_ALLOCATE
+        )
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_write_policy("write-sometimes")
+
+
+class TestWriteThroughNoAllocate:
+    def test_write_miss_does_not_allocate(self):
+        cache = make_cache(WritePolicy.WRITE_THROUGH_NO_ALLOCATE)
+        cache.access(0x100, WRITE)
+        assert cache.contents() == {}
+        assert cache.stats.bytes_fetched == 0
+
+    def test_write_traffic_is_written_bytes(self):
+        # Only the written word crosses the bus, not a whole sub-block.
+        cache = make_cache(WritePolicy.WRITE_THROUGH_NO_ALLOCATE)
+        cache.access(0x100, WRITE)          # one 2-byte word
+        cache.access(0x200, WRITE, size=4)
+        assert cache.stats.bytes_written_through == 2 + 4
+
+    def test_write_hit_stays_resident(self):
+        cache = make_cache(WritePolicy.WRITE_THROUGH_NO_ALLOCATE)
+        cache.access(0x100, READ)
+        cache.access(0x100, WRITE)
+        assert cache.access(0x100, READ) is True
+
+    def test_traffic_ratio_can_include_writes(self):
+        cache = make_cache(WritePolicy.WRITE_THROUGH_NO_ALLOCATE)
+        cache.access(0x100, WRITE)
+        assert cache.stats.traffic_ratio() == 0.0
+        assert cache.stats.traffic_ratio(include_writes=True) > 0.0
+
+
+class TestWriteThroughAllocate:
+    def test_write_miss_allocates_and_fetches(self):
+        cache = make_cache(WritePolicy.WRITE_THROUGH_ALLOCATE)
+        cache.access(0x100, WRITE)
+        assert len(cache.contents()) == 1
+        assert cache.stats.bytes_fetched == 8   # fetch-on-write, one sub-block
+        assert cache.stats.bytes_written_through == 2  # the written word
+
+    def test_subsequent_read_hits(self):
+        cache = make_cache(WritePolicy.WRITE_THROUGH_ALLOCATE)
+        cache.access(0x100, WRITE)
+        assert cache.access(0x100, READ) is True
+
+
+class TestWriteBack:
+    def test_write_dirties_without_immediate_traffic(self):
+        cache = make_cache(WritePolicy.WRITE_BACK)
+        cache.access(0x100, WRITE)
+        assert cache.stats.bytes_written_through == 0
+        assert cache.stats.bytes_written_back == 0
+
+    def test_eviction_writes_back_dirty_sub_blocks(self):
+        cache = SubBlockCache(
+            CacheGeometry(32, 16, 8, associativity=2),
+            write_policy=WritePolicy.WRITE_BACK,
+        )
+        cache.access(0x000, WRITE)
+        cache.access(0x010, READ)
+        cache.access(0x020, READ)  # evicts the dirty block (LRU)
+        assert cache.stats.writebacks == 1
+        assert cache.stats.bytes_written_back == 8
+
+    def test_clean_eviction_writes_nothing(self):
+        cache = SubBlockCache(
+            CacheGeometry(32, 16, 8, associativity=2),
+            write_policy=WritePolicy.WRITE_BACK,
+        )
+        cache.access(0x000, READ)
+        cache.access(0x010, READ)
+        cache.access(0x020, READ)
+        assert cache.stats.writebacks == 0
+
+    def test_flush_writes_back_dirty_data(self):
+        cache = make_cache(WritePolicy.WRITE_BACK)
+        cache.access(0x100, WRITE)
+        cache.access(0x108, WRITE)
+        cache.flush()
+        assert cache.stats.writebacks == 1
+        assert cache.stats.bytes_written_back == 16
+
+    def test_read_only_metrics_unaffected_by_writes(self):
+        # The paper filters writes; write policy must not leak into the
+        # fetch-side traffic ratio.
+        wb = make_cache(WritePolicy.WRITE_BACK)
+        wt = make_cache(WritePolicy.WRITE_THROUGH_ALLOCATE)
+        for cache in (wb, wt):
+            cache.access(0x100, WRITE)
+            cache.access(0x108, READ)
+        assert wb.stats.traffic_ratio() == wt.stats.traffic_ratio()

@@ -1,0 +1,105 @@
+"""Minimum-cache and instruction-buffer tests (Section 2.2)."""
+
+import pytest
+
+from repro.core.sim import simulate
+from repro.errors import ConfigurationError
+from repro.extensions.instruction_buffer import InstructionBuffer, minimum_cache
+from repro.trace.filters import only_kind, reads_only
+from repro.trace.record import AccessType
+
+
+class TestMinimumCache:
+    def test_paper_geometry_32bit(self):
+        cache = minimum_cache(word_size=4)
+        geometry = cache.geometry
+        assert geometry.net_size == 128  # 32 words of 4 bytes
+        assert geometry.num_blocks == 16
+        assert geometry.block_size == 8  # 2 words
+        assert geometry.sub_block_size == 4  # only the requested word
+        assert geometry.ways == 2
+
+    def test_paper_cost_estimate(self):
+        # Section 2.2: "about 190 bytes of RAM".
+        assert minimum_cache(word_size=4).geometry.gross_size == 190
+
+    def test_random_replacement_is_seeded(self, z8000_grep_trace):
+        trace = reads_only(z8000_grep_trace)
+        first = simulate(minimum_cache(word_size=2, seed=7), trace).miss_ratio
+        second = simulate(minimum_cache(word_size=2, seed=7), trace).miss_ratio
+        assert first == second
+
+    def test_cuts_references_substantially(self, z8000_grep_trace):
+        # Section 5: a minimum cache cuts memory references by about a
+        # third on the 16-bit workloads; ours does at least that well.
+        stats = simulate(
+            minimum_cache(word_size=2), reads_only(z8000_grep_trace)
+        )
+        assert stats.miss_ratio < 0.67
+        assert stats.traffic_ratio() < 1.0
+
+
+class TestInstructionBufferValidation:
+    def test_bad_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstructionBuffer(blocks=0)
+
+    def test_block_smaller_than_word_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstructionBuffer(block_size=2, word_size=4)
+
+
+class TestSequentialBuffer:
+    def test_sequential_run_hits_after_first(self):
+        buf = InstructionBuffer(blocks=1, block_size=8, word_size=4)
+        assert buf.access(0x100) is False
+        assert buf.access(0x104) is True
+        assert buf.access(0x108) is False  # next block
+
+    def test_does_not_reduce_bytes_from_memory(self, z8000_grep_trace):
+        # Section 2.2: buffers without branch-target recognition do not
+        # reduce memory bytes — traffic ratio >= 1 on looping code.
+        buf = InstructionBuffer(blocks=1, block_size=8, word_size=2)
+        for access in only_kind(z8000_grep_trace, AccessType.IFETCH):
+            buf.access(access.addr)
+        assert buf.stats.traffic_ratio() >= 1.0
+
+    def test_backward_jump_misses(self):
+        buf = InstructionBuffer(blocks=4, block_size=8, word_size=4)
+        buf.access(0x100)
+        buf.access(0x108)
+        # 0x100 is still resident but a sequential-only buffer cannot
+        # recognize the branch target.
+        assert buf.access(0x100) is False
+
+
+class TestBranchAwareBuffer:
+    def test_loop_fits(self):
+        buf = InstructionBuffer(
+            blocks=4, block_size=8, word_size=4, recognize_branch_targets=True
+        )
+        loop = [0x100, 0x104, 0x108, 0x10C]
+        for _ in range(10):
+            for addr in loop:
+                buf.access(addr)
+        assert buf.stats.misses == 2  # only the two cold block loads
+
+    def test_eviction_when_working_set_exceeds_buffers(self):
+        buf = InstructionBuffer(
+            blocks=2, block_size=8, word_size=4, recognize_branch_targets=True
+        )
+        for addr in (0x100, 0x200, 0x300):
+            buf.access(addr)
+        assert buf.stats.evictions == 1
+        assert buf.access(0x100) is False  # evicted
+
+    def test_beats_sequential_buffer_on_loops(self, z8000_grep_trace):
+        ifetches = only_kind(z8000_grep_trace, AccessType.IFETCH)
+        sequential = InstructionBuffer(blocks=4, block_size=16, word_size=2)
+        aware = InstructionBuffer(
+            blocks=4, block_size=16, word_size=2, recognize_branch_targets=True
+        )
+        for access in ifetches:
+            sequential.access(access.addr)
+            aware.access(access.addr)
+        assert aware.stats.miss_ratio < sequential.stats.miss_ratio

@@ -1,0 +1,76 @@
+"""Sequential-prefetch extension tests."""
+
+import pytest
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.sim import simulate
+from repro.errors import ConfigurationError
+from repro.extensions.prefetch import simulate_with_prefetch
+from repro.trace.filters import reads_only
+from repro.trace.record import Trace
+
+
+def make_cache(word_size=2):
+    return SubBlockCache(CacheGeometry(1024, 16, 8), word_size=word_size)
+
+
+def sequential_trace(n=2000):
+    return Trace([i * 2 for i in range(n)], [0] * n, 2)
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self, z8000_grep_trace):
+        with pytest.raises(ConfigurationError):
+            simulate_with_prefetch(make_cache(), z8000_grep_trace, policy="psychic")
+
+    def test_always_prefetches_most(self, z8000_grep_trace):
+        trace = reads_only(z8000_grep_trace)
+        counts = {}
+        for policy in ("always", "on-miss", "tagged"):
+            cache = make_cache()
+            simulate_with_prefetch(cache, trace, policy=policy, warmup=0)
+            counts[policy] = cache.stats.prefetches
+        assert counts["always"] >= counts["tagged"] >= counts["on-miss"]
+
+    def test_sequential_stream_prefetch_eliminates_most_misses(self):
+        trace = sequential_trace()
+        demand = make_cache()
+        simulate(demand, trace, warmup=0)
+        prefetching = make_cache()
+        simulate_with_prefetch(prefetching, trace, policy="tagged", warmup=0)
+        assert prefetching.stats.misses < demand.stats.misses / 2
+
+    def test_prefetching_reduces_misses_on_real_workload(self, z8000_grep_trace):
+        trace = reads_only(z8000_grep_trace)
+        demand = make_cache()
+        simulate(demand, trace, warmup=0)
+        prefetching = make_cache()
+        simulate_with_prefetch(prefetching, trace, policy="tagged", warmup=0)
+        assert prefetching.stats.miss_ratio <= demand.stats.miss_ratio
+
+    def test_pollution_shows_up_as_extra_traffic(self, z8000_grep_trace):
+        # The paper's trade-off: prefetching risks fetching data never
+        # used — traffic must not decrease.
+        trace = reads_only(z8000_grep_trace)
+        demand = make_cache()
+        simulate(demand, trace, warmup=0)
+        prefetching = make_cache()
+        simulate_with_prefetch(prefetching, trace, policy="always", warmup=0)
+        assert (
+            prefetching.stats.bytes_fetched >= demand.stats.bytes_fetched
+        )
+
+
+class TestWarmup:
+    def test_fill_warmup_resets_stats(self):
+        trace = sequential_trace(4000)
+        cache = make_cache()
+        stats = simulate_with_prefetch(cache, trace, policy="tagged", warmup="fill")
+        assert stats.accesses < 4000
+
+    def test_count_warmup(self):
+        trace = sequential_trace(1000)
+        cache = make_cache()
+        stats = simulate_with_prefetch(cache, trace, policy="tagged", warmup=500)
+        assert stats.accesses == 500

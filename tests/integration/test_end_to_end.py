@@ -1,0 +1,83 @@
+"""End-to-end pipeline test: the full reproduction path in miniature.
+
+Exercises every layer in one flow — generate a suite, sweep a grid,
+format the table, build and render the figure, export CSV, and compare
+shapes against the published data — at a trace length small enough to
+run in seconds.
+"""
+
+import pytest
+
+from repro.analysis import (
+    TABLE7,
+    ascii_figure,
+    compare_shapes,
+    figure_series,
+    format_table7,
+    series_to_csv,
+    sweep,
+    table7_experiment,
+)
+from repro.analysis.sweep import geometry_grid
+from repro.trace import reads_only, write_din, read_din
+from repro.workloads import Z8000_FIGURE_TRACES, suite_traces
+
+LEN = 10_000
+
+
+@pytest.fixture(scope="module")
+def z8000_points():
+    return table7_experiment("z8000", length=LEN)
+
+
+class TestFullPipeline:
+    def test_table_formatting_covers_all_points(self, z8000_points):
+        text = format_table7("z8000", z8000_points)
+        for point in z8000_points:
+            assert point.geometry.label in text
+
+    def test_shape_report_positive_even_at_short_length(self, z8000_points):
+        measured = {
+            (p.geometry.net_size, p.geometry.block_size, p.geometry.sub_block_size):
+                p.miss_ratio
+            for p in z8000_points
+        }
+        published = {k: v.miss_ratio for k, v in TABLE7["z8000"].items()}
+        report = compare_shapes(measured, published)
+        assert report.n == len(TABLE7["z8000"])
+        assert report.spearman > 0.7  # even 10k-reference traces rank well
+
+    def test_figure_pipeline_renders(self, z8000_points):
+        by_net = {}
+        for point in z8000_points:
+            by_net.setdefault(point.geometry.net_size, []).append(point)
+        series = figure_series(by_net)
+        plot = ascii_figure(series, title="e2e")
+        assert "e2e" in plot and "b16" in plot
+        csv = series_to_csv(series)
+        assert csv.startswith("net_size,series,solid,")
+        assert len(csv.splitlines()) == 1 + sum(len(s.points) for s in series)
+
+    def test_trace_round_trip_through_din_preserves_results(self, tmp_path):
+        trace = reads_only(
+            suite_traces("z8000", length=LEN, names=("GREP",))[0]
+        )
+        path = tmp_path / "grep.din"
+        write_din(trace, path)
+        reloaded = read_din(path, size=2)
+        grid = geometry_grid([256])
+        original = sweep([trace], grid, word_size=2, filter_writes=False)
+        replayed = sweep([reloaded], grid, word_size=2, filter_writes=False)
+        for a, b in zip(original, replayed):
+            assert a.miss_ratio == b.miss_ratio
+            assert a.traffic_ratio == b.traffic_ratio
+
+    def test_sweep_is_deterministic_across_calls(self):
+        traces = [
+            reads_only(t)
+            for t in suite_traces("z8000", length=LEN, names=Z8000_FIGURE_TRACES[:2])
+        ]
+        grid = geometry_grid([128])
+        first = sweep(traces, grid, word_size=2, filter_writes=False)
+        second = sweep(traces, grid, word_size=2, filter_writes=False)
+        assert [p.miss_ratio for p in first] == [p.miss_ratio for p in second]

@@ -1,0 +1,74 @@
+"""Shared-bus accounting tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.bus import Bus
+from repro.memory.nibble import LINEAR_BUS, NIBBLE_MODE_BUS
+
+
+class TestTransfer:
+    def test_costs_accumulate(self):
+        bus = Bus(NIBBLE_MODE_BUS)
+        assert bus.transfer(1) == pytest.approx(1.0)
+        assert bus.transfer(4) == pytest.approx(2.0)
+        assert bus.total_cost == pytest.approx(3.0)
+        assert bus.transactions == 2
+        assert bus.words_moved == 5
+
+    def test_histogram(self):
+        bus = Bus()
+        bus.transfer(2)
+        bus.transfer(2)
+        bus.transfer(8)
+        assert bus.histogram == {2: 2, 8: 1}
+
+    def test_zero_word_transfer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bus().transfer(0)
+
+
+class TestReplay:
+    def test_replay_matches_individual_transfers(self):
+        direct = Bus(NIBBLE_MODE_BUS)
+        for _ in range(3):
+            direct.transfer(4)
+        direct.transfer(1)
+        replayed = Bus(NIBBLE_MODE_BUS)
+        added = replayed.replay({4: 3, 1: 1})
+        assert added == pytest.approx(direct.total_cost)
+        assert replayed.words_moved == direct.words_moved
+        assert replayed.histogram == direct.histogram
+
+    def test_replay_cache_stats_histogram(self, z8000_grep_trace):
+        from repro.core import CacheGeometry, run_config
+
+        stats = run_config(CacheGeometry(256, 16, 8), z8000_grep_trace)
+        bus = Bus(LINEAR_BUS)
+        bus.replay(stats.transaction_words)
+        assert bus.words_moved * 2 == stats.bytes_fetched  # 2-byte words
+
+
+class TestUtilization:
+    def test_busy_cycles_scale_with_bandwidth(self):
+        slow = Bus(LINEAR_BUS, words_per_cycle=1.0)
+        fast = Bus(LINEAR_BUS, words_per_cycle=2.0)
+        slow.transfer(8)
+        fast.transfer(8)
+        assert slow.busy_cycles() == 2 * fast.busy_cycles()
+
+    def test_utilization_capped_at_one(self):
+        bus = Bus(LINEAR_BUS)
+        bus.transfer(100)
+        assert bus.utilization(10) == 1.0
+
+    def test_utilization_fraction(self):
+        bus = Bus(LINEAR_BUS)
+        bus.transfer(5)
+        assert bus.utilization(10) == pytest.approx(0.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bus(words_per_cycle=0)
+        with pytest.raises(ConfigurationError):
+            Bus().utilization(0)

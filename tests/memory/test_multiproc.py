@@ -1,0 +1,116 @@
+"""Shared-bus multiprocessor simulator tests."""
+
+import pytest
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.memory.multiproc import SharedBusSystem
+from repro.memory.nibble import LINEAR_BUS
+from repro.trace.record import Trace
+
+
+def hot_trace(n=500, addr=0x100):
+    """All accesses hit one sub-block after the cold miss."""
+    return Trace([addr] * n, [0] * n, 2)
+
+
+def cold_trace(n=500, stride=64):
+    """Every access misses (new block each time)."""
+    return Trace([i * stride for i in range(n)], [0] * n, 2)
+
+
+def make_cache():
+    return SubBlockCache(CacheGeometry(1024, 16, 8))
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedBusSystem([make_cache()], [hot_trace(), hot_trace()])
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedBusSystem([], [])
+
+    def test_bad_hit_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedBusSystem([make_cache()], [hot_trace()], hit_cycles=0)
+
+
+class TestSingleProcessor:
+    def test_hit_only_runs_at_one_access_per_cycle(self):
+        result = SharedBusSystem([make_cache()], [hot_trace(500)]).run()
+        assert result.accesses == 500
+        # One cold miss, 499 hits: makespan ~= 500 cycles + bus cost.
+        assert result.makespan == pytest.approx(500 + result.bus_busy)
+        assert result.bus_wait == 0.0
+
+    def test_miss_heavy_stream_busies_the_bus(self):
+        result = SharedBusSystem(
+            [make_cache()], [cold_trace(500)], bus_model=LINEAR_BUS
+        ).run()
+        # Every access misses and moves 4 words on a linear bus.
+        assert result.bus_busy == pytest.approx(500 * 4)
+        assert result.bus_utilization > 0.7
+
+
+class TestContention:
+    def test_hit_only_processors_scale_linearly(self):
+        n = 4
+        system = SharedBusSystem(
+            [make_cache() for _ in range(n)],
+            [hot_trace(500) for _ in range(n)],
+        )
+        result = system.run()
+        single = SharedBusSystem([make_cache()], [hot_trace(500)]).run()
+        assert result.throughput == pytest.approx(n * single.throughput, rel=0.05)
+
+    def test_miss_heavy_processors_saturate_the_bus(self):
+        n = 6
+        system = SharedBusSystem(
+            [make_cache() for _ in range(n)],
+            [cold_trace(300) for _ in range(n)],
+            bus_model=LINEAR_BUS,
+        )
+        result = system.run()
+        assert result.bus_utilization > 0.95
+        assert result.mean_wait_per_access > 1.0
+
+    def test_saturated_throughput_is_sublinear(self):
+        single = SharedBusSystem(
+            [make_cache()], [cold_trace(300)], bus_model=LINEAR_BUS
+        ).run()
+        quad = SharedBusSystem(
+            [make_cache() for _ in range(4)],
+            [cold_trace(300) for _ in range(4)],
+            bus_model=LINEAR_BUS,
+        ).run()
+        assert quad.throughput < 2 * single.throughput
+
+    def test_caches_raise_sustainable_processor_count(self, z8000_grep_trace):
+        """The paper's argument: lower traffic ratio -> more CPUs."""
+        from repro.trace.filters import reads_only
+
+        trace = reads_only(z8000_grep_trace)
+        n = 4
+
+        def throughput(geometry):
+            caches = [SubBlockCache(geometry) for _ in range(n)]
+            return SharedBusSystem(caches, [trace] * n).run().throughput
+
+        small = throughput(CacheGeometry(64, 16, 16))
+        large = throughput(CacheGeometry(1024, 16, 8))
+        assert large > small
+
+    def test_deterministic(self):
+        def run_once():
+            system = SharedBusSystem(
+                [make_cache(), make_cache()],
+                [cold_trace(200), hot_trace(200)],
+            )
+            return system.run()
+
+        first, second = run_once(), run_once()
+        assert first.finish_times == second.finish_times
+        assert first.bus_busy == second.bus_busy

@@ -1,0 +1,79 @@
+"""Bus cost model and nibble-mode scaling tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.nibble import (
+    BusCostModel,
+    LINEAR_BUS,
+    NIBBLE_MODE_BUS,
+    scaled_traffic_factor,
+)
+
+
+class TestBusCostModel:
+    def test_linear_cost(self):
+        assert LINEAR_BUS.cost(1) == 1.0
+        assert LINEAR_BUS.cost(8) == 8.0
+
+    def test_nibble_matches_paper_formula(self):
+        # Section 4.3: cost(w) = 1 + (w - 1) / 3.
+        for words in (1, 2, 4, 8, 16):
+            assert NIBBLE_MODE_BUS.cost(words) == pytest.approx(
+                1 + (words - 1) / 3
+            )
+
+    def test_zero_words_is_free(self):
+        assert NIBBLE_MODE_BUS.cost(0) == 0.0
+
+    def test_from_latencies_normalizes_first_word(self):
+        model = BusCostModel.from_latencies(160, 55)
+        assert model.cost(1) == pytest.approx(1.0)
+        assert model.cost(2) == pytest.approx(1 + 55 / 160)
+
+    def test_paper_approximation_of_bursky(self):
+        # 160/55 approximated as 3:1 gives exactly the nibble model.
+        approx = BusCostModel.from_latencies(3, 1)
+        for words in range(1, 10):
+            assert approx.cost(words) == pytest.approx(
+                NIBBLE_MODE_BUS.cost(words)
+            )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BusCostModel(base=0.5, per_word=0)
+        with pytest.raises(ConfigurationError):
+            BusCostModel(base=-1, per_word=1)
+        with pytest.raises(ConfigurationError):
+            BusCostModel.from_latencies(0, 55)
+
+
+class TestScaledTrafficFactor:
+    def test_single_word_is_unscaled(self):
+        assert scaled_traffic_factor(1, NIBBLE_MODE_BUS) == pytest.approx(1.0)
+
+    def test_paper_example_values(self):
+        # (1/w)(1 + (w-1)/3): w=4 -> 0.5, w=16 -> 0.375.
+        assert scaled_traffic_factor(4, NIBBLE_MODE_BUS) == pytest.approx(0.5)
+        assert scaled_traffic_factor(16, NIBBLE_MODE_BUS) == pytest.approx(0.375)
+
+    def test_linear_bus_never_scales(self):
+        for words in (1, 2, 8, 32):
+            assert scaled_traffic_factor(words, LINEAR_BUS) == pytest.approx(1.0)
+
+    @given(words=st.integers(1, 64))
+    def test_factor_decreases_with_transfer_size(self, words):
+        assert scaled_traffic_factor(
+            words + 1, NIBBLE_MODE_BUS
+        ) < scaled_traffic_factor(words, NIBBLE_MODE_BUS)
+
+    @given(words=st.integers(1, 256))
+    def test_factor_bounded_below_by_marginal_cost(self, words):
+        # As w grows the factor approaches b = 1/3 from above.
+        factor = scaled_traffic_factor(words, NIBBLE_MODE_BUS)
+        assert 1 / 3 < factor <= 1.0
+
+    def test_zero_words_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scaled_traffic_factor(0, NIBBLE_MODE_BUS)

@@ -1,0 +1,57 @@
+"""Effective-access-time model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.timing import MemoryTiming, effective_access_time
+
+
+class TestEffectiveAccessTime:
+    def test_perfect_cache(self):
+        assert effective_access_time(0.0, 100, 500) == 100
+
+    def test_no_cache(self):
+        assert effective_access_time(1.0, 100, 500) == 500
+
+    def test_linear_interpolation(self):
+        assert effective_access_time(0.5, 100, 500) == 300
+
+    def test_bad_miss_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            effective_access_time(1.5, 100, 500)
+        with pytest.raises(ConfigurationError):
+            effective_access_time(-0.1, 100, 500)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            effective_access_time(0.5, -1, 500)
+
+
+class TestMemoryTiming:
+    def test_bursky_defaults(self):
+        timing = MemoryTiming()
+        assert timing.miss_penalty_ns(1) == 160
+        assert timing.miss_penalty_ns(4) == 160 + 3 * 55
+
+    def test_effective_access_uses_sub_block_penalty(self):
+        timing = MemoryTiming(t_cache_ns=100)
+        small = timing.effective_access_ns(0.1, sub_block_words=1)
+        large = timing.effective_access_ns(0.1, sub_block_words=8)
+        assert small < large
+
+    def test_lower_miss_ratio_can_justify_bigger_sub_blocks(self):
+        # The t_eff trade-off the paper describes: a larger sub-block
+        # costs more per miss but (for these ratios) wins by missing
+        # less often.
+        timing = MemoryTiming(t_cache_ns=100)
+        small_sub = timing.effective_access_ns(0.20, sub_block_words=1)
+        large_sub = timing.effective_access_ns(0.05, sub_block_words=4)
+        assert large_sub < small_sub
+
+    def test_zero_word_transfer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTiming().miss_penalty_ns(0)
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTiming(t_cache_ns=-1)

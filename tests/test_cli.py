@@ -1,0 +1,115 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace.reader import read_din
+
+LEN = ["--length", "6000"]
+
+
+class TestTableCommands:
+    def test_table7(self, capsys):
+        assert main(LEN + ["table7", "z8000"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 7 (z8000)" in out
+        assert "16,8" in out
+
+    def test_table8(self, capsys):
+        assert main(LEN + ["table8"]) == 0
+        out = capsys.readouterr().out
+        assert "load-forward" in out
+        assert "16,2,LF" in out
+
+    def test_table6(self, capsys):
+        assert main(["--length", "20000", "table6"]) == 0
+        out = capsys.readouterr().out
+        assert "360/85" in out
+
+
+class TestFigureCommand:
+    def test_figure_4(self, capsys):
+        assert main(LEN + ["figure", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "traffic ratio (log)" in out
+
+    def test_figure_8_is_nibble_mode(self, capsys):
+        assert main(LEN + ["figure", "8"]) == 0
+        assert "nibble mode" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(LEN + ["figure", "12"])
+
+
+class TestOtherCommands:
+    def test_riscii(self, capsys):
+        assert main(["--length", "10000", "riscii"]) == 0
+        out = capsys.readouterr().out
+        assert "remote PC accuracy" in out
+
+    def test_suites_listing(self, capsys):
+        assert main(["suites"]) == 0
+        out = capsys.readouterr().out
+        assert "pdp11:" in out
+        assert "NROFF" in out
+
+    def test_trace_summary(self, capsys):
+        assert main(LEN + ["trace", "z8000", "GREP"]) == 0
+        assert "unique addresses" in capsys.readouterr().out
+
+    def test_trace_export_din(self, tmp_path, capsys):
+        out_file = tmp_path / "grep.din"
+        assert main(LEN + ["trace", "z8000", "GREP", "--out", str(out_file)]) == 0
+        trace = read_din(out_file, size=2)
+        assert len(trace) == 6000
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSimulateCommand:
+    @pytest.fixture()
+    def din_file(self, tmp_path):
+        path = tmp_path / "grep.din"
+        main(LEN + ["trace", "z8000", "GREP", "--out", str(path)])
+        return str(path)
+
+    def test_defaults(self, din_file, capsys):
+        assert main(["simulate", din_file]) == 0
+        out = capsys.readouterr().out
+        assert "miss ratio" in out
+        assert "1024B net (16,16)" in out or "1024B net" in out
+
+    def test_geometry_flags(self, din_file, capsys):
+        assert main([
+            "simulate", din_file, "--net", "256", "--block", "16",
+            "--sub", "8", "--assoc", "2",
+        ]) == 0
+        assert "256B net (16,8) 2-way" in capsys.readouterr().out
+
+    def test_fetch_and_replacement_flags(self, din_file, capsys):
+        assert main([
+            "simulate", din_file, "--sub", "2",
+            "--fetch", "load-forward", "--replacement", "fifo",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fifo replacement" in out
+        assert "load-forward fetch" in out
+
+    def test_cold_and_keep_writes(self, din_file, capsys):
+        assert main(["simulate", din_file, "--cold", "--keep-writes"]) == 0
+        assert "miss ratio" in capsys.readouterr().out
+
+
+class TestFigureCsv:
+    def test_csv_output(self, capsys):
+        assert main(LEN + ["figure", "4", "--csv"]) == 0
+        out = capsys.readouterr().out
+        header, first = out.splitlines()[:2]
+        assert header == "net_size,series,solid,traffic_ratio,miss_ratio"
+        fields = first.split(",")
+        assert len(fields) == 5
+        float(fields[3]), float(fields[4])  # parses as numbers

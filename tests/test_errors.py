@@ -1,0 +1,38 @@
+"""Exception hierarchy contract tests."""
+
+import pytest
+
+from repro.errors import (
+    AssemblyError,
+    ConfigurationError,
+    MachineError,
+    ReproError,
+    TraceFormatError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (
+        ConfigurationError,
+        TraceFormatError,
+        MachineError,
+        AssemblyError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_trace_format_error_is_value_error():
+    assert issubclass(TraceFormatError, ValueError)
+
+
+def test_machine_error_is_runtime_error():
+    assert issubclass(MachineError, RuntimeError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise AssemblyError("bad source")

@@ -1,0 +1,48 @@
+"""Every example script must run end-to-end.
+
+Examples honour ``REPRO_TRACE_LEN``, so the tests run them at a reduced
+length; the point is that the documented entry points never rot.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+# What each example must mention in its output (a cheap wrongness check).
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["miss ratio", "effective access time"],
+    "subblock_tradeoff.py": ["trade: miss", "b32"],
+    "loadforward_study.py": ["load-forward cuts traffic"],
+    "nibble_mode_study.py": ["optimal sub-block under"],
+    "sector_cache_360_85.py": ["360/85 sector cache", "rel "],
+    "riscii_icache.py": ["remote program counter", "code compaction"],
+    "multiprocessor_bus.py": ["processors", "Bus accounting"],
+    "design_explorer.py": ["qualify; cheapest first", "<- best"],
+}
+
+
+def test_every_example_is_covered():
+    assert {p.name for p in EXAMPLES} == set(EXPECTED_SNIPPETS)
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example):
+    env = dict(os.environ, REPRO_TRACE_LEN="8000")
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for snippet in EXPECTED_SNIPPETS[example.name]:
+        assert snippet in result.stdout, (
+            f"{example.name} output missing {snippet!r}:\n{result.stdout[:2000]}"
+        )

@@ -1,0 +1,97 @@
+"""Trace transform tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.filters import (
+    align_addresses,
+    interleave,
+    mask_addresses,
+    only_kind,
+    reads_only,
+    truncate,
+)
+from repro.trace.record import AccessType, Trace
+
+
+class TestReadsOnly:
+    def test_drops_writes(self, tiny_trace):
+        filtered = reads_only(tiny_trace)
+        assert filtered.count(AccessType.WRITE) == 0
+        assert len(filtered) == 9
+
+    def test_preserves_order(self, tiny_trace):
+        filtered = reads_only(tiny_trace)
+        expected = [a.addr for a in tiny_trace if a.kind is not AccessType.WRITE]
+        assert filtered.addrs.tolist() == expected
+
+    def test_idempotent(self, tiny_trace):
+        once = reads_only(tiny_trace)
+        assert reads_only(once) == once
+
+
+class TestOnlyKind:
+    def test_ifetch_only(self, tiny_trace):
+        ifetches = only_kind(tiny_trace, AccessType.IFETCH)
+        assert len(ifetches) == 5
+        assert set(ifetches.kinds.tolist()) == {int(AccessType.IFETCH)}
+
+
+class TestTruncate:
+    def test_limits_length(self, tiny_trace):
+        assert len(truncate(tiny_trace, 4)) == 4
+
+    def test_longer_than_trace_is_noop(self, tiny_trace):
+        assert truncate(tiny_trace, 100) == tiny_trace
+
+    def test_negative_rejected(self, tiny_trace):
+        with pytest.raises(ConfigurationError):
+            truncate(tiny_trace, -1)
+
+
+class TestMaskAddresses:
+    def test_folds_into_space(self):
+        trace = Trace([0x1FFFF, 0x10000, 0x00FF], [0, 0, 0], 2)
+        masked = mask_addresses(trace, 16)
+        assert masked.addrs.tolist() == [0xFFFF, 0x0000, 0x00FF]
+
+    def test_bad_bits_rejected(self, tiny_trace):
+        with pytest.raises(ConfigurationError):
+            mask_addresses(tiny_trace, 0)
+
+
+class TestAlignAddresses:
+    def test_rounds_down(self):
+        trace = Trace([1, 5, 8], [0, 0, 0], 1)
+        assert align_addresses(trace, 4).addrs.tolist() == [0, 4, 8]
+
+    def test_bad_word_rejected(self, tiny_trace):
+        with pytest.raises(ConfigurationError):
+            align_addresses(tiny_trace, 0)
+
+
+class TestInterleave:
+    def test_round_robin_quantum(self):
+        a = Trace([0, 2, 4, 6], [0] * 4, 2, name="a")
+        b = Trace([100, 102], [0] * 2, 2, name="b")
+        merged = interleave([a, b], quantum=2)
+        assert merged.addrs.tolist() == [0, 2, 100, 102, 4, 6]
+
+    def test_preserves_all_accesses(self, tiny_trace, random_trace):
+        merged = interleave([tiny_trace, random_trace], quantum=7)
+        assert len(merged) == len(tiny_trace) + len(random_trace)
+        assert sorted(merged.addrs.tolist()) == sorted(
+            tiny_trace.addrs.tolist() + random_trace.addrs.tolist()
+        )
+
+    def test_empty_input(self):
+        assert len(interleave([], quantum=5)) == 0
+
+    def test_bad_quantum_rejected(self, tiny_trace):
+        with pytest.raises(ConfigurationError):
+            interleave([tiny_trace], quantum=0)
+
+    def test_name_joins_components(self):
+        a = Trace([0], [0], 2, name="a")
+        b = Trace([2], [0], 2, name="b")
+        assert interleave([a, b], quantum=1).name == "a+b"

@@ -1,0 +1,75 @@
+"""Trace file-format tests: din text and npz binary."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.reader import read_din, read_npz
+from repro.trace.record import Trace
+from repro.trace.writer import write_din, write_npz
+
+
+class TestDinFormat:
+    def test_roundtrip_stream(self, tiny_trace):
+        buffer = io.StringIO()
+        write_din(tiny_trace, buffer)
+        buffer.seek(0)
+        back = read_din(buffer, size=2, name="tiny")
+        assert back == tiny_trace
+
+    def test_roundtrip_file(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.din"
+        write_din(tiny_trace, path)
+        back = read_din(path, size=2)
+        assert back.addrs.tolist() == tiny_trace.addrs.tolist()
+        assert back.name == "trace"  # stem becomes the name
+
+    def test_parse_basic(self):
+        trace = read_din(io.StringIO("2 100\n0 1f4\n1 200\n"), size=4)
+        assert trace.kinds.tolist() == [2, 0, 1]
+        assert trace.addrs.tolist() == [0x100, 0x1F4, 0x200]
+        assert trace.sizes.tolist() == [4, 4, 4]
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n2 10\n   \n# more\n0 20\n"
+        assert len(read_din(io.StringIO(text))) == 2
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(TraceFormatError, match="label"):
+            read_din(io.StringIO("7 100\n"))
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(TraceFormatError, match="address"):
+            read_din(io.StringIO("0 zz\n"))
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(TraceFormatError):
+            read_din(io.StringIO("0 100 extra\n"))
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(TraceFormatError, match="line 2"):
+            read_din(io.StringIO("0 100\nbogus\n"))
+
+
+class TestNpzFormat:
+    def test_roundtrip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_npz(tiny_trace, path)
+        back = read_npz(path)
+        assert back == tiny_trace
+        assert back.name == "tiny"
+
+    def test_preserves_mixed_sizes(self, tmp_path):
+        trace = Trace([0, 4], [0, 2], [2, 4], name="mixed")
+        path = tmp_path / "mixed.npz"
+        write_npz(trace, path)
+        assert read_npz(path).sizes.tolist() == [2, 4]
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "foreign.npz"
+        np.savez(path, unrelated=np.arange(4))
+        with pytest.raises(TraceFormatError):
+            read_npz(path)

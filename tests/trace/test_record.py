@@ -1,0 +1,115 @@
+"""Unit tests for trace records and the Trace container."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.record import Access, AccessType, Trace
+
+
+class TestAccessType:
+    def test_din_codes(self):
+        assert int(AccessType.READ) == 0
+        assert int(AccessType.WRITE) == 1
+        assert int(AccessType.IFETCH) == 2
+
+    def test_is_fetch_or_read(self):
+        assert AccessType.READ.is_fetch_or_read
+        assert AccessType.IFETCH.is_fetch_or_read
+        assert not AccessType.WRITE.is_fetch_or_read
+
+
+class TestAccess:
+    def test_fields(self):
+        access = Access(0x1234, AccessType.READ, 2)
+        assert access.addr == 0x1234
+        assert access.kind is AccessType.READ
+        assert access.size == 2
+
+    def test_str(self):
+        assert str(Access(0x10, AccessType.IFETCH, 4)) == "IFETCH@0x10/4"
+
+
+class TestTraceConstruction:
+    def test_scalar_size_broadcasts(self):
+        trace = Trace([0, 2, 4], [0, 1, 2], 2)
+        assert trace.sizes.tolist() == [2, 2, 2]
+
+    def test_per_access_sizes(self):
+        trace = Trace([0, 2], [0, 0], [2, 4])
+        assert trace.sizes.tolist() == [2, 4]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Trace([0, 2], [0], 2)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Trace([-4], [0], 2)
+
+    def test_empty_trace(self):
+        trace = Trace([], [], [])
+        assert len(trace) == 0
+        assert trace.total_bytes == 0
+        assert trace.address_span() == 0
+
+    def test_from_accesses_roundtrip(self, tiny_trace):
+        rebuilt = Trace.from_accesses(list(tiny_trace), name="tiny")
+        assert rebuilt == tiny_trace
+
+    def test_from_accesses_empty(self):
+        assert len(Trace.from_accesses([])) == 0
+
+
+class TestTraceBehaviour:
+    def test_iteration_yields_access_tuples(self, tiny_trace):
+        first = next(iter(tiny_trace))
+        assert isinstance(first, Access)
+        assert first.kind is AccessType.IFETCH
+
+    def test_len(self, tiny_trace):
+        assert len(tiny_trace) == 10
+
+    def test_indexing(self, tiny_trace):
+        assert tiny_trace[2] == Access(0x200, AccessType.READ, 2)
+
+    def test_slicing_preserves_name(self, tiny_trace):
+        sliced = tiny_trace[:3]
+        assert len(sliced) == 3
+        assert sliced.name == "tiny"
+
+    def test_equality(self, tiny_trace):
+        assert tiny_trace == tiny_trace[:]
+        assert tiny_trace != tiny_trace[:5]
+
+    def test_concatenation(self, tiny_trace):
+        both = tiny_trace + tiny_trace
+        assert len(both) == 20
+        assert both[10] == tiny_trace[0]
+
+    def test_concatenation_keeps_left_name(self, tiny_trace):
+        other = Trace([0], [0], 2, name="other")
+        assert (tiny_trace + other).name == "tiny"
+
+    def test_unhashable(self, tiny_trace):
+        with pytest.raises(TypeError):
+            hash(tiny_trace)
+
+    def test_repr_contains_name_and_len(self, tiny_trace):
+        assert "tiny" in repr(tiny_trace)
+        assert "10" in repr(tiny_trace)
+
+
+class TestTraceStatsHelpers:
+    def test_total_bytes(self, tiny_trace):
+        assert tiny_trace.total_bytes == 20
+
+    def test_count_by_kind(self, tiny_trace):
+        assert tiny_trace.count(AccessType.IFETCH) == 5
+        assert tiny_trace.count(AccessType.READ) == 4
+        assert tiny_trace.count(AccessType.WRITE) == 1
+
+    def test_unique_addresses(self, tiny_trace):
+        assert tiny_trace.unique_addresses() == 6
+
+    def test_address_span(self, tiny_trace):
+        assert tiny_trace.address_span() == 0x300 - 0x100

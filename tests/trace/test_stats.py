@@ -1,0 +1,74 @@
+"""Locality-diagnostics tests."""
+
+import numpy as np
+
+from repro.trace.record import Trace
+from repro.trace.stats import (
+    profile_trace,
+    run_length_histogram,
+    working_set_curve,
+)
+
+
+class TestRunLengthHistogram:
+    def test_pure_sequential(self):
+        histogram = run_length_histogram(np.arange(10))
+        assert histogram == {10: 1}
+
+    def test_alternating(self):
+        histogram = run_length_histogram(np.array([0, 5, 0, 5]))
+        assert histogram == {1: 4}
+
+    def test_mixed_runs(self):
+        histogram = run_length_histogram(np.array([0, 1, 2, 9, 10, 4]))
+        assert histogram == {3: 1, 2: 1, 1: 1}
+
+    def test_empty(self):
+        assert run_length_histogram(np.array([])) == {}
+
+
+class TestProfileTrace:
+    def test_empty_trace(self):
+        profile = profile_trace(Trace([], [], []))
+        assert profile.length == 0
+        assert profile.unique_words == 0
+
+    def test_fraction_fields(self, tiny_trace):
+        profile = profile_trace(tiny_trace)
+        assert profile.ifetch_fraction == 0.5
+        assert profile.write_fraction == 0.1
+
+    def test_unique_words(self):
+        trace = Trace([0, 2, 0, 2, 4], [0] * 5, 2)
+        assert profile_trace(trace, word=2).unique_words == 3
+
+    def test_forward_bias_of_sequential_stream(self):
+        trace = Trace(list(range(0, 100, 2)), [2] * 50, 2)
+        profile = profile_trace(trace)
+        assert profile.forward_bias == 1.0
+
+    def test_workload_traces_have_forward_bias(self, z8000_grep_trace):
+        # Section 4.4: program and data references exhibit forward bias.
+        profile = profile_trace(z8000_grep_trace)
+        assert profile.forward_bias > 0.5
+
+    def test_workload_traces_have_sequential_runs(self, z8000_grep_trace):
+        profile = profile_trace(z8000_grep_trace)
+        assert profile.mean_run_length > 1.0
+
+
+class TestWorkingSetCurve:
+    def test_window_counts(self):
+        trace = Trace([0, 0, 2, 2, 4, 6], [0] * 6, 2)
+        assert working_set_curve(trace, window=2, word=2) == [1, 1, 2]
+
+    def test_partial_window_dropped(self):
+        trace = Trace([0, 2, 4], [0] * 3, 2)
+        assert working_set_curve(trace, window=2, word=2) == [2]
+
+    def test_larger_working_set_for_larger_workload(
+        self, z8000_grep_trace, vax_c2_trace
+    ):
+        small = working_set_curve(z8000_grep_trace, window=4000, word=2)
+        large = working_set_curve(vax_c2_trace, window=4000, word=4)
+        assert sum(large) / len(large) > sum(small) / len(small)

@@ -1,0 +1,81 @@
+"""Property-based tests for the trace layer (hypothesis)."""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.filters import interleave, mask_addresses, reads_only, truncate
+from repro.trace.reader import read_din
+from repro.trace.record import AccessType, Trace
+from repro.trace.writer import write_din
+
+traces = st.builds(
+    lambda addrs, kinds: Trace(addrs, kinds[: len(addrs)] + [0] * max(0, len(addrs) - len(kinds)), 2, name="t"),
+    addrs=st.lists(st.integers(0, 1 << 20), max_size=200),
+    kinds=st.lists(st.integers(0, 2), max_size=200),
+)
+
+
+class TestRoundtrips:
+    @given(trace=traces)
+    @settings(max_examples=60, deadline=None)
+    def test_din_roundtrip_preserves_trace(self, trace):
+        buffer = io.StringIO()
+        write_din(trace, buffer)
+        buffer.seek(0)
+        assert read_din(buffer, size=2, name="t") == trace
+
+    @given(trace=traces)
+    @settings(max_examples=60, deadline=None)
+    def test_from_accesses_roundtrip(self, trace):
+        assert Trace.from_accesses(list(trace), name="t") == trace
+
+
+class TestFilterProperties:
+    @given(trace=traces)
+    @settings(max_examples=60, deadline=None)
+    def test_reads_only_removes_exactly_the_writes(self, trace):
+        filtered = reads_only(trace)
+        assert filtered.count(AccessType.WRITE) == 0
+        assert len(filtered) == len(trace) - trace.count(AccessType.WRITE)
+
+    @given(trace=traces, limit=st.integers(0, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_truncate_is_prefix(self, trace, limit):
+        cut = truncate(trace, limit)
+        assert len(cut) == min(limit, len(trace))
+        assert cut == trace[: len(cut)]
+
+    @given(trace=traces, bits=st.integers(1, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_mask_bounds_addresses(self, trace, bits):
+        masked = mask_addresses(trace, bits)
+        if len(masked):
+            assert masked.addrs.max() < (1 << bits)
+        assert len(masked) == len(trace)
+
+    @given(a=traces, b=traces, quantum=st.integers(1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_interleave_preserves_multiset(self, a, b, quantum):
+        merged = interleave([a, b], quantum=quantum)
+        assert len(merged) == len(a) + len(b)
+        assert sorted(merged.addrs.tolist()) == sorted(
+            a.addrs.tolist() + b.addrs.tolist()
+        )
+
+    @given(a=traces, quantum=st.integers(1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_interleave_single_trace_is_identity(self, a, quantum):
+        assert interleave([a], quantum=quantum) == a
+
+
+class TestConcatenationProperties:
+    @given(a=traces, b=traces)
+    @settings(max_examples=40, deadline=None)
+    def test_concat_lengths_add(self, a, b):
+        assert len(a + b) == len(a) + len(b)
+
+    @given(a=traces, b=traces, c=traces)
+    @settings(max_examples=30, deadline=None)
+    def test_concat_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)

@@ -1,0 +1,120 @@
+"""Assembler tests: syntax, layout, symbols, and error reporting."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.workloads.assembler import assemble
+from repro.workloads.isa import Op
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        program = assemble("halt\n")
+        assert len(program.instructions) == 1
+        assert program.instructions[0].op == Op.HALT
+        assert program.instructions[0].words == 1
+
+    def test_immediate_instructions_take_two_words(self):
+        program = assemble("li r0, 5\nhalt\n", word_size=2)
+        assert program.instructions[0].words == 2
+        assert program.instructions[1].addr == 0x100 + 4
+
+    def test_word_size_scales_addresses(self):
+        narrow = assemble("li r0, 5\nhalt\n", word_size=2)
+        wide = assemble("li r0, 5\nhalt\n", word_size=4)
+        assert narrow.instructions[1].addr == 0x104
+        assert wide.instructions[1].addr == 0x108
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("; nothing\n\nnop ; trailing\nhalt\n")
+        assert len(program.instructions) == 2
+
+    def test_registers_and_aliases(self):
+        program = assemble("mov sp, fp\nhalt\n")
+        assert program.instructions[0].a == 7
+        assert program.instructions[0].b == 6
+
+    def test_hex_and_negative_immediates(self):
+        program = assemble("li r0, 0x20\naddi r0, -3\nhalt\n")
+        assert program.instructions[0].imm == 0x20
+        assert program.instructions[1].imm == -3
+
+    def test_at_word_token(self):
+        assert assemble("addi r1, @word\nhalt\n", word_size=2).instructions[0].imm == 2
+        assert assemble("addi r1, @word\nhalt\n", word_size=4).instructions[0].imm == 4
+
+
+class TestLabelsAndBranches:
+    def test_branch_resolves_to_instruction_address(self):
+        source = "start:\n  nop\n  jmp start\n  halt\n"
+        program = assemble(source)
+        assert program.instructions[1].imm == program.instructions[0].addr
+
+    def test_forward_reference(self):
+        source = "jmp end\nnop\nend: halt\n"
+        program = assemble(source)
+        assert program.instructions[0].imm == program.instructions[2].addr
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("loop: jmp loop\n")
+        assert program.instructions[0].imm == program.instructions[0].addr
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("x: nop\nx: halt\n")
+
+
+class TestDataDirectives:
+    def test_space_reserves_zeroed_words(self):
+        program = assemble("halt\n.space buf 4\n", word_size=2)
+        base = program.symbols["buf"]
+        assert base == program.data_base
+        assert program.data_limit - base == 8
+
+    def test_words_initialize_memory(self):
+        program = assemble("halt\n.words tab 10 20 30\n", word_size=2)
+        base = program.symbols["tab"]
+        assert [program.data[base + 2 * i] for i in range(3)] == [10, 20, 30]
+
+    def test_data_symbols_usable_as_immediates(self):
+        program = assemble("li r0, tab\nhalt\n.words tab 1\n")
+        assert program.instructions[0].imm == program.symbols["tab"]
+
+    def test_symbol_plus_offset(self):
+        program = assemble("li r0, tab+4\nhalt\n.words tab 1 2 3\n")
+        assert program.instructions[0].imm == program.symbols["tab"] + 4
+
+    def test_data_placed_after_code(self):
+        program = assemble("nop\nhalt\n.space buf 2\n", word_size=2)
+        assert program.data_base == 0x100 + 2 * 2
+        assert program.code_bytes == 4
+
+    def test_duplicate_data_symbol_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("halt\n.words x 1\n.space x 2\n")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r0\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="not a register"):
+            assemble("mov r9, r0\n")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblyError, match="undefined symbol"):
+            assemble("jmp nowhere\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r0\n")
+
+    def test_bad_word_size(self):
+        with pytest.raises(AssemblyError):
+            assemble("halt\n", word_size=3)
+
+    def test_errors_cite_line_numbers(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbogus r0\n")

@@ -1,0 +1,49 @@
+"""Trace-generation front-end tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import program_trace, synthetic_trace
+from repro.workloads.synthetic import SyntheticProfile
+
+
+class TestProgramTrace:
+    def test_exact_length(self):
+        trace = program_trace("fib", 5000, n=12)
+        assert len(trace) == 5000
+
+    def test_restarts_concatenate_runs(self):
+        # fib(10) emits only a few thousand references; a longer budget
+        # forces restarts with stepped seeds.
+        trace = program_trace("fib", 30000, n=10)
+        assert len(trace) == 30000
+
+    def test_name_defaults_to_program(self):
+        assert program_trace("fib", 100, n=10).name == "fib"
+
+    def test_explicit_name(self):
+        assert program_trace("fib", 100, name="OPSYS", n=10).name == "OPSYS"
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown program"):
+            program_trace("doom", 100)
+
+    def test_deterministic(self):
+        a = program_trace("bubble", 4000, n=24, seed=3)
+        b = program_trace("bubble", 4000, n=24, seed=3)
+        assert a == b
+
+    def test_word_size_propagates(self):
+        trace = program_trace("fib", 1000, word_size=4, n=10)
+        assert set(trace.sizes.tolist()) == {4}
+
+
+class TestSyntheticTrace:
+    def test_wraps_generator(self):
+        profile = SyntheticProfile(
+            code_words=500, n_procs=4, global_words=200,
+            stream_words=100, n_streams=1,
+        )
+        trace = synthetic_trace(profile, 2000, seed=1, name="PGO1")
+        assert len(trace) == 2000
+        assert trace.name == "PGO1"

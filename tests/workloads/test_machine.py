@@ -1,0 +1,185 @@
+"""Interpreter tests: semantics, trace emission, and error handling."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.trace.record import AccessType
+from repro.workloads.assembler import assemble
+from repro.workloads.machine import Machine
+
+
+def run(source, word_size=2, **kwargs):
+    machine = Machine(assemble(source, word_size=word_size), **kwargs)
+    result = machine.run()
+    return machine, result
+
+
+class TestArithmetic:
+    def test_li_mov_add(self):
+        machine, _ = run("li r0, 5\nli r1, 7\nadd r0, r1\nmov r2, r0\nhalt\n")
+        assert machine.registers[0] == 12
+        assert machine.registers[2] == 12
+
+    def test_sub_mul_div_mod(self):
+        machine, _ = run(
+            "li r0, 17\nli r1, 5\nmov r2, r0\nmod r2, r1\n"
+            "mov r3, r0\ndiv r3, r1\nsub r0, r1\nmul r1, r1\nhalt\n"
+        )
+        assert machine.registers[2] == 2
+        assert machine.registers[3] == 3
+        assert machine.registers[0] == 12
+        assert machine.registers[1] == 25
+
+    def test_negative_division_truncates_toward_zero(self):
+        machine, _ = run("li r0, -7\nli r1, 2\ndiv r0, r1\nhalt\n")
+        assert machine.registers[0] == -3
+
+    def test_bitwise_and_shifts(self):
+        machine, _ = run(
+            "li r0, 12\nli r1, 10\nand r0, r1\n"
+            "li r2, 3\nli r3, 2\nshl r2, r3\n"
+            "li r4, 32\nli r5, 3\nshr r4, r5\nhalt\n"
+        )
+        assert machine.registers[0] == 8
+        assert machine.registers[2] == 12
+        assert machine.registers[4] == 4
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(MachineError, match="division"):
+            run("li r0, 1\nli r1, 0\ndiv r0, r1\nhalt\n")
+
+
+class TestMemoryOps:
+    def test_store_then_load(self):
+        machine, _ = run(
+            "li r0, buf\nli r1, 42\nst r1, r0, 0\nld r2, r0, 0\nhalt\n"
+            ".space buf 1\n"
+        )
+        assert machine.registers[2] == 42
+
+    def test_load_with_offset(self):
+        machine, _ = run(
+            "li r0, tab\nld r1, r0, @word\nhalt\n.words tab 5 6 7\n"
+        )
+        assert machine.registers[1] == 6
+
+    def test_byte_ops(self):
+        machine, _ = run(
+            "li r0, buf\nli r1, 0xAB\nstb r1, r0, 0\nldb r2, r0, 0\nhalt\n"
+            ".space buf 1\n"
+        )
+        assert machine.registers[2] == 0xAB
+
+    def test_byte_ops_within_word(self):
+        machine, _ = run(
+            "li r0, buf\nli r1, 1\nstb r1, r0, 0\nli r1, 2\nstb r1, r0, 1\n"
+            "ldb r2, r0, 0\nldb r3, r0, 1\nhalt\n.space buf 1\n"
+        )
+        assert (machine.registers[2], machine.registers[3]) == (1, 2)
+
+    def test_uninitialized_memory_reads_zero(self):
+        machine, _ = run("li r0, buf\nld r1, r0, 0\nhalt\n.space buf 1\n")
+        assert machine.registers[1] == 0
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        machine, _ = run(
+            "li r0, 0\nli r1, 10\nloop: addi r0, 1\nblt r0, r1, loop\nhalt\n"
+        )
+        assert machine.registers[0] == 10
+
+    def test_branch_variants(self):
+        machine, _ = run(
+            "li r0, 3\nli r1, 3\nbeq r0, r1, eq\nli r2, 0\njmp out\n"
+            "eq: li r2, 1\nout: halt\n"
+        )
+        assert machine.registers[2] == 1
+
+    def test_call_and_ret(self):
+        machine, _ = run(
+            "li r0, 5\ncall double\nhalt\ndouble: add r0, r0\nret\n"
+        )
+        assert machine.registers[0] == 10
+
+    def test_nested_calls_restore_correctly(self):
+        machine, _ = run(
+            "li r0, 1\ncall a\nhalt\n"
+            "a: addi r0, 10\ncall b\naddi r0, 100\nret\n"
+            "b: addi r0, 1000\nret\n"
+        )
+        assert machine.registers[0] == 1111
+
+    def test_push_pop(self):
+        machine, _ = run("li r0, 9\npush r0\nli r0, 0\npop r1\nhalt\n")
+        assert machine.registers[1] == 9
+
+    def test_stack_overflow_detected(self):
+        with pytest.raises(MachineError, match="stack overflow"):
+            run("loop: push r0\njmp loop\n", stack_words=16)
+
+    def test_falling_off_code_raises(self):
+        with pytest.raises(MachineError):
+            run("nop\n")  # no halt
+
+
+class TestTraceEmission:
+    def test_every_instruction_word_is_fetched(self):
+        _, result = run("li r0, 1\nnop\nhalt\n")
+        ifetches = [a for a in result.trace if a.kind is AccessType.IFETCH]
+        # li = 2 words, nop = 1, halt = 1.
+        assert len(ifetches) == 4
+
+    def test_data_refs_recorded_with_kind(self):
+        _, result = run(
+            "li r0, buf\nli r1, 1\nst r1, r0, 0\nld r2, r0, 0\nhalt\n"
+            ".space buf 1\n"
+        )
+        kinds = [a.kind for a in result.trace]
+        assert AccessType.WRITE in kinds
+        assert AccessType.READ in kinds
+
+    def test_stack_ops_emit_memory_traffic(self):
+        _, result = run("li r0, 1\npush r0\npop r1\nhalt\n")
+        writes = [a for a in result.trace if a.kind is AccessType.WRITE]
+        reads = [a for a in result.trace if a.kind is AccessType.READ]
+        assert len(writes) == 1 and len(reads) == 1
+        assert writes[0].addr == reads[0].addr
+
+    def test_trace_sizes_match_word_size(self):
+        _, narrow = run("nop\nhalt\n", word_size=2)
+        assert set(narrow.trace.sizes.tolist()) == {2}
+        machine4 = Machine(assemble("nop\nhalt\n", word_size=4))
+        assert set(machine4.run().trace.sizes.tolist()) == {4}
+
+    def test_ifetch_addresses_are_sequential_for_straightline(self):
+        _, result = run("nop\nnop\nnop\nhalt\n")
+        addrs = result.trace.addrs.tolist()
+        assert addrs == [0x100, 0x102, 0x104, 0x106]
+
+
+class TestBudgets:
+    def test_step_budget_stops_infinite_loop(self):
+        machine = Machine(assemble("loop: jmp loop\n"))
+        result = machine.run(max_steps=100)
+        assert result.halted is False
+        assert result.steps == 100
+
+    def test_ref_budget_truncates_trace(self):
+        machine = Machine(assemble("loop: jmp loop\n"))
+        result = machine.run(max_refs=50)
+        assert not result.halted
+        assert len(result.trace) <= 52  # one instruction may overshoot
+
+    def test_halted_flag_set_on_clean_exit(self):
+        _, result = run("halt\n")
+        assert result.halted
+        assert result.steps == 1
+
+
+class TestHelpers:
+    def test_read_write_words(self):
+        machine = Machine(assemble("halt\n.space buf 3\n"))
+        base = machine.program.symbols["buf"]
+        machine.write_words(base, [7, 8, 9])
+        assert machine.read_words(base, 3) == [7, 8, 9]

@@ -1,0 +1,96 @@
+"""Suite-registry tests: the paper's Tables 2-5 workloads."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.architectures import ARCHITECTURES, get_architecture
+from repro.workloads.suites import (
+    Z8000_FIGURE_TRACES,
+    Z8000_LOADFORWARD_TRACES,
+    clear_trace_cache,
+    suite_names,
+    suite_specs,
+    suite_trace,
+    suite_traces,
+)
+
+
+class TestArchitectures:
+    def test_all_architectures_present(self):
+        assert set(ARCHITECTURES) == {"pdp11", "z8000", "vax", "s370", "mainframe"}
+
+    def test_word_sizes_match_paper(self):
+        # Section 3.3: 2-byte paths for Z8000/PDP-11, 4-byte for
+        # VAX/System-370.
+        assert get_architecture("pdp11").word_size == 2
+        assert get_architecture("z8000").word_size == 2
+        assert get_architecture("vax").word_size == 4
+        assert get_architecture("s370").word_size == 4
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_architecture("m68k")
+
+
+class TestSuiteStructure:
+    def test_suite_names(self):
+        assert suite_names() == ["mainframe", "pdp11", "s370", "vax", "z8000"]
+
+    def test_paper_trace_names_present(self):
+        assert [s.name for s in suite_specs("pdp11")] == [
+            "OPSYS", "PLOT", "SIMP", "TRACE", "ROFF", "ED",
+        ]
+        assert [s.name for s in suite_specs("s370")] == [
+            "FGO1", "FCOMP1", "PGO1", "PGO2",
+        ]
+        assert len(suite_specs("z8000")) == 9
+        assert len(suite_specs("vax")) == 6
+        assert len(suite_specs("mainframe")) == 6
+
+    def test_figure_subset_is_last_five_of_table3(self):
+        z8000_names = [s.name for s in suite_specs("z8000")]
+        assert list(Z8000_FIGURE_TRACES) == z8000_names[-5:]
+
+    def test_loadforward_subset(self):
+        assert Z8000_LOADFORWARD_TRACES == ("CPP", "C1", "C2")
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            suite_specs("cray")
+
+
+class TestTraceGeneration:
+    def test_trace_has_requested_length_and_name(self):
+        trace = suite_trace("z8000", "GREP", length=3000)
+        assert len(trace) == 3000
+        assert trace.name == "GREP"
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ConfigurationError, match="no trace"):
+            suite_trace("z8000", "EMACS", length=100)
+
+    def test_cache_returns_same_object(self):
+        a = suite_trace("z8000", "GREP", length=3000)
+        b = suite_trace("z8000", "GREP", length=3000)
+        assert a is b
+
+    def test_clear_cache(self):
+        a = suite_trace("z8000", "GREP", length=3000)
+        clear_trace_cache()
+        b = suite_trace("z8000", "GREP", length=3000)
+        assert a is not b
+        assert a == b  # still deterministic
+
+    def test_suite_traces_subset_ordering(self):
+        traces = suite_traces("z8000", length=1000, names=("SORT", "GREP"))
+        assert [t.name for t in traces] == ["SORT", "GREP"]
+
+    def test_suite_traces_missing_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="lacks"):
+            suite_traces("z8000", length=100, names=("GREP", "VI"))
+
+    def test_word_sizes_follow_architecture(self):
+        z_trace = suite_trace("z8000", "GREP", length=500)
+        v_trace = suite_trace("vax", "qsort", length=500)
+        assert set(z_trace.sizes.tolist()) == {2}
+        assert set(v_trace.sizes.tolist()) == {4}

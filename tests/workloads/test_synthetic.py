@@ -1,0 +1,113 @@
+"""Statistical workload generator tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessType
+from repro.trace.stats import profile_trace
+from repro.workloads.synthetic import SyntheticProfile, generate_synthetic
+
+
+SMALL = SyntheticProfile(
+    code_words=1000, n_procs=8, global_words=500, stream_words=400, n_streams=2
+)
+
+
+class TestValidation:
+    def test_code_smaller_than_procs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticProfile(code_words=4, n_procs=8)
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticProfile(global_words=0)
+
+    def test_bad_data_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticProfile(data_fraction=1.5)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_synthetic(SMALL, -1)
+
+
+class TestBasicShape:
+    def test_exact_length(self):
+        assert len(generate_synthetic(SMALL, 5000)) == 5000
+
+    def test_zero_length(self):
+        assert len(generate_synthetic(SMALL, 0)) == 0
+
+    def test_deterministic_per_seed(self):
+        a = generate_synthetic(SMALL, 3000, seed=9)
+        b = generate_synthetic(SMALL, 3000, seed=9)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = generate_synthetic(SMALL, 3000, seed=1)
+        b = generate_synthetic(SMALL, 3000, seed=2)
+        assert a != b
+
+    def test_word_size_scales_addresses(self):
+        narrow = generate_synthetic(SMALL, 3000, word_size=2, seed=5)
+        wide = generate_synthetic(SMALL, 3000, word_size=4, seed=5)
+        assert set(narrow.sizes.tolist()) == {2}
+        assert set(wide.sizes.tolist()) == {4}
+        assert wide.address_span() > narrow.address_span()
+
+    def test_name_carried(self):
+        assert generate_synthetic(SMALL, 10, name="FGO1").name == "FGO1"
+
+
+class TestLocalityCharacter:
+    def test_contains_all_access_kinds(self):
+        trace = generate_synthetic(SMALL, 8000, seed=3)
+        for kind in (AccessType.IFETCH, AccessType.READ, AccessType.WRITE):
+            assert trace.count(kind) > 0
+
+    def test_instruction_runs_are_sequential(self):
+        profile = profile_trace(generate_synthetic(SMALL, 8000, seed=3))
+        assert profile.mean_run_length > 1.5
+
+    def test_forward_bias(self):
+        profile = profile_trace(generate_synthetic(SMALL, 8000, seed=3))
+        assert profile.forward_bias > 0.5
+
+    def test_bigger_profiles_have_bigger_working_sets(self):
+        big = SyntheticProfile(
+            code_words=20000, n_procs=30, global_words=20000,
+            stream_words=8000, n_streams=3,
+        )
+        small_ws = profile_trace(generate_synthetic(SMALL, 10000, seed=4)).unique_words
+        big_ws = profile_trace(generate_synthetic(big, 10000, seed=4)).unique_words
+        assert big_ws > small_ws
+
+    def test_more_reuse_lowers_miss_ratio(self):
+        from repro.core import CacheGeometry, run_config
+        from repro.trace.filters import reads_only
+
+        low = SyntheticProfile(
+            code_words=4000, n_procs=8, global_words=4000,
+            stream_words=400, n_streams=2, p_loop=0.1, loop_iters=2,
+        )
+        high = SyntheticProfile(
+            code_words=4000, n_procs=8, global_words=4000,
+            stream_words=400, n_streams=2, p_loop=0.6, loop_iters=40,
+        )
+        geometry = CacheGeometry(1024, 16, 8)
+        low_miss = run_config(
+            geometry, reads_only(generate_synthetic(low, 30000, seed=6))
+        ).miss_ratio
+        high_miss = run_config(
+            geometry, reads_only(generate_synthetic(high, 30000, seed=6))
+        ).miss_ratio
+        assert high_miss < low_miss
+
+    @given(seed=st.integers(0, 50), length=st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_any_seed_and_length_work(self, seed, length):
+        trace = generate_synthetic(SMALL, length, seed=seed)
+        assert len(trace) == length
+        if length:
+            assert trace.addrs.min() >= 0
