@@ -24,6 +24,8 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.runner.runner import RunnerConfig
+
 from repro.analysis.paper_data import TABLE7, TABLE8
 from repro.analysis.sweep import SweepPoint, geometry_grid, sweep
 from repro.core.config import CacheGeometry
@@ -122,13 +124,21 @@ def table6_experiment(length: Optional[int] = None) -> List[Table6Row]:
 
 
 def table7_experiment(
-    arch: str, length: Optional[int] = None
+    arch: str,
+    length: Optional[int] = None,
+    runner: Optional[RunnerConfig] = None,
 ) -> List[SweepPoint]:
     """Reproduce one architecture's column of Table 7.
 
     Simulates exactly the (net, block, sub) combinations the paper
     publishes for that architecture, over its suite, with the paper's
     methodology (4-way, LRU, demand, warm start, reads only).
+
+    Args:
+        arch: One of the Table 7 architectures.
+        length: Trace length; :func:`default_trace_length` when None.
+        runner: Resilience knobs forwarded to the sweep (checkpoints,
+            retries, timeouts, lenient degradation).
     """
     if arch not in TABLE7:
         raise ConfigurationError(
@@ -140,7 +150,8 @@ def table7_experiment(
         for (net, block, sub) in sorted(TABLE7[arch])
     ]
     return sweep(
-        _experiment_traces(arch, length), geometries, word_size=word
+        _experiment_traces(arch, length), geometries, word_size=word,
+        runner_config=runner,
     )
 
 
@@ -161,17 +172,29 @@ class Table8Row:
         return f"{self.geometry.label}{suffix}"
 
 
-def table8_experiment(length: Optional[int] = None) -> List[Table8Row]:
-    """Reproduce Table 8: load-forward on Z8000 traces CPP, C1, C2."""
+def table8_experiment(
+    length: Optional[int] = None,
+    runner: Optional[RunnerConfig] = None,
+) -> List[Table8Row]:
+    """Reproduce Table 8: load-forward on Z8000 traces CPP, C1, C2.
+
+    With a checkpointed ``runner``, each table row gets its own
+    checkpoint file (``.row<N>`` suffix) since the rows are separate
+    sweeps with separate fingerprints.
+    """
     length = length if length is not None else default_trace_length()
     traces = suite_traces(
         "z8000", length=length, names=Z8000_LOADFORWARD_TRACES
     )
     rows = []
-    for net, block, sub, load_forward in sorted(TABLE8):
+    for index, (net, block, sub, load_forward) in enumerate(sorted(TABLE8)):
         geometry = CacheGeometry(net, block, sub)
         fetch = LoadForwardFetch() if load_forward else None
-        points = sweep([*traces], [geometry], word_size=2, fetch=fetch)
+        row_runner = runner.for_tag(f"row{index}") if runner is not None else None
+        points = sweep(
+            [*traces], [geometry], word_size=2, fetch=fetch,
+            runner_config=row_runner,
+        )
         point = points[0]
         redundant = _redundant_fraction(traces, geometry, load_forward)
         rows.append(
@@ -208,17 +231,22 @@ def figure_experiment(
     arch: str,
     net_sizes: Sequence[int],
     length: Optional[int] = None,
+    runner: Optional[RunnerConfig] = None,
 ) -> Dict[int, List[SweepPoint]]:
     """Sweep the full geometry grid behind Figures 1–8.
 
     Returns ``{net size: [SweepPoint, ...]}`` over the architecture's
     suite, for every (block, sub) pair of the paper's parameter ranges
-    at each net size.
+    at each net size.  With a checkpointed ``runner``, each net size
+    gets its own checkpoint file (``.net<N>`` suffix).
     """
     word = get_architecture(arch).word_size
     traces = _experiment_traces(arch, length)
     results: Dict[int, List[SweepPoint]] = {}
     for net in net_sizes:
         geometries = geometry_grid([net], min_sub=word)
-        results[net] = sweep(traces, geometries, word_size=word)
+        net_runner = runner.for_tag(f"net{net}") if runner is not None else None
+        results[net] = sweep(
+            traces, geometries, word_size=word, runner_config=net_runner
+        )
     return results

@@ -10,15 +10,12 @@ and traffic ratios of individual runs", Section 3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CacheGeometry
-from repro.core.fetch import FetchPolicy, make_fetch
-from repro.core.replacement import make_replacement
-from repro.core.sim import run_config
+from repro.core.fetch import FetchPolicy
 from repro.memory.nibble import BusCostModel, NIBBLE_MODE_BUS
 from repro.trace.record import Trace
-from repro.trace.filters import reads_only
 
 __all__ = ["SweepPoint", "sweep", "geometry_grid"]
 
@@ -34,6 +31,10 @@ class SweepPoint:
             traffic ratio.
         per_trace: ``{trace name: (miss, traffic, scaled traffic)}``.
         fetch_name: Fetch policy used (``demand`` / ``load-forward``).
+        skipped_traces: Traces excluded from the averages because their
+            cells failed (lenient resilient runs only; empty for a
+            clean sweep).  The averages cover ``per_trace`` only, so a
+            non-empty value marks a *partial* point.
     """
 
     geometry: CacheGeometry
@@ -42,6 +43,7 @@ class SweepPoint:
     scaled_traffic_ratio: float
     per_trace: Dict[str, tuple] = field(default_factory=dict, compare=False)
     fetch_name: str = "demand"
+    skipped_traces: Tuple[str, ...] = field(default=(), compare=False)
 
     @property
     def gross_size(self) -> float:
@@ -61,8 +63,14 @@ def sweep(
     warmup: Union[int, str] = "fill",
     bus_model: BusCostModel = NIBBLE_MODE_BUS,
     filter_writes: bool = True,
+    runner_config: Optional["RunnerConfig"] = None,
 ) -> List[SweepPoint]:
     """Simulate each geometry over each trace and average the ratios.
+
+    Execution goes through the resilient runner
+    (:func:`repro.runner.run_sweep`); with the default ``runner_config``
+    that layer is inert — strict, no retries, no checkpoint — and the
+    results are identical to a monolithic loop.
 
     Args:
         traces: Suite traces (already generated).
@@ -73,52 +81,29 @@ def sweep(
         warmup: Warm-start mode forwarded to the simulator.
         bus_model: Cost model used for the scaled traffic ratio.
         filter_writes: Apply the paper's read-only filtering first.
+        runner_config: Resilience knobs (checkpointing, retries,
+            timeouts, lenient degradation, fault injection).
 
     Returns:
-        One :class:`SweepPoint` per geometry, in input order.
+        One :class:`SweepPoint` per geometry, in input order.  Under a
+        lenient ``runner_config``, points may be partial — see
+        :attr:`SweepPoint.skipped_traces`.
     """
-    prepared = [reads_only(trace) if filter_writes else trace for trace in traces]
-    points = []
-    for geometry in geometries:
-        per_trace: Dict[str, tuple] = {}
-        miss_sum = traffic_sum = scaled_sum = 0.0
-        for trace in prepared:
-            fetch_policy = (
-                make_fetch(fetch) if isinstance(fetch, str)
-                else fetch if fetch is not None
-                else None
-            )
-            stats = run_config(
-                geometry,
-                trace,
-                replacement=make_replacement(replacement),
-                fetch=fetch_policy,
-                word_size=word_size,
-                warmup=warmup,
-            )
-            miss = stats.miss_ratio
-            traffic = stats.traffic_ratio()
-            scaled = stats.scaled_traffic_ratio(bus_model, word_size)
-            per_trace[trace.name] = (miss, traffic, scaled)
-            miss_sum += miss
-            traffic_sum += traffic
-            scaled_sum += scaled
-        count = max(len(prepared), 1)
-        fetch_name = (
-            fetch if isinstance(fetch, str)
-            else fetch.name if fetch is not None
-            else "demand"
-        )
-        points.append(
-            SweepPoint(
-                geometry=geometry,
-                miss_ratio=miss_sum / count,
-                traffic_ratio=traffic_sum / count,
-                scaled_traffic_ratio=scaled_sum / count,
-                per_trace=per_trace,
-                fetch_name=fetch_name,
-            )
-        )
+    # Imported here, not at module level: repro.runner imports this
+    # module for SweepPoint.
+    from repro.runner.runner import run_sweep
+
+    points, _report = run_sweep(
+        traces,
+        geometries,
+        word_size=word_size,
+        fetch=fetch,
+        replacement=replacement,
+        warmup=warmup,
+        bus_model=bus_model,
+        filter_writes=filter_writes,
+        config=runner_config,
+    )
     return points
 
 

@@ -9,9 +9,17 @@ Usage (after ``pip install -e .``)::
     python -m repro riscii [--length N]
     python -m repro suites
     python -m repro trace SUITE NAME [--length N] [--out FILE.din]
+    python -m repro chaos [--quick]
 
 ``--length`` defaults to the ``REPRO_TRACE_LEN`` environment variable
 or 100 000 references (the paper used 1 000 000).
+
+The sweep-backed commands (``table7``, ``table8``, ``figure``) accept
+resilience flags — ``--checkpoint FILE`` / ``--resume`` to survive
+interruption, ``--max-retries`` / ``--cell-timeout`` to bound flaky or
+runaway cells, and ``--lenient`` to degrade to partial suite averages
+instead of failing; see ``docs/resilience.md``.  ``chaos`` runs the
+fault-injection scenarios that prove those guarantees.
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ from repro.analysis.experiments import (
 from repro.analysis.figures import figure_series, series_to_csv
 from repro.analysis.plotting import ascii_figure
 from repro.analysis.tables import format_table6, format_table7, format_table8
+from repro.runner.retry import RetryPolicy
+from repro.runner.runner import RunnerConfig
 from repro.trace.writer import write_din
 from repro.workloads.suites import suite_names, suite_specs, suite_trace
 
@@ -49,6 +59,65 @@ _FIGURES = {
 }
 
 
+def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
+    """Resilient-runner flags shared by the sweep-backed commands."""
+    group = subparser.add_argument_group("resilience")
+    group.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="JSONL checkpoint; completed cells survive interruption",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed cells from --checkpoint instead of restarting",
+    )
+    group.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retries per cell for transient failures (default 0)",
+    )
+    group.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per (geometry, trace) cell",
+    )
+    group.add_argument(
+        "--lenient", action="store_true",
+        help="skip failing cells and report partial suite averages",
+    )
+
+
+def _runner_config(args: argparse.Namespace) -> Optional[RunnerConfig]:
+    """Build the resilience config from CLI flags; None when inert."""
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("repro: --resume requires --checkpoint")
+    if (
+        args.checkpoint is None
+        and args.max_retries == 0
+        and args.cell_timeout is None
+        and not args.lenient
+    ):
+        return None
+    return RunnerConfig(
+        retry=RetryPolicy(max_retries=args.max_retries),
+        cell_timeout=args.cell_timeout,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        lenient=args.lenient,
+    )
+
+
+def _warn_partial(points) -> None:
+    """Name skipped traces on stderr so partial tables are never silent."""
+    skipped = {}
+    for point in points:
+        for name in point.skipped_traces:
+            skipped[name] = skipped.get(name, 0) + 1
+    for name, cells in sorted(skipped.items()):
+        print(
+            f"repro: warning: trace {name!r} skipped in {cells} cell(s); "
+            "averages above are partial",
+            file=sys.stderr,
+        )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -65,11 +134,27 @@ def _build_parser() -> argparse.ArgumentParser:
     commands.add_parser("table6", help="360/85 sector cache comparison")
     table7 = commands.add_parser("table7", help="miss/traffic table, one architecture")
     table7.add_argument("arch", choices=["pdp11", "z8000", "vax", "s370"])
-    commands.add_parser("table8", help="load-forward results")
+    _add_resilience_flags(table7)
+    table8 = commands.add_parser("table8", help="load-forward results")
+    _add_resilience_flags(table8)
     figure = commands.add_parser("figure", help="one of the paper's figures")
     figure.add_argument("number", type=int, choices=sorted(_FIGURES))
     figure.add_argument(
         "--csv", action="store_true", help="emit CSV instead of an ASCII plot"
+    )
+    _add_resilience_flags(figure)
+    chaos = commands.add_parser(
+        "chaos",
+        help="fault-injection scenarios proving the resilient runner",
+    )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="smallest credible sweep (the CI smoke configuration)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="fault placement seed")
+    chaos.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="keep scenario checkpoints here (default: temp dir)",
     )
     commands.add_parser("riscii", help="RISC II instruction-cache results")
     commands.add_parser("suites", help="list the workload suites and traces")
@@ -144,12 +229,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table6":
         print(format_table6(table6_experiment(length=length)))
     elif args.command == "table7":
-        print(format_table7(args.arch, table7_experiment(args.arch, length=length)))
+        points = table7_experiment(
+            args.arch, length=length, runner=_runner_config(args)
+        )
+        print(format_table7(args.arch, points))
+        _warn_partial(points)
     elif args.command == "table8":
-        print(format_table8(table8_experiment(length=length)))
+        print(
+            format_table8(
+                table8_experiment(length=length, runner=_runner_config(args))
+            )
+        )
     elif args.command == "figure":
         arch, nets, scaled = _FIGURES[args.number]
-        results = figure_experiment(arch, nets, length=length)
+        results = figure_experiment(
+            arch, nets, length=length, runner=_runner_config(args)
+        )
+        for points in results.values():
+            _warn_partial(points)
         series = figure_series(results, use_scaled_traffic=scaled)
         if args.csv:
             print(series_to_csv(series), end="")
@@ -170,6 +267,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{trace.unique_addresses()} unique addresses")
     elif args.command == "simulate":
         _cmd_simulate(args)
+    elif args.command == "chaos":
+        from repro.runner.chaos import run_chaos
+
+        return run_chaos(
+            quick=args.quick,
+            seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+        )
     return 0
 
 

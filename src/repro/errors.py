@@ -26,13 +26,52 @@ class TraceFormatError(ReproError, ValueError):
     """A trace file or trace record could not be parsed."""
 
 
+class ChecksumError(TraceFormatError):
+    """Stored data failed its integrity check.
+
+    Raised when a trace loaded from the binary ``.npz`` format does not
+    hash to the checksum recorded at write time, or when a checkpoint
+    file contains a corrupted record.  A subclass of
+    :class:`TraceFormatError` so existing ``except TraceFormatError``
+    handlers keep working.
+    """
+
+
 class MachineError(ReproError, RuntimeError):
     """The toy workload machine hit an illegal state.
 
     Examples: executing an undefined opcode, jumping outside the code
     segment, or exceeding the configured step budget (runaway program).
+
+    Attributes:
+        steps: Instructions executed before the failure, when known
+            (``None`` otherwise).
     """
+
+    def __init__(self, message: str, steps: "int | None" = None) -> None:
+        super().__init__(message)
+        self.steps = steps
 
 
 class AssemblyError(ReproError, ValueError):
     """The toy-machine assembler rejected a source program."""
+
+
+class TransientError(ReproError, RuntimeError):
+    """A failure that is expected to succeed on retry.
+
+    The resilient runner (:mod:`repro.runner`) retries cells that raise
+    this (or, in lenient mode, :class:`MachineError` /
+    :class:`TraceFormatError`) with exponential backoff before giving
+    up.  Raise it for I/O hiccups, resource contention, or injected
+    chaos faults — anything where re-running the same cell can succeed.
+    """
+
+
+class CellTimeoutError(ReproError, TimeoutError):
+    """A sweep cell exceeded its wall-clock timeout or access budget.
+
+    Deterministic by nature (re-running the same cell would time out
+    again), so the runner never retries it: the cell is skipped in
+    lenient mode or fails the sweep in strict mode.
+    """

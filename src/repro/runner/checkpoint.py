@@ -1,0 +1,193 @@
+"""JSONL sweep checkpoints: append-only progress, crash-safe resume.
+
+A checkpoint file records one JSON object per line:
+
+* a ``header`` line carrying a format version and a *fingerprint* of
+  the sweep (cell keys, trace lengths, policies), so a checkpoint can
+  never silently resume a different experiment;
+* one ``cell`` line per finished (geometry, trace) cell, holding either
+  the measured ratios or a skip reason.
+
+Floats are serialized with ``repr``-exact JSON round-tripping, so a
+sweep resumed from checkpoint reproduces the uninterrupted run
+bit-identically.  Each record line carries its own CRC; a truncated
+final line (the usual crash artifact) is dropped silently, while a
+corrupted interior line raises :class:`~repro.errors.ChecksumError`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Union
+
+from repro.errors import ChecksumError, ConfigurationError
+
+__all__ = ["CHECKPOINT_VERSION", "CheckpointWriter", "load_checkpoint", "sweep_fingerprint"]
+
+CHECKPOINT_VERSION = 1
+
+
+def sweep_fingerprint(
+    cell_keys: Iterable[str],
+    trace_lengths: Iterable[int],
+    **params: Any,
+) -> str:
+    """Stable fingerprint of a sweep's identity.
+
+    Two sweeps share a fingerprint exactly when they simulate the same
+    cells over the same-length traces with the same policies, which is
+    the condition under which resuming is sound.
+    """
+    payload = json.dumps(
+        {
+            "cells": list(cell_keys),
+            "trace_lengths": list(trace_lengths),
+            "params": {key: repr(value) for key, value in sorted(params.items())},
+        },
+        sort_keys=True,
+    )
+    return f"{zlib.crc32(payload.encode('ascii')) & 0xFFFFFFFF:08x}"
+
+
+def _line_crc(record: Dict[str, Any]) -> str:
+    body = json.dumps(record, sort_keys=True)
+    return f"{zlib.crc32(body.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+class CheckpointWriter:
+    """Appends cell records to a checkpoint file, flushing per cell.
+
+    Args:
+        path: Checkpoint file; parent directories are created.
+        fingerprint: The sweep fingerprint written in the header.
+        fresh: Truncate any existing file instead of appending (used
+            when a sweep starts over rather than resuming).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fingerprint: str,
+        fresh: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "w" if fresh or not self.path.exists() else "a"
+        self._handle = self.path.open(mode, encoding="utf-8")
+        if mode == "w":
+            self._write(
+                {
+                    "kind": "header",
+                    "version": CHECKPOINT_VERSION,
+                    "fingerprint": fingerprint,
+                }
+            )
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        record = dict(record)
+        record["crc"] = _line_crc(record)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def record_cell(
+        self,
+        key: str,
+        trace: str,
+        status: str,
+        ratios: Optional["tuple[float, float, float]"] = None,
+        attempts: int = 1,
+        reason: str = "",
+    ) -> None:
+        """Record one finished cell (``status`` = ``ok`` or ``skipped``)."""
+        record: Dict[str, Any] = {
+            "kind": "cell",
+            "key": key,
+            "trace": trace,
+            "status": status,
+            "attempts": attempts,
+        }
+        if ratios is not None:
+            record["miss"], record["traffic"], record["scaled"] = ratios
+        if reason:
+            record["reason"] = reason
+        self._write(record)
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def load_checkpoint(
+    path: Union[str, Path], fingerprint: str
+) -> Dict[str, Dict[str, Any]]:
+    """Read completed cells from a checkpoint for resumption.
+
+    Args:
+        path: Checkpoint file; a missing file yields no completed cells.
+        fingerprint: Expected sweep fingerprint.
+
+    Returns:
+        ``{cell key: record}`` for every intact cell line.
+
+    Raises:
+        ConfigurationError: If the header is missing or belongs to a
+            different sweep (wrong fingerprint or version).
+        ChecksumError: If an interior line is corrupted.  A mangled
+            *final* line is tolerated as a partial write from a crash.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        return {}
+    records = []
+    bad_interior = None
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            crc = record.pop("crc", None)
+            if crc != _line_crc(record):
+                raise ValueError("crc mismatch")
+        except ValueError:
+            if index == len(lines) - 1:
+                break  # torn final write; everything before it is good
+            bad_interior = index + 1
+            break
+        records.append(record)
+    if bad_interior is not None:
+        raise ChecksumError(
+            f"{path}: corrupted checkpoint record at line {bad_interior}; "
+            "delete the file to restart the sweep from scratch"
+        )
+    if not records or records[0].get("kind") != "header":
+        raise ConfigurationError(
+            f"{path}: not a sweep checkpoint (missing header line)"
+        )
+    header = records[0]
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise ConfigurationError(
+            f"{path}: checkpoint version {header.get('version')} is not "
+            f"supported (expected {CHECKPOINT_VERSION})"
+        )
+    if header.get("fingerprint") != fingerprint:
+        raise ConfigurationError(
+            f"{path}: checkpoint belongs to a different sweep "
+            f"(fingerprint {header.get('fingerprint')} != {fingerprint}); "
+            "refusing to resume — pass a fresh --checkpoint path"
+        )
+    return {
+        record["key"]: record
+        for record in records[1:]
+        if record.get("kind") == "cell"
+    }

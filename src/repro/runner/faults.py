@@ -1,0 +1,189 @@
+"""Deterministic fault injection for exercising the resilient runner.
+
+Three failure shapes cover the ways a real trace campaign dies:
+
+* **corruption** — :func:`corrupt_din` mangles lines of a ``din`` text
+  trace so reader hardening (strict errors, lenient skip-and-count)
+  can be exercised end to end;
+* **exceptions** — :class:`FaultInjector` raises a chosen error at the
+  Nth access of selected cells, optionally only on the first K
+  attempts (to prove retry works) or on every attempt (to prove the
+  retry budget stops);
+* **stalls** — selected cells sleep per access, tripping the runner's
+  wall-clock cell timeout.
+
+Everything is seeded and keyed on the cell identifier, so a chaos run
+is exactly reproducible — the property the ``repro chaos`` command and
+the test suite rely on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Callable, Dict, Iterator, Optional, Sequence, Type
+
+from repro.errors import TransientError
+from repro.trace.record import Access, Trace
+
+__all__ = [
+    "SweepAborted",
+    "FaultyTrace",
+    "FaultInjector",
+    "corrupt_din",
+]
+
+
+class SweepAborted(RuntimeError):
+    """A simulated hard crash (process kill) in the middle of a sweep.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: the runner
+    must not catch it, so it propagates like a real crash would,
+    leaving the checkpoint behind as the only survivor.
+    """
+
+
+def corrupt_din(text: str, n_lines: int = 1, seed: int = 0) -> str:
+    """Deterministically mangle ``n_lines`` lines of a din trace.
+
+    Rotates through the reader's failure classes — junk tokens, an
+    unknown access label, a non-hex address, and a negative address —
+    so one corrupted file exercises every lenient-mode skip path.
+
+    Args:
+        text: Contents of a ``din`` trace file.
+        n_lines: Number of lines to corrupt (clamped to the line count).
+        seed: Selects which lines are hit.
+
+    Returns:
+        The corrupted text.
+    """
+    lines = text.splitlines()
+    candidates = [i for i, line in enumerate(lines) if line.strip()]
+    rng = random.Random(seed)
+    rng.shuffle(candidates)
+    mutations = (
+        lambda line: "?? junk record ??",
+        lambda line: "9 " + line.split()[1] if len(line.split()) > 1 else "9 0",
+        lambda line: line.split()[0] + " 0xnothex",
+        lambda line: line.split()[0] + " -1f",
+    )
+    for count, index in enumerate(candidates[: max(n_lines, 0)]):
+        lines[index] = mutations[count % len(mutations)](lines[index])
+    return "\n".join(lines) + ("\n" if text.endswith("\n") else "")
+
+
+class FaultyTrace:
+    """A trace proxy that fails or stalls while being iterated.
+
+    Args:
+        trace: The underlying trace.
+        error_at: 0-based access index at which to raise (None = never).
+        error_type: Exception class raised at ``error_at``.
+        stall_seconds: Sleep inserted before every access (0 = none).
+        sleep: Injectable sleep for tests.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        error_at: Optional[int] = None,
+        error_type: Type[Exception] = TransientError,
+        stall_seconds: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._trace = trace
+        self._error_at = error_at
+        self._error_type = error_type
+        self._stall_seconds = stall_seconds
+        self._sleep = sleep
+
+    @property
+    def name(self) -> str:
+        return self._trace.name
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def __iter__(self) -> Iterator[Access]:
+        for index, access in enumerate(self._trace):
+            if self._error_at is not None and index >= self._error_at:
+                raise self._error_type(
+                    f"injected fault at access {index} of trace "
+                    f"{self._trace.name!r}"
+                )
+            if self._stall_seconds > 0.0:
+                self._sleep(self._stall_seconds)
+            yield access
+
+
+@dataclass
+class FaultInjector:
+    """A deterministic per-cell fault plan.
+
+    Cells are addressed by the runner's cell key
+    (``"<net>:<block>,<sub>@<ways>/<trace>"``) matched with
+    :func:`fnmatch.fnmatch` patterns, so ``"*/GREP"`` hits every
+    geometry of one trace and ``"64:*"`` every trace of one net size.
+
+    Attributes:
+        error_cells: Patterns of cells that raise ``error_type``.
+        error_at: Access index at which the error fires.
+        error_type: Exception class injected.
+        fail_attempts: Attempts that fail before the cell succeeds
+            (``None`` = every attempt fails, exhausting any retry
+            budget).
+        stall_cells: Patterns of cells that sleep ``stall_seconds``
+            per access (use with a cell timeout).
+        abort_after: Raise :class:`SweepAborted` once this many cells
+            have completed — the simulated mid-sweep kill.
+        sleep: Injectable sleep used by stalls.
+    """
+
+    error_cells: Sequence[str] = ()
+    error_at: int = 0
+    error_type: Type[Exception] = TransientError
+    fail_attempts: Optional[int] = 1
+    stall_cells: Sequence[str] = ()
+    stall_seconds: float = 0.005
+    abort_after: Optional[int] = None
+    sleep: Callable[[float], None] = time.sleep
+    _attempts: Dict[str, int] = field(default_factory=dict, repr=False)
+    _completed: int = field(default=0, repr=False)
+
+    def _matches(self, patterns: Sequence[str], key: str) -> bool:
+        return any(fnmatch(key, pattern) for pattern in patterns)
+
+    def arm(self, key: str, trace: Trace) -> Trace:
+        """Wrap ``trace`` for one attempt at cell ``key``.
+
+        Called by the runner at the start of every attempt; attempt
+        counting happens here so ``fail_attempts`` can model faults
+        that clear up on retry.
+        """
+        attempt = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempt
+        inject_error = self._matches(self.error_cells, key) and (
+            self.fail_attempts is None or attempt <= self.fail_attempts
+        )
+        inject_stall = self._matches(self.stall_cells, key)
+        if not inject_error and not inject_stall:
+            return trace
+        return FaultyTrace(
+            trace,
+            error_at=self.error_at if inject_error else None,
+            error_type=self.error_type,
+            stall_seconds=self.stall_seconds if inject_stall else 0.0,
+            sleep=self.sleep,
+        )
+
+    def cell_completed(self, key: str) -> None:
+        """Count a finished cell; raise the simulated crash when due."""
+        self._completed += 1
+        if self.abort_after is not None and self._completed >= self.abort_after:
+            raise SweepAborted(
+                f"injected crash after {self._completed} cells "
+                f"(last: {key})"
+            )

@@ -1,0 +1,144 @@
+"""Run-health tracking: per-cell outcomes, failure limits, reports.
+
+The runner records one :class:`CellOutcome` per (geometry, trace) cell
+and folds them into a :class:`RunReport`, which names every skipped
+cell and why — the paper's unweighted suite averages are only credible
+when the reader can see exactly which traces are missing from them.
+:class:`HealthMonitor` is the circuit breaker: in lenient mode a sweep
+keeps going past individual failures, but a long unbroken failure
+streak means the experiment itself is broken and the run should stop
+rather than burn hours producing an empty table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["CellStatus", "CellOutcome", "RunReport", "HealthMonitor"]
+
+
+class CellStatus(enum.Enum):
+    """Terminal state of one sweep cell."""
+
+    OK = "ok"
+    RESUMED = "resumed"  # taken from a checkpoint, not re-simulated
+    SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What happened to one (geometry, trace) cell.
+
+    Attributes:
+        key: The runner's cell key.
+        trace: Trace name (also embedded in the key).
+        status: Terminal state.
+        attempts: Calls made, including the successful one.
+        reason: Failure description for skipped cells.
+        elapsed: Wall-clock seconds spent on the cell (0 for resumed).
+    """
+
+    key: str
+    trace: str
+    status: CellStatus
+    attempts: int = 1
+    reason: str = ""
+    elapsed: float = 0.0
+
+
+@dataclass
+class RunReport:
+    """Aggregate health of one resilient sweep."""
+
+    outcomes: List[CellOutcome] = field(default_factory=list)
+
+    def add(self, outcome: CellOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def completed(self) -> int:
+        return sum(
+            1 for o in self.outcomes if o.status is not CellStatus.SKIPPED
+        )
+
+    @property
+    def resumed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status is CellStatus.RESUMED)
+
+    @property
+    def retried(self) -> int:
+        """Cells that needed more than one attempt but got there."""
+        return sum(
+            1
+            for o in self.outcomes
+            if o.status is CellStatus.OK and o.attempts > 1
+        )
+
+    @property
+    def skipped(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.status is CellStatus.SKIPPED]
+
+    def skipped_by_trace(self) -> Dict[str, List[CellOutcome]]:
+        """Skipped cells grouped by trace name."""
+        grouped: Dict[str, List[CellOutcome]] = {}
+        for outcome in self.skipped:
+            grouped.setdefault(outcome.trace, []).append(outcome)
+        return grouped
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest, skips listed with reasons."""
+        lines = [
+            f"cells: {self.total} total, {self.completed} completed "
+            f"({self.resumed} from checkpoint, {self.retried} after retry), "
+            f"{len(self.skipped)} skipped"
+        ]
+        for outcome in self.skipped:
+            lines.append(f"  skipped {outcome.key}: {outcome.reason}")
+        return "\n".join(lines)
+
+
+class HealthMonitor:
+    """Aborts a run drowning in failures instead of limping to the end.
+
+    Args:
+        max_consecutive_failures: Longest tolerated failure streak
+            (``None`` disables the breaker).
+    """
+
+    def __init__(self, max_consecutive_failures: Optional[int] = None) -> None:
+        if max_consecutive_failures is not None and max_consecutive_failures < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "max_consecutive_failures must be >= 1, got "
+                f"{max_consecutive_failures}"
+            )
+        self.max_consecutive_failures = max_consecutive_failures
+        self._streak = 0
+
+    def record(self, outcome: CellOutcome) -> None:
+        """Track one outcome; raise once the failure streak is too long.
+
+        Raises:
+            ReproError: When ``max_consecutive_failures`` consecutive
+                cells have been skipped.
+        """
+        if outcome.status is CellStatus.SKIPPED:
+            self._streak += 1
+        else:
+            self._streak = 0
+        limit = self.max_consecutive_failures
+        if limit is not None and self._streak >= limit:
+            raise ReproError(
+                f"aborting sweep: {self._streak} consecutive cell failures "
+                f"(health limit {limit}); last failure at {outcome.key}: "
+                f"{outcome.reason}"
+            )

@@ -1,0 +1,365 @@
+"""The resilient sweep executor.
+
+The paper's core experiment is an exhaustive (net size × block size ×
+sub-block size) × trace sweep.  Run monolithically, one bad cell loses
+the whole campaign; here every (geometry, trace) pair becomes an
+independent *cell* executed under
+
+* a wall-clock timeout and an access budget
+  (:class:`~repro.errors.CellTimeoutError` on breach),
+* a retry budget with exponential backoff and deterministic jitter
+  (:mod:`repro.runner.retry`),
+* JSONL checkpointing, so an interrupted sweep resumes from the last
+  completed cell bit-identically (:mod:`repro.runner.checkpoint`),
+* graceful degradation: in lenient mode a failed cell is skipped and
+  the suite average is taken over the surviving traces, with the
+  skips named on the resulting point and in the
+  :class:`~repro.runner.health.RunReport`.
+
+Fault injection (:mod:`repro.runner.faults`) plugs in through
+:attr:`RunnerConfig.injector`, which is how the chaos harness and the
+tests drive every one of these paths deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.core.config import CacheGeometry
+from repro.core.fetch import FetchPolicy, make_fetch
+from repro.core.replacement import make_replacement
+from repro.core.sim import run_config
+from repro.errors import CellTimeoutError, ReproError
+from repro.memory.nibble import BusCostModel, NIBBLE_MODE_BUS
+from repro.runner.checkpoint import (
+    CheckpointWriter,
+    load_checkpoint,
+    sweep_fingerprint,
+)
+from repro.runner.faults import FaultInjector
+from repro.runner.health import CellOutcome, CellStatus, HealthMonitor, RunReport
+from repro.runner.retry import RetryPolicy, call_with_retry
+from repro.trace.filters import reads_only
+from repro.trace.record import Trace
+
+__all__ = ["RunnerConfig", "cell_key", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Knobs of the resilient execution layer.
+
+    The default configuration is maximally strict and adds no
+    behaviour: no retries, no timeout, no checkpoint — a plain sweep.
+
+    Attributes:
+        retry: Backoff schedule and retryability rules.
+        cell_timeout: Wall-clock seconds allowed per cell attempt.
+        max_cell_accesses: Access budget per cell attempt (the sweep-
+            level analogue of the toy machine's step budget).
+        checkpoint: JSONL checkpoint path; None disables checkpointing.
+        resume: Reuse completed cells from an existing checkpoint
+            instead of truncating it.
+        lenient: Skip failed cells (recording why) instead of failing
+            the sweep, and treat machine/trace-format errors as
+            retryable.
+        seed: Seeds the jitter generator so backoff schedules are
+            reproducible.
+        max_consecutive_failures: Health breaker — abort the run after
+            this many back-to-back skipped cells (None disables).
+        injector: Deterministic fault plan, for chaos runs and tests.
+        sleep: Injectable sleep used by retry backoff.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    cell_timeout: Optional[float] = None
+    max_cell_accesses: Optional[int] = None
+    checkpoint: Optional[Union[str, Path]] = None
+    resume: bool = False
+    lenient: bool = False
+    seed: int = 0
+    max_consecutive_failures: Optional[int] = None
+    injector: Optional[FaultInjector] = None
+    sleep: Callable[[float], None] = time.sleep
+
+    def effective_retry(self) -> RetryPolicy:
+        """The retry policy with sweep-level leniency folded in."""
+        if self.lenient and not self.retry.lenient:
+            return replace(self.retry, lenient=True)
+        return self.retry
+
+    def for_tag(self, tag: str) -> "RunnerConfig":
+        """Derive a config whose checkpoint path is suffixed with ``tag``.
+
+        Experiments that run several sweeps (one per net size or table
+        row) give each its own checkpoint file so fingerprints never
+        collide: ``ck.jsonl`` + ``net64`` -> ``ck.net64.jsonl``.
+        """
+        if self.checkpoint is None:
+            return self
+        path = Path(self.checkpoint)
+        return replace(self, checkpoint=path.with_name(f"{path.stem}.{tag}{path.suffix}"))
+
+
+def cell_key(geometry: CacheGeometry, trace_name: str) -> str:
+    """Stable identifier of one (geometry, trace) cell."""
+    return (
+        f"{geometry.net_size}:{geometry.block_size},"
+        f"{geometry.sub_block_size}@{geometry.associativity}/{trace_name}"
+    )
+
+
+class _GuardedTrace:
+    """Trace proxy enforcing a deadline and an access budget.
+
+    The simulator's only interaction with a trace is iteration, so the
+    cheapest reliable cell timeout is a cooperative check on every
+    access — no signals, no threads, identical results when the budget
+    is not hit.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        key: str,
+        deadline: Optional[float] = None,
+        max_accesses: Optional[int] = None,
+    ) -> None:
+        self._trace = trace
+        self._key = key
+        self._deadline = deadline
+        self._max_accesses = max_accesses
+
+    @property
+    def name(self) -> str:
+        return self._trace.name
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def __iter__(self) -> Iterator:
+        deadline = self._deadline
+        budget = self._max_accesses
+        for count, access in enumerate(self._trace):
+            if budget is not None and count >= budget:
+                raise CellTimeoutError(
+                    f"cell {self._key}: access budget of {budget} exceeded"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise CellTimeoutError(
+                    f"cell {self._key}: wall-clock timeout at access {count}"
+                )
+            yield access
+
+
+def run_sweep(
+    traces: Sequence[Trace],
+    geometries: Sequence[CacheGeometry],
+    word_size: int = 2,
+    fetch: Union[str, FetchPolicy, None] = None,
+    replacement: str = "lru",
+    warmup: Union[int, str] = "fill",
+    bus_model: BusCostModel = NIBBLE_MODE_BUS,
+    filter_writes: bool = True,
+    config: Optional[RunnerConfig] = None,
+) -> "tuple[list, RunReport]":
+    """Run the paper's sweep cell by cell under the resilience layer.
+
+    Arguments mirror :func:`repro.analysis.sweep.sweep` (which
+    delegates here); ``config`` adds the resilience knobs.
+
+    Returns:
+        ``(points, report)`` — one
+        :class:`~repro.analysis.sweep.SweepPoint` per geometry in input
+        order, averaged over the traces that completed, plus the
+        per-cell :class:`~repro.runner.health.RunReport`.  Points whose
+        cells were all skipped carry NaN ratios.
+
+    Raises:
+        ReproError: In strict mode, the first unrecoverable cell
+            failure; in lenient mode only the health breaker raises.
+    """
+    config = config if config is not None else RunnerConfig()
+    prepared = [reads_only(trace) if filter_writes else trace for trace in traces]
+    fetch_name = (
+        fetch if isinstance(fetch, str)
+        else fetch.name if fetch is not None
+        else "demand"
+    )
+    keys = [
+        cell_key(geometry, trace.name)
+        for geometry in geometries
+        for trace in prepared
+    ]
+    fingerprint = sweep_fingerprint(
+        keys,
+        [len(trace) for trace in prepared],
+        word_size=word_size,
+        fetch=fetch_name,
+        replacement=replacement,
+        warmup=warmup,
+        bus_model=bus_model,
+        filter_writes=filter_writes,
+    )
+
+    completed: Dict[str, dict] = {}
+    writer: Optional[CheckpointWriter] = None
+    if config.checkpoint is not None:
+        if config.resume:
+            completed = load_checkpoint(config.checkpoint, fingerprint)
+        writer = CheckpointWriter(
+            config.checkpoint, fingerprint, fresh=not config.resume
+        )
+
+    retry_policy = config.effective_retry()
+    rng = random.Random(config.seed)
+    monitor = HealthMonitor(config.max_consecutive_failures)
+    report = RunReport()
+    results: Dict[str, CellOutcome] = {}
+    ratios: Dict[str, "tuple[float, float, float]"] = {}
+
+    def run_cell(geometry: CacheGeometry, trace: Trace, key: str):
+        def attempt(_attempt_number: int):
+            run_trace: Trace = trace
+            if config.injector is not None:
+                run_trace = config.injector.arm(key, run_trace)
+            if config.cell_timeout is not None or config.max_cell_accesses is not None:
+                deadline = (
+                    time.monotonic() + config.cell_timeout
+                    if config.cell_timeout is not None
+                    else None
+                )
+                run_trace = _GuardedTrace(
+                    run_trace, key, deadline, config.max_cell_accesses
+                )
+            fetch_policy = (
+                make_fetch(fetch) if isinstance(fetch, str)
+                else fetch if fetch is not None
+                else None
+            )
+            stats = run_config(
+                geometry,
+                run_trace,
+                replacement=make_replacement(replacement),
+                fetch=fetch_policy,
+                word_size=word_size,
+                warmup=warmup,
+            )
+            return (
+                stats.miss_ratio,
+                stats.traffic_ratio(),
+                stats.scaled_traffic_ratio(bus_model, word_size),
+            )
+
+        return call_with_retry(attempt, retry_policy, rng, sleep=config.sleep)
+
+    try:
+        for geometry in geometries:
+            for trace in prepared:
+                key = cell_key(geometry, trace.name)
+                record = completed.get(key)
+                if record is not None and record.get("status") == "ok":
+                    ratios[key] = (
+                        record["miss"], record["traffic"], record["scaled"]
+                    )
+                    outcome = CellOutcome(
+                        key, trace.name, CellStatus.RESUMED,
+                        attempts=record.get("attempts", 1),
+                    )
+                elif record is not None:  # previously skipped; keep the skip
+                    outcome = CellOutcome(
+                        key, trace.name, CellStatus.SKIPPED,
+                        attempts=record.get("attempts", 1),
+                        reason=record.get("reason", ""),
+                    )
+                else:
+                    started = time.monotonic()
+                    try:
+                        cell_ratios, attempts = run_cell(geometry, trace, key)
+                    except ReproError as exc:
+                        if not config.lenient:
+                            raise
+                        reason = f"{type(exc).__name__}: {exc}"
+                        attempts = getattr(exc, "retry_attempts", 1)
+                        outcome = CellOutcome(
+                            key, trace.name, CellStatus.SKIPPED,
+                            attempts=attempts, reason=reason,
+                            elapsed=time.monotonic() - started,
+                        )
+                        if writer is not None:
+                            writer.record_cell(
+                                key, trace.name, "skipped",
+                                attempts=attempts, reason=reason,
+                            )
+                    else:
+                        ratios[key] = cell_ratios
+                        outcome = CellOutcome(
+                            key, trace.name, CellStatus.OK,
+                            attempts=attempts,
+                            elapsed=time.monotonic() - started,
+                        )
+                        if writer is not None:
+                            writer.record_cell(
+                                key, trace.name, "ok",
+                                ratios=cell_ratios, attempts=attempts,
+                            )
+                results[key] = outcome
+                report.add(outcome)
+                monitor.record(outcome)
+                if config.injector is not None:
+                    config.injector.cell_completed(key)
+    finally:
+        if writer is not None:
+            writer.close()
+
+    return _aggregate(geometries, prepared, ratios, results, fetch_name), report
+
+
+def _aggregate(
+    geometries: Sequence[CacheGeometry],
+    prepared: Sequence[Trace],
+    ratios: Dict[str, "tuple[float, float, float]"],
+    results: Dict[str, CellOutcome],
+    fetch_name: str,
+) -> List:
+    """Fold per-cell ratios into per-geometry suite averages."""
+    # Imported lazily: analysis.sweep imports this module at load time.
+    from repro.analysis.sweep import SweepPoint
+
+    points = []
+    for geometry in geometries:
+        per_trace: Dict[str, tuple] = {}
+        skipped: List[str] = []
+        miss_sum = traffic_sum = scaled_sum = 0.0
+        for trace in prepared:
+            key = cell_key(geometry, trace.name)
+            cell = ratios.get(key)
+            if cell is None:
+                if key in results:
+                    skipped.append(trace.name)
+                continue
+            per_trace[trace.name] = cell
+            miss_sum += cell[0]
+            traffic_sum += cell[1]
+            scaled_sum += cell[2]
+        if per_trace or not skipped:
+            count = max(len(per_trace), 1)
+            averages = (miss_sum / count, traffic_sum / count, scaled_sum / count)
+        else:  # every cell of this geometry failed
+            averages = (float("nan"),) * 3
+        points.append(
+            SweepPoint(
+                geometry=geometry,
+                miss_ratio=averages[0],
+                traffic_ratio=averages[1],
+                scaled_traffic_ratio=averages[2],
+                per_trace=per_trace,
+                fetch_name=fetch_name,
+                skipped_traces=tuple(skipped),
+            )
+        )
+    return points

@@ -7,28 +7,153 @@ or 2 (instruction fetch).  Because ``din`` does not carry access sizes,
 the reader takes a ``size`` argument giving the data-path width the
 trace was collected with.
 
+Parsing is *strict* by default — any malformed line raises
+:class:`~repro.errors.TraceFormatError` naming the line number.  Long
+campaigns over externally collected traces can opt into *lenient*
+mode, which skips malformed lines and counts them instead
+(:func:`read_din_report` exposes the per-line skip reasons).
+Addresses must be non-negative and below :data:`MAX_ADDRESS`; out-of-
+range values are rejected rather than silently wrapped by the int64
+trace storage.
+
 The binary format is an ``.npz`` container written by
 :func:`repro.trace.writer.write_npz`; it preserves sizes and the trace
-name exactly.
+name exactly and carries a content checksum that is verified on load
+(:class:`~repro.errors.ChecksumError` on mismatch).
 """
 
 from __future__ import annotations
 
 import io
+import logging
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import List, Tuple, Union
 
 import numpy as np
 
-from repro.errors import TraceFormatError
+from repro.errors import ChecksumError, TraceFormatError
 from repro.trace.record import Trace
+from repro.trace.writer import npz_checksum
 
-__all__ = ["read_din", "read_npz"]
+__all__ = ["MAX_ADDRESS", "DinReadReport", "read_din", "read_din_report", "read_npz"]
 
 _PathOrFile = Union[str, Path, io.TextIOBase]
 
+_LOG = logging.getLogger(__name__)
 
-def read_din(source: _PathOrFile, size: int = 2, name: str = "") -> Trace:
+#: Largest accepted byte address.  Traces are stored as int64; leaving
+#: headroom below 2**63 means downstream arithmetic (block rounding,
+#: address spans) can never overflow either.
+MAX_ADDRESS = 2**62
+
+
+@dataclass
+class DinReadReport:
+    """Outcome of one lenient-capable ``din`` parse.
+
+    Attributes:
+        trace: The parsed trace (malformed lines excluded).
+        skipped: ``(line number, reason)`` for every line dropped in
+            lenient mode; always empty under strict parsing.
+    """
+
+    trace: Trace
+    skipped: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def n_skipped(self) -> int:
+        return len(self.skipped)
+
+
+def _parse_line(lineno: int, stripped: str, size: int):
+    """Parse one din line into ``(kind, addr)``.
+
+    Raises:
+        TraceFormatError: Naming ``lineno``, on any malformed field.
+    """
+    parts = stripped.split()
+    if len(parts) != 2:
+        raise TraceFormatError(
+            f"din line {lineno}: expected '<label> <hex-addr>', got {stripped!r}"
+        )
+    label, addr_text = parts
+    if label not in ("0", "1", "2"):
+        raise TraceFormatError(
+            f"din line {lineno}: unknown access label {label!r}"
+        )
+    try:
+        addr = int(addr_text, 16)
+    except ValueError as exc:
+        raise TraceFormatError(
+            f"din line {lineno}: bad hex address {addr_text!r}"
+        ) from exc
+    if addr < 0:
+        raise TraceFormatError(
+            f"din line {lineno}: negative address {addr_text!r}"
+        )
+    if addr > MAX_ADDRESS - size:
+        raise TraceFormatError(
+            f"din line {lineno}: address {addr_text!r} exceeds the "
+            f"{MAX_ADDRESS:#x} address-space limit"
+        )
+    return int(label), addr
+
+
+def read_din_report(
+    source: _PathOrFile, size: int = 2, name: str = "", lenient: bool = False
+) -> DinReadReport:
+    """Parse a ``din`` trace, reporting any lines skipped leniently.
+
+    Args:
+        source: Path to a trace file, or an open text stream.
+        size: Access size in bytes to assign to every record.
+        name: Label for the resulting trace; defaults to the file stem.
+        lenient: Skip malformed lines (recording line number and
+            reason) instead of raising on the first one.
+
+    Returns:
+        A :class:`DinReadReport` with the trace and the skip list.
+
+    Raises:
+        TraceFormatError: In strict mode, on the first malformed line.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open("r", encoding="ascii") as handle:
+            return read_din_report(
+                handle, size=size, name=name or path.stem, lenient=lenient
+            )
+
+    kinds = []
+    addrs = []
+    skipped: List[Tuple[int, str]] = []
+    for lineno, line in enumerate(source, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            kind, addr = _parse_line(lineno, stripped, size)
+        except TraceFormatError as exc:
+            if not lenient:
+                raise
+            skipped.append((lineno, str(exc)))
+            continue
+        kinds.append(kind)
+        addrs.append(addr)
+    if skipped:
+        _LOG.warning(
+            "din trace %r: skipped %d malformed line(s), first at line %d",
+            name, len(skipped), skipped[0][0],
+        )
+    return DinReadReport(
+        trace=Trace(addrs, kinds, size, name=name), skipped=skipped
+    )
+
+
+def read_din(
+    source: _PathOrFile, size: int = 2, name: str = "", lenient: bool = False
+) -> Trace:
     """Parse a ``din``-format text trace.
 
     Args:
@@ -36,50 +161,31 @@ def read_din(source: _PathOrFile, size: int = 2, name: str = "") -> Trace:
         size: Access size in bytes to assign to every record (the
             data-path width of the traced machine).
         name: Label for the resulting trace; defaults to the file stem.
+        lenient: Skip-and-count malformed lines instead of raising
+            (use :func:`read_din_report` to see what was dropped).
 
     Returns:
         The parsed :class:`~repro.trace.record.Trace`.
 
     Raises:
-        TraceFormatError: On malformed lines or unknown access labels.
+        TraceFormatError: On malformed lines, unknown access labels, or
+            out-of-range addresses (strict mode only), naming the line.
     """
-    if isinstance(source, (str, Path)):
-        path = Path(source)
-        with path.open("r", encoding="ascii") as handle:
-            return read_din(handle, size=size, name=name or path.stem)
-
-    kinds = []
-    addrs = []
-    for lineno, line in enumerate(source, start=1):
-        stripped = line.strip()
-        if not stripped or stripped.startswith("#"):
-            continue
-        parts = stripped.split()
-        if len(parts) != 2:
-            raise TraceFormatError(
-                f"din line {lineno}: expected '<label> <hex-addr>', got {stripped!r}"
-            )
-        label, addr_text = parts
-        if label not in ("0", "1", "2"):
-            raise TraceFormatError(
-                f"din line {lineno}: unknown access label {label!r}"
-            )
-        try:
-            addr = int(addr_text, 16)
-        except ValueError as exc:
-            raise TraceFormatError(
-                f"din line {lineno}: bad hex address {addr_text!r}"
-            ) from exc
-        kinds.append(int(label))
-        addrs.append(addr)
-    return Trace(addrs, kinds, size, name=name)
+    return read_din_report(source, size=size, name=name, lenient=lenient).trace
 
 
-def read_npz(source: Union[str, Path]) -> Trace:
+def read_npz(source: Union[str, Path], verify: bool = True) -> Trace:
     """Load a trace previously written by :func:`~repro.trace.writer.write_npz`.
+
+    Args:
+        source: Path to the ``.npz`` container.
+        verify: Check the stored content checksum (files written before
+            checksums existed are accepted either way).
 
     Raises:
         TraceFormatError: If the file lacks the expected arrays.
+        ChecksumError: If the stored checksum does not match the
+            content — the file was corrupted or tampered with.
     """
     path = Path(source)
     with np.load(path, allow_pickle=False) as data:
@@ -92,4 +198,13 @@ def read_npz(source: Union[str, Path]) -> Trace:
                 f"{path}: not a repro trace file (missing array {exc})"
             ) from exc
         name = str(data["name"]) if "name" in data else path.stem
-    return Trace(addrs, kinds, sizes, name=name)
+        stored = str(data["checksum"]) if "checksum" in data else None
+    trace = Trace(addrs, kinds, sizes, name=name)
+    if verify and stored is not None:
+        actual = npz_checksum(trace)
+        if actual != stored:
+            raise ChecksumError(
+                f"{path}: trace content hash {actual} does not match the "
+                f"stored checksum {stored}; the file is corrupt"
+            )
+    return trace

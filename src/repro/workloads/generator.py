@@ -12,7 +12,7 @@ from __future__ import annotations
 import inspect
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MachineError
 from repro.trace.record import Trace
 from repro.workloads.assembler import assemble
 from repro.workloads.machine import Machine
@@ -70,7 +70,17 @@ def program_trace(
             assemble(spec.source, word_size=word_size),
             trace_name=name or program,
         )
-        result = machine.run(max_refs=length - total)
+        try:
+            result = machine.run(max_refs=length - total)
+        except MachineError as exc:
+            # Re-raise with the provenance a failing sweep needs: which
+            # program, which invocation, which seed.
+            raise MachineError(
+                f"program {program!r} (trace {name or program!r}, "
+                f"restart {restart}, seed {run_params.get('seed', seed)}): "
+                f"{exc}",
+                steps=exc.steps,
+            ) from exc
         if len(result.trace) == 0:
             raise ConfigurationError(
                 f"program {program!r} produced an empty trace"

@@ -15,7 +15,7 @@ segments without cost.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, NoReturn, Optional
 
 from repro.errors import MachineError
 from repro.trace.record import AccessType, Trace
@@ -77,7 +77,10 @@ class Machine:
         self._kinds: List[int] = []
 
     def run(
-        self, max_steps: int = 10_000_000, max_refs: Optional[int] = None
+        self,
+        max_steps: int = 10_000_000,
+        max_refs: Optional[int] = None,
+        strict_budget: bool = False,
     ) -> MachineResult:
         """Execute from the program's first instruction.
 
@@ -86,14 +89,21 @@ class Machine:
                 (useful for long-running programs — the paper also
                 truncated its traces).
             max_refs: Optional memory-reference budget.
+            strict_budget: Treat an expired *step* budget as a runaway
+                program and raise, instead of returning a truncated
+                trace with ``halted=False``.  (An expired *reference*
+                budget is always a normal truncation — that is how
+                trace lengths are capped.)
 
         Returns:
             A :class:`MachineResult` with the recorded trace.
 
         Raises:
             MachineError: On a jump to a non-instruction address, a
-                division by zero, or a stack overflow into the data
-                segment.
+                division by zero, a stack overflow into the data
+                segment, or (with ``strict_budget``) a runaway program.
+                The error's ``steps`` attribute carries the
+                instruction count at failure.
         """
         program = self.program
         instructions = program.instructions
@@ -111,7 +121,7 @@ class Machine:
         n_instructions = len(instructions)
         while steps < max_steps and len(addrs) < ref_limit:
             if not 0 <= index < n_instructions:
-                raise MachineError(f"execution fell off the code segment ({index})")
+                self._fail(f"execution fell off the code segment ({index})", steps)
             inst = instructions[index]
             op = inst.op
             # Instruction fetch: one reference per instruction word.
@@ -160,7 +170,7 @@ class Machine:
             elif op == Op.CALL:
                 sp = regs[7] - word
                 if sp < self.stack_limit:
-                    raise MachineError("stack overflow")
+                    self._fail("stack overflow", steps)
                 regs[7] = sp
                 addrs.append(sp)
                 kinds.append(_WRITE)
@@ -173,14 +183,15 @@ class Machine:
                 regs[7] = sp + word
                 return_addr = memory.get(sp, 0)
                 if return_addr not in addr_to_index:
-                    raise MachineError(
-                        f"return to non-instruction address {return_addr:#x}"
+                    self._fail(
+                        f"return to non-instruction address {return_addr:#x}",
+                        steps,
                     )
                 next_index = addr_to_index[return_addr]
             elif op == Op.PUSH:
                 sp = regs[7] - word
                 if sp < self.stack_limit:
-                    raise MachineError("stack overflow")
+                    self._fail("stack overflow", steps)
                 regs[7] = sp
                 addrs.append(sp)
                 kinds.append(_WRITE)
@@ -196,7 +207,7 @@ class Machine:
             elif op == Op.DIV:
                 divisor = regs[inst.b]
                 if divisor == 0:
-                    raise MachineError("division by zero")
+                    self._fail("division by zero", steps)
                 quotient = abs(regs[inst.a]) // abs(divisor)
                 if (regs[inst.a] < 0) != (divisor < 0):
                     quotient = -quotient
@@ -204,7 +215,7 @@ class Machine:
             elif op == Op.MOD:
                 divisor = regs[inst.b]
                 if divisor == 0:
-                    raise MachineError("modulo by zero")
+                    self._fail("modulo by zero", steps)
                 regs[inst.a] %= divisor
             elif op == Op.AND:
                 regs[inst.a] &= regs[inst.b]
@@ -237,11 +248,22 @@ class Machine:
                 halted = True
                 break
             else:  # pragma: no cover - assembler emits only known opcodes
-                raise MachineError(f"illegal opcode {op}")
+                self._fail(f"illegal opcode {op}", steps)
             index = next_index
 
+        if strict_budget and not halted and steps >= max_steps:
+            self._fail(
+                f"runaway program: step budget of {max_steps} exhausted "
+                f"({len(addrs)} references recorded, never reached halt)",
+                steps,
+            )
         trace = Trace(addrs, kinds, word, name=self.trace_name)
         return MachineResult(trace=trace, steps=steps, halted=halted)
+
+    def _fail(self, message: str, steps: int) -> "NoReturn":
+        """Raise a :class:`MachineError` carrying execution context."""
+        label = f" in program {self.trace_name!r}" if self.trace_name else ""
+        raise MachineError(f"{message}{label} after {steps} steps", steps=steps)
 
     # -- Test / inspection helpers ----------------------------------------
 

@@ -1,0 +1,92 @@
+"""Fault-injection primitive tests."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError, TransientError
+from repro.runner.faults import (
+    FaultInjector,
+    FaultyTrace,
+    SweepAborted,
+    corrupt_din,
+)
+from repro.trace.reader import read_din_report
+from repro.trace.record import Trace
+
+
+def make_trace(n=20, name="t"):
+    return Trace(list(range(0, 2 * n, 2)), [0] * n, 2, name=name)
+
+
+class TestCorruptDin:
+    DIN = "".join(f"0 {addr:x}\n" for addr in range(0, 40, 2))
+
+    def test_deterministic_for_a_seed(self):
+        assert corrupt_din(self.DIN, 3, seed=5) == corrupt_din(self.DIN, 3, seed=5)
+        assert corrupt_din(self.DIN, 3, seed=5) != corrupt_din(self.DIN, 3, seed=6)
+
+    def test_strict_reader_rejects_corruption(self):
+        bad = corrupt_din(self.DIN, 1, seed=0)
+        with pytest.raises(TraceFormatError):
+            read_din_report(io.StringIO(bad), size=2, name="bad")
+
+    def test_lenient_reader_skips_exactly_the_corrupted_lines(self):
+        bad = corrupt_din(self.DIN, 4, seed=0)
+        report = read_din_report(io.StringIO(bad), size=2, name="bad", lenient=True)
+        assert report.n_skipped == 4
+        assert len(report.trace) == 20 - 4
+
+
+class TestFaultyTrace:
+    def test_raises_at_the_nth_access(self):
+        faulty = FaultyTrace(make_trace(), error_at=5, error_type=TransientError)
+        seen = []
+        with pytest.raises(TransientError, match="access 5"):
+            for access in faulty:
+                seen.append(access)
+        assert len(seen) == 5
+
+    def test_passes_through_when_unarmed(self):
+        trace = make_trace()
+        assert list(FaultyTrace(trace)) == list(trace)
+
+    def test_stall_sleeps_per_access(self):
+        sleeps = []
+        faulty = FaultyTrace(
+            make_trace(n=4), stall_seconds=0.01, sleep=sleeps.append
+        )
+        list(faulty)
+        assert sleeps == [0.01] * 4
+
+    def test_name_and_len_pass_through(self):
+        faulty = FaultyTrace(make_trace(n=7, name="grep"))
+        assert faulty.name == "grep"
+        assert len(faulty) == 7
+
+
+class TestFaultInjector:
+    def test_fail_attempts_clears_up_on_retry(self):
+        injector = FaultInjector(error_cells=("cell/*",), fail_attempts=2)
+        trace = make_trace()
+        assert isinstance(injector.arm("cell/t", trace), FaultyTrace)
+        assert isinstance(injector.arm("cell/t", trace), FaultyTrace)
+        assert injector.arm("cell/t", trace) is trace  # third attempt clean
+
+    def test_persistent_fault_never_clears(self):
+        injector = FaultInjector(error_cells=("*",), fail_attempts=None)
+        trace = make_trace()
+        for _ in range(5):
+            assert isinstance(injector.arm("any", trace), FaultyTrace)
+
+    def test_patterns_select_cells(self):
+        injector = FaultInjector(error_cells=("*/GREP",))
+        trace = make_trace()
+        assert isinstance(injector.arm("64:16,8@4/GREP", trace), FaultyTrace)
+        assert injector.arm("64:16,8@4/SORT", trace) is trace
+
+    def test_abort_after_simulates_a_crash(self):
+        injector = FaultInjector(abort_after=2)
+        injector.cell_completed("a")
+        with pytest.raises(SweepAborted, match="after 2 cells"):
+            injector.cell_completed("b")

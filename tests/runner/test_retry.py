@@ -1,0 +1,124 @@
+"""Retry-policy and backoff tests."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    CellTimeoutError,
+    ConfigurationError,
+    MachineError,
+    TraceFormatError,
+    TransientError,
+)
+from repro.runner.retry import RetryPolicy, call_with_retry
+
+
+class TestRetryability:
+    def test_transient_always_retryable(self):
+        assert RetryPolicy().is_retryable(TransientError("x"))
+        assert RetryPolicy(lenient=True).is_retryable(TransientError("x"))
+
+    def test_timeout_never_retryable(self):
+        # Re-running a timed-out cell would time out again.
+        assert not RetryPolicy(lenient=True).is_retryable(CellTimeoutError("x"))
+
+    def test_machine_and_format_errors_only_in_lenient_mode(self):
+        for exc in (MachineError("x"), TraceFormatError("x")):
+            assert not RetryPolicy().is_retryable(exc)
+            assert RetryPolicy(lenient=True).is_retryable(exc)
+
+    def test_configuration_error_never_retryable(self):
+        assert not RetryPolicy(lenient=True).is_retryable(
+            ConfigurationError("bad geometry")
+        )
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0)
+        rng = random.Random(0)
+        assert [policy.delay(n, rng) for n in (1, 2, 3)] == [
+            pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4),
+        ]
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=2.5, jitter=0.0)
+        assert policy.delay(10, random.Random(0)) == pytest.approx(2.5)
+
+    def test_jitter_is_deterministic_under_a_seed(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        a = [policy.delay(n, random.Random(7)) for n in (1, 2, 3)]
+        b = [policy.delay(n, random.Random(7)) for n in (1, 2, 3)]
+        assert a == b
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        rng = random.Random(3)
+        for _ in range(50):
+            assert 0.5 <= policy.delay(1, rng) <= 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestCallWithRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 3:
+                raise TransientError("not yet")
+            return "done"
+
+        result, attempts = call_with_retry(
+            flaky, RetryPolicy(max_retries=3), sleep=lambda s: None
+        )
+        assert result == "done"
+        assert attempts == 3
+        assert calls == [1, 2, 3]
+
+    def test_stops_after_the_configured_budget(self):
+        calls = []
+
+        def always_fails(attempt):
+            calls.append(attempt)
+            raise TransientError("still broken")
+
+        with pytest.raises(TransientError) as excinfo:
+            call_with_retry(
+                always_fails, RetryPolicy(max_retries=2), sleep=lambda s: None
+            )
+        assert calls == [1, 2, 3]  # first try + 2 retries, then gives up
+        assert excinfo.value.retry_attempts == 3
+
+    def test_non_retryable_failure_raises_immediately(self):
+        calls = []
+
+        def fatal(attempt):
+            calls.append(attempt)
+            raise ConfigurationError("bad input")
+
+        with pytest.raises(ConfigurationError):
+            call_with_retry(
+                fatal, RetryPolicy(max_retries=5), sleep=lambda s: None
+            )
+        assert calls == [1]
+
+    def test_backoff_sleeps_between_attempts(self):
+        sleeps = []
+
+        def flaky(attempt):
+            if attempt == 1:
+                raise TransientError("x")
+            return attempt
+
+        policy = RetryPolicy(max_retries=1, base_delay=0.25, jitter=0.0)
+        call_with_retry(flaky, policy, sleep=sleeps.append)
+        assert sleeps == [pytest.approx(0.25)]

@@ -104,6 +104,36 @@ class TestSimulateCommand:
         assert "miss ratio" in capsys.readouterr().out
 
 
+class TestResilienceFlags:
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="--resume requires --checkpoint"):
+            main(LEN + ["table7", "z8000", "--resume"])
+
+    def test_checkpoint_and_resume_round_trip(self, tmp_path, capsys):
+        ck = str(tmp_path / "t7.jsonl")
+        assert main(LEN + ["table7", "z8000", "--checkpoint", ck]) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "t7.jsonl").exists()
+        assert main(
+            LEN + ["table7", "z8000", "--checkpoint", ck, "--resume"]
+        ) == 0
+        assert capsys.readouterr().out == first
+
+    def test_lenient_and_retry_flags_accepted(self, capsys):
+        assert main(
+            LEN + ["table7", "z8000", "--lenient", "--max-retries", "2"]
+        ) == 0
+        assert "Table 7" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_quick_chaos_run_passes(self, capsys):
+        assert main(["chaos", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "FAIL" not in out
+
+
 class TestFigureCsv:
     def test_csv_output(self, capsys):
         assert main(LEN + ["figure", "4", "--csv"]) == 0

@@ -4,10 +4,13 @@ import pytest
 
 from repro.errors import (
     AssemblyError,
+    CellTimeoutError,
+    ChecksumError,
     ConfigurationError,
     MachineError,
     ReproError,
     TraceFormatError,
+    TransientError,
 )
 
 
@@ -17,6 +20,9 @@ def test_all_errors_derive_from_repro_error():
         TraceFormatError,
         MachineError,
         AssemblyError,
+        TransientError,
+        CellTimeoutError,
+        ChecksumError,
     ):
         assert issubclass(exc_type, ReproError)
 
@@ -31,6 +37,26 @@ def test_trace_format_error_is_value_error():
 
 def test_machine_error_is_runtime_error():
     assert issubclass(MachineError, RuntimeError)
+
+
+def test_transient_error_is_runtime_error():
+    assert issubclass(TransientError, RuntimeError)
+
+
+def test_cell_timeout_error_is_timeout_error():
+    # `except TimeoutError` written by callers catches our timeouts too.
+    assert issubclass(CellTimeoutError, TimeoutError)
+
+
+def test_checksum_error_is_a_trace_format_error():
+    # Integrity failures are a species of malformed input: code that
+    # already handles TraceFormatError handles tampering for free.
+    assert issubclass(ChecksumError, TraceFormatError)
+
+
+def test_machine_error_carries_step_count():
+    assert MachineError("boom", steps=42).steps == 42
+    assert MachineError("boom").steps is None
 
 
 def test_catching_base_catches_all():

@@ -4,8 +4,8 @@ import io
 
 import pytest
 
-from repro.errors import TraceFormatError
-from repro.trace.reader import read_din, read_npz
+from repro.errors import ChecksumError, TraceFormatError
+from repro.trace.reader import MAX_ADDRESS, read_din, read_din_report, read_npz
 from repro.trace.record import Trace
 from repro.trace.writer import write_din, write_npz
 
@@ -51,6 +51,40 @@ class TestDinFormat:
         with pytest.raises(TraceFormatError, match="line 2"):
             read_din(io.StringIO("0 100\nbogus\n"))
 
+    def test_negative_address_rejected_with_line_number(self):
+        with pytest.raises(TraceFormatError, match="line 2.*negative"):
+            read_din(io.StringIO("0 100\n0 -20\n"))
+
+    def test_oversized_address_rejected(self):
+        huge = f"0 {MAX_ADDRESS:x}\n"
+        with pytest.raises(TraceFormatError, match="address-space limit"):
+            read_din(io.StringIO(huge))
+
+
+class TestDinLenientMode:
+    TEXT = "0 100\nbogus\n7 100\n0 zz\n0 -4\n2 200\n"
+
+    def test_strict_remains_the_default(self):
+        with pytest.raises(TraceFormatError):
+            read_din(io.StringIO(self.TEXT))
+
+    def test_lenient_skips_and_keeps_the_good_lines(self):
+        trace = read_din(io.StringIO(self.TEXT), lenient=True)
+        assert trace.addrs.tolist() == [0x100, 0x200]
+        assert trace.kinds.tolist() == [0, 2]
+
+    def test_report_counts_and_names_lines(self):
+        report = read_din_report(io.StringIO(self.TEXT), lenient=True)
+        assert report.n_skipped == 4
+        assert [lineno for lineno, _ in report.skipped] == [2, 3, 4, 5]
+        assert "label" in report.skipped[1][1]
+        assert "negative" in report.skipped[3][1]
+
+    def test_clean_input_reports_nothing_skipped(self):
+        report = read_din_report(io.StringIO("0 100\n2 200\n"), lenient=True)
+        assert report.n_skipped == 0
+        assert len(report.trace) == 2
+
 
 class TestNpzFormat:
     def test_roundtrip(self, tiny_trace, tmp_path):
@@ -73,3 +107,42 @@ class TestNpzFormat:
         np.savez(path, unrelated=np.arange(4))
         with pytest.raises(TraceFormatError):
             read_npz(path)
+
+
+class TestNpzChecksum:
+    def test_tampered_content_raises_checksum_error(self, tiny_trace, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "trace.npz"
+        write_npz(tiny_trace, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+        arrays["addrs"] = arrays["addrs"].copy()
+        arrays["addrs"][0] += 2  # bit-flip the payload, keep the checksum
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ChecksumError, match="checksum"):
+            read_npz(path)
+
+    def test_verification_can_be_disabled(self, tiny_trace, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "trace.npz"
+        write_npz(tiny_trace, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+        arrays["checksum"] = np.array("0" * 64)
+        np.savez_compressed(path, **arrays)
+        assert len(read_npz(path, verify=False)) == len(tiny_trace)
+
+    def test_legacy_file_without_checksum_still_loads(self, tiny_trace, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            addrs=tiny_trace.addrs,
+            kinds=tiny_trace.kinds,
+            sizes=tiny_trace.sizes,
+            name=np.array(tiny_trace.name),
+        )
+        assert read_npz(path) == tiny_trace

@@ -176,6 +176,24 @@ class TestBudgets:
         assert result.halted
         assert result.steps == 1
 
+    def test_strict_budget_raises_on_runaway_program(self):
+        machine = Machine(assemble("loop: jmp loop\n"))
+        with pytest.raises(MachineError, match="step budget of 100") as excinfo:
+            machine.run(max_steps=100, strict_budget=True)
+        assert excinfo.value.steps == 100
+        assert "runaway" in str(excinfo.value)
+
+    def test_strict_budget_is_quiet_on_clean_halt(self):
+        machine = Machine(assemble("nop\nhalt\n"))
+        result = machine.run(max_steps=100, strict_budget=True)
+        assert result.halted
+
+    def test_machine_error_names_the_program_and_steps(self):
+        machine = Machine(assemble("li r0, 1\nli r1, 0\ndiv r0, r1\nhalt\n"))
+        with pytest.raises(MachineError, match="after 3 steps") as excinfo:
+            machine.run()
+        assert excinfo.value.steps == 3
+
 
 class TestHelpers:
     def test_read_write_words(self):
