@@ -14,6 +14,9 @@ Subpackages:
 * :mod:`repro.workloads` — the workload substrate standing in for the
   paper's proprietary 1984 traces (toy-machine programs plus a
   calibrated statistical locality model).
+* :mod:`repro.engine` — pluggable simulation engines: the reference
+  object-model loop and the vectorized batch engine, equivalence-pinned
+  to each other ("decode once, simulate many").
 * :mod:`repro.analysis` — sweeps, tables, figures, stack-distance
   analysis, and the paper's published numbers.
 * :mod:`repro.extensions` — minimum cache / instruction buffer, the

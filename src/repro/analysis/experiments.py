@@ -196,7 +196,10 @@ def table8_experiment(
             runner_config=row_runner,
         )
         point = points[0]
-        redundant = _redundant_fraction(traces, geometry, load_forward)
+        engine_name = runner.engine if runner is not None else "auto"
+        redundant = _redundant_fraction(
+            traces, geometry, load_forward, engine_name
+        )
         rows.append(
             Table8Row(
                 geometry=geometry,
@@ -210,20 +213,25 @@ def table8_experiment(
     return rows
 
 
-def _redundant_fraction(traces, geometry, load_forward: bool) -> float:
+def _redundant_fraction(
+    traces, geometry, load_forward: bool, engine_name: str = "auto"
+) -> float:
     """Fraction of fetched bytes that were redundant re-loads."""
     if not load_forward:
         return 0.0
-    from repro.core.cache import SubBlockCache
+    from repro.engine import TraceView, resolve_engine
 
     total_fetched = total_redundant = 0
     for trace in traces:
-        cache = SubBlockCache(
-            geometry, fetch=LoadForwardFetch(), word_size=2
+        # The interned view shares one read-filtered copy (and the
+        # decode arrays) with the sweep that just ran over this trace.
+        filtered = TraceView.of(trace).reads_only()
+        stats = resolve_engine(engine_name, filtered).run(
+            geometry, filtered, fetch=LoadForwardFetch(), word_size=2,
+            warmup="fill",
         )
-        simulate(cache, reads_only(trace), warmup="fill")
-        total_fetched += cache.stats.bytes_fetched
-        total_redundant += cache.stats.redundant_bytes_fetched
+        total_fetched += stats.bytes_fetched
+        total_redundant += stats.redundant_bytes_fetched
     return total_redundant / total_fetched if total_fetched else 0.0
 
 

@@ -18,8 +18,12 @@ The sweep-backed commands (``table7``, ``table8``, ``figure``) accept
 resilience flags — ``--checkpoint FILE`` / ``--resume`` to survive
 interruption, ``--max-retries`` / ``--cell-timeout`` to bound flaky or
 runaway cells, and ``--lenient`` to degrade to partial suite averages
-instead of failing; see ``docs/resilience.md``.  ``chaos`` runs the
-fault-injection scenarios that prove those guarantees.
+instead of failing; see ``docs/resilience.md``.  They also accept
+execution flags — ``--engine {auto,reference,vectorized}`` to pick the
+simulation engine and ``--jobs N`` to fan cells out over worker
+processes; see ``docs/engines.md``.  ``chaos`` runs the
+fault-injection scenarios that prove the resilience guarantees, under
+either engine.
 """
 
 from __future__ import annotations
@@ -82,6 +86,16 @@ def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
         "--lenient", action="store_true",
         help="skip failing cells and report partial suite averages",
     )
+    execution = subparser.add_argument_group("execution")
+    execution.add_argument(
+        "--engine", default="auto", choices=["auto", "reference", "vectorized"],
+        help="simulation engine per cell (auto picks vectorized for "
+             "plain traces; see docs/engines.md)",
+    )
+    execution.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep cells (default 1 = in-process)",
+    )
 
 
 def _runner_config(args: argparse.Namespace) -> Optional[RunnerConfig]:
@@ -93,6 +107,8 @@ def _runner_config(args: argparse.Namespace) -> Optional[RunnerConfig]:
         and args.max_retries == 0
         and args.cell_timeout is None
         and not args.lenient
+        and args.engine == "auto"
+        and args.jobs == 1
     ):
         return None
     return RunnerConfig(
@@ -101,6 +117,8 @@ def _runner_config(args: argparse.Namespace) -> Optional[RunnerConfig]:
         checkpoint=args.checkpoint,
         resume=args.resume,
         lenient=args.lenient,
+        engine=args.engine,
+        jobs=args.jobs,
     )
 
 
@@ -155,6 +173,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--checkpoint-dir", default=None, metavar="DIR",
         help="keep scenario checkpoints here (default: temp dir)",
+    )
+    chaos.add_argument(
+        "--engine", default="auto",
+        choices=["auto", "reference", "vectorized"],
+        help="simulation engine for the scenario sweeps",
     )
     commands.add_parser("riscii", help="RISC II instruction-cache results")
     commands.add_parser("suites", help="list the workload suites and traces")
@@ -274,6 +297,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             quick=args.quick,
             seed=args.seed,
             checkpoint_dir=args.checkpoint_dir,
+            engine=args.engine,
         )
     return 0
 

@@ -1,0 +1,81 @@
+"""Shared stats-accounting kernels: one source of truth for both engines.
+
+The reference engine (:class:`repro.core.cache.SubBlockCache`) and the
+vectorized batch engine (:mod:`repro.engine.vectorized`) must produce
+*identical* :class:`~repro.core.stats.CacheStats` — that equivalence is
+the engine layer's correctness contract, enforced by the differential
+suite in ``tests/engine``.  The accounting rules that both must agree
+on live here:
+
+* :func:`plan_costs` — how a :class:`~repro.core.fetch.FetchPlan`
+  translates into transaction word counts, fetched bytes, and
+  redundant bytes;
+* :func:`account_fetch` — applying those costs to a stats object (the
+  reference cache's per-miss path);
+* :func:`account_eviction` — the eviction bookkeeping (utilization
+  accumulators and write-back traffic) shared by replacement evictions
+  and end-of-run flushes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.core.block import popcount
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.fetch import FetchPlan
+    from repro.core.stats import CacheStats
+
+__all__ = ["plan_costs", "account_fetch", "account_eviction"]
+
+
+def plan_costs(
+    plan: "FetchPlan", sub_block_size: int, word_size: int
+) -> Tuple[Tuple[int, ...], int, int]:
+    """Reduce a fetch plan to its bus-traffic costs.
+
+    Returns:
+        ``(transaction_words, fetched_bytes, redundant_bytes)`` —
+        the word count of each memory transaction (the nibble-mode
+        histogram keys), total bytes moved into the cache, and bytes
+        that were redundant re-loads of already-valid sub-blocks.
+    """
+    words = tuple(
+        run * sub_block_size // word_size for run in plan.transactions
+    )
+    fetched = sum(plan.transactions) * sub_block_size
+    redundant = popcount(plan.redundant_mask) * sub_block_size
+    return words, fetched, redundant
+
+
+def account_fetch(
+    stats: "CacheStats", plan: "FetchPlan", sub_block_size: int, word_size: int
+) -> None:
+    """Record one miss's fetch traffic on ``stats``."""
+    words, fetched, redundant = plan_costs(plan, sub_block_size, word_size)
+    for count in words:
+        stats.record_transaction(count)
+    stats.bytes_fetched += fetched
+    stats.redundant_bytes_fetched += redundant
+
+
+def account_eviction(
+    stats: "CacheStats",
+    referenced_mask: int,
+    dirty_mask: int,
+    sub_blocks_per_block: int,
+    sub_block_size: int,
+) -> None:
+    """Record the displacement of one block on ``stats``.
+
+    Covers both replacement evictions and the end-of-run flush:
+    utilization accumulators always, write-back traffic when the block
+    has dirty sub-blocks.
+    """
+    stats.evictions += 1
+    stats.evicted_sub_blocks_referenced += popcount(referenced_mask)
+    stats.evicted_sub_blocks_total += sub_blocks_per_block
+    if dirty_mask:
+        stats.writebacks += 1
+        stats.bytes_written_back += popcount(dirty_mask) * sub_block_size

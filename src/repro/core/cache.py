@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.block import Block, mask_of_range, popcount
+from repro.core.accounting import account_eviction, account_fetch
+from repro.core.block import Block, mask_of_range
 from repro.core.config import CacheGeometry
 from repro.core.fetch import DemandFetch, FetchPolicy
 from repro.core.replacement import LRUReplacement, ReplacementPolicy
@@ -286,12 +287,7 @@ class SubBlockCache:
         plan = self.fetch.plan(
             needed_missing, first_needed, blk.valid, geometry.sub_blocks_per_block
         )
-        sub_size = geometry.sub_block_size
-        stats = self.stats
-        for run in plan.transactions:
-            stats.record_transaction(run * sub_size // self.word_size)
-            stats.bytes_fetched += run * sub_size
-        stats.redundant_bytes_fetched += popcount(plan.redundant_mask) * sub_size
+        account_fetch(self.stats, plan, geometry.sub_block_size, self.word_size)
         blk.valid |= plan.fetch_mask
 
     def _complete_write(
@@ -312,15 +308,13 @@ class SubBlockCache:
 
     def _evict(self, blk: Block) -> None:
         """Account statistics and write-backs for a displaced block."""
-        stats = self.stats
-        stats.evictions += 1
-        stats.evicted_sub_blocks_referenced += popcount(blk.referenced)
-        stats.evicted_sub_blocks_total += self.geometry.sub_blocks_per_block
-        if blk.dirty:
-            stats.writebacks += 1
-            stats.bytes_written_back += (
-                popcount(blk.dirty) * self.geometry.sub_block_size
-            )
+        account_eviction(
+            self.stats,
+            blk.referenced,
+            blk.dirty,
+            self.geometry.sub_blocks_per_block,
+            self.geometry.sub_block_size,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -36,6 +36,13 @@ class ReplacementPolicy(ABC):
 
     name: str = "abstract"
 
+    #: True when a repeated ``on_hit`` of the way that was just filled
+    #: or hit is a no-op.  All built-in policies qualify; the vectorized
+    #: engine uses this to collapse runs of identical accesses without
+    #: consulting the policy per access.  Subclasses whose hit handling
+    #: is history-sensitive in a non-idempotent way must leave it False.
+    idempotent_hits: bool = False
+
     @abstractmethod
     def new_set(self, ways: int) -> Any:
         """Create per-set policy state for a set with ``ways`` ways."""
@@ -64,6 +71,7 @@ class LRUReplacement(ReplacementPolicy):
     """
 
     name = "lru"
+    idempotent_hits = True
 
     def new_set(self, ways: int) -> List[int]:
         return []
@@ -90,6 +98,7 @@ class FIFOReplacement(ReplacementPolicy):
     """
 
     name = "fifo"
+    idempotent_hits = True
 
     def new_set(self, ways: int) -> List[int]:
         return []
@@ -113,6 +122,7 @@ class RandomReplacement(ReplacementPolicy):
     """
 
     name = "random"
+    idempotent_hits = True
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)

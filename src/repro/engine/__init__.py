@@ -1,0 +1,34 @@
+"""Pluggable simulation engines ("decode once, simulate many").
+
+Public surface:
+
+* :class:`~repro.engine.base.Engine` — the interface one simulation
+  run is executed through.
+* :func:`~repro.engine.base.make_engine` /
+  :func:`~repro.engine.base.resolve_engine` — construction and per-run
+  ``auto`` selection.
+* :class:`~repro.engine.reference.ReferenceEngine` — the object-model
+  loop (semantics baseline; handles guarded / fault-injected traces).
+* :class:`~repro.engine.vectorized.VectorizedEngine` — the NumPy batch
+  engine, pinned to the reference by the equivalence suite.
+* :class:`~repro.engine.traceview.TraceView` — shared cached decode of
+  one trace, reused across every geometry of a sweep.
+
+See ``docs/engines.md`` for the architecture and the equivalence
+contract.
+"""
+
+from repro.engine.base import ENGINE_NAMES, Engine, make_engine, resolve_engine
+from repro.engine.reference import ReferenceEngine
+from repro.engine.traceview import TraceView
+from repro.engine.vectorized import VectorizedEngine
+
+__all__ = [
+    "Engine",
+    "ENGINE_NAMES",
+    "make_engine",
+    "resolve_engine",
+    "ReferenceEngine",
+    "VectorizedEngine",
+    "TraceView",
+]

@@ -1,0 +1,132 @@
+"""The engine interface: pluggable executors for one simulation run.
+
+An :class:`Engine` turns ``(geometry, trace, policies, warmup)`` into a
+:class:`~repro.core.stats.CacheStats`.  Two implementations ship:
+
+* ``reference`` — the original object-model loop
+  (:class:`~repro.core.cache.SubBlockCache` driven by
+  :func:`~repro.core.sim.simulate`).  It accepts *any* iterable of
+  accesses, which is what the resilient runner's guarded and
+  fault-injecting trace proxies rely on.
+* ``vectorized`` — the NumPy batch engine
+  (:mod:`repro.engine.vectorized`): whole-trace decode kernels, flat
+  per-set state, memoized fetch plans.  Requires a real
+  :class:`~repro.trace.record.Trace` (or
+  :class:`~repro.engine.traceview.TraceView`) because it consumes the
+  structure-of-arrays columns directly.
+
+Both engines are bound by the **equivalence contract**: identical
+inputs must produce *identical* stats, counter for counter.  The
+differential suite in ``tests/engine`` enforces it; anything that
+cannot honor it (per-access fault proxies, cooperative timeouts)
+resolves to ``reference`` — see :func:`resolve_engine` and
+``docs/engines.md``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Union
+
+from repro.core.config import CacheGeometry
+from repro.core.fetch import FetchPolicy
+from repro.core.replacement import ReplacementPolicy
+from repro.core.stats import CacheStats
+from repro.core.write import WritePolicy
+from repro.engine.traceview import TraceView
+from repro.errors import ConfigurationError
+from repro.trace.record import Trace
+
+__all__ = ["Engine", "ENGINE_NAMES", "make_engine", "resolve_engine"]
+
+#: Accepted ``--engine`` values; ``auto`` resolves per run.
+ENGINE_NAMES = ("auto", "reference", "vectorized")
+
+
+class Engine(ABC):
+    """One strategy for executing a cache simulation run."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        geometry: CacheGeometry,
+        trace,
+        *,
+        replacement: Optional[ReplacementPolicy] = None,
+        fetch: Optional[FetchPolicy] = None,
+        write_policy: WritePolicy = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+        word_size: int = 2,
+        warmup: Union[int, str] = "fill",
+        flush_at_end: bool = False,
+    ) -> CacheStats:
+        """Simulate one geometry over one trace and return its stats.
+
+        Args:
+            geometry: Validated cache shape.
+            trace: A :class:`~repro.trace.record.Trace`, a
+                :class:`~repro.engine.traceview.TraceView`, or (for the
+                reference engine only) any iterable of accesses.
+            replacement / fetch / write_policy / word_size: Policy
+                configuration, defaulted exactly as
+                :class:`~repro.core.cache.SubBlockCache` defaults them.
+            warmup: ``0``, a positive access count, or ``"fill"`` — the
+                same warm-start modes as
+                :func:`~repro.core.sim.simulate`.
+            flush_at_end: Evict everything after the run so
+                eviction-based statistics cover resident blocks.
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+def make_engine(name: str) -> Engine:
+    """Build an engine by name (``reference`` or ``vectorized``).
+
+    ``auto`` is not a constructible engine — it is a per-run choice;
+    use :func:`resolve_engine`.
+
+    Raises:
+        ConfigurationError: For an unknown name (including ``auto``).
+    """
+    # Imported here: the implementations import this module for Engine.
+    from repro.engine.reference import ReferenceEngine
+    from repro.engine.vectorized import VectorizedEngine
+
+    key = name.lower()
+    if key == "reference":
+        return ReferenceEngine()
+    if key == "vectorized":
+        return VectorizedEngine()
+    raise ConfigurationError(
+        f"unknown engine {name!r}; choose from ['reference', 'vectorized']"
+    )
+
+
+def resolve_engine(name: str, trace) -> Engine:
+    """Pick the engine that will actually execute one cell.
+
+    ``auto`` selects ``vectorized`` whenever the input is a plain
+    :class:`~repro.trace.record.Trace` / ``TraceView`` and ``reference``
+    otherwise.  An explicit ``vectorized`` request also degrades to
+    ``reference`` when the trace is a per-access proxy (guarded or
+    fault-injected cells), because only per-access iteration can honor
+    those wrappers — the equivalence contract makes the substitution
+    invisible in the results.
+
+    Raises:
+        ConfigurationError: For a name outside :data:`ENGINE_NAMES`.
+    """
+    from repro.engine.reference import ReferenceEngine
+
+    key = name.lower()
+    if key not in ENGINE_NAMES:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; choose from {list(ENGINE_NAMES)}"
+        )
+    batchable = isinstance(trace, (Trace, TraceView))
+    if key == "reference" or not batchable:
+        return ReferenceEngine()
+    return make_engine("vectorized")

@@ -1,0 +1,55 @@
+"""The reference engine: the object-model loop behind the interface.
+
+This is the paper-faithful simulator — one :class:`Access` at a time
+through :class:`~repro.core.cache.SubBlockCache` — repackaged as an
+:class:`~repro.engine.base.Engine`.  It defines the semantics the
+vectorized engine must match exactly, and it is the only engine that
+can drive per-access trace proxies (the runner's cooperative timeouts
+and fault injection), so every guarded cell executes here regardless
+of the requested engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.fetch import FetchPolicy
+from repro.core.replacement import ReplacementPolicy
+from repro.core.sim import simulate
+from repro.core.stats import CacheStats
+from repro.core.write import WritePolicy
+from repro.engine.base import Engine
+from repro.engine.traceview import TraceView
+
+__all__ = ["ReferenceEngine"]
+
+
+class ReferenceEngine(Engine):
+    """Per-access object-model execution (the equivalence baseline)."""
+
+    name = "reference"
+
+    def run(
+        self,
+        geometry: CacheGeometry,
+        trace,
+        *,
+        replacement: Optional[ReplacementPolicy] = None,
+        fetch: Optional[FetchPolicy] = None,
+        write_policy: WritePolicy = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+        word_size: int = 2,
+        warmup: Union[int, str] = "fill",
+        flush_at_end: bool = False,
+    ) -> CacheStats:
+        if isinstance(trace, TraceView):
+            trace = trace.trace
+        cache = SubBlockCache(
+            geometry,
+            replacement=replacement,
+            fetch=fetch,
+            write_policy=write_policy,
+            word_size=word_size,
+        )
+        return simulate(cache, trace, warmup=warmup, flush_at_end=flush_at_end)

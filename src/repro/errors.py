@@ -68,6 +68,18 @@ class TransientError(ReproError, RuntimeError):
     """
 
 
+class EngineError(ReproError, RuntimeError):
+    """A simulation engine failed to execute a run it accepted.
+
+    Raised when the vectorized batch engine (:mod:`repro.engine`) hits
+    an internal failure — a decode kernel error, an unsupported input it
+    did not reject up front — in strict mode.  In lenient runner mode
+    the cell is transparently re-run on the ``reference`` engine
+    instead, so this error marks a bug worth reporting, not a flaky
+    cell: deterministic, never retried.
+    """
+
+
 class CellTimeoutError(ReproError, TimeoutError):
     """A sweep cell exceeded its wall-clock timeout or access budget.
 

@@ -61,6 +61,7 @@ def run_chaos(
     seed: int = 0,
     checkpoint_dir: Optional[str] = None,
     out: Callable[[str], None] = print,
+    engine: str = "auto",
 ) -> int:
     """Run every chaos scenario; return 0 if all hold, 1 otherwise.
 
@@ -71,6 +72,11 @@ def run_chaos(
         checkpoint_dir: Where scenario checkpoints are written (kept
             for post-mortem); a temporary directory when omitted.
         out: Line sink, injectable for tests.
+        engine: Simulation engine for every scenario sweep.  Fault-
+            injected cells always execute on the reference engine
+            (their traces are per-access proxies); the equivalence
+            contract is what keeps the byte-identity checks green when
+            healthy cells run vectorized.
     """
     length = 2_000 if quick else 8_000
     nets = [64] if quick else [64, 256]
@@ -85,10 +91,13 @@ def run_chaos(
     geometries = [g for net in nets for g in geometry_grid([net])]
     out(
         f"chaos: {len(traces)} traces x {len(geometries)} geometries "
-        f"({length} refs), checkpoints in {ckdir}"
+        f"({length} refs), engine {engine}, checkpoints in {ckdir}"
     )
 
-    baseline, _ = run_sweep(traces, geometries, word_size=2)
+    def config(**kwargs) -> RunnerConfig:
+        return RunnerConfig(engine=engine, **kwargs)
+
+    baseline, _ = run_sweep(traces, geometries, word_size=2, config=config())
     baseline_digest = points_digest(baseline)
     failures: List[str] = []
 
@@ -99,7 +108,7 @@ def run_chaos(
 
     # -- Scenario 1: kill mid-sweep, resume from checkpoint ---------------
     ck = ckdir / "resume.jsonl"
-    crash_config = RunnerConfig(
+    crash_config = config(
         checkpoint=ck,
         injector=FaultInjector(abort_after=max(len(geometries) // 2, 1)),
         sleep=_NO_SLEEP,
@@ -111,7 +120,7 @@ def run_chaos(
         crashed = True
     resumed, resume_report = run_sweep(
         traces, geometries, word_size=2,
-        config=RunnerConfig(checkpoint=ck, resume=True, sleep=_NO_SLEEP),
+        config=config(checkpoint=ck, resume=True, sleep=_NO_SLEEP),
     )
     check(
         "resume",
@@ -126,7 +135,7 @@ def run_chaos(
     flaky_key = cell_key(geometries[0], traces[0].name)
     retried, retry_report = run_sweep(
         traces, geometries, word_size=2,
-        config=RunnerConfig(
+        config=config(
             retry=RetryPolicy(max_retries=3),
             injector=FaultInjector(
                 error_cells=(flaky_key,), error_at=50, fail_attempts=2,
@@ -150,7 +159,7 @@ def run_chaos(
     try:
         run_sweep(
             traces, geometries, word_size=2,
-            config=RunnerConfig(
+            config=config(
                 retry=RetryPolicy(max_retries=2),
                 injector=stubborn,
                 seed=seed,
@@ -169,7 +178,7 @@ def run_chaos(
     bad_trace = traces[0].name
     partial, partial_report = run_sweep(
         traces, geometries, word_size=2,
-        config=RunnerConfig(
+        config=config(
             lenient=True,
             injector=FaultInjector(
                 error_cells=(f"*/{bad_trace}",), error_at=0,
@@ -195,7 +204,7 @@ def run_chaos(
     stalled_key = cell_key(geometries[-1], traces[-1].name)
     timed, timeout_report = run_sweep(
         traces, geometries, word_size=2,
-        config=RunnerConfig(
+        config=config(
             lenient=True,
             cell_timeout=0.05,
             injector=FaultInjector(

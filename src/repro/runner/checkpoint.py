@@ -26,7 +26,16 @@ from repro.errors import ChecksumError, ConfigurationError
 
 __all__ = ["CHECKPOINT_VERSION", "CheckpointWriter", "load_checkpoint", "sweep_fingerprint"]
 
-CHECKPOINT_VERSION = 1
+#: Format history:
+#:
+#: * **1** — original format; fingerprint params did not include the
+#:   simulation engine.
+#: * **2** — the engine name is folded into the fingerprint params.
+#:   Version-1 checkpoints still resume when their fingerprint matches
+#:   the sweep's *legacy* fingerprint (computed without the engine
+#:   param) — sound because the engines are equivalence-pinned, so the
+#:   recorded ratios are engine-independent.
+CHECKPOINT_VERSION = 2
 
 
 def sweep_fingerprint(
@@ -126,13 +135,20 @@ class CheckpointWriter:
 
 
 def load_checkpoint(
-    path: Union[str, Path], fingerprint: str
+    path: Union[str, Path],
+    fingerprint: str,
+    legacy_fingerprint: Optional[str] = None,
 ) -> Dict[str, Dict[str, Any]]:
     """Read completed cells from a checkpoint for resumption.
 
     Args:
         path: Checkpoint file; a missing file yields no completed cells.
         fingerprint: Expected sweep fingerprint.
+        legacy_fingerprint: Fingerprint the same sweep would have had
+            under checkpoint version 1 (before the engine param was
+            folded in).  A version-1 header matching it resumes
+            normally, so pre-existing checkpoints survive the format
+            bump.
 
     Returns:
         ``{cell key: record}`` for every intact cell line.
@@ -175,15 +191,20 @@ def load_checkpoint(
             f"{path}: not a sweep checkpoint (missing header line)"
         )
     header = records[0]
-    if header.get("version") != CHECKPOINT_VERSION:
+    version = header.get("version")
+    if version == CHECKPOINT_VERSION:
+        expected = fingerprint
+    elif version == 1 and legacy_fingerprint is not None:
+        expected = legacy_fingerprint
+    else:
         raise ConfigurationError(
-            f"{path}: checkpoint version {header.get('version')} is not "
+            f"{path}: checkpoint version {version} is not "
             f"supported (expected {CHECKPOINT_VERSION})"
         )
-    if header.get("fingerprint") != fingerprint:
+    if header.get("fingerprint") != expected:
         raise ConfigurationError(
             f"{path}: checkpoint belongs to a different sweep "
-            f"(fingerprint {header.get('fingerprint')} != {fingerprint}); "
+            f"(fingerprint {header.get('fingerprint')} != {expected}); "
             "refusing to resume — pass a fresh --checkpoint path"
         )
     return {

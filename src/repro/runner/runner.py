@@ -16,6 +16,15 @@ independent *cell* executed under
   skips named on the resulting point and in the
   :class:`~repro.runner.health.RunReport`.
 
+Cells execute through the pluggable engine layer
+(:mod:`repro.engine`): :attr:`RunnerConfig.engine` selects
+``auto``/``reference``/``vectorized``, with ``auto`` taking the
+vectorized batch engine for plain traces and the reference loop for
+guarded or fault-injected ones.  :attr:`RunnerConfig.jobs` spreads
+independent cells over a process pool; workers only compute — the
+parent alone appends checkpoint records, so the JSONL file stays
+single-writer and resume-safe.
+
 Fault injection (:mod:`repro.runner.faults`) plugs in through
 :attr:`RunnerConfig.injector`, which is how the chaos harness and the
 tests drive every one of these paths deterministically.
@@ -25,15 +34,33 @@ from __future__ import annotations
 
 import random
 import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.core.config import CacheGeometry
 from repro.core.fetch import FetchPolicy, make_fetch
 from repro.core.replacement import make_replacement
-from repro.core.sim import run_config
-from repro.errors import CellTimeoutError, ReproError
+from repro.engine.base import ENGINE_NAMES, resolve_engine
+from repro.engine.reference import ReferenceEngine
+from repro.engine.traceview import TraceView
+from repro.errors import (
+    CellTimeoutError,
+    ConfigurationError,
+    EngineError,
+    ReproError,
+)
 from repro.memory.nibble import BusCostModel, NIBBLE_MODE_BUS
 from repro.runner.checkpoint import (
     CheckpointWriter,
@@ -65,14 +92,25 @@ class RunnerConfig:
         resume: Reuse completed cells from an existing checkpoint
             instead of truncating it.
         lenient: Skip failed cells (recording why) instead of failing
-            the sweep, and treat machine/trace-format errors as
-            retryable.
+            the sweep, treat machine/trace-format errors as retryable,
+            and re-run a cell on the reference engine if the vectorized
+            engine fails internally.
         seed: Seeds the jitter generator so backoff schedules are
             reproducible.
         max_consecutive_failures: Health breaker — abort the run after
             this many back-to-back skipped cells (None disables).
         injector: Deterministic fault plan, for chaos runs and tests.
-        sleep: Injectable sleep used by retry backoff.
+        sleep: Injectable sleep used by retry backoff (jobs=1 only;
+            workers always use the real ``time.sleep``).
+        engine: Simulation engine per cell — ``auto`` (default),
+            ``reference``, or ``vectorized``.  ``auto`` resolves per
+            cell; guarded and fault-injected cells always run on the
+            reference engine (see :func:`repro.engine.resolve_engine`).
+        jobs: Worker processes for cell execution.  1 (default) runs
+            in-process; N > 1 fans cells out over a process pool while
+            the parent keeps sole ownership of the checkpoint file.
+            Incompatible with ``injector`` (per-access fault proxies
+            cannot cross process boundaries).
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -85,6 +123,8 @@ class RunnerConfig:
     max_consecutive_failures: Optional[int] = None
     injector: Optional[FaultInjector] = None
     sleep: Callable[[float], None] = time.sleep
+    engine: str = "auto"
+    jobs: int = 1
 
     def effective_retry(self) -> RetryPolicy:
         """The retry policy with sweep-level leniency folded in."""
@@ -116,10 +156,11 @@ def cell_key(geometry: CacheGeometry, trace_name: str) -> str:
 class _GuardedTrace:
     """Trace proxy enforcing a deadline and an access budget.
 
-    The simulator's only interaction with a trace is iteration, so the
-    cheapest reliable cell timeout is a cooperative check on every
-    access — no signals, no threads, identical results when the budget
-    is not hit.
+    The reference simulator's only interaction with a trace is
+    iteration, so the cheapest reliable cell timeout is a cooperative
+    check on every access — no signals, no threads, identical results
+    when the budget is not hit.  Guarded cells therefore always execute
+    on the reference engine.
     """
 
     def __init__(
@@ -156,6 +197,154 @@ class _GuardedTrace:
             yield access
 
 
+def _prepare_trace(trace: Trace, filter_writes: bool) -> Trace:
+    """The trace a sweep actually simulates (paper-style read filtering).
+
+    Filtering goes through the trace's interned
+    :class:`~repro.engine.traceview.TraceView`, so repeated sweeps over
+    one trace object (Table 8's per-row sweeps, figure families) reuse
+    a single materialized read-only copy instead of rebuilding it per
+    sweep call.
+    """
+    if not filter_writes:
+        return trace
+    if isinstance(trace, Trace):
+        return TraceView.of(trace).reads_only()
+    return reads_only(trace)
+
+
+def _execute_cell(
+    geometry: CacheGeometry,
+    trace: Trace,
+    key: str,
+    engine_name: str,
+    retry_policy: RetryPolicy,
+    cell_timeout: Optional[float],
+    max_cell_accesses: Optional[int],
+    lenient: bool,
+    injector: Optional[FaultInjector],
+    word_size: int,
+    fetch: Union[str, FetchPolicy, None],
+    replacement: str,
+    warmup: Union[int, str],
+    bus_model: BusCostModel,
+    rng: random.Random,
+    sleep: Callable[[float], None],
+) -> "tuple[tuple[float, float, float], int]":
+    """Run one cell under retry; returns ``((miss, traffic, scaled), attempts)``.
+
+    Shared verbatim by the in-process path and the pool workers, so a
+    sweep computes identical ratios regardless of ``jobs``.
+    """
+
+    def attempt(_attempt_number: int):
+        run_trace: Trace = trace
+        if injector is not None:
+            run_trace = injector.arm(key, run_trace)
+        if cell_timeout is not None or max_cell_accesses is not None:
+            deadline = (
+                time.monotonic() + cell_timeout
+                if cell_timeout is not None
+                else None
+            )
+            run_trace = _GuardedTrace(run_trace, key, deadline, max_cell_accesses)
+        fetch_policy = make_fetch(fetch) if isinstance(fetch, str) else fetch
+        engine = resolve_engine(engine_name, run_trace)
+        kwargs: Dict[str, Any] = dict(
+            fetch=fetch_policy, word_size=word_size, warmup=warmup
+        )
+        if engine.name == "vectorized":
+            try:
+                stats = engine.run(
+                    geometry, run_trace,
+                    replacement=make_replacement(replacement), **kwargs,
+                )
+            except ReproError:
+                raise
+            except Exception as exc:
+                if not lenient:
+                    raise EngineError(
+                        f"cell {key}: vectorized engine failed "
+                        f"({type(exc).__name__}: {exc}); re-run with "
+                        "--engine reference, or --lenient to fall back "
+                        "automatically"
+                    ) from exc
+                # Lenient degradation: the reference loop is the
+                # semantics baseline, so the fallback is invisible in
+                # the results.  Fresh policy objects — the failed
+                # attempt may have consumed replacement RNG state.
+                stats = ReferenceEngine().run(
+                    geometry, run_trace,
+                    replacement=make_replacement(replacement), **kwargs,
+                )
+        else:
+            stats = engine.run(
+                geometry, run_trace,
+                replacement=make_replacement(replacement), **kwargs,
+            )
+        return (
+            stats.miss_ratio,
+            stats.traffic_ratio(),
+            stats.scaled_traffic_ratio(bus_model, word_size),
+        )
+
+    return call_with_retry(attempt, retry_policy, rng, sleep=sleep)
+
+
+# -- Process-pool plumbing -------------------------------------------------
+#
+# Workers are seeded once with the prepared traces and the sweep
+# parameters (initializer globals), then receive only (indices, key)
+# per cell and return plain result tuples.  All checkpoint I/O stays in
+# the parent.
+
+_POOL_STATE: Dict[str, Any] = {}
+
+
+def _pool_init(
+    prepared: Sequence[Trace],
+    geometries: Sequence[CacheGeometry],
+    params: Dict[str, Any],
+) -> None:
+    _POOL_STATE["prepared"] = prepared
+    _POOL_STATE["geometries"] = geometries
+    _POOL_STATE["params"] = params
+
+
+def _pool_run_cell(
+    geometry_index: int, trace_index: int, key: str
+) -> "tuple[str, str, str, Any, int, float]":
+    geometry = _POOL_STATE["geometries"][geometry_index]
+    trace = _POOL_STATE["prepared"][trace_index]
+    params = _POOL_STATE["params"]
+    # Per-cell jitter seed: stable across runs and independent of which
+    # worker draws the cell (str hashing is not stable across
+    # processes; CRC32 is).
+    rng = random.Random(zlib.crc32(key.encode("utf-8")) ^ params["seed"])
+    started = time.monotonic()
+    try:
+        ratios, attempts = _execute_cell(
+            geometry, trace, key,
+            engine_name=params["engine"],
+            retry_policy=params["retry"],
+            cell_timeout=params["cell_timeout"],
+            max_cell_accesses=params["max_cell_accesses"],
+            lenient=params["lenient"],
+            injector=None,
+            word_size=params["word_size"],
+            fetch=params["fetch"],
+            replacement=params["replacement"],
+            warmup=params["warmup"],
+            bus_model=params["bus_model"],
+            rng=rng,
+            sleep=time.sleep,
+        )
+    except ReproError as exc:
+        attempts = getattr(exc, "retry_attempts", 1)
+        return (key, trace.name, "failed", exc, attempts, time.monotonic() - started)
+    return (key, trace.name, "ok", ratios, attempts, time.monotonic() - started)
+
+
 def run_sweep(
     traces: Sequence[Trace],
     geometries: Sequence[CacheGeometry],
@@ -184,7 +373,19 @@ def run_sweep(
             failure; in lenient mode only the health breaker raises.
     """
     config = config if config is not None else RunnerConfig()
-    prepared = [reads_only(trace) if filter_writes else trace for trace in traces]
+    engine_name = config.engine.lower()
+    if engine_name not in ENGINE_NAMES:
+        raise ConfigurationError(
+            f"unknown engine {config.engine!r}; choose from {list(ENGINE_NAMES)}"
+        )
+    if config.jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {config.jobs}")
+    if config.jobs > 1 and config.injector is not None:
+        raise ConfigurationError(
+            "fault injection requires jobs=1: per-access fault proxies "
+            "cannot cross process boundaries"
+        )
+    prepared = [_prepare_trace(trace, filter_writes) for trace in traces]
     fetch_name = (
         fetch if isinstance(fetch, str)
         else fetch.name if fetch is not None
@@ -195,9 +396,7 @@ def run_sweep(
         for geometry in geometries
         for trace in prepared
     ]
-    fingerprint = sweep_fingerprint(
-        keys,
-        [len(trace) for trace in prepared],
+    fingerprint_params = dict(
         word_size=word_size,
         fetch=fetch_name,
         replacement=replacement,
@@ -205,12 +404,24 @@ def run_sweep(
         bus_model=bus_model,
         filter_writes=filter_writes,
     )
+    trace_lengths = [len(trace) for trace in prepared]
+    fingerprint = sweep_fingerprint(
+        keys, trace_lengths, engine=engine_name, **fingerprint_params
+    )
+    # What the same sweep hashed to before engines existed (checkpoint
+    # format v1) — lets pre-existing checkpoints resume.
+    legacy_fingerprint = sweep_fingerprint(
+        keys, trace_lengths, **fingerprint_params
+    )
 
     completed: Dict[str, dict] = {}
     writer: Optional[CheckpointWriter] = None
     if config.checkpoint is not None:
         if config.resume:
-            completed = load_checkpoint(config.checkpoint, fingerprint)
+            completed = load_checkpoint(
+                config.checkpoint, fingerprint,
+                legacy_fingerprint=legacy_fingerprint,
+            )
         writer = CheckpointWriter(
             config.checkpoint, fingerprint, fresh=not config.resume
         )
@@ -222,40 +433,39 @@ def run_sweep(
     results: Dict[str, CellOutcome] = {}
     ratios: Dict[str, "tuple[float, float, float]"] = {}
 
-    def run_cell(geometry: CacheGeometry, trace: Trace, key: str):
-        def attempt(_attempt_number: int):
-            run_trace: Trace = trace
-            if config.injector is not None:
-                run_trace = config.injector.arm(key, run_trace)
-            if config.cell_timeout is not None or config.max_cell_accesses is not None:
-                deadline = (
-                    time.monotonic() + config.cell_timeout
-                    if config.cell_timeout is not None
-                    else None
-                )
-                run_trace = _GuardedTrace(
-                    run_trace, key, deadline, config.max_cell_accesses
-                )
-            fetch_policy = (
-                make_fetch(fetch) if isinstance(fetch, str)
-                else fetch if fetch is not None
-                else None
-            )
-            stats = run_config(
-                geometry,
-                run_trace,
-                replacement=make_replacement(replacement),
-                fetch=fetch_policy,
+    executor: Optional[ProcessPoolExecutor] = None
+    futures: Dict[str, Any] = {}
+    if config.jobs > 1:
+        pending = [
+            (gi, ti, cell_key(geometry, trace.name))
+            for gi, geometry in enumerate(geometries)
+            for ti, trace in enumerate(prepared)
+            if cell_key(geometry, trace.name) not in completed
+        ]
+        if pending:
+            worker_params = dict(
+                engine=engine_name,
+                retry=retry_policy,
+                cell_timeout=config.cell_timeout,
+                max_cell_accesses=config.max_cell_accesses,
+                lenient=config.lenient,
+                seed=config.seed,
                 word_size=word_size,
+                fetch=fetch,
+                replacement=replacement,
                 warmup=warmup,
+                bus_model=bus_model,
             )
-            return (
-                stats.miss_ratio,
-                stats.traffic_ratio(),
-                stats.scaled_traffic_ratio(bus_model, word_size),
+            executor = ProcessPoolExecutor(
+                max_workers=min(config.jobs, len(pending)),
+                initializer=_pool_init,
+                initargs=(prepared, list(geometries), worker_params),
             )
-
-        return call_with_retry(attempt, retry_policy, rng, sleep=config.sleep)
+            # Submission order == canonical cell order; results are
+            # consumed in the same order below, so checkpoint lines and
+            # health accounting are byte-identical to a jobs=1 run.
+            for gi, ti, key in pending:
+                futures[key] = executor.submit(_pool_run_cell, gi, ti, key)
 
     try:
         for geometry in geometries:
@@ -276,10 +486,51 @@ def run_sweep(
                         attempts=record.get("attempts", 1),
                         reason=record.get("reason", ""),
                     )
+                elif key in futures:
+                    _, _, status, payload, attempts, elapsed = futures.pop(key).result()
+                    if status == "failed":
+                        if not config.lenient:
+                            raise payload
+                        reason = f"{type(payload).__name__}: {payload}"
+                        outcome = CellOutcome(
+                            key, trace.name, CellStatus.SKIPPED,
+                            attempts=attempts, reason=reason, elapsed=elapsed,
+                        )
+                        if writer is not None:
+                            writer.record_cell(
+                                key, trace.name, "skipped",
+                                attempts=attempts, reason=reason,
+                            )
+                    else:
+                        ratios[key] = payload
+                        outcome = CellOutcome(
+                            key, trace.name, CellStatus.OK,
+                            attempts=attempts, elapsed=elapsed,
+                        )
+                        if writer is not None:
+                            writer.record_cell(
+                                key, trace.name, "ok",
+                                ratios=payload, attempts=attempts,
+                            )
                 else:
                     started = time.monotonic()
                     try:
-                        cell_ratios, attempts = run_cell(geometry, trace, key)
+                        cell_ratios, attempts = _execute_cell(
+                            geometry, trace, key,
+                            engine_name=engine_name,
+                            retry_policy=retry_policy,
+                            cell_timeout=config.cell_timeout,
+                            max_cell_accesses=config.max_cell_accesses,
+                            lenient=config.lenient,
+                            injector=config.injector,
+                            word_size=word_size,
+                            fetch=fetch,
+                            replacement=replacement,
+                            warmup=warmup,
+                            bus_model=bus_model,
+                            rng=rng,
+                            sleep=config.sleep,
+                        )
                     except ReproError as exc:
                         if not config.lenient:
                             raise
@@ -313,6 +564,8 @@ def run_sweep(
                 if config.injector is not None:
                     config.injector.cell_completed(key)
     finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
         if writer is not None:
             writer.close()
 

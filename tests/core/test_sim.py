@@ -73,6 +73,59 @@ class TestFillWarmup:
         stats = simulate(cache, trace, warmup="fill")
         assert stats.accesses == 4
 
+    def test_never_filled_cache_keeps_misses_too(self):
+        # Degenerate fill warm-up: the reset never fires, so the run is
+        # indistinguishable from a cold start across every counter.
+        trace = sequential_trace(6, stride=32)  # 6 blocks of 64
+        warm = SubBlockCache(CacheGeometry(1024, 32, 16))
+        cold = SubBlockCache(CacheGeometry(1024, 32, 16))
+        warm_stats = simulate(warm, trace, warmup="fill")
+        cold_stats = simulate(cold, trace, warmup=0)
+        assert warm_stats.misses == cold_stats.misses == 6
+        assert warm_stats.bytes_fetched == cold_stats.bytes_fetched
+
+    def test_fill_on_last_access_measures_nothing(self):
+        # The cache fills exactly on the final access: the reset fires
+        # after it, leaving warm statistics that cover zero accesses.
+        geometry = CacheGeometry(64, 16, 16)  # 4 blocks
+        trace = sequential_trace(4, stride=16)  # 4 distinct blocks
+        cache = SubBlockCache(geometry)
+        stats = simulate(cache, trace, warmup="fill")
+        assert cache.is_full
+        assert stats.accesses == 0
+        assert stats.misses == 0
+        assert stats.miss_ratio == 0.0
+
+    def test_fill_reset_happens_once(self):
+        # After the fill-triggered reset, later evictions must not
+        # reset again: the second pass over a conflicting footprint is
+        # fully measured.
+        geometry = CacheGeometry(64, 16, 16, associativity=1)
+        first = sequential_trace(4, stride=16)  # fills the 4 blocks
+        conflict = sequential_trace(8, stride=16, start=0)  # 4 evictions
+        trace = first + conflict
+        cache = SubBlockCache(geometry)
+        stats = simulate(cache, trace, warmup="fill")
+        assert stats.accesses == len(conflict)
+
+    def test_fill_warmup_with_flush_at_end(self):
+        # flush_at_end evicts whatever is resident *after* the warm-up
+        # reset, so utilization stats cover only the measured phase.
+        geometry = CacheGeometry(64, 16, 16)
+        filling = sequential_trace(4, stride=16)
+        cache = SubBlockCache(geometry)
+        stats = simulate(cache, filling, warmup="fill", flush_at_end=True)
+        # Warm stats covered zero accesses, but the flush still records
+        # the four resident blocks' evictions.
+        assert stats.accesses == 0
+        assert stats.evictions == 4
+        assert stats.evicted_sub_blocks_total == 4  # one sub-block each
+
+    def test_fill_warmup_empty_trace(self):
+        cache = SubBlockCache(CacheGeometry(64, 16, 8))
+        stats = simulate(cache, Trace([], [], []), warmup="fill")
+        assert stats.accesses == 0 and stats.misses == 0
+
 
 class TestFlushAtEnd:
     def test_flush_records_resident_blocks(self, tiny_trace):

@@ -1,0 +1,133 @@
+"""Engine construction, auto-selection, and failure-mode routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.engine import (
+    ENGINE_NAMES,
+    ReferenceEngine,
+    TraceView,
+    VectorizedEngine,
+    make_engine,
+    resolve_engine,
+)
+from repro.errors import ConfigurationError, EngineError
+from repro.runner.runner import RunnerConfig, run_sweep, _GuardedTrace
+
+
+def test_engine_names_are_the_cli_choices():
+    assert ENGINE_NAMES == ("auto", "reference", "vectorized")
+
+
+def test_make_engine_by_name():
+    assert isinstance(make_engine("reference"), ReferenceEngine)
+    assert isinstance(make_engine("vectorized"), VectorizedEngine)
+
+
+def test_make_engine_rejects_unknown_and_auto():
+    with pytest.raises(ConfigurationError):
+        make_engine("turbo")
+    with pytest.raises(ConfigurationError):
+        make_engine("auto")  # auto is a per-run choice, not an engine
+
+
+def test_resolve_auto_prefers_vectorized_for_plain_traces(tiny_trace):
+    assert isinstance(resolve_engine("auto", tiny_trace), VectorizedEngine)
+    assert isinstance(
+        resolve_engine("auto", TraceView.of(tiny_trace)), VectorizedEngine
+    )
+
+
+def test_resolve_degrades_proxies_to_reference(tiny_trace):
+    guarded = _GuardedTrace(tiny_trace, "key", max_accesses=5)
+    # Proxies are iteration-only: even an explicit vectorized request
+    # runs the reference loop (the documented known-unsupported combo).
+    assert isinstance(resolve_engine("auto", guarded), ReferenceEngine)
+    assert isinstance(resolve_engine("vectorized", guarded), ReferenceEngine)
+
+
+def test_resolve_respects_explicit_reference(tiny_trace):
+    assert isinstance(resolve_engine("reference", tiny_trace), ReferenceEngine)
+
+
+def test_resolve_rejects_unknown_name(tiny_trace):
+    with pytest.raises(ConfigurationError):
+        resolve_engine("warp", tiny_trace)
+
+
+def test_vectorized_rejects_non_trace_input(small_geometry, tiny_trace):
+    guarded = _GuardedTrace(tiny_trace, "key")
+    with pytest.raises(EngineError):
+        VectorizedEngine().run(small_geometry, guarded)
+
+
+def test_vectorized_validates_like_the_reference_cache(
+    small_geometry, tiny_trace
+):
+    with pytest.raises(ConfigurationError):
+        VectorizedEngine().run(small_geometry, tiny_trace, word_size=0)
+    with pytest.raises(ConfigurationError):
+        VectorizedEngine().run(small_geometry, tiny_trace, word_size=64)
+    with pytest.raises(ConfigurationError):
+        VectorizedEngine().run(small_geometry, tiny_trace, warmup=-1)
+    with pytest.raises(ConfigurationError):
+        VectorizedEngine().run(small_geometry, tiny_trace, warmup="warm")
+
+
+def test_run_sweep_rejects_unknown_engine(tiny_trace, small_geometry):
+    with pytest.raises(ConfigurationError):
+        run_sweep(
+            [tiny_trace], [small_geometry],
+            config=RunnerConfig(engine="warp"),
+        )
+
+
+class _ExplodingVectorized(VectorizedEngine):
+    def _run(self, *args, **kwargs):  # simulate an internal engine bug
+        raise RuntimeError("kaboom")
+
+
+def test_strict_mode_surfaces_engine_error(
+    monkeypatch, tiny_trace, small_geometry
+):
+    import repro.runner.runner as runner_module
+
+    def broken_resolve(name, trace):
+        engine = resolve_engine(name, trace)
+        if isinstance(engine, VectorizedEngine):
+            return _ExplodingVectorized()
+        return engine
+
+    monkeypatch.setattr(runner_module, "resolve_engine", broken_resolve)
+    with pytest.raises(EngineError):
+        run_sweep(
+            [tiny_trace], [small_geometry],
+            config=RunnerConfig(engine="vectorized"),
+        )
+
+
+def test_lenient_mode_falls_back_to_reference(
+    monkeypatch, tiny_trace, small_geometry
+):
+    import repro.runner.runner as runner_module
+
+    def broken_resolve(name, trace):
+        engine = resolve_engine(name, trace)
+        if isinstance(engine, VectorizedEngine):
+            return _ExplodingVectorized()
+        return engine
+
+    monkeypatch.setattr(runner_module, "resolve_engine", broken_resolve)
+    healthy, _ = run_sweep(
+        [tiny_trace], [small_geometry],
+        config=RunnerConfig(engine="reference"),
+    )
+    degraded, report = run_sweep(
+        [tiny_trace], [small_geometry],
+        config=RunnerConfig(engine="vectorized", lenient=True),
+    )
+    assert report.skipped == []  # fallback succeeded, nothing skipped
+    assert degraded[0].miss_ratio == healthy[0].miss_ratio
+    assert degraded[0].per_trace == healthy[0].per_trace

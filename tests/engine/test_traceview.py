@@ -1,0 +1,84 @@
+"""TraceView: interning, cached filtering, shared decode products."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.engine import TraceView
+from repro.trace.filters import reads_only
+from repro.trace.record import AccessType, Trace
+
+
+def test_of_interns_per_trace_identity(tiny_trace):
+    assert TraceView.of(tiny_trace) is TraceView.of(tiny_trace)
+
+
+def test_distinct_traces_get_distinct_views(tiny_trace, random_trace):
+    assert TraceView.of(tiny_trace) is not TraceView.of(random_trace)
+
+
+def test_wraps_only_traces():
+    with pytest.raises(TypeError):
+        TraceView([1, 2, 3])
+
+
+def test_reads_only_cached_and_correct(random_trace):
+    view = TraceView.of(random_trace)
+    filtered = view.reads_only()
+    assert filtered is view.reads_only()  # materialized exactly once
+    expected = reads_only(random_trace)
+    assert np.array_equal(filtered.addrs, expected.addrs)
+    assert np.array_equal(filtered.kinds, expected.kinds)
+    assert not (filtered.kinds == int(AccessType.WRITE)).any()
+
+
+def test_decode_products_shared_across_compatible_geometries(random_trace):
+    view = TraceView.of(random_trace)
+    # Same (block, sub, word): the demand arrays are shared across net
+    # sizes and associativities ("decode once, simulate many").
+    g1 = CacheGeometry(64, 16, 8)
+    g2 = CacheGeometry(1024, 16, 8, associativity=2)
+    needed1, span1, starts1 = view.demand(g1, 2)
+    needed2, span2, starts2 = view.demand(g2, 2)
+    assert needed1 is needed2 and span1 is span2 and starts1 is starts2
+    # Different sub-block size: different masks.
+    needed3, _, _ = view.demand(CacheGeometry(64, 16, 4), 2)
+    assert needed3 is not needed1
+
+
+def test_set_and_tag_reconstruct_block_address(random_trace):
+    geometry = CacheGeometry(256, 16, 8, associativity=2)
+    view = TraceView.of(random_trace)
+    set_idx, tag = view.set_and_tag(geometry)
+    block0 = random_trace.addrs // geometry.block_size
+    assert np.array_equal(tag * geometry.num_sets + set_idx, block0)
+    assert int(set_idx.max()) < geometry.num_sets
+
+
+def test_needed_masks_match_scalar_decode(tiny_trace):
+    geometry = CacheGeometry(64, 16, 4)
+    view = TraceView.of(tiny_trace)
+    needed, span, _ = view.demand(geometry, 2)
+    for i, access in enumerate(tiny_trace):
+        size = access.size or 2
+        first = access.addr % geometry.block_size
+        last = first + size - 1
+        assert bool(span[i]) == (last >= geometry.block_size)
+        if not span[i]:
+            first_sub = first // geometry.sub_block_size
+            last_sub = last // geometry.sub_block_size
+            expected = ((1 << (last_sub - first_sub + 1)) - 1) << first_sub
+            assert int(needed[i]) == expected
+
+
+def test_registry_is_bounded():
+    maxsize = TraceView._registry.maxsize
+    traces = [
+        Trace([i], [0], [2], name=f"t{i}") for i in range(maxsize + 8)
+    ]
+    views = [TraceView.of(t) for t in traces]
+    assert len(TraceView._registry) <= maxsize
+    # The most recent entry is still interned.
+    assert TraceView.of(traces[-1]) is views[-1]

@@ -1,11 +1,13 @@
 """Checkpoint format tests: round-trips, corruption, fingerprints."""
 
 import json
+import zlib
 
 import pytest
 
 from repro.errors import ChecksumError, ConfigurationError
 from repro.runner.checkpoint import (
+    CHECKPOINT_VERSION,
     CheckpointWriter,
     load_checkpoint,
     sweep_fingerprint,
@@ -92,6 +94,19 @@ class TestCorruption:
         with pytest.raises(ConfigurationError, match="different sweep"):
             load_checkpoint(path, other)
 
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = self._write(tmp_path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header.pop("crc")
+        header["version"] = CHECKPOINT_VERSION + 1
+        body = json.dumps(header, sort_keys=True)
+        header["crc"] = f"{zlib.crc32(body.encode()) & 0xFFFFFFFF:08x}"
+        lines[0] = json.dumps(header, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="version"):
+            load_checkpoint(path, FP)
+
     def test_headerless_file_rejected(self, tmp_path):
         path = tmp_path / "ck.jsonl"
         path.write_text("")
@@ -101,3 +116,42 @@ class TestCorruption:
         other.write_text("\n".join(lines[1:]) + "\n")  # drop the header
         with pytest.raises(ConfigurationError, match="header"):
             load_checkpoint(other, FP)
+
+
+class TestLegacyVersion:
+    """Pre-engine (version 1) checkpoints must still resume."""
+
+    def _write_v1(self, tmp_path, fingerprint):
+        path = tmp_path / "legacy.jsonl"
+        lines = []
+        for record in (
+            {"kind": "header", "version": 1, "fingerprint": fingerprint},
+            {
+                "kind": "cell", "key": "a", "trace": "t1", "status": "ok",
+                "attempts": 1, "miss": 0.25, "traffic": 0.5, "scaled": 0.375,
+            },
+        ):
+            body = json.dumps(record, sort_keys=True)
+            record["crc"] = f"{zlib.crc32(body.encode()) & 0xFFFFFFFF:08x}"
+            lines.append(json.dumps(record, sort_keys=True))
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_v1_header_resumes_via_legacy_fingerprint(self, tmp_path):
+        new_fp = sweep_fingerprint(
+            ["a", "b"], [100], engine="auto", word_size=2
+        )
+        path = self._write_v1(tmp_path, FP)
+        cells = load_checkpoint(path, new_fp, legacy_fingerprint=FP)
+        assert cells["a"]["miss"] == 0.25
+
+    def test_v1_header_without_legacy_fingerprint_rejected(self, tmp_path):
+        path = self._write_v1(tmp_path, FP)
+        with pytest.raises(ConfigurationError, match="version"):
+            load_checkpoint(path, FP)
+
+    def test_v1_header_with_wrong_legacy_fingerprint_rejected(self, tmp_path):
+        path = self._write_v1(tmp_path, FP)
+        other = sweep_fingerprint(["x"], [1], word_size=4)
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            load_checkpoint(path, FP, legacy_fingerprint=other)

@@ -1,0 +1,151 @@
+"""Parallel cell execution (--jobs) and engine/runner integration."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.runner.checkpoint import sweep_fingerprint
+from repro.runner.faults import FaultInjector
+from repro.runner.runner import RunnerConfig, run_sweep
+
+
+def _point_tuple(point):
+    return (
+        point.miss_ratio,
+        point.traffic_ratio,
+        point.scaled_traffic_ratio,
+        point.per_trace,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_inputs(request):
+    traces = [
+        request.getfixturevalue("z8000_grep_trace"),
+        request.getfixturevalue("vax_c2_trace"),
+    ]
+    geometries = [
+        CacheGeometry(64, 8, 4),
+        CacheGeometry(256, 16, 8),
+        CacheGeometry(1024, 16, 8, associativity=2),
+    ]
+    return traces, geometries
+
+
+class TestJobs:
+    def test_jobs_matches_sequential_exactly(self, sweep_inputs):
+        traces, geometries = sweep_inputs
+        sequential, _ = run_sweep(traces, geometries)
+        parallel, report = run_sweep(
+            traces, geometries, config=RunnerConfig(jobs=2)
+        )
+        assert [_point_tuple(p) for p in parallel] == [
+            _point_tuple(p) for p in sequential
+        ]
+        assert report.completed == len(traces) * len(geometries)
+        assert not report.skipped
+
+    def test_jobs_with_checkpoint_then_resume(self, sweep_inputs, tmp_path):
+        traces, geometries = sweep_inputs
+        path = tmp_path / "jobs.jsonl"
+        first, _ = run_sweep(
+            traces, geometries,
+            config=RunnerConfig(jobs=2, checkpoint=path),
+        )
+        # Resume sequentially from the pool-written checkpoint: every
+        # cell replays, nothing recomputes, output identical.
+        resumed, report = run_sweep(
+            traces, geometries,
+            config=RunnerConfig(checkpoint=path, resume=True),
+        )
+        assert report.resumed == len(traces) * len(geometries)
+        assert [_point_tuple(p) for p in resumed] == [
+            _point_tuple(p) for p in first
+        ]
+
+    def test_jobs_engine_choice_is_result_invariant(self, sweep_inputs):
+        traces, geometries = sweep_inputs
+        reference, _ = run_sweep(
+            traces, geometries, config=RunnerConfig(engine="reference")
+        )
+        vectorized, _ = run_sweep(
+            traces, geometries,
+            config=RunnerConfig(engine="vectorized", jobs=2),
+        )
+        assert [_point_tuple(p) for p in vectorized] == [
+            _point_tuple(p) for p in reference
+        ]
+
+    def test_jobs_must_be_positive(self, sweep_inputs):
+        traces, geometries = sweep_inputs
+        with pytest.raises(ConfigurationError, match="jobs"):
+            run_sweep(traces, geometries, config=RunnerConfig(jobs=0))
+
+    def test_jobs_incompatible_with_fault_injection(self, sweep_inputs):
+        traces, geometries = sweep_inputs
+        with pytest.raises(ConfigurationError, match="jobs=1"):
+            run_sweep(
+                traces, geometries,
+                config=RunnerConfig(jobs=2, injector=FaultInjector()),
+            )
+
+
+class TestEngineFingerprint:
+    def test_engine_changes_the_fingerprint(self):
+        base = dict(word_size=2, fetch="demand")
+        assert sweep_fingerprint(
+            ["a"], [10], engine="reference", **base
+        ) != sweep_fingerprint(["a"], [10], engine="vectorized", **base)
+
+    def test_v1_checkpoint_resumes_end_to_end(self, sweep_inputs, tmp_path):
+        """A pre-engine checkpoint file still resumes a modern sweep."""
+        traces, geometries = sweep_inputs
+        path = tmp_path / "v1.jsonl"
+        baseline, _ = run_sweep(
+            traces, geometries, config=RunnerConfig(checkpoint=path)
+        )
+        # Rewrite the header as checkpoint version 1 with the legacy
+        # (engine-less) fingerprint — exactly what an old run wrote.
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header.pop("crc")
+        header["version"] = 1
+        # Legacy fingerprints hashed the same params run_sweep uses,
+        # minus the engine name.
+        from repro.engine import TraceView
+        from repro.memory.nibble import NIBBLE_MODE_BUS
+
+        prepared = [TraceView.of(t).reads_only() for t in traces]
+        header["fingerprint"] = sweep_fingerprint(
+            [
+                f"{g.net_size}:{g.block_size},{g.sub_block_size}"
+                f"@{g.associativity}/{t.name}"
+                for g in geometries
+                for t in prepared
+            ],
+            [len(t) for t in prepared],
+            word_size=2,
+            fetch="demand",
+            replacement="lru",
+            warmup="fill",
+            bus_model=NIBBLE_MODE_BUS,
+            filter_writes=True,
+        )
+        body = json.dumps(header, sort_keys=True)
+        header["crc"] = f"{zlib.crc32(body.encode()) & 0xFFFFFFFF:08x}"
+        lines[0] = json.dumps(header, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+
+        resumed, report = run_sweep(
+            traces, geometries,
+            config=RunnerConfig(checkpoint=path, resume=True),
+        )
+        assert report.resumed == len(traces) * len(geometries)
+        assert [_point_tuple(p) for p in resumed] == [
+            _point_tuple(p) for p in baseline
+        ]
