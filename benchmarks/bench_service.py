@@ -1,0 +1,305 @@
+"""Load generator for the simulation service (CI service-smoke gate).
+
+Dependency-free, like ``perf_smoke.py``::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--url http://...]
+
+Without ``--url`` it spawns ``python -m repro serve --port 0`` as a
+subprocess and aims at that.  Two phases drive ``POST /simulate`` from
+a thread pool of concurrent clients:
+
+* **cold** — every query is a distinct geometry, so every request
+  simulates (this also fills the result cache);
+* **warm** — a repeat-heavy mix (90% duplicates of the cold set by
+  default), the query distribution interactive cache studies actually
+  produce.
+
+The run prints throughput and latency percentiles per phase, reads the
+cache hit ratio back from ``GET /metrics``, writes
+``BENCH_service.json`` next to this file, and exits non-zero unless
+every request succeeded, the warm phase actually hit the cache, and
+warm throughput beats cold throughput by ``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+SUITE = "pdp11"
+TRACE = "ED"
+
+#: Geometry axes the unique-query generator draws from.  Every combo is
+#: a valid shape (sub <= block, net large enough for one set).
+NETS = (128, 256, 512, 1024, 2048, 4096)
+BLOCKS = (8, 16, 32)
+SUBS = (2, 4, 8)
+ASSOCS = (1, 2, 4)
+
+
+def unique_geometries(count: int, seed: int) -> List[Dict[str, int]]:
+    """The first ``count`` distinct shapes of a seeded shuffle."""
+    combos = [
+        {"net": net, "block": block, "sub": sub, "assoc": assoc}
+        for net in NETS
+        for block in BLOCKS
+        for sub in SUBS
+        if sub <= block
+        for assoc in ASSOCS
+        if net // (block * assoc) >= 1
+    ]
+    random.Random(seed).shuffle(combos)
+    if count > len(combos):
+        raise SystemExit(
+            f"bench_service: only {len(combos)} distinct geometries "
+            f"available, {count} requested"
+        )
+    return combos[:count]
+
+
+class Client:
+    """Minimal blocking HTTP client for one base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def post(self, path: str, payload: dict) -> Tuple[int, dict]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read() or b"{}")
+
+    def get_text(self, path: str) -> str:
+        with urllib.request.urlopen(
+            self.base_url + path, timeout=self.timeout
+        ) as resp:
+            return resp.read().decode()
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5)
+    )
+    return sorted_values[index]
+
+
+def run_phase(
+    client: Client,
+    name: str,
+    queries: List[dict],
+    concurrency: int,
+) -> Dict[str, float]:
+    """Fire one phase's queries concurrently; return its summary."""
+    latencies: List[float] = []
+    failures = 0
+    sources: Dict[str, int] = {}
+
+    def one(query: dict) -> None:
+        nonlocal failures
+        started = time.perf_counter()
+        status, payload = client.post("/simulate", query)
+        elapsed = time.perf_counter() - started
+        latencies.append(elapsed)
+        if status != 200:
+            failures += 1
+        else:
+            source = payload.get("source", "?")
+            sources[source] = sources.get(source, 0) + 1
+
+    wall_started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        list(pool.map(one, queries))
+    wall = time.perf_counter() - wall_started
+
+    ordered = sorted(latencies)
+    summary = {
+        "requests": len(queries),
+        "failures": failures,
+        "success_rate": (len(queries) - failures) / len(queries),
+        "wall_seconds": wall,
+        "throughput_rps": len(queries) / wall,
+        "p50_ms": percentile(ordered, 0.50) * 1e3,
+        "p95_ms": percentile(ordered, 0.95) * 1e3,
+        "p99_ms": percentile(ordered, 0.99) * 1e3,
+        "sources": sources,
+    }
+    print(
+        f"{name:>5s}: {summary['throughput_rps']:8.1f} req/s  "
+        f"p50 {summary['p50_ms']:7.2f} ms  p95 {summary['p95_ms']:7.2f} ms  "
+        f"p99 {summary['p99_ms']:7.2f} ms  "
+        f"failures {failures}/{len(queries)}  sources {sources}"
+    )
+    return summary
+
+
+def scrape_hit_ratio(metrics_text: str) -> float:
+    match = re.search(
+        r"^repro_service_cache_hit_ratio ([0-9.eE+-]+)$",
+        metrics_text,
+        re.MULTILINE,
+    )
+    return float(match.group(1)) if match else -1.0
+
+
+def spawn_server(length: int) -> Tuple[subprocess.Popen, str]:
+    """Start ``python -m repro serve --port 0``; return (proc, url)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro",
+            "--length", str(length),
+            "serve", "--port", "0", "--workers", "2",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    assert proc.stderr is not None
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stderr.readline()
+        if not line and proc.poll() is not None:
+            raise SystemExit("bench_service: server exited before listening")
+        match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+        if match:
+            return proc, match.group(1)
+    proc.terminate()
+    raise SystemExit("bench_service: server never reported its port")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url", default=None,
+        help="target a running service instead of spawning one",
+    )
+    parser.add_argument("--length", type=int, default=8_000)
+    parser.add_argument("--cold", type=int, default=32, metavar="N",
+                        help="unique queries in the cold phase")
+    parser.add_argument("--warm", type=int, default=200, metavar="N",
+                        help="queries in the warm phase")
+    parser.add_argument("--duplicate-fraction", type=float, default=0.9)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-success", type=float, default=1.0)
+    parser.add_argument("--min-hit-ratio", type=float, default=0.5)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="artifact path (default: BENCH_service.json "
+                             "next to this script)")
+    args = parser.parse_args(argv)
+
+    base = {"suite": SUITE, "trace": TRACE, "length": args.length}
+    rng = random.Random(args.seed)
+    cold_set = unique_geometries(args.cold, args.seed)
+    # Warm mix: mostly re-asks of the cold set, plus a fresh minority.
+    fresh_needed = sum(
+        1 for _ in range(args.warm) if rng.random() >= args.duplicate_fraction
+    )
+    fresh = unique_geometries(args.cold + fresh_needed, args.seed)[args.cold:]
+    rng = random.Random(args.seed)  # replay the same duplicate/fresh coin
+    warm_set = []
+    fresh_iter = iter(fresh)
+    for _ in range(args.warm):
+        if rng.random() < args.duplicate_fraction:
+            warm_set.append(rng.choice(cold_set))
+        else:
+            warm_set.append(next(fresh_iter))
+
+    proc: Optional[subprocess.Popen] = None
+    if args.url is None:
+        proc, url = spawn_server(args.length)
+    else:
+        url = args.url
+    client = Client(url)
+
+    try:
+        cold = run_phase(
+            client, "cold",
+            [dict(base, **geometry) for geometry in cold_set],
+            args.concurrency,
+        )
+        warm = run_phase(
+            client, "warm",
+            [dict(base, **geometry) for geometry in warm_set],
+            args.concurrency,
+        )
+        hit_ratio = scrape_hit_ratio(client.get_text("/metrics"))
+        health = json.loads(client.get_text("/healthz"))
+    finally:
+        if proc is not None:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    speedup = warm["throughput_rps"] / cold["throughput_rps"]
+    artifact = Path(
+        args.out
+        if args.out is not None
+        else Path(__file__).resolve().parent / "BENCH_service.json"
+    )
+    artifact.write_text(
+        json.dumps(
+            {
+                "workload": {
+                    "suite": SUITE, "trace": TRACE, "length": args.length,
+                    "duplicate_fraction": args.duplicate_fraction,
+                    "concurrency": args.concurrency, "seed": args.seed,
+                },
+                "cold": cold,
+                "warm": warm,
+                "cache_hit_ratio": hit_ratio,
+                "speedup_warm_vs_cold": speedup,
+                "server": {
+                    "version": health.get("version"),
+                    "breaker": health.get("breaker"),
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(
+        f"  hit ratio: {hit_ratio:.3f}   warm/cold speedup: {speedup:.1f}x "
+        f"(artifact: {artifact})"
+    )
+
+    failed = []
+    for phase_name, phase in (("cold", cold), ("warm", warm)):
+        if phase["success_rate"] < args.min_success:
+            failed.append(
+                f"{phase_name} success rate {phase['success_rate']:.3f} "
+                f"< {args.min_success}"
+            )
+    if hit_ratio < args.min_hit_ratio:
+        failed.append(f"cache hit ratio {hit_ratio:.3f} < {args.min_hit_ratio}")
+    if speedup < args.min_speedup:
+        failed.append(f"warm/cold speedup {speedup:.1f}x < {args.min_speedup}x")
+    if failed:
+        for reason in failed:
+            print(f"service-smoke: FAIL — {reason}")
+        return 1
+    print("service-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

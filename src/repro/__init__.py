@@ -39,7 +39,16 @@ from repro.errors import (
     TraceFormatError,
 )
 
-__version__ = "1.0.0"
+# Single-source version: the installed distribution metadata wins (so
+# a wheel rebuilt with a bumped pyproject version never disagrees with
+# the package), with the pyproject value as the fallback for source
+# checkouts running off PYTHONPATH=src.
+try:  # pragma: no cover - exercised only with the package installed
+    from importlib.metadata import PackageNotFoundError, version as _dist_version
+
+    __version__ = _dist_version("repro")
+except PackageNotFoundError:  # pragma: no cover - source-tree fallback
+    __version__ = "1.0.0"
 
 __all__ = [
     "AssemblyError",

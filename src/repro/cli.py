@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro suites
     python -m repro trace SUITE NAME [--length N] [--out FILE.din]
     python -m repro chaos [--quick]
+    python -m repro serve [--host H] [--port P]
+    python -m repro --version
 
 ``--length`` defaults to the ``REPRO_TRACE_LEN`` environment variable
 or 100 000 references (the paper used 1 000 000).
@@ -23,7 +25,9 @@ execution flags — ``--engine {auto,reference,vectorized}`` to pick the
 simulation engine and ``--jobs N`` to fan cells out over worker
 processes; see ``docs/engines.md``.  ``chaos`` runs the
 fault-injection scenarios that prove the resilience guarantees, under
-either engine.
+either engine.  ``serve`` starts the interactive HTTP query service
+with its result cache, request coalescing, and admission control; see
+``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -141,6 +145,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce Hill & Smith (ISCA 1984) tables and figures.",
     )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     parser.add_argument(
         "--length",
         type=int,
@@ -178,6 +187,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", default="auto",
         choices=["auto", "reference", "vectorized"],
         help="simulation engine for the scenario sweeps",
+    )
+    serve = commands.add_parser(
+        "serve",
+        help="HTTP simulation service (result cache, coalescing, metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8787, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="simulation worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024, metavar="N",
+        help="result-cache memory entries (default 1024)",
+    )
+    serve.add_argument(
+        "--disk-cache", default=None, metavar="FILE",
+        help="JSONL disk tier for the result cache (survives restarts)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="simulation cells allowed to run concurrently (default 8)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="queries allowed to wait before 429 (default 64)",
+    )
+    serve.add_argument(
+        "--breaker-failures", type=int, default=5, metavar="N",
+        help="consecutive failures that open the breaker (0 disables)",
+    )
+    serve.add_argument(
+        "--engine", default=None,
+        choices=["auto", "reference", "vectorized"],
+        help="force one engine for every query (default: per-query)",
+    )
+    serve.add_argument(
+        "--log-level", default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="structured request-log verbosity",
     )
     commands.add_parser("riscii", help="RISC II instruction-cache results")
     commands.add_parser("suites", help="list the workload suites and traces")
@@ -298,6 +347,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             checkpoint_dir=args.checkpoint_dir,
             engine=args.engine,
+        )
+    elif args.command == "serve":
+        from repro.service.app import run_server
+        from repro.service.simulator import ServiceConfig
+
+        return run_server(
+            host=args.host,
+            port=args.port,
+            config=ServiceConfig(
+                workers=args.workers,
+                cache_size=args.cache_size,
+                disk_cache=args.disk_cache,
+                max_inflight=args.max_inflight,
+                max_queue=args.max_queue,
+                breaker_failures=args.breaker_failures or None,
+                engine=args.engine,
+                default_length=args.length,
+            ),
+            log_level=args.log_level,
         )
     return 0
 

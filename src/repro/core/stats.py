@@ -18,7 +18,7 @@ cost model without re-simulating.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Any, Dict
 
 from repro.trace.record import AccessType
 
@@ -174,6 +174,99 @@ class CacheStats:
         if count == 0:
             return 0.0
         return self.misses_by_kind[kind] / count
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-safe dump of every counter.
+
+        The inverse of :meth:`from_dict`; together they are the one
+        serialization used wherever full stats cross a process or
+        storage boundary (checkpoint cell records, the service's result
+        cache and JSON responses).  Dict keys that JSON would corrupt
+        are stringified here — access kinds by enum name, transaction
+        word counts by decimal string — and restored exactly on load.
+        """
+        return {
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "block_misses": self.block_misses,
+            "sub_block_misses": self.sub_block_misses,
+            "accesses_by_kind": {
+                kind.name.lower(): self.accesses_by_kind[kind] for kind in _KINDS
+            },
+            "misses_by_kind": {
+                kind.name.lower(): self.misses_by_kind[kind] for kind in _KINDS
+            },
+            "bytes_accessed": self.bytes_accessed,
+            "bytes_fetched": self.bytes_fetched,
+            "redundant_bytes_fetched": self.redundant_bytes_fetched,
+            "transaction_words": {
+                str(words): count
+                for words, count in sorted(self.transaction_words.items())
+            },
+            "evictions": self.evictions,
+            "evicted_sub_blocks_referenced": self.evicted_sub_blocks_referenced,
+            "evicted_sub_blocks_total": self.evicted_sub_blocks_total,
+            "writebacks": self.writebacks,
+            "bytes_written_back": self.bytes_written_back,
+            "bytes_written_through": self.bytes_written_through,
+            "prefetches": self.prefetches,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CacheStats":
+        """Rebuild a stats object from a :meth:`to_dict` dump.
+
+        Strict by design: a missing or unrecognized counter means the
+        payload was not produced by :meth:`to_dict` (or by a different
+        version of it), and silently defaulting would let a corrupted
+        cache entry masquerade as a measured result.
+
+        Raises:
+            ValueError: On missing keys, unknown keys, or an
+                unrecognized access-kind name.
+        """
+        expected = set(cls.__slots__)
+        keys = set(payload)
+        if keys != expected:
+            missing = sorted(expected - keys)
+            unknown = sorted(keys - expected)
+            raise ValueError(
+                f"not a CacheStats dump: missing {missing}, unknown {unknown}"
+            )
+        by_name = {kind.name.lower(): kind for kind in _KINDS}
+        stats = cls()
+        for kind_name in payload["accesses_by_kind"]:
+            if kind_name not in by_name:
+                raise ValueError(f"unknown access kind {kind_name!r}")
+        stats.accesses = payload["accesses"]
+        stats.misses = payload["misses"]
+        stats.block_misses = payload["block_misses"]
+        stats.sub_block_misses = payload["sub_block_misses"]
+        stats.accesses_by_kind = {
+            by_name[name]: count
+            for name, count in payload["accesses_by_kind"].items()
+        }
+        stats.misses_by_kind = {
+            by_name[name]: count
+            for name, count in payload["misses_by_kind"].items()
+        }
+        stats.bytes_accessed = payload["bytes_accessed"]
+        stats.bytes_fetched = payload["bytes_fetched"]
+        stats.redundant_bytes_fetched = payload["redundant_bytes_fetched"]
+        stats.transaction_words = {
+            int(words): count
+            for words, count in payload["transaction_words"].items()
+        }
+        stats.evictions = payload["evictions"]
+        stats.evicted_sub_blocks_referenced = payload[
+            "evicted_sub_blocks_referenced"
+        ]
+        stats.evicted_sub_blocks_total = payload["evicted_sub_blocks_total"]
+        stats.writebacks = payload["writebacks"]
+        stats.bytes_written_back = payload["bytes_written_back"]
+        stats.bytes_written_through = payload["bytes_written_through"]
+        stats.prefetches = payload["prefetches"]
+        return stats
 
     def snapshot(self) -> Dict[str, float]:
         """Plain-dict summary, convenient for tables and JSON dumps."""

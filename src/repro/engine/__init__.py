@@ -13,12 +13,16 @@ Public surface:
   engine, pinned to the reference by the equivalence suite.
 * :class:`~repro.engine.traceview.TraceView` — shared cached decode of
   one trace, reused across every geometry of a sweep.
+* :mod:`repro.engine.batch` — the batch entry point: prepare and
+  predecode a trace once, then run many cells against the shared view
+  (the unit of work behind the service's per-trace request batching).
 
 See ``docs/engines.md`` for the architecture and the equivalence
 contract.
 """
 
 from repro.engine.base import ENGINE_NAMES, Engine, make_engine, resolve_engine
+from repro.engine.batch import CellSpec, predecode, prepare_trace, run_batch, run_cell
 from repro.engine.reference import ReferenceEngine
 from repro.engine.traceview import TraceView
 from repro.engine.vectorized import VectorizedEngine
@@ -31,4 +35,9 @@ __all__ = [
     "ReferenceEngine",
     "VectorizedEngine",
     "TraceView",
+    "CellSpec",
+    "prepare_trace",
+    "predecode",
+    "run_cell",
+    "run_batch",
 ]

@@ -24,7 +24,13 @@ from typing import Any, Dict, Iterable, Optional, Union
 
 from repro.errors import ChecksumError, ConfigurationError
 
-__all__ = ["CHECKPOINT_VERSION", "CheckpointWriter", "load_checkpoint", "sweep_fingerprint"]
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointWriter",
+    "line_crc",
+    "load_checkpoint",
+    "sweep_fingerprint",
+]
 
 #: Format history:
 #:
@@ -60,7 +66,12 @@ def sweep_fingerprint(
     return f"{zlib.crc32(payload.encode('ascii')) & 0xFFFFFFFF:08x}"
 
 
-def _line_crc(record: Dict[str, Any]) -> str:
+def line_crc(record: Dict[str, Any]) -> str:
+    """CRC of one JSONL record (sans its own ``crc`` field).
+
+    Shared with the service's result-cache disk tier, so both JSONL
+    formats detect corruption the same way.
+    """
     body = json.dumps(record, sort_keys=True)
     return f"{zlib.crc32(body.encode('utf-8')) & 0xFFFFFFFF:08x}"
 
@@ -97,7 +108,7 @@ class CheckpointWriter:
 
     def _write(self, record: Dict[str, Any]) -> None:
         record = dict(record)
-        record["crc"] = _line_crc(record)
+        record["crc"] = line_crc(record)
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
 
@@ -109,8 +120,18 @@ class CheckpointWriter:
         ratios: Optional["tuple[float, float, float]"] = None,
         attempts: int = 1,
         reason: str = "",
+        stats: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Record one finished cell (``status`` = ``ok`` or ``skipped``)."""
+        """Record one finished cell (``status`` = ``ok`` or ``skipped``).
+
+        Args:
+            stats: Optional full counter dump
+                (:meth:`repro.core.stats.CacheStats.to_dict`), stored
+                verbatim.  The sweep runner records only the ratio
+                triple; the service's checkpoint export keeps the whole
+                stats object so a cached result survives the round trip
+                losslessly.
+        """
         record: Dict[str, Any] = {
             "kind": "cell",
             "key": key,
@@ -122,6 +143,8 @@ class CheckpointWriter:
             record["miss"], record["traffic"], record["scaled"] = ratios
         if reason:
             record["reason"] = reason
+        if stats is not None:
+            record["stats"] = stats
         self._write(record)
 
     def close(self) -> None:
@@ -173,7 +196,7 @@ def load_checkpoint(
         try:
             record = json.loads(line)
             crc = record.pop("crc", None)
-            if crc != _line_crc(record):
+            if crc != line_crc(record):
                 raise ValueError("crc mismatch")
         except ValueError:
             if index == len(lines) - 1:

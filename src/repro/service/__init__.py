@@ -1,0 +1,42 @@
+"""Simulation-as-a-service: the interactive query layer.
+
+The batch pipeline (runner -> engine) answers "run this whole sweep";
+this package answers "what is the miss/traffic ratio for geometry G on
+trace T?" interactively, over HTTP/JSON, at cache-hit latency for the
+repeat-heavy query mixes cache studies produce.  Pieces:
+
+* :mod:`~repro.service.query` — query normalization and the
+  content-address shared with sweep checkpoints.
+* :mod:`~repro.service.cache` — memory-LRU + JSONL-disk result cache,
+  checkpoint-interoperable.
+* :mod:`~repro.service.simulator` — coalescing, per-trace batching,
+  admission, worker dispatch.
+* :mod:`~repro.service.admission` — bounded queue and the
+  HealthMonitor-backed circuit breaker.
+* :mod:`~repro.service.metrics` — Prometheus text-format metrics.
+* :mod:`~repro.service.app` — the asyncio HTTP edge
+  (``python -m repro serve``).
+
+See ``docs/service.md`` for endpoints, cache semantics, and overload
+behavior.
+"""
+
+from repro.service.admission import AdmissionController, Breaker, RejectedError
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.metrics import MetricsRegistry
+from repro.service.query import SimQuery, expand_sweep
+from repro.service.simulator import ServiceConfig, SimResult, SimulationService
+
+__all__ = [
+    "AdmissionController",
+    "Breaker",
+    "CacheEntry",
+    "MetricsRegistry",
+    "RejectedError",
+    "ResultCache",
+    "ServiceConfig",
+    "SimQuery",
+    "SimResult",
+    "SimulationService",
+    "expand_sweep",
+]

@@ -1,0 +1,332 @@
+"""The HTTP/JSON edge of the simulation service (stdlib asyncio only).
+
+A deliberately small HTTP/1.1 server — request line, headers,
+``Content-Length`` body, one response per connection — because the
+interesting engineering (caching, coalescing, admission, metrics) lives
+in :mod:`repro.service.simulator` and the protocol layer should stay
+auditable.  Endpoints:
+
+* ``POST /simulate`` — one query; 200 with the result envelope.
+* ``POST /sweep`` — a small geometry grid (cross product, capped);
+  every cell goes through the same cache/coalescing path.
+* ``GET /healthz`` — liveness, breaker state, capacity signals.
+* ``GET /metrics`` — Prometheus text exposition.
+
+Error mapping: validation -> 400, unknown route -> 404, admission
+refusal -> 429 (queue full) or 503 (breaker open), both with
+``Retry-After``; anything else -> 500.  Every request emits one
+structured JSON log line on the ``repro.service`` logger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.service.admission import RejectedError
+from repro.service.query import SimQuery, expand_sweep
+from repro.service.simulator import ServiceConfig, SimulationService
+
+__all__ = ["ServiceApp", "run_server"]
+
+logger = logging.getLogger("repro.service")
+
+#: Largest accepted request body, in bytes.  Queries are small; anything
+#: bigger is a mistake or an attack.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Protocol-level failure carrying its response status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceApp:
+    """One bound server around one :class:`SimulationService`.
+
+    Args:
+        config: Service tunables (cache, admission, workers).
+        host / port: Bind address; port 0 picks an ephemeral port
+            (the tests' mode), readable from :attr:`port` after
+            :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+    ) -> None:
+        self.service = SimulationService(config)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        """Start the service core and begin accepting connections."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        logger.info(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "host": self.host,
+                    "port": self.port,
+                }
+            )
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, then stop the service core."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- Connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        started = time.monotonic()
+        status = 500
+        method = path = "-"
+        extra: Dict[str, Any] = {}
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                status, payload, headers = await self._dispatch(
+                    method, path, body, extra
+                )
+            except _HttpError as exc:
+                status = exc.status
+                payload = {"error": str(exc)}
+                headers = {}
+            except RejectedError as exc:
+                status = 503 if exc.reason == "breaker_open" else 429
+                payload = {
+                    "error": str(exc),
+                    "reason": exc.reason,
+                    "retry_after": exc.retry_after,
+                }
+                headers = {"Retry-After": f"{max(1, round(exc.retry_after))}"}
+            except ConfigurationError as exc:
+                status = 400
+                payload = {"error": str(exc)}
+                headers = {}
+            except ReproError as exc:
+                status = 500
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+                headers = {}
+            body_bytes, content_type = self._encode(path, payload)
+            await self._write_response(
+                writer, status, body_bytes, content_type, headers
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+            if method != "-" or path != "-":
+                endpoint = path.split("?", 1)[0]
+                self.service.metrics.requests_total.inc(
+                    labels={"endpoint": endpoint, "status": str(status)}
+                )
+                log = {
+                    "event": "request",
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "elapsed_ms": round(
+                        (time.monotonic() - started) * 1000.0, 3
+                    ),
+                }
+                log.update(extra)
+                logger.info(json.dumps(log))
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        try:
+            method, path, _version = (
+                request_line.decode("ascii").strip().split(" ", 2)
+            )
+        except (UnicodeDecodeError, ValueError):
+            raise _HttpError(400, "malformed request line") from None
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            try:
+                name, _, value = line.decode("latin-1").partition(":")
+            except UnicodeDecodeError:
+                raise _HttpError(400, "malformed header") from None
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length") from None
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+        return method.upper(), path, body
+
+    # -- Routing ----------------------------------------------------------
+
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        extra: Dict[str, Any],
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        route = path.split("?", 1)[0]
+        if route == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "use GET /healthz")
+            return 200, self.service.healthz(), {}
+        if route == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "use GET /metrics")
+            return 200, self.service.metrics.render(), {}
+        if route == "/simulate":
+            if method != "POST":
+                raise _HttpError(405, "use POST /simulate")
+            query = SimQuery.from_payload(
+                self._parse_json(body), self.service.default_length
+            )
+            result = await self.service.simulate(query)
+            extra["fingerprint"] = result.entry.fingerprint
+            extra["source"] = result.source
+            return 200, result.to_payload(), {}
+        if route == "/sweep":
+            if method != "POST":
+                raise _HttpError(405, "use POST /sweep")
+            queries = expand_sweep(
+                self._parse_json(body), self.service.default_length
+            )
+            results = await asyncio.gather(
+                *(self.service.simulate(query) for query in queries)
+            )
+            extra["cells"] = len(results)
+            return (
+                200,
+                {
+                    "count": len(results),
+                    "cells": [result.to_payload() for result in results],
+                },
+                {},
+            )
+        raise _HttpError(404, f"no route {route}")
+
+    @staticmethod
+    def _parse_json(body: bytes) -> Dict[str, Any]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise _HttpError(400, "request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+    # -- Response writing -------------------------------------------------
+
+    @staticmethod
+    def _encode(path: str, payload: Any) -> Tuple[bytes, str]:
+        if isinstance(payload, str):  # /metrics exposition text
+            return payload.encode("utf-8"), "text/plain; version=0.0.4"
+        return (
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+        )
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Dict[str, str],
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    config: Optional[ServiceConfig] = None,
+    log_level: str = "info",
+) -> int:
+    """Blocking entry point behind ``python -m repro serve``."""
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=getattr(logging, log_level.upper(), logging.INFO),
+        format="%(message)s",
+    )
+
+    async def _main() -> None:
+        app = ServiceApp(config=config, host=host, port=port)
+        await app.start()
+        print(
+            f"repro-service listening on http://{app.host}:{app.port} "
+            "(POST /simulate, POST /sweep, GET /healthz, GET /metrics)",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            await app.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await app.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro-service: shutting down", file=sys.stderr)
+    return 0

@@ -1,0 +1,288 @@
+"""Content-addressed result cache: memory LRU plus a JSONL disk tier.
+
+An entry is one finished simulation cell, addressed by the checkpoint
+fingerprint of the single-cell sweep it denotes
+(:meth:`repro.service.query.SimQuery.fingerprint`).  Content addressing
+buys two properties at once:
+
+* served results and runner results are interchangeable — an entry can
+  be exported as a valid v2 sweep checkpoint that ``--resume`` accepts
+  (:meth:`ResultCache.export_checkpoint`), and a runner checkpoint can
+  seed the cache (:meth:`ResultCache.seed_from_checkpoint`);
+* a stale hit is structurally impossible: any change to the trace, the
+  geometry, or an execution option changes the address.
+
+Tiering: the memory LRU serves the hot set; the optional disk tier is
+an append-only JSONL file, indexed by byte offset at startup, from
+which evicted entries are transparently re-read and promoted.  Disk
+records carry the same per-line CRC as checkpoints
+(:func:`repro.runner.checkpoint.line_crc`); a torn final line — the
+usual crash artifact — is dropped silently, and any interior
+corruption skips just the damaged record (a cache may lose entries,
+never serve bad ones).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.runner.checkpoint import CheckpointWriter, line_crc, load_checkpoint
+
+__all__ = ["CacheEntry", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached simulation result.
+
+    Attributes:
+        fingerprint: Content address (single-cell sweep fingerprint).
+        key: The runner's cell key (``net:block,sub@assoc/trace``).
+        trace: Trace name.
+        miss / traffic / scaled: The ratio triple a sweep cell records.
+        stats: Full counter dump
+            (:meth:`repro.core.stats.CacheStats.to_dict`).
+        engine: Resolved engine that actually executed the run.
+    """
+
+    fingerprint: str
+    key: str
+    trace: str
+    miss: float
+    traffic: float
+    scaled: float
+    stats: Dict[str, Any] = field(hash=False)
+    engine: str = "auto"
+
+    def to_record(self) -> Dict[str, Any]:
+        """The disk-tier JSONL record (CRC added at write time)."""
+        return {
+            "kind": "result",
+            "fingerprint": self.fingerprint,
+            "key": self.key,
+            "trace": self.trace,
+            "miss": self.miss,
+            "traffic": self.traffic,
+            "scaled": self.scaled,
+            "stats": self.stats,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "CacheEntry":
+        return cls(
+            fingerprint=record["fingerprint"],
+            key=record["key"],
+            trace=record["trace"],
+            miss=record["miss"],
+            traffic=record["traffic"],
+            scaled=record["scaled"],
+            stats=record.get("stats", {}),
+            engine=record.get("engine", "auto"),
+        )
+
+
+class ResultCache:
+    """Two-tier (memory LRU + JSONL disk) cache of simulation results.
+
+    Thread-safe: the service's worker pool completes cells off the
+    event-loop thread, so every public method takes the internal lock.
+
+    Args:
+        maxsize: Memory-tier capacity in entries.
+        disk_path: JSONL persistence file; None keeps the cache
+            memory-only.  The file is created lazily on first put and
+            scanned (for its fingerprint -> offset index) on startup.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        disk_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if maxsize < 1:
+            raise ConfigurationError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._disk_path = Path(disk_path) if disk_path is not None else None
+        self._disk_index: Dict[str, int] = {}
+        if self._disk_path is not None and self._disk_path.exists():
+            self._scan_disk()
+
+    # -- Disk tier --------------------------------------------------------
+
+    def _scan_disk(self) -> None:
+        """Build the offset index; tolerate a torn final line."""
+        assert self._disk_path is not None
+        offset = 0
+        with self._disk_path.open("rb") as handle:
+            for raw in handle:
+                line_offset = offset
+                offset += len(raw)
+                record = self._parse_line(raw)
+                if record is not None:
+                    self._disk_index[record["fingerprint"]] = line_offset
+
+    @staticmethod
+    def _parse_line(raw: bytes) -> Optional[Dict[str, Any]]:
+        """One verified disk record, or None for a damaged line."""
+        try:
+            record = json.loads(raw.decode("utf-8"))
+            crc = record.pop("crc", None)
+            if crc != line_crc(record):
+                return None
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if record.get("kind") != "result" or "fingerprint" not in record:
+            return None
+        return record
+
+    def _disk_read(self, fingerprint: str) -> Optional[CacheEntry]:
+        assert self._disk_path is not None
+        offset = self._disk_index[fingerprint]
+        with self._disk_path.open("rb") as handle:
+            handle.seek(offset)
+            record = self._parse_line(handle.readline())
+        if record is None or record["fingerprint"] != fingerprint:
+            # The file changed under us (truncated, rewritten); drop
+            # the stale index entry rather than serve a wrong result.
+            del self._disk_index[fingerprint]
+            return None
+        return CacheEntry.from_record(record)
+
+    def _disk_append(self, entry: CacheEntry) -> None:
+        assert self._disk_path is not None
+        record = entry.to_record()
+        record["crc"] = line_crc(record)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        self._disk_path.parent.mkdir(parents=True, exist_ok=True)
+        with self._disk_path.open("ab") as handle:
+            offset = handle.tell()
+            handle.write(line)
+            handle.flush()
+        self._disk_index[entry.fingerprint] = offset
+
+    # -- Cache protocol ---------------------------------------------------
+
+    def get(self, fingerprint: str) -> "Optional[tuple[CacheEntry, str]]":
+        """Look up a result; returns ``(entry, tier)`` or None.
+
+        ``tier`` is ``"memory"`` or ``"disk"``; a disk hit is promoted
+        into the memory LRU.
+        """
+        with self._lock:
+            entry = self._memory.get(fingerprint)
+            if entry is not None:
+                self._memory.move_to_end(fingerprint)
+                return entry, "memory"
+            if self._disk_path is not None and fingerprint in self._disk_index:
+                entry = self._disk_read(fingerprint)
+                if entry is not None:
+                    self._insert_memory(entry)
+                    return entry, "disk"
+            return None
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert a finished result into both tiers (idempotent)."""
+        with self._lock:
+            fresh_on_disk = (
+                self._disk_path is not None
+                and entry.fingerprint not in self._disk_index
+            )
+            self._insert_memory(entry)
+            if fresh_on_disk:
+                self._disk_append(entry)
+
+    def _insert_memory(self, entry: CacheEntry) -> None:
+        self._memory[entry.fingerprint] = entry
+        self._memory.move_to_end(entry.fingerprint)
+        while len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    @property
+    def disk_entries(self) -> int:
+        """Entries reachable through the disk tier."""
+        with self._lock:
+            return len(self._disk_index)
+
+    # -- Checkpoint interoperability --------------------------------------
+
+    def export_checkpoint(
+        self, fingerprint: str, path: Union[str, Path]
+    ) -> None:
+        """Write one entry as a v2 sweep checkpoint file.
+
+        The file is exactly what :func:`repro.runner.runner.run_sweep`
+        would have written for the single-cell sweep the entry denotes,
+        so ``--checkpoint path --resume`` reuses the served result
+        without re-simulating.
+
+        Raises:
+            ConfigurationError: If the fingerprint is not cached.
+        """
+        found = self.get(fingerprint)
+        if found is None:
+            raise ConfigurationError(
+                f"no cached result with fingerprint {fingerprint}"
+            )
+        entry, _ = found
+        with CheckpointWriter(path, fingerprint, fresh=True) as writer:
+            writer.record_cell(
+                entry.key,
+                entry.trace,
+                "ok",
+                ratios=(entry.miss, entry.traffic, entry.scaled),
+                stats=entry.stats,
+            )
+
+    def seed_from_checkpoint(
+        self, path: Union[str, Path], fingerprint: str
+    ) -> int:
+        """Load a sweep checkpoint's completed cells into the cache.
+
+        Only sound for a *single-cell* sweep checkpoint, where the
+        sweep fingerprint and the result fingerprint coincide; a
+        multi-cell file is rejected because its cells have no
+        individual content addresses.
+
+        Returns:
+            Number of entries added (0 or 1: skipped cells don't seed).
+
+        Raises:
+            ConfigurationError: On a fingerprint mismatch or a
+                checkpoint holding more than one cell.
+        """
+        cells = load_checkpoint(path, fingerprint)
+        if len(cells) > 1:
+            raise ConfigurationError(
+                f"{path}: checkpoint holds {len(cells)} cells; only "
+                "single-cell checkpoints are content-addressable"
+            )
+        added = 0
+        for key, record in cells.items():
+            if record.get("status") != "ok":
+                continue
+            self.put(
+                CacheEntry(
+                    fingerprint=fingerprint,
+                    key=key,
+                    trace=record["trace"],
+                    miss=record["miss"],
+                    traffic=record["traffic"],
+                    scaled=record["scaled"],
+                    stats=record.get("stats", {}),
+                )
+            )
+            added += 1
+        return added

@@ -1,0 +1,310 @@
+"""Query model of the simulation service.
+
+A :class:`SimQuery` is one fully-normalized "what is the performance of
+geometry G on trace T under options O?" question.  Normalization at the
+edge is what makes the rest of the service honest:
+
+* the **coalescing key** (:meth:`SimQuery.coalesce_key`) is the frozen
+  query itself, so two requests that differ only in JSON spelling share
+  one in-flight computation;
+* the **cache fingerprint** (:meth:`SimQuery.fingerprint`) is computed
+  by the *same* function the sweep checkpoints use
+  (:func:`repro.runner.checkpoint.sweep_fingerprint` over the
+  single-cell sweep this query denotes), so a served result and a
+  checkpointed runner cell are interchangeable — the cross-subsystem
+  test in ``tests/service/test_checkpoint_interop.py`` pins this.
+
+Validation raises :class:`~repro.errors.ConfigurationError`, which the
+HTTP layer maps to a 400 response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.core.config import CacheGeometry
+from repro.core.fetch import make_fetch
+from repro.core.replacement import make_replacement
+from repro.engine.base import ENGINE_NAMES
+from repro.engine.batch import CellSpec
+from repro.errors import ConfigurationError
+from repro.memory.nibble import NIBBLE_MODE_BUS
+from repro.runner.checkpoint import sweep_fingerprint
+from repro.runner.runner import cell_key
+from repro.workloads.architectures import get_architecture
+from repro.workloads.suites import suite_specs
+
+__all__ = ["SimQuery", "MAX_SWEEP_CELLS", "expand_sweep"]
+
+#: Upper bound on the grid size one ``/sweep`` request may expand to.
+MAX_SWEEP_CELLS = 64
+
+#: Payload keys ``SimQuery.from_payload`` understands.
+_QUERY_KEYS = frozenset(
+    {
+        "suite", "trace", "length", "geometry", "net", "block", "sub",
+        "assoc", "engine", "fetch", "replacement", "warmup", "word_size",
+        "filter_writes",
+    }
+)
+
+
+def _require_int(payload: Dict[str, Any], key: str, minimum: int = 1) -> int:
+    value = payload[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{key} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ConfigurationError(f"{key} must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class SimQuery:
+    """One normalized simulation query (hashable, order-insensitive).
+
+    Attributes mirror the knobs of a single sweep cell: the trace
+    coordinates (``suite``, ``trace``, ``length``), the cache shape,
+    and the execution options the checkpoint fingerprint folds in.
+    """
+
+    suite: str
+    trace: str
+    length: int
+    net: int
+    block: int
+    sub: int
+    assoc: int = 4
+    engine: str = "auto"
+    fetch: str = "demand"
+    replacement: str = "lru"
+    warmup: Union[int, str] = "fill"
+    word_size: int = 2
+    filter_writes: bool = True
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], default_length: int
+    ) -> "SimQuery":
+        """Validate and normalize one ``/simulate`` JSON body.
+
+        Geometry may be given nested (``"geometry": {"net": ...}``) or
+        flat (``"net": ...``); everything but ``suite``, ``trace``, and
+        the geometry has paper defaults.  ``word_size`` defaults to the
+        suite's architecture word size, matching how the experiment
+        layer runs its sweeps.
+
+        Raises:
+            ConfigurationError: On unknown keys, bad types, unknown
+                suite/trace/policy/engine names, or an invalid shape.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError("query body must be a JSON object")
+        payload = dict(payload)
+        geometry = payload.pop("geometry", None)
+        if geometry is not None:
+            if not isinstance(geometry, dict):
+                raise ConfigurationError("geometry must be a JSON object")
+            for key in ("net", "block", "sub", "assoc"):
+                if key in geometry:
+                    payload.setdefault(key, geometry[key])
+        unknown = sorted(set(payload) - _QUERY_KEYS)
+        if unknown:
+            raise ConfigurationError(f"unknown query keys: {unknown}")
+        for key in ("suite", "trace", "net", "block", "sub"):
+            if key not in payload:
+                raise ConfigurationError(f"query is missing required key {key!r}")
+
+        suite = str(payload["suite"]).lower()
+        trace = str(payload["trace"])
+        known = [spec.name for spec in suite_specs(suite)]
+        if trace not in known:
+            raise ConfigurationError(
+                f"suite {suite!r} has no trace {trace!r}; it has {known}"
+            )
+
+        payload.setdefault("length", default_length)
+        length = _require_int(payload, "length")
+        net = _require_int(payload, "net")
+        block = _require_int(payload, "block")
+        sub = _require_int(payload, "sub")
+        payload.setdefault("assoc", 4)
+        assoc = _require_int(payload, "assoc")
+        payload.setdefault("word_size", get_architecture(suite).word_size)
+        word_size = _require_int(payload, "word_size")
+
+        engine = str(payload.get("engine", "auto")).lower()
+        if engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; choose from {list(ENGINE_NAMES)}"
+            )
+        fetch = str(payload.get("fetch", "demand")).lower().replace("_", "-")
+        make_fetch(fetch)  # validates the name
+        replacement = str(payload.get("replacement", "lru")).lower()
+        make_replacement(replacement)  # validates the name
+
+        warmup: Union[int, str] = payload.get("warmup", "fill")
+        if isinstance(warmup, bool) or not isinstance(warmup, (int, str)):
+            raise ConfigurationError(
+                f"warmup must be 'fill' or an access count, got {warmup!r}"
+            )
+        if isinstance(warmup, str):
+            if warmup != "fill":
+                raise ConfigurationError(
+                    f"warmup must be 'fill' or an access count, got {warmup!r}"
+                )
+        elif warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+
+        filter_writes = payload.get("filter_writes", True)
+        if not isinstance(filter_writes, bool):
+            raise ConfigurationError(
+                f"filter_writes must be a boolean, got {filter_writes!r}"
+            )
+
+        query = cls(
+            suite=suite, trace=trace, length=length,
+            net=net, block=block, sub=sub, assoc=assoc,
+            engine=engine, fetch=fetch, replacement=replacement,
+            warmup=warmup, word_size=word_size, filter_writes=filter_writes,
+        )
+        query.geometry()  # validates the shape eagerly (400, not 500)
+        return query
+
+    # -- Derived identities ----------------------------------------------
+
+    def geometry(self) -> CacheGeometry:
+        """The validated cache shape this query simulates."""
+        return CacheGeometry(
+            net_size=self.net,
+            block_size=self.block,
+            sub_block_size=self.sub,
+            associativity=self.assoc,
+        )
+
+    def spec(self) -> CellSpec:
+        """The batch-layer cell spec equivalent to this query."""
+        return CellSpec(
+            geometry=self.geometry(),
+            engine=self.engine,
+            fetch=self.fetch,
+            replacement=self.replacement,
+            warmup=self.warmup,
+            word_size=self.word_size,
+        )
+
+    def coalesce_key(self) -> "SimQuery":
+        """Key under which identical concurrent queries share one run."""
+        return self
+
+    def trace_group(self) -> Tuple[str, str, int, bool]:
+        """Batching key: queries in one group decode one trace."""
+        return (self.suite, self.trace, self.length, self.filter_writes)
+
+    def cell(self) -> str:
+        """The runner's cell key for this query's (geometry, trace)."""
+        return cell_key(self.geometry(), self.trace)
+
+    def fingerprint(self, prepared_length: int) -> str:
+        """Content address of this query's result.
+
+        Computed as the checkpoint fingerprint of the single-cell sweep
+        this query denotes — same function, same parameters, same
+        engine folding as :func:`repro.runner.runner.run_sweep` — so a
+        service cache entry can seed a ``--resume`` run and vice versa.
+
+        Args:
+            prepared_length: Length of the prepared (read-filtered)
+                trace, which is what the sweep fingerprint hashes.
+        """
+        return sweep_fingerprint(
+            [self.cell()],
+            [prepared_length],
+            engine=self.engine,
+            word_size=self.word_size,
+            fetch=self.fetch,
+            replacement=self.replacement,
+            warmup=self.warmup,
+            bus_model=NIBBLE_MODE_BUS,
+            filter_writes=self.filter_writes,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON echo of the query (response ``query`` field)."""
+        return {
+            "suite": self.suite,
+            "trace": self.trace,
+            "length": self.length,
+            "geometry": {
+                "net": self.net, "block": self.block,
+                "sub": self.sub, "assoc": self.assoc,
+            },
+            "engine": self.engine,
+            "fetch": self.fetch,
+            "replacement": self.replacement,
+            "warmup": self.warmup,
+            "word_size": self.word_size,
+            "filter_writes": self.filter_writes,
+        }
+
+
+def expand_sweep(
+    payload: Dict[str, Any],
+    default_length: int,
+    max_cells: Optional[int] = MAX_SWEEP_CELLS,
+) -> "list[SimQuery]":
+    """Expand one ``/sweep`` body into its grid of queries.
+
+    The body carries a ``base`` query (geometry optional) plus a
+    ``grid`` of per-axis value lists (``net``, ``block``, ``sub``,
+    ``assoc``); the result is the cross product, validated cell by
+    cell.  Invalid combinations (e.g. a sub-block larger than its
+    block) fail the whole request — a partial grid would silently skew
+    any average computed from it.
+
+    Raises:
+        ConfigurationError: On a malformed body or a grid larger than
+            ``max_cells``.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError("sweep body must be a JSON object")
+    base = payload.get("base")
+    if not isinstance(base, dict):
+        raise ConfigurationError("sweep body needs a 'base' query object")
+    grid = payload.get("grid", {})
+    if not isinstance(grid, dict):
+        raise ConfigurationError("sweep 'grid' must be a JSON object")
+    unknown = sorted(set(grid) - {"net", "block", "sub", "assoc"})
+    if unknown:
+        raise ConfigurationError(f"unknown sweep grid axes: {unknown}")
+
+    axes: Dict[str, "list[int]"] = {}
+    for axis in ("net", "block", "sub", "assoc"):
+        values = grid.get(axis)
+        if values is None:
+            continue
+        if not isinstance(values, list) or not values:
+            raise ConfigurationError(
+                f"sweep grid axis {axis!r} must be a non-empty list"
+            )
+        axes[axis] = values
+
+    count = 1
+    for values in axes.values():
+        count *= len(values)
+    if max_cells is not None and count > max_cells:
+        raise ConfigurationError(
+            f"sweep grid has {count} cells, exceeding the per-request "
+            f"limit of {max_cells}; split the request"
+        )
+
+    combos: "list[Dict[str, int]]" = [{}]
+    for axis, values in axes.items():
+        combos = [dict(combo, **{axis: value}) for combo in combos for value in values]
+
+    queries = []
+    for combo in combos:
+        cell = dict(base)
+        cell.update(combo)
+        queries.append(SimQuery.from_payload(cell, default_length))
+    return queries

@@ -1,0 +1,456 @@
+"""The service core: coalescing, batching, caching, worker dispatch.
+
+One :class:`SimulationService` turns validated
+:class:`~repro.service.query.SimQuery` objects into cached
+:class:`~repro.service.cache.CacheEntry` results.  The request path, in
+order:
+
+1. **Fast path** — a memoized query -> fingerprint mapping plus the
+   result cache answer repeat queries without touching the queue.
+2. **Coalescing** — concurrent identical queries share one in-flight
+   future; only the first does any work.
+3. **Admission** — the breaker and the bounded queue refuse work the
+   service cannot take (:class:`~repro.service.admission.RejectedError`
+   → HTTP 429/503).
+4. **Batching** — the scheduler drains the queue every batch window and
+   groups queries by trace, so each trace is generated, read-filtered,
+   and predecoded exactly once per batch
+   (:mod:`repro.engine.batch`) before its cells fan out.
+5. **Dispatch** — cells run on a thread pool, bounded by
+   ``max_inflight`` slots; completions land in the result cache and
+   resolve every coalesced waiter.
+
+All mutable service state is touched only from the event-loop thread;
+the cache and metrics objects are internally locked because workers
+update them from pool threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.experiments import default_trace_length
+from repro.engine.base import resolve_engine
+from repro.engine.batch import predecode, prepare_trace, run_cell
+from repro.errors import ReproError
+from repro.memory.nibble import NIBBLE_MODE_BUS
+from repro.runner.health import RunReport, CellOutcome, CellStatus
+from repro.service.admission import AdmissionController, Breaker
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.metrics import MetricsRegistry
+from repro.service.query import SimQuery
+from repro.trace.record import Trace
+from repro.workloads.suites import suite_trace
+
+__all__ = ["ServiceConfig", "SimResult", "SimulationService"]
+
+#: Bound on the query -> fingerprint memo (entries, not bytes).
+_FINGERPRINT_MEMO = 4096
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    Attributes:
+        workers: Thread-pool size for simulation cells.
+        cache_size: Memory-tier capacity of the result cache.
+        disk_cache: JSONL persistence path for the disk tier (None
+            disables it).
+        max_inflight: Cells allowed to execute concurrently.
+        max_queue: Queries allowed to wait for a slot before new ones
+            are refused with 429 semantics.
+        batch_window: Seconds the scheduler lets a batch accumulate
+            before grouping and dispatching it.
+        breaker_failures: Consecutive cell failures that open the
+            breaker (None disables it).
+        breaker_reset: Breaker cool-down in seconds.
+        retry_after: Back-off hint for queue-full rejections.
+        engine: Default engine for queries that don't specify one is
+            always ``auto``; this forces a specific engine for *all*
+            queries instead (operational escape hatch).
+        default_length: Trace length when a query omits ``length``
+            (None: :func:`~repro.analysis.experiments
+            .default_trace_length`).
+    """
+
+    workers: int = 2
+    cache_size: int = 1024
+    disk_cache: Optional[str] = None
+    max_inflight: int = 8
+    max_queue: int = 64
+    batch_window: float = 0.005
+    breaker_failures: Optional[int] = 5
+    breaker_reset: float = 5.0
+    retry_after: float = 1.0
+    engine: Optional[str] = None
+    default_length: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """One answered query: the cache entry plus how it was obtained.
+
+    ``source`` is ``memory`` / ``disk`` (cache hits), ``coalesced``
+    (shared another request's computation), or ``computed``.
+    """
+
+    query: SimQuery
+    entry: CacheEntry
+    source: str
+    elapsed: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The ``/simulate`` response body."""
+        return {
+            "query": self.query.to_dict(),
+            "key": self.entry.key,
+            "fingerprint": self.entry.fingerprint,
+            "engine": self.entry.engine,
+            "cached": self.source in ("memory", "disk"),
+            "source": self.source,
+            "result": {
+                "miss_ratio": self.entry.miss,
+                "traffic_ratio": self.entry.traffic,
+                "scaled_traffic_ratio": self.entry.scaled,
+            },
+            "stats": self.entry.stats,
+            "elapsed_ms": self.elapsed * 1000.0,
+        }
+
+
+@dataclass
+class _Pending:
+    """One queued query and everyone waiting on it."""
+
+    query: SimQuery
+    future: "asyncio.Future[Tuple[CacheEntry, str]]"
+    enqueued_at: float
+
+
+class SimulationService:
+    """Async façade over the engine layer; see the module docstring."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = (
+            cache
+            if cache is not None
+            else ResultCache(
+                maxsize=self.config.cache_size,
+                disk_path=self.config.disk_cache,
+            )
+        )
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+            retry_after=self.config.retry_after,
+            breaker=Breaker(
+                max_consecutive_failures=self.config.breaker_failures,
+                reset_after=self.config.breaker_reset,
+            ),
+        )
+        self.report = RunReport()
+        self.started_at = time.time()
+        self._default_length = (
+            self.config.default_length
+            if self.config.default_length is not None
+            else default_trace_length()
+        )
+        self._fingerprints: "OrderedDict[SimQuery, str]" = OrderedDict()
+        self._inflight_futures: "Dict[SimQuery, asyncio.Future]" = {}
+        self._queue: "deque[_Pending]" = deque()
+        self._wake: Optional[asyncio.Event] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._prepare_lock: Optional[asyncio.Lock] = None
+        self._scheduler: Optional[asyncio.Task] = None
+        self._group_tasks: "set[asyncio.Task]" = set()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._stopped = False
+
+    @property
+    def default_length(self) -> int:
+        """Trace length applied to queries that omit ``length``."""
+        return self._default_length
+
+    # -- Lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind to the running loop and start the batch scheduler."""
+        self._wake = asyncio.Event()
+        self._slots = asyncio.Semaphore(self.config.max_inflight)
+        self._prepare_lock = asyncio.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service",
+        )
+        self._stopped = False
+        self._scheduler = asyncio.ensure_future(self._schedule())
+
+    async def stop(self) -> None:
+        """Stop scheduling, fail queued work, release the pool."""
+        self._stopped = True
+        if self._scheduler is not None:
+            self._scheduler.cancel()
+            try:
+                await self._scheduler
+            except asyncio.CancelledError:
+                pass
+            self._scheduler = None
+        for task in list(self._group_tasks):
+            task.cancel()
+        if self._group_tasks:
+            await asyncio.gather(*self._group_tasks, return_exceptions=True)
+        while self._queue:
+            pending = self._queue.popleft()
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ReproError("service stopped before the query ran")
+                )
+            self._inflight_futures.pop(pending.query, None)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    # -- Request path -----------------------------------------------------
+
+    def _normalize(self, query: SimQuery) -> SimQuery:
+        if self.config.engine is not None and query.engine != self.config.engine:
+            return SimQuery(
+                **{**query.__dict__, "engine": self.config.engine}
+            )
+        return query
+
+    async def simulate(self, query: SimQuery) -> SimResult:
+        """Answer one query through cache, coalescing, and the queue.
+
+        Raises:
+            RejectedError: When admission control refuses the query.
+            ReproError: When the simulation itself fails.
+        """
+        if self._wake is None:
+            raise ReproError("service not started; call start() first")
+        loop = asyncio.get_event_loop()
+        started = loop.time()
+        query = self._normalize(query)
+
+        # 1. Fast path: known fingerprint + cached result.
+        fingerprint = self._fingerprints.get(query)
+        if fingerprint is not None:
+            found = self.cache.get(fingerprint)
+            if found is not None:
+                entry, tier = found
+                self.metrics.record_lookup(tier)
+                return SimResult(query, entry, tier, loop.time() - started)
+
+        # 2. Coalescing: join an identical in-flight query.
+        shared = self._inflight_futures.get(query)
+        if shared is not None:
+            self.metrics.coalesced_total.inc()
+            entry, _ = await asyncio.shield(shared)
+            return SimResult(query, entry, "coalesced", loop.time() - started)
+
+        # 3. Admission control.
+        try:
+            self.admission.admit(queued=len(self._queue))
+        except ReproError as exc:
+            reason = getattr(exc, "reason", "rejected")
+            self.metrics.rejected_total.inc(labels={"reason": reason})
+            raise
+
+        # 4. Enqueue for the batch scheduler.
+        future: "asyncio.Future[Tuple[CacheEntry, str]]" = loop.create_future()
+        self._inflight_futures[query] = future
+        self._queue.append(_Pending(query, future, started))
+        self.metrics.queue_depth.set(len(self._queue))
+        self._wake.set()
+        entry, source = await asyncio.shield(future)
+        return SimResult(query, entry, source, loop.time() - started)
+
+    # -- Scheduler --------------------------------------------------------
+
+    async def _schedule(self) -> None:
+        assert self._wake is not None
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if self.config.batch_window > 0:
+                # Let a batch accumulate so same-trace queries group.
+                await asyncio.sleep(self.config.batch_window)
+            if not self._queue:
+                continue
+            batch: List[_Pending] = []
+            while self._queue:
+                batch.append(self._queue.popleft())
+            self.metrics.queue_depth.set(0)
+            groups: "OrderedDict[tuple, List[_Pending]]" = OrderedDict()
+            for pending in batch:
+                groups.setdefault(pending.query.trace_group(), []).append(pending)
+            for group in groups.values():
+                task = asyncio.ensure_future(self._run_group(group))
+                self._group_tasks.add(task)
+                task.add_done_callback(self._group_tasks.discard)
+
+    async def _run_group(self, group: List[_Pending]) -> None:
+        """Prepare one trace, then run/resolve every cell of the group."""
+        assert self._executor is not None and self._prepare_lock is not None
+        loop = asyncio.get_event_loop()
+        sample = group[0].query
+        prepare_started = loop.time()
+        try:
+            # Serialized: TraceView's decode caches are only safe to
+            # *populate* from one thread (see repro.engine.batch).
+            async with self._prepare_lock:
+                prepared = await loop.run_in_executor(
+                    self._executor,
+                    self._prepare_group,
+                    sample,
+                    [pending.query.spec() for pending in group],
+                )
+        except Exception as exc:  # noqa: BLE001 - fail the whole group
+            self.metrics.stage_seconds.observe(
+                loop.time() - prepare_started, labels={"stage": "prepare"}
+            )
+            for pending in group:
+                self._complete_error(pending, exc)
+            return
+        self.metrics.stage_seconds.observe(
+            loop.time() - prepare_started, labels={"stage": "prepare"}
+        )
+        await asyncio.gather(
+            *(self._run_cell(pending, prepared) for pending in group)
+        )
+
+    def _prepare_group(self, sample: SimQuery, specs: list) -> Trace:
+        """Worker-side batch prepare: generate, filter, predecode."""
+        trace = suite_trace(sample.suite, sample.trace, length=sample.length)
+        prepared = prepare_trace(trace, sample.filter_writes)
+        predecode(prepared, specs)
+        return prepared
+
+    async def _run_cell(self, pending: _Pending, prepared: Trace) -> None:
+        assert self._slots is not None and self._executor is not None
+        loop = asyncio.get_event_loop()
+        query = pending.query
+        fingerprint = query.fingerprint(len(prepared))
+        self._memoize(query, fingerprint)
+
+        # Late cache check: the fingerprint may have been computed for
+        # the first time here, and an earlier batch (or a seeded disk
+        # tier) may already hold the answer.
+        found = self.cache.get(fingerprint)
+        if found is not None:
+            entry, tier = found
+            self.metrics.record_lookup(tier)
+            self._complete_ok(pending, entry, tier)
+            return
+        self.metrics.record_lookup("miss")
+
+        async with self._slots:
+            self.metrics.stage_seconds.observe(
+                loop.time() - pending.enqueued_at, labels={"stage": "queue"}
+            )
+            self.metrics.inflight.inc()
+            simulate_started = loop.time()
+            try:
+                stats, engine_name = await loop.run_in_executor(
+                    self._executor, self._execute, prepared, query
+                )
+            except Exception as exc:  # noqa: BLE001 - surface per query
+                self._complete_error(pending, exc)
+                return
+            finally:
+                self.metrics.inflight.dec()
+                self.metrics.stage_seconds.observe(
+                    loop.time() - simulate_started, labels={"stage": "simulate"}
+                )
+        entry = CacheEntry(
+            fingerprint=fingerprint,
+            key=query.cell(),
+            trace=query.trace,
+            miss=stats.miss_ratio,
+            traffic=stats.traffic_ratio(),
+            scaled=stats.scaled_traffic_ratio(NIBBLE_MODE_BUS, query.word_size),
+            stats=stats.to_dict(),
+            engine=engine_name,
+        )
+        self.cache.put(entry)
+        self._complete_ok(pending, entry, "computed")
+
+    @staticmethod
+    def _execute(prepared: Trace, query: SimQuery):
+        """Worker-side cell execution; returns (stats, engine name)."""
+        engine_name = resolve_engine(query.engine, prepared).name
+        return run_cell(prepared, query.spec()), engine_name
+
+    # -- Completion -------------------------------------------------------
+
+    def _memoize(self, query: SimQuery, fingerprint: str) -> None:
+        self._fingerprints[query] = fingerprint
+        self._fingerprints.move_to_end(query)
+        while len(self._fingerprints) > _FINGERPRINT_MEMO:
+            self._fingerprints.popitem(last=False)
+
+    def _complete_ok(
+        self, pending: _Pending, entry: CacheEntry, source: str
+    ) -> None:
+        self._inflight_futures.pop(pending.query, None)
+        if source == "computed":
+            self.admission.breaker.record(entry.key, entry.trace)
+            self.metrics.cells_total.inc(labels={"status": "ok"})
+            self.report.add(
+                CellOutcome(entry.key, entry.trace, CellStatus.OK)
+            )
+        loop = asyncio.get_event_loop()
+        self.metrics.stage_seconds.observe(
+            loop.time() - pending.enqueued_at, labels={"stage": "total"}
+        )
+        if not pending.future.done():
+            pending.future.set_result((entry, source))
+
+    def _complete_error(self, pending: _Pending, error: Exception) -> None:
+        query = pending.query
+        self._inflight_futures.pop(query, None)
+        reason = f"{type(error).__name__}: {error}"
+        self.admission.breaker.record(query.cell(), query.trace, error=reason)
+        self.metrics.cells_total.inc(labels={"status": "failed"})
+        self.report.add(
+            CellOutcome(
+                query.cell(), query.trace, CellStatus.SKIPPED, reason=reason
+            )
+        )
+        if not pending.future.done():
+            pending.future.set_exception(error)
+
+    # -- Introspection ----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """The ``/healthz`` body: liveness plus capacity signals."""
+        import repro
+
+        breaker = self.admission.breaker
+        return {
+            "status": "degraded" if breaker.state == "open" else "ok",
+            "version": repro.__version__,
+            "uptime_seconds": time.time() - self.started_at,
+            "breaker": breaker.state,
+            "breaker_trips": breaker.trips,
+            "queue_depth": len(self._queue),
+            "cache_entries": len(self.cache),
+            "cache_disk_entries": self.cache.disk_entries,
+            "cells": {
+                "completed": self.report.completed,
+                "skipped": len(self.report.skipped),
+            },
+        }

@@ -1,0 +1,139 @@
+"""Edge-case tests for the shared stats-accounting kernels.
+
+Both engines route every miss and eviction through
+:mod:`repro.core.accounting`; these tests pin the corner cases the
+differential suites rarely reach — empty fetch plans, blocks evicted
+untouched, and the redundant-byte arithmetic of simple load-forward.
+"""
+
+from __future__ import annotations
+
+from repro.core.accounting import account_eviction, account_fetch, plan_costs
+from repro.core.fetch import DemandFetch, FetchPlan, LoadForwardFetch
+from repro.core.stats import CacheStats
+
+
+class TestZeroLengthPlans:
+    def test_empty_plan_costs_nothing(self):
+        words, fetched, redundant = plan_costs(
+            FetchPlan(fetch_mask=0, transactions=()), 8, 2
+        )
+        assert words == ()
+        assert fetched == 0
+        assert redundant == 0
+
+    def test_empty_plan_leaves_stats_untouched(self):
+        stats = CacheStats()
+        account_fetch(stats, FetchPlan(0, ()), 8, 2)
+        assert stats.bytes_fetched == 0
+        assert stats.redundant_bytes_fetched == 0
+        assert stats.transaction_words == {}
+
+    def test_optimized_load_forward_with_all_valid_tail_is_empty(self):
+        # Target sub-block 2 of 4; sub-blocks 2 and 3 already valid.
+        # The optimized policy has nothing left to fetch.
+        plan = LoadForwardFetch(optimized=True).plan(
+            needed_missing=0b0100,
+            first_needed=2,
+            valid_mask=0b1100,
+            sub_blocks_per_block=4,
+        )
+        # (A real cache never asks when needed_missing is all valid;
+        # the kernel must still be total over the empty plan.)
+        assert plan.transactions == ()
+        assert plan.fetch_mask == 0
+
+
+class TestEvictionAccounting:
+    def test_never_referenced_block(self):
+        stats = CacheStats()
+        account_eviction(
+            stats,
+            referenced_mask=0,
+            dirty_mask=0,
+            sub_blocks_per_block=4,
+            sub_block_size=8,
+        )
+        assert stats.evictions == 1
+        assert stats.evicted_sub_blocks_referenced == 0
+        assert stats.evicted_sub_blocks_total == 4
+        assert stats.mean_eviction_utilization == 0.0
+        assert stats.writebacks == 0
+        assert stats.bytes_written_back == 0
+
+    def test_dirty_block_writes_back_only_dirty_sub_blocks(self):
+        stats = CacheStats()
+        account_eviction(
+            stats,
+            referenced_mask=0b1011,
+            dirty_mask=0b0011,
+            sub_blocks_per_block=4,
+            sub_block_size=8,
+        )
+        assert stats.writebacks == 1
+        assert stats.bytes_written_back == 2 * 8
+        assert stats.evicted_sub_blocks_referenced == 3
+        assert stats.mean_eviction_utilization == 0.75
+
+    def test_utilization_accumulates_across_evictions(self):
+        stats = CacheStats()
+        account_eviction(stats, 0b1111, 0, 4, 8)  # fully used
+        account_eviction(stats, 0b0000, 0, 4, 8)  # never referenced
+        assert stats.evictions == 2
+        assert stats.mean_eviction_utilization == 0.5
+
+
+class TestLoadForwardRedundancy:
+    def test_simple_scheme_counts_redundant_bytes(self):
+        # Target sub-block 1 of 4; sub-block 2 is already valid.  The
+        # paper's simple scheme fetches 1..3 as one transaction anyway
+        # and re-loads the valid sub-block redundantly.
+        plan = LoadForwardFetch(optimized=False).plan(
+            needed_missing=0b0010,
+            first_needed=1,
+            valid_mask=0b0100,
+            sub_blocks_per_block=4,
+        )
+        assert plan.transactions == (3,)
+        assert plan.redundant_mask == 0b0100
+
+        words, fetched, redundant = plan_costs(plan, 8, 2)
+        assert words == (12,)  # 3 sub-blocks * 8 B / 2 B-per-word
+        assert fetched == 3 * 8
+        assert redundant == 1 * 8
+
+        stats = CacheStats()
+        account_fetch(stats, plan, 8, 2)
+        assert stats.bytes_fetched == 24
+        assert stats.redundant_bytes_fetched == 8
+        assert stats.transaction_words == {12: 1}
+
+    def test_optimized_scheme_splits_and_fetches_nothing_redundant(self):
+        plan = LoadForwardFetch(optimized=True).plan(
+            needed_missing=0b0010,
+            first_needed=1,
+            valid_mask=0b0100,
+            sub_blocks_per_block=4,
+        )
+        assert plan.fetch_mask == 0b1010  # skips the valid sub-block
+        assert plan.transactions == (1, 1)
+        assert plan.redundant_mask == 0
+
+        stats = CacheStats()
+        account_fetch(stats, plan, 8, 2)
+        assert stats.redundant_bytes_fetched == 0
+        assert stats.transaction_words == {4: 2}
+
+    def test_demand_fetch_never_redundant(self):
+        plan = DemandFetch().plan(
+            needed_missing=0b1001,
+            first_needed=0,
+            valid_mask=0b0110,
+            sub_blocks_per_block=4,
+        )
+        assert plan.redundant_mask == 0
+        assert plan.transactions == (1, 1)
+        words, fetched, redundant = plan_costs(plan, 4, 2)
+        assert words == (2, 2)
+        assert fetched == 8
+        assert redundant == 0

@@ -1,0 +1,105 @@
+"""CacheStats serialization: lossless round-trip, property-tested.
+
+``to_dict``/``from_dict`` is the one serialization used wherever full
+stats cross a storage boundary (checkpoint cell records, the service's
+result cache and JSON responses), so it must be exactly invertible for
+*any* counter state — including through an actual JSON encode/decode,
+which is what stringifies the enum and integer dict keys.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.sim import simulate
+from repro.core.stats import CacheStats
+from repro.trace.record import AccessType
+
+counts = st.integers(min_value=0, max_value=10 ** 12)
+
+kind_maps = st.fixed_dictionaries(
+    {
+        AccessType.READ: counts,
+        AccessType.WRITE: counts,
+        AccessType.IFETCH: counts,
+    }
+)
+
+transaction_maps = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=512),
+    values=st.integers(min_value=1, max_value=10 ** 9),
+    max_size=12,
+)
+
+
+@st.composite
+def stats_objects(draw):
+    stats = CacheStats()
+    for slot in CacheStats.__slots__:
+        if slot == "accesses_by_kind" or slot == "misses_by_kind":
+            setattr(stats, slot, draw(kind_maps))
+        elif slot == "transaction_words":
+            setattr(stats, slot, draw(transaction_maps))
+        else:
+            setattr(stats, slot, draw(counts))
+    return stats
+
+
+def as_tuple(stats: CacheStats):
+    return tuple(getattr(stats, slot) for slot in CacheStats.__slots__)
+
+
+class TestRoundTripProperty:
+    @given(stats_objects())
+    def test_every_counter_survives_a_json_round_trip(self, stats):
+        payload = json.loads(json.dumps(stats.to_dict()))
+        restored = CacheStats.from_dict(payload)
+        assert as_tuple(restored) == as_tuple(stats)
+
+    @given(stats_objects())
+    def test_derived_metrics_agree_after_round_trip(self, stats):
+        restored = CacheStats.from_dict(stats.to_dict())
+        assert restored.miss_ratio == stats.miss_ratio
+        assert restored.traffic_ratio() == stats.traffic_ratio()
+        assert (
+            restored.mean_eviction_utilization
+            == stats.mean_eviction_utilization
+        )
+
+
+class TestRealRunRoundTrip:
+    def test_simulated_stats_round_trip(self, tiny_trace):
+        stats = simulate(
+            SubBlockCache(CacheGeometry(64, 16, 8)), tiny_trace
+        )
+        restored = CacheStats.from_dict(
+            json.loads(json.dumps(stats.to_dict()))
+        )
+        assert as_tuple(restored) == as_tuple(stats)
+        assert restored.transaction_words == stats.transaction_words
+        assert restored.accesses_by_kind == stats.accesses_by_kind
+
+
+class TestStrictness:
+    def test_missing_key_rejected(self):
+        payload = CacheStats().to_dict()
+        payload.pop("evictions")
+        with pytest.raises(ValueError, match="missing \\['evictions'\\]"):
+            CacheStats.from_dict(payload)
+
+    def test_unknown_key_rejected(self):
+        payload = CacheStats().to_dict()
+        payload["hit_streak"] = 7
+        with pytest.raises(ValueError, match="unknown \\['hit_streak'\\]"):
+            CacheStats.from_dict(payload)
+
+    def test_unknown_access_kind_rejected(self):
+        payload = CacheStats().to_dict()
+        payload["accesses_by_kind"] = {"psychic": 1}
+        with pytest.raises(ValueError, match="unknown access kind"):
+            CacheStats.from_dict(payload)

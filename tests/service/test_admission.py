@@ -1,0 +1,118 @@
+"""Breaker and admission-controller tests (injected clock, no sleeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.admission import AdmissionController, Breaker, RejectedError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def tripped_breaker(clock: FakeClock, failures: int = 3) -> Breaker:
+    breaker = Breaker(
+        max_consecutive_failures=failures, reset_after=10.0, clock=clock
+    )
+    for _ in range(failures):
+        breaker.record("k", "t", error="boom")
+    return breaker
+
+
+class TestBreaker:
+    def test_stays_closed_below_the_streak(self):
+        breaker = Breaker(max_consecutive_failures=3, clock=FakeClock())
+        breaker.record("k", "t", error="boom")
+        breaker.record("k", "t", error="boom")
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker = Breaker(max_consecutive_failures=2, clock=FakeClock())
+        breaker.record("k", "t", error="boom")
+        breaker.record("k", "t")  # success
+        breaker.record("k", "t", error="boom")
+        assert breaker.state == "closed"
+
+    def test_streak_opens_the_breaker(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+        assert breaker.retry_after() == pytest.approx(10.0)
+
+    def test_half_open_after_cooldown(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        clock.advance(10.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow()
+        assert breaker.retry_after() == 0.0
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        clock.advance(10.0)
+        breaker.record("k", "t")
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_retrips_immediately(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        clock.advance(10.0)
+        breaker.record("k", "t", error="still broken")
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+
+    def test_disabled_breaker_never_opens(self):
+        breaker = Breaker(max_consecutive_failures=None, clock=FakeClock())
+        for _ in range(100):
+            breaker.record("k", "t", error="boom")
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_nonpositive_reset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Breaker(reset_after=0.0)
+
+
+class TestAdmissionController:
+    def test_admits_below_the_queue_limit(self):
+        AdmissionController(max_queue=2).admit(queued=1)
+
+    def test_full_queue_rejected_with_retry_hint(self):
+        controller = AdmissionController(max_queue=2, retry_after=3.0)
+        with pytest.raises(RejectedError) as excinfo:
+            controller.admit(queued=2)
+        assert excinfo.value.reason == "queue_full"
+        assert excinfo.value.retry_after == 3.0
+
+    def test_zero_queue_rejects_everything(self):
+        with pytest.raises(RejectedError):
+            AdmissionController(max_queue=0).admit(queued=0)
+
+    def test_open_breaker_rejects_before_queue_check(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_queue=100, breaker=tripped_breaker(clock)
+        )
+        with pytest.raises(RejectedError) as excinfo:
+            controller.admit(queued=0)
+        assert excinfo.value.reason == "breaker_open"
+        assert excinfo.value.retry_after == pytest.approx(10.0)
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_queue=-1)

@@ -1,0 +1,201 @@
+"""End-to-end HTTP tests: a real ServiceApp on an ephemeral port.
+
+The client is a raw asyncio-streams HTTP/1.1 requester living in the
+same event loop as the server, so the whole exchange is deterministic
+and needs no threads or sockets-on-random-hosts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.app import ServiceApp
+from repro.service.simulator import ServiceConfig
+
+QUERY = {
+    "suite": "pdp11", "trace": "ED", "length": 4000,
+    "net": 1024, "block": 16, "sub": 8,
+}
+
+
+async def request(
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP exchange; returns (status, headers, raw body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = json.dumps(body).encode() if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\nContent-Length: {len(data)}\r\n\r\n"
+    )
+    writer.write(head.encode() + data)
+    await writer.drain()
+    raw = await reader.read()  # Connection: close — read to EOF
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    header_blob, _, payload = raw.partition(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, payload
+
+
+def serve(body, config: Optional[ServiceConfig] = None):
+    """Run ``body(port)`` against a live app, tearing down afterwards."""
+
+    async def main():
+        app = ServiceApp(
+            config=config or ServiceConfig(batch_window=0.0), port=0
+        )
+        await app.start()
+        try:
+            return await body(app.port)
+        finally:
+            await app.stop()
+
+    return asyncio.run(main())
+
+
+class TestSimulateEndpoint:
+    def test_simulate_then_cached_repeat(self):
+        async def body(port):
+            status, _, raw = await request(port, "POST", "/simulate", QUERY)
+            first = json.loads(raw)
+            status2, _, raw2 = await request(port, "POST", "/simulate", QUERY)
+            second = json.loads(raw2)
+            return status, first, status2, second
+
+        status, first, status2, second = serve(body)
+        assert status == 200 and status2 == 200
+        assert first["source"] == "computed" and first["cached"] is False
+        assert second["source"] == "memory" and second["cached"] is True
+        assert second["result"] == first["result"]
+        assert set(first["result"]) == {
+            "miss_ratio", "traffic_ratio", "scaled_traffic_ratio"
+        }
+        assert first["key"] == "1024:16,8@4/ED"
+        assert first["stats"]["accesses"] > 0
+
+    def test_validation_error_maps_to_400(self):
+        async def body(port):
+            return await request(
+                port, "POST", "/simulate", dict(QUERY, suite="cray")
+            )
+
+        status, _, raw = serve(body)
+        assert status == 400
+        assert "error" in json.loads(raw)
+
+    def test_malformed_json_maps_to_400(self):
+        async def body(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            payload = b"{not json"
+            writer.write(
+                b"POST /simulate HTTP/1.1\r\nHost: x\r\n"
+                + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+                + payload
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return raw
+
+        raw = serve(body)
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+
+    def test_get_on_simulate_is_405(self):
+        async def body(port):
+            return await request(port, "GET", "/simulate")
+
+        status, _, _ = serve(body)
+        assert status == 405
+
+    def test_unknown_route_is_404(self):
+        async def body(port):
+            return await request(port, "GET", "/nope")
+
+        status, _, _ = serve(body)
+        assert status == 404
+
+
+class TestSweepEndpoint:
+    def test_grid_expansion(self):
+        async def body(port):
+            return await request(
+                port,
+                "POST",
+                "/sweep",
+                {"base": QUERY, "grid": {"net": [256, 512], "sub": [4, 8]}},
+            )
+
+        status, _, raw = serve(body)
+        payload = json.loads(raw)
+        assert status == 200
+        assert payload["count"] == 4
+        assert len(payload["cells"]) == 4
+        nets = {cell["query"]["geometry"]["net"] for cell in payload["cells"]}
+        assert nets == {256, 512}
+
+
+class TestObservabilityEndpoints:
+    def test_healthz_and_metrics_reflect_traffic(self):
+        async def body(port):
+            await request(port, "POST", "/simulate", QUERY)
+            await request(port, "POST", "/simulate", QUERY)
+            h_status, _, h_raw = await request(port, "GET", "/healthz")
+            m_status, m_headers, m_raw = await request(port, "GET", "/metrics")
+            return h_status, json.loads(h_raw), m_status, m_headers, m_raw
+
+        h_status, health, m_status, m_headers, m_raw = serve(body)
+        assert h_status == 200
+        assert health["status"] == "ok"
+        assert health["cache_entries"] == 1
+        assert m_status == 200
+        assert m_headers["content-type"].startswith("text/plain")
+        text = m_raw.decode()
+        assert 'repro_service_cache_lookups_total{outcome="memory"} 1' in text
+        assert "repro_service_cache_hit_ratio 0.5" in text
+        assert (
+            'repro_service_requests_total{endpoint="/simulate",status="200"} 2'
+            in text
+        )
+
+
+class TestOverload:
+    def test_queue_full_maps_to_429_with_retry_after(self):
+        config = ServiceConfig(batch_window=0.0, max_queue=0)
+
+        async def body(port):
+            return await request(port, "POST", "/simulate", QUERY)
+
+        status, headers, raw = serve(body, config)
+        assert status == 429
+        assert int(headers["retry-after"]) >= 1
+        payload = json.loads(raw)
+        assert payload["reason"] == "queue_full"
+
+    def test_oversized_body_maps_to_413(self):
+        async def body(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"POST /simulate HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 10000000\r\n\r\n"
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return raw
+
+        raw = serve(body)
+        assert b"413" in raw.split(b"\r\n", 1)[0]

@@ -1,0 +1,96 @@
+"""Prometheus exposition-format tests for the service metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total", "help", labels=("kind",))
+        counter.inc(labels={"kind": "a"})
+        counter.inc(2, labels={"kind": "a"})
+        assert counter.value(labels={"kind": "a"}) == 3
+        assert counter.value(labels={"kind": "b"}) == 0
+
+    def test_label_mismatch_rejected(self):
+        counter = Counter("c_total", "help", labels=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc()
+        with pytest.raises(ValueError):
+            counter.inc(labels={"kind": "a", "extra": "b"})
+
+    def test_render(self):
+        counter = Counter("c_total", "things counted", labels=("kind",))
+        counter.inc(labels={"kind": "a"})
+        lines = counter.render()
+        assert "# HELP c_total things counted" in lines
+        assert "# TYPE c_total counter" in lines
+        assert 'c_total{kind="a"} 1' in lines
+
+    def test_unlabelled_renders_zero_before_first_touch(self):
+        assert "c_total 0" in Counter("c_total", "h").render()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g", "h")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        hist = Histogram("h_seconds", "h", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        lines = hist.render()
+        assert 'h_seconds_bucket{le="0.1"} 1' in lines
+        assert 'h_seconds_bucket{le="1"} 2' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 3' in lines
+        assert "h_seconds_count 3" in lines
+        assert any(line.startswith("h_seconds_sum ") for line in lines)
+        assert hist.count() == 3
+
+    def test_labelled_series_are_independent(self):
+        hist = Histogram("h", "h", labels=("stage",), buckets=(1.0,))
+        hist.observe(0.5, labels={"stage": "a"})
+        hist.observe(2.0, labels={"stage": "b"})
+        assert hist.count(labels={"stage": "a"}) == 1
+        assert hist.count(labels={"stage": "b"}) == 1
+        lines = hist.render()
+        assert 'h_bucket{stage="a",le="1"} 1' in lines
+        assert 'h_bucket{stage="b",le="1"} 0' in lines
+
+
+class TestRegistry:
+    def test_record_lookup_updates_hit_ratio(self):
+        registry = MetricsRegistry()
+        registry.record_lookup("miss")
+        assert registry.cache_hit_ratio.value() == 0.0
+        registry.record_lookup("memory")
+        assert registry.cache_hit_ratio.value() == 0.5
+        registry.record_lookup("disk")
+        registry.record_lookup("memory")
+        assert registry.cache_hit_ratio.value() == 0.75
+
+    def test_render_includes_every_instrument(self):
+        text = MetricsRegistry().render()
+        for name in (
+            "repro_service_requests_total",
+            "repro_service_cache_lookups_total",
+            "repro_service_cache_hit_ratio",
+            "repro_service_coalesced_total",
+            "repro_service_rejected_total",
+            "repro_service_queue_depth",
+            "repro_service_inflight",
+            "repro_service_cells_total",
+            "repro_service_stage_seconds",
+        ):
+            assert f"# TYPE {name}" in text
+        assert text.endswith("\n")

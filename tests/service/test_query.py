@@ -1,0 +1,110 @@
+"""Query normalization and validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.query import MAX_SWEEP_CELLS, SimQuery, expand_sweep
+
+BASE = {"suite": "pdp11", "trace": "ED", "net": 1024, "block": 16, "sub": 8}
+
+
+class TestFromPayload:
+    def test_defaults_applied(self):
+        query = SimQuery.from_payload(dict(BASE), default_length=5000)
+        assert query.length == 5000
+        assert query.assoc == 4
+        assert query.engine == "auto"
+        assert query.fetch == "demand"
+        assert query.replacement == "lru"
+        assert query.warmup == "fill"
+        assert query.word_size == 2  # the PDP-11's word size
+        assert query.filter_writes is True
+
+    def test_nested_and_flat_geometry_are_equivalent(self):
+        flat = SimQuery.from_payload(dict(BASE), 5000)
+        nested = SimQuery.from_payload(
+            {
+                "suite": "pdp11",
+                "trace": "ED",
+                "geometry": {"net": 1024, "block": 16, "sub": 8},
+            },
+            5000,
+        )
+        assert flat == nested
+        assert hash(flat) == hash(nested)
+
+    def test_fetch_name_is_normalized(self):
+        query = SimQuery.from_payload(
+            dict(BASE, fetch="LOAD_FORWARD"), 5000
+        )
+        assert query.fetch == "load-forward"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"suite": "nope"},
+            {"trace": "NOPE"},
+            {"engine": "turbo"},
+            {"fetch": "psychic"},
+            {"replacement": "crystal"},
+            {"warmup": "sometimes"},
+            {"warmup": -3},
+            {"net": "big"},
+            {"net": 0},
+            {"sub": 32},  # sub-block larger than block
+            {"mystery_knob": 1},
+        ],
+    )
+    def test_invalid_payloads_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            SimQuery.from_payload(dict(BASE, **bad), 5000)
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing required"):
+            SimQuery.from_payload({"suite": "pdp11", "trace": "ED"}, 5000)
+
+    def test_cell_key_matches_runner_format(self):
+        query = SimQuery.from_payload(dict(BASE), 5000)
+        assert query.cell() == "1024:16,8@4/ED"
+
+    def test_to_dict_round_trips_through_from_payload(self):
+        query = SimQuery.from_payload(dict(BASE, assoc=2, engine="reference"), 5000)
+        assert SimQuery.from_payload(query.to_dict(), 5000) == query
+
+
+class TestExpandSweep:
+    def test_cross_product(self):
+        queries = expand_sweep(
+            {"base": dict(BASE), "grid": {"net": [256, 512], "sub": [4, 8]}},
+            default_length=5000,
+        )
+        assert len(queries) == 4
+        assert {(q.net, q.sub) for q in queries} == {
+            (256, 4), (256, 8), (512, 4), (512, 8)
+        }
+
+    def test_grid_axes_override_base(self):
+        (query,) = expand_sweep(
+            {"base": dict(BASE), "grid": {"net": [256]}}, 5000
+        )
+        assert query.net == 256
+
+    def test_oversized_grid_rejected(self):
+        grid = {"net": [2 ** i for i in range(8, 8 + MAX_SWEEP_CELLS // 8)],
+                "assoc": [1, 2, 4, 8, 16, 1, 2, 4, 8]}
+        with pytest.raises(ConfigurationError, match="exceeding"):
+            expand_sweep({"base": dict(BASE), "grid": grid}, 5000)
+
+    def test_one_invalid_cell_fails_whole_request(self):
+        with pytest.raises(ConfigurationError):
+            expand_sweep(
+                {"base": dict(BASE), "grid": {"sub": [8, 32]}}, 5000
+            )
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="grid axes"):
+            expand_sweep(
+                {"base": dict(BASE), "grid": {"warp": [1]}}, 5000
+            )

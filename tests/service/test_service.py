@@ -1,0 +1,224 @@
+"""SimulationService tests: identity with the runner, coalescing, overload.
+
+These drive the service core directly (no HTTP) with ``asyncio.run``;
+the HTTP edge is covered in ``test_http.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.errors import ReproError
+from repro.runner.runner import run_sweep
+from repro.service import (
+    RejectedError,
+    ServiceConfig,
+    SimQuery,
+    SimulationService,
+)
+from repro.workloads.suites import suite_trace
+
+QUERY = SimQuery(
+    suite="pdp11", trace="ED", length=4000, net=1024, block=16, sub=8
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def with_service(config, body):
+    service = SimulationService(config)
+    await service.start()
+    try:
+        return await body(service)
+    finally:
+        await service.stop()
+
+
+class TestResultIdentity:
+    def test_served_result_is_byte_identical_to_a_runner_cell(self):
+        trace = suite_trace("pdp11", "ED", length=4000)
+        points, _report = run_sweep([trace], [CacheGeometry(1024, 16, 8)])
+        direct = points[0].per_trace["ED"]
+
+        async def body(service):
+            return await service.simulate(QUERY)
+
+        result = run(with_service(ServiceConfig(batch_window=0.0), body))
+        # Exact float equality, not approx: the acceptance criterion is
+        # repr-identical results, so both paths must run the same code
+        # on the same prepared trace.
+        assert (result.entry.miss, result.entry.traffic, result.entry.scaled) == direct
+        assert result.source == "computed"
+        assert result.entry.key == "1024:16,8@4/ED"
+
+    def test_engine_override_forces_reference(self):
+        async def body(service):
+            return await service.simulate(QUERY)
+
+        config = ServiceConfig(batch_window=0.0, engine="reference")
+        result = run(with_service(config, body))
+        assert result.entry.engine == "reference"
+
+
+class TestCachingAndCoalescing:
+    def test_repeat_query_hits_memory(self):
+        async def body(service):
+            first = await service.simulate(QUERY)
+            second = await service.simulate(QUERY)
+            return first, second, service
+
+        first, second, service = run(
+            with_service(ServiceConfig(batch_window=0.0), body)
+        )
+        assert first.source == "computed"
+        assert second.source == "memory"
+        assert second.entry == first.entry
+        assert service.metrics.cache_lookups_total.value(
+            labels={"outcome": "memory"}
+        ) == 1
+        assert service.metrics.cache_hit_ratio.value() == 0.5
+
+    def test_concurrent_identical_queries_coalesce(self):
+        async def body(service):
+            results = await asyncio.gather(
+                *(service.simulate(QUERY) for _ in range(4))
+            )
+            return results, service
+
+        results, service = run(
+            with_service(ServiceConfig(batch_window=0.01), body)
+        )
+        sources = sorted(result.source for result in results)
+        assert sources.count("computed") == 1
+        assert sources.count("coalesced") == 3
+        assert service.metrics.coalesced_total.value() == 3
+        # All four waiters got the same entry; only one cell ran.
+        assert len({result.entry.fingerprint for result in results}) == 1
+        assert service.metrics.cells_total.value(labels={"status": "ok"}) == 1
+
+    def test_distinct_queries_in_one_batch_share_the_prepared_trace(self):
+        queries = [
+            SimQuery(
+                suite="pdp11", trace="ED", length=4000,
+                net=net, block=16, sub=8,
+            )
+            for net in (256, 512, 1024)
+        ]
+
+        async def body(service):
+            results = await asyncio.gather(
+                *(service.simulate(query) for query in queries)
+            )
+            return results, service
+
+        results, service = run(
+            with_service(ServiceConfig(batch_window=0.01), body)
+        )
+        assert [result.source for result in results] == ["computed"] * 3
+        # One batch, one trace group, one prepare observation.
+        assert service.metrics.stage_seconds.count(
+            labels={"stage": "prepare"}
+        ) == 1
+
+
+class TestOverloadAndFailure:
+    def test_zero_queue_rejects_with_429_semantics(self):
+        async def body(service):
+            with pytest.raises(RejectedError) as excinfo:
+                await service.simulate(QUERY)
+            return excinfo.value, service
+
+        error, service = run(
+            with_service(ServiceConfig(batch_window=0.0, max_queue=0), body)
+        )
+        assert error.reason == "queue_full"
+        assert error.retry_after > 0
+        assert service.metrics.rejected_total.value(
+            labels={"reason": "queue_full"}
+        ) == 1
+
+    def test_bounded_queue_rejects_the_overflow_query(self):
+        slow = ServiceConfig(batch_window=5.0, max_queue=1)
+        other = SimQuery(
+            suite="pdp11", trace="ED", length=4000, net=512, block=16, sub=8
+        )
+
+        async def body(service):
+            first = asyncio.ensure_future(service.simulate(QUERY))
+            await asyncio.sleep(0)  # let it enqueue
+            with pytest.raises(RejectedError) as excinfo:
+                await service.simulate(other)
+            await service.stop()  # fails the still-queued first query
+            with pytest.raises(ReproError, match="stopped"):
+                await first
+            return excinfo.value
+
+        error = run(with_service(slow, body))
+        assert error.reason == "queue_full"
+
+    def test_failures_open_the_breaker_and_cached_results_survive(self):
+        config = ServiceConfig(
+            batch_window=0.0, breaker_failures=1, breaker_reset=60.0
+        )
+        other = SimQuery(
+            suite="pdp11", trace="ED", length=4000, net=512, block=16, sub=8
+        )
+
+        async def body(service):
+            cached = await service.simulate(QUERY)  # populate the cache
+            assert cached.source == "computed"
+
+            def explode(prepared, query):
+                raise ReproError("injected cell failure")
+
+            service._execute = explode
+            with pytest.raises(ReproError, match="injected"):
+                await service.simulate(other)
+            assert service.admission.breaker.state == "open"
+            assert service.healthz()["status"] == "degraded"
+
+            # New work is shed...
+            with pytest.raises(RejectedError) as excinfo:
+                await service.simulate(
+                    SimQuery(
+                        suite="pdp11", trace="ED", length=4000,
+                        net=256, block=16, sub=8,
+                    )
+                )
+            assert excinfo.value.reason == "breaker_open"
+            # ...but cached answers are still served.
+            hit = await service.simulate(QUERY)
+            assert hit.source == "memory"
+
+        run(with_service(config, body))
+
+    def test_stop_fails_queued_queries(self):
+        async def body(service):
+            future = asyncio.ensure_future(
+                service.simulate(QUERY)
+            )
+            await asyncio.sleep(0)
+            await service.stop()
+            with pytest.raises(ReproError, match="stopped"):
+                await future
+
+        run(with_service(ServiceConfig(batch_window=5.0), body))
+
+
+class TestHealthz:
+    def test_healthz_shape(self):
+        async def body(service):
+            await service.simulate(QUERY)
+            return service.healthz()
+
+        health = run(with_service(ServiceConfig(batch_window=0.0), body))
+        assert health["status"] == "ok"
+        assert health["breaker"] == "closed"
+        assert health["cache_entries"] == 1
+        assert health["cells"] == {"completed": 1, "skipped": 0}
+        assert health["uptime_seconds"] >= 0

@@ -8,6 +8,44 @@ from repro.trace.reader import read_din
 LEN = ["--length", "6000"]
 
 
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_dunder_version_is_a_version_string(self):
+        import repro
+
+        major = repro.__version__.split(".")[0]
+        assert major.isdigit()
+
+
+class TestServeCommand:
+    def test_serve_flags_parse(self):
+        # The serve loop itself is covered by tests/service; here we
+        # only pin that the CLI wires the flags into a ServiceConfig.
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--workers", "3",
+                "--cache-size", "99", "--disk-cache", "/tmp/c.jsonl",
+                "--max-inflight", "4", "--max-queue", "7",
+                "--breaker-failures", "0", "--engine", "reference",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.workers == 3
+        assert args.cache_size == 99
+        assert args.breaker_failures == 0
+        assert args.engine == "reference"
+
+
 class TestTableCommands:
     def test_table7(self, capsys):
         assert main(LEN + ["table7", "z8000"]) == 0
