@@ -9,7 +9,7 @@ back to the paper's ``b``/``s`` labels.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.analysis.figures import FigureSeries
 from repro.errors import ConfigurationError

@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro trace SUITE NAME [--length N] [--out FILE.din]
     python -m repro chaos [--quick]
     python -m repro serve [--host H] [--port P]
+    python -m repro lint [--format json] [--strict]
     python -m repro --version
 
 ``--length`` defaults to the ``REPRO_TRACE_LEN`` environment variable
@@ -27,7 +28,10 @@ processes; see ``docs/engines.md``.  ``chaos`` runs the
 fault-injection scenarios that prove the resilience guarantees, under
 either engine.  ``serve`` starts the interactive HTTP query service
 with its result cache, request coalescing, and admission control; see
-``docs/service.md``.
+``docs/service.md``.  ``lint`` runs the static analyzer
+(:mod:`repro.staticcheck`) over every bundled workload program —
+CFG/dataflow program checks plus locality footprints — and exits
+non-zero on error-severity findings; see ``docs/staticcheck.md``.
 """
 
 from __future__ import annotations
@@ -228,6 +232,26 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["debug", "info", "warning", "error"],
         help="structured request-log verbosity",
     )
+    lint = commands.add_parser(
+        "lint",
+        help="static analysis of the bundled workload programs",
+    )
+    lint.add_argument(
+        "--format", dest="fmt", default="text", choices=["text", "json"],
+        help="report format (json is what the CI gate parses)",
+    )
+    lint.add_argument(
+        "--word", type=int, default=2, choices=[2, 4],
+        help="data-path width to assemble for (default 2)",
+    )
+    lint.add_argument(
+        "--programs", nargs="+", default=None, metavar="NAME",
+        help="lint only these programs (default: every bundled program)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too, not just errors",
+    )
     commands.add_parser("riscii", help="RISC II instruction-cache results")
     commands.add_parser("suites", help="list the workload suites and traces")
     trace = commands.add_parser("trace", help="generate one trace")
@@ -339,6 +363,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{trace.unique_addresses()} unique addresses")
     elif args.command == "simulate":
         _cmd_simulate(args)
+    elif args.command == "lint":
+        return _cmd_lint(args)
     elif args.command == "chaos":
         from repro.runner.chaos import run_chaos
 
@@ -368,6 +394,79 @@ def main(argv: Optional[List[str]] = None) -> int:
             log_level=args.log_level,
         )
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """Static-check every bundled program; non-zero exit on findings.
+
+    Error-severity findings always fail the command (this is the CI
+    gate); ``--strict`` extends that to warnings.
+    """
+    import inspect
+    import json
+
+    from repro.staticcheck import check_program, footprint
+    from repro.workloads.assembler import assemble
+    from repro.workloads.programs import PROGRAMS
+
+    names = args.programs if args.programs else sorted(PROGRAMS)
+    unknown = sorted(set(names) - set(PROGRAMS))
+    if unknown:
+        raise SystemExit(
+            f"repro: unknown programs {unknown}; choose from {sorted(PROGRAMS)}"
+        )
+
+    entries = []
+    errors = warnings = 0
+    for name in names:
+        builder = PROGRAMS[name]
+        params = (
+            {"seed": 0}
+            if "seed" in inspect.signature(builder).parameters
+            else {}
+        )
+        spec = builder(**params)
+        program = assemble(spec.source, word_size=args.word)
+        diagnostics = check_program(program, name=name)
+        errors += sum(1 for d in diagnostics if d.is_error)
+        warnings += sum(1 for d in diagnostics if not d.is_error)
+        entries.append((name, diagnostics, footprint(program, name=name)))
+
+    if args.fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "programs": [
+                        {
+                            "name": name,
+                            "diagnostics": [d.to_dict() for d in diagnostics],
+                            "footprint": report.to_dict(),
+                        }
+                        for name, diagnostics, report in entries
+                    ],
+                    "errors": errors,
+                    "warnings": warnings,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for name, diagnostics, report in entries:
+            loops = sum(1 for loop in report.loops if loop.innermost)
+            print(
+                f"{name}: {len(diagnostics)} finding(s) — "
+                f"code {report.code_bytes} B, data {report.data_bytes} B, "
+                f"{loops} innermost loop(s), "
+                f"hot loop {report.hot_loop_bytes} B"
+            )
+            for diagnostic in diagnostics:
+                print(f"  {diagnostic.render()}")
+        print(
+            f"checked {len(entries)} program(s): "
+            f"{errors} error(s), {warnings} warning(s)"
+        )
+    failed = errors > 0 or (args.strict and warnings > 0)
+    return 1 if failed else 0
 
 
 def _cmd_simulate(args) -> None:

@@ -53,8 +53,46 @@ class MachineError(ReproError, RuntimeError):
         self.steps = steps
 
 
+class StaticCheckError(ConfigurationError):
+    """Static analysis found error-severity problems before execution.
+
+    Raised by the fail-fast preflight layer (:mod:`repro.staticcheck`)
+    when a workload program, cache geometry, or sweep grid is provably
+    broken.  A subclass of :class:`ConfigurationError` so the HTTP
+    service's 400 mapping and existing handlers keep working, but it
+    additionally carries the structured findings.
+
+    Attributes:
+        diagnostics: The full finding list (errors and warnings), each
+            a :class:`repro.staticcheck.Diagnostic`.
+    """
+
+    def __init__(self, message: str, diagnostics: "list | None" = None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics) if diagnostics else []
+
+
 class AssemblyError(ReproError, ValueError):
-    """The toy-machine assembler rejected a source program."""
+    """The toy-machine assembler rejected a source program.
+
+    Attributes:
+        lineno: 1-based source line of the offending statement, when
+            known (``None`` for source-wide problems such as a bad
+            word size).
+        token: The offending token text, when one token is to blame
+            (an unknown mnemonic, a bad register name, an undefined
+            symbol, a duplicate label).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        lineno: "int | None" = None,
+        token: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.lineno = lineno
+        self.token = token
 
 
 class TransientError(ReproError, RuntimeError):

@@ -13,6 +13,8 @@ from repro.memory.timing import MemoryTiming, effective_access_time
 __all__ = [
     "Bus",
     "BusCostModel",
+    "SharedBusResult",
+    "SharedBusSystem",
     "LINEAR_BUS",
     "NIBBLE_MODE_BUS",
     "scaled_traffic_factor",

@@ -52,9 +52,17 @@ class CellOutcome:
 
 @dataclass
 class RunReport:
-    """Aggregate health of one resilient sweep."""
+    """Aggregate health of one resilient sweep.
+
+    Attributes:
+        outcomes: One entry per cell, in execution order.
+        preflight: Warning-severity findings from the static preflight
+            (:mod:`repro.staticcheck.preflight`).  Error findings never
+            reach a report — they abort the sweep before any cell runs.
+    """
 
     outcomes: List[CellOutcome] = field(default_factory=list)
+    preflight: List = field(default_factory=list)
 
     def add(self, outcome: CellOutcome) -> None:
         self.outcomes.append(outcome)

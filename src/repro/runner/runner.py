@@ -111,6 +111,11 @@ class RunnerConfig:
             the parent keeps sole ownership of the checkpoint file.
             Incompatible with ``injector`` (per-access fault proxies
             cannot cross process boundaries).
+        preflight: Run the static preflight
+            (:func:`repro.staticcheck.preflight_sweep`) before any cell
+            executes: error findings abort the sweep *before* the
+            checkpoint file is touched, warnings land on the
+            :class:`~repro.runner.health.RunReport`.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -125,6 +130,7 @@ class RunnerConfig:
     sleep: Callable[[float], None] = time.sleep
     engine: str = "auto"
     jobs: int = 1
+    preflight: bool = True
 
     def effective_retry(self) -> RetryPolicy:
         """The retry policy with sweep-level leniency folded in."""
@@ -385,6 +391,16 @@ def run_sweep(
             "fault injection requires jobs=1: per-access fault proxies "
             "cannot cross process boundaries"
         )
+    preflight_findings: List = []
+    if config.preflight:
+        # Fail-fast: error findings raise StaticCheckError here, before
+        # the checkpoint file is created or truncated below.
+        from repro.staticcheck.preflight import preflight_sweep
+
+        preflight_findings = preflight_sweep(
+            traces, geometries,
+            fetch=fetch, replacement=replacement, warmup=warmup,
+        )
     prepared = [_prepare_trace(trace, filter_writes) for trace in traces]
     fetch_name = (
         fetch if isinstance(fetch, str)
@@ -429,7 +445,7 @@ def run_sweep(
     retry_policy = config.effective_retry()
     rng = random.Random(config.seed)
     monitor = HealthMonitor(config.max_consecutive_failures)
-    report = RunReport()
+    report = RunReport(preflight=preflight_findings)
     results: Dict[str, CellOutcome] = {}
     ratios: Dict[str, "tuple[float, float, float]"] = {}
 

@@ -12,8 +12,10 @@ auditable.  Endpoints:
 * ``GET /healthz`` — liveness, breaker state, capacity signals.
 * ``GET /metrics`` — Prometheus text exposition.
 
-Error mapping: validation -> 400, unknown route -> 404, admission
-refusal -> 429 (queue full) or 503 (breaker open), both with
+Error mapping: validation -> 400 (carrying a ``diagnostics`` array of
+structured findings when the static config lint rejected the request —
+see :mod:`repro.staticcheck.configlint`), unknown route -> 404,
+admission refusal -> 429 (queue full) or 503 (breaker open), both with
 ``Retry-After``; anything else -> 500.  Every request emits one
 structured JSON log line on the ``repro.service`` logger.
 """
@@ -138,6 +140,9 @@ class ServiceApp:
             except ConfigurationError as exc:
                 status = 400
                 payload = {"error": str(exc)}
+                diagnostics = getattr(exc, "diagnostics", None)
+                if diagnostics:
+                    payload["diagnostics"] = [d.to_dict() for d in diagnostics]
                 headers = {}
             except ReproError as exc:
                 status = 500

@@ -15,7 +15,11 @@ edge is what makes the rest of the service honest:
   test in ``tests/service/test_checkpoint_interop.py`` pins this.
 
 Validation raises :class:`~repro.errors.ConfigurationError`, which the
-HTTP layer maps to a 400 response.
+HTTP layer maps to a 400 response.  Geometry and grid validation goes
+through :mod:`repro.staticcheck.configlint`, so the raised error is a
+:class:`~repro.errors.StaticCheckError` carrying structured diagnostics
+(rule id, severity, source location) that the 400 body surfaces — and
+the engine is never invoked for a shape the lint rejects.
 """
 
 from __future__ import annotations
@@ -32,6 +36,8 @@ from repro.errors import ConfigurationError
 from repro.memory.nibble import NIBBLE_MODE_BUS
 from repro.runner.checkpoint import sweep_fingerprint
 from repro.runner.runner import cell_key
+from repro.staticcheck.configlint import check_geometry, lint_grid_axes
+from repro.staticcheck.diagnostics import raise_on_errors
 from repro.workloads.architectures import get_architecture
 from repro.workloads.suites import suite_specs
 
@@ -125,11 +131,10 @@ class SimQuery:
 
         payload.setdefault("length", default_length)
         length = _require_int(payload, "length")
-        net = _require_int(payload, "net")
-        block = _require_int(payload, "block")
-        sub = _require_int(payload, "sub")
-        payload.setdefault("assoc", 4)
-        assoc = _require_int(payload, "assoc")
+        net = payload["net"]
+        block = payload["block"]
+        sub = payload["sub"]
+        assoc = payload.get("assoc", 4)
         payload.setdefault("word_size", get_architecture(suite).word_size)
         word_size = _require_int(payload, "word_size")
 
@@ -142,6 +147,11 @@ class SimQuery:
         make_fetch(fetch)  # validates the name
         replacement = str(payload.get("replacement", "lru")).lower()
         make_replacement(replacement)  # validates the name
+
+        # One structured pass over the shape: every problem at once,
+        # each with a rule id, raised as StaticCheckError (-> 400 with
+        # a ``diagnostics`` array) before any engine work happens.
+        check_geometry(net, block, sub, assoc=assoc, fetch=fetch, source="query")
 
         warmup: Union[int, str] = payload.get("warmup", "fill")
         if isinstance(warmup, bool) or not isinstance(warmup, (int, str)):
@@ -278,16 +288,13 @@ def expand_sweep(
     if unknown:
         raise ConfigurationError(f"unknown sweep grid axes: {unknown}")
 
-    axes: Dict[str, "list[int]"] = {}
-    for axis in ("net", "block", "sub", "assoc"):
-        values = grid.get(axis)
-        if values is None:
-            continue
-        if not isinstance(values, list) or not values:
-            raise ConfigurationError(
-                f"sweep grid axis {axis!r} must be a non-empty list"
-            )
-        axes[axis] = values
+    raw_axes = {
+        axis: grid.get(axis) for axis in ("net", "block", "sub", "assoc")
+    }
+    raise_on_errors(lint_grid_axes(raw_axes, source="sweep grid"), "invalid sweep grid")
+    axes: Dict[str, "list[int]"] = {
+        axis: values for axis, values in raw_axes.items() if values is not None
+    }
 
     count = 1
     for values in axes.values():

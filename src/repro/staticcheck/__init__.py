@@ -1,0 +1,75 @@
+"""Static analysis over workload programs, cache configs, and sweeps.
+
+Three layers, all producing the same structured
+:class:`~repro.staticcheck.diagnostics.Diagnostic` findings:
+
+* **Program checks** (:mod:`repro.staticcheck.checks`) — CFG and
+  dataflow analysis of assembled toy-machine programs: bad control
+  targets, unreachable code, uninitialized register reads, stack
+  imbalance, out-of-segment memory accesses, provable non-termination.
+* **Locality prediction** (:mod:`repro.staticcheck.locality`) —
+  code/data footprints and innermost-loop working sets from the CFG,
+  cross-checkable against simulated miss-ratio curves.
+* **Config lint** (:mod:`repro.staticcheck.configlint` /
+  :mod:`repro.staticcheck.preflight`) — cache-geometry and sweep-grid
+  validation with stable rule ids, wired in as fail-fast preflight for
+  the runner (reject before checkpointing) and the HTTP service
+  (400 with diagnostics, engine never invoked).
+
+``python -m repro lint`` runs the program analyzer over every bundled
+workload program.  See ``docs/staticcheck.md`` for the rule catalogue.
+"""
+
+from repro.errors import StaticCheckError
+from repro.staticcheck.cfg import BasicBlock, ControlFlowGraph, Loop, build_cfg
+from repro.staticcheck.checks import PROGRAM_RULES, check_program
+from repro.staticcheck.configlint import (
+    CONFIG_RULES,
+    check_geometry,
+    lint_cell_options,
+    lint_geometry,
+    lint_grid_axes,
+)
+from repro.staticcheck.diagnostics import (
+    Diagnostic,
+    Severity,
+    error_count,
+    format_diagnostics,
+    raise_on_errors,
+)
+from repro.staticcheck.locality import (
+    FootprintReport,
+    LocalityComparison,
+    LoopSummary,
+    compare_with_sweep,
+    footprint,
+    knee_net,
+)
+from repro.staticcheck.preflight import preflight_sweep
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Loop",
+    "build_cfg",
+    "check_program",
+    "PROGRAM_RULES",
+    "CONFIG_RULES",
+    "check_geometry",
+    "lint_cell_options",
+    "lint_geometry",
+    "lint_grid_axes",
+    "Diagnostic",
+    "Severity",
+    "StaticCheckError",
+    "error_count",
+    "format_diagnostics",
+    "raise_on_errors",
+    "FootprintReport",
+    "LocalityComparison",
+    "LoopSummary",
+    "compare_with_sweep",
+    "footprint",
+    "knee_net",
+    "preflight_sweep",
+]

@@ -1,0 +1,259 @@
+"""Control-flow graph construction for assembled toy-machine programs.
+
+The toy ISA has no computed jumps — every branch, jump, and call target
+is an immediate resolved at assembly time, and ``ret`` returns to a
+pushed return address — so a precise intraprocedural CFG is cheap:
+
+* **Leaders** are the entry instruction, every branch/jump/call target,
+  and every instruction following a control transfer.
+* A **basic block** is the run of instructions from one leader up to
+  (and including) the next control transfer.
+* ``call`` contributes two edges: to the callee (the *call edge*) and
+  to the fall-through instruction (the *return edge*), over-approximating
+  the caller's view that the callee eventually returns.  ``ret`` and
+  ``halt`` terminate their block with no successors.
+
+The graph over-approximates executable paths (both branch outcomes are
+always possible), which is the right polarity for the checks built on
+top: anything unreachable here is unreachable, period, and a register
+definitely written on all CFG paths is definitely written at runtime.
+
+Dominators and natural loops (back edges ``u -> v`` where ``v``
+dominates ``u``) feed the locality predictor's working-set estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.workloads.assembler import AssembledProgram
+from repro.workloads.isa import Instruction, Op
+
+__all__ = ["BasicBlock", "Loop", "ControlFlowGraph", "build_cfg"]
+
+#: Conditional branches: edge to the target and to the fall-through.
+BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.BGE})
+
+#: Opcodes that end a basic block.
+TERMINATOR_OPS = BRANCH_OPS | {Op.JMP, Op.CALL, Op.RET, Op.HALT}
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    Attributes:
+        index: Position of the block in :attr:`ControlFlowGraph.blocks`.
+        start / end: Instruction-index range ``[start, end)``.
+        successors: Indices of blocks control may flow to next
+            (including call targets — see the module docstring).
+        predecessors: Reverse edges, filled in by :func:`build_cfg`.
+        is_call_target: True when some ``call`` enters this block, i.e.
+            the block starts a subroutine.
+    """
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+    is_call_target: bool = False
+
+    def instructions(self, program: AssembledProgram) -> List[Instruction]:
+        return program.instructions[self.start : self.end]
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One natural loop, identified by its back edge.
+
+    Attributes:
+        header: Block index of the loop header (the dominator).
+        back_edge_tail: Block whose edge to ``header`` closes the loop.
+        body: Block indices in the loop (header included).
+    """
+
+    header: int
+    back_edge_tail: int
+    body: FrozenSet[int]
+
+
+@dataclass
+class ControlFlowGraph:
+    """The CFG of one assembled program plus derived structure.
+
+    Attributes:
+        program: The program the graph was built from.
+        blocks: Basic blocks in instruction order; block 0 is the entry.
+        block_of: Instruction index -> index of its containing block.
+    """
+
+    program: AssembledProgram
+    blocks: List[BasicBlock]
+    block_of: List[int]
+
+    def block_at_addr(self, addr: int) -> Optional[BasicBlock]:
+        """The block containing the instruction at byte address ``addr``."""
+        index = self.program.addr_to_index.get(addr)
+        if index is None:
+            return None
+        return self.blocks[self.block_of[index]]
+
+    def reachable_blocks(self) -> Set[int]:
+        """Blocks reachable from the entry along CFG edges."""
+        if not self.blocks:
+            return set()
+        seen = {0}
+        stack = [0]
+        while stack:
+            for successor in self.blocks[stack.pop()].successors:
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return seen
+
+    def dominators(self) -> List[Set[int]]:
+        """Dominator sets per block (iterative dataflow; graphs are tiny).
+
+        Unreachable blocks keep the full set (the conventional "all
+        blocks" bottom), so loop detection below only trusts dominators
+        of reachable blocks.
+        """
+        count = len(self.blocks)
+        everything = set(range(count))
+        dom: List[Set[int]] = [everything.copy() for _ in range(count)]
+        if not count:
+            return dom
+        dom[0] = {0}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks[1:]:
+                preds = [dom[p] for p in block.predecessors]
+                new = set.intersection(*preds) if preds else set()
+                new = new | {block.index}
+                if new != dom[block.index]:
+                    dom[block.index] = new
+                    changed = True
+        return dom
+
+    def natural_loops(self) -> List[Loop]:
+        """Natural loops from back edges, innermost-compatible order.
+
+        Returns loops sorted by body size ascending, so the first loops
+        are the innermost ones.
+        """
+        dom = self.dominators()
+        reachable = self.reachable_blocks()
+        loops: List[Loop] = []
+        for block in self.blocks:
+            if block.index not in reachable:
+                continue
+            for successor in block.successors:
+                if successor in dom[block.index]:
+                    body = self._loop_body(successor, block.index)
+                    loops.append(
+                        Loop(
+                            header=successor,
+                            back_edge_tail=block.index,
+                            body=frozenset(body),
+                        )
+                    )
+        loops.sort(key=lambda loop: (len(loop.body), loop.header))
+        return loops
+
+    def _loop_body(self, header: int, tail: int) -> Set[int]:
+        """Blocks of the natural loop of back edge ``tail -> header``.
+
+        The backwards walk never passes the header (it is in ``body``
+        from the start), and a self-loop needs no walk at all.
+        """
+        body = {header, tail}
+        stack = [tail] if tail != header else []
+        while stack:
+            for predecessor in self.blocks[stack.pop()].predecessors:
+                if predecessor not in body:
+                    body.add(predecessor)
+                    stack.append(predecessor)
+        return body
+
+    def subroutine_entries(self) -> List[int]:
+        """Indices of blocks entered by some ``call``."""
+        return [block.index for block in self.blocks if block.is_call_target]
+
+
+def _control_targets(
+    program: AssembledProgram, inst: Instruction
+) -> Tuple[Optional[int], bool]:
+    """``(target instruction index or None, falls_through)`` for ``inst``.
+
+    A branch/jump/call immediate that is not an instruction address
+    yields ``None`` — the checker reports it; here the edge is dropped.
+    """
+    if inst.op in BRANCH_OPS:
+        return program.addr_to_index.get(inst.imm), True
+    if inst.op == Op.JMP:
+        return program.addr_to_index.get(inst.imm), False
+    if inst.op == Op.CALL:
+        return program.addr_to_index.get(inst.imm), True
+    if inst.op in (Op.RET, Op.HALT):
+        return None, False
+    return None, True
+
+
+def build_cfg(program: AssembledProgram) -> ControlFlowGraph:
+    """Build the control-flow graph of an assembled program."""
+    instructions = program.instructions
+    count = len(instructions)
+    if count == 0:
+        return ControlFlowGraph(program, [], [])
+
+    # Pass 1: leaders.
+    leaders = {0}
+    call_leader_indices: Set[int] = set()
+    for index, inst in enumerate(instructions):
+        if inst.op not in TERMINATOR_OPS:
+            continue
+        target, falls_through = _control_targets(program, inst)
+        if target is not None:
+            leaders.add(target)
+            if inst.op == Op.CALL:
+                call_leader_indices.add(target)
+        if index + 1 < count:
+            leaders.add(index + 1)
+
+    # Pass 2: block spans.
+    ordered = sorted(leaders)
+    blocks: List[BasicBlock] = []
+    block_of = [0] * count
+    for block_index, start in enumerate(ordered):
+        end = ordered[block_index + 1] if block_index + 1 < len(ordered) else count
+        blocks.append(BasicBlock(index=block_index, start=start, end=end))
+        for instruction_index in range(start, end):
+            block_of[instruction_index] = block_index
+
+    # Pass 3: edges.
+    for block in blocks:
+        last = instructions[block.end - 1]
+        if last.op in TERMINATOR_OPS:
+            target, falls_through = _control_targets(program, last)
+            if target is not None:
+                block.successors.append(block_of[target])
+            if falls_through and block.end < count:
+                successor = block_of[block.end]
+                if successor not in block.successors:
+                    block.successors.append(successor)
+        elif block.end < count:  # fell into the next leader
+            block.successors.append(block_of[block.end])
+    for block in blocks:
+        for successor in block.successors:
+            blocks[successor].predecessors.append(block.index)
+    for instruction_index in call_leader_indices:
+        blocks[block_of[instruction_index]].is_call_target = True
+
+    return ControlFlowGraph(program, blocks, block_of)

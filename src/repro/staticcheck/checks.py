@@ -1,0 +1,461 @@
+"""Static checks over assembled toy-machine programs.
+
+:func:`check_program` runs every analysis and returns structured
+:class:`~repro.staticcheck.diagnostics.Diagnostic` findings:
+
+================================  ========  ======================================
+rule                              severity  meaning
+================================  ========  ======================================
+``branch-out-of-range``           error     branch/jump/call immediate is not an
+                                            instruction address (the interpreter
+                                            would die resolving it)
+``fall-off-end``                  error     execution can run past the last
+                                            instruction into the data segment
+``no-halt-path``                  error     no ``halt`` is reachable from entry —
+                                            an obviously non-terminating program
+``stack-imbalance``               error     push/pop or call/ret mismatch: a join
+                                            reached with two stack depths, a pop
+                                            below the frame (clobbering the return
+                                            address), or a ``ret`` with a non-empty
+                                            frame
+``data-out-of-bounds``            error     load/store through a constant base
+                                            provably outside ``[data_base,
+                                            data_limit)``
+``unreachable-code``              warning   instructions no path reaches
+``uninit-register-read``          warning   a register is read that no instruction
+                                            on any path has written
+================================  ========  ======================================
+
+The analyses are deliberately conservative in the *reporting* direction:
+the CFG over-approximates executable paths, so ``unreachable-code`` and
+``uninit-register-read`` findings are facts, not guesses.  Flow-
+sensitive value questions (the data-bounds check) only fire when the
+base register provably holds a known constant within the block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.staticcheck.cfg import (
+    BRANCH_OPS,
+    ControlFlowGraph,
+    build_cfg,
+)
+from repro.staticcheck.diagnostics import Diagnostic, Severity
+from repro.workloads.assembler import AssembledProgram
+from repro.workloads.isa import Instruction, Op
+
+__all__ = ["check_program", "PROGRAM_RULES"]
+
+#: Every rule :func:`check_program` can emit, for docs and tests.
+PROGRAM_RULES = (
+    "branch-out-of-range",
+    "fall-off-end",
+    "no-halt-path",
+    "stack-imbalance",
+    "data-out-of-bounds",
+    "unreachable-code",
+    "uninit-register-read",
+)
+
+_TRANSFER_OPS = BRANCH_OPS | {Op.JMP, Op.CALL}
+
+#: op -> register fields read ('a' / 'b').
+_READS: Dict[int, Tuple[str, ...]] = {
+    Op.MOV: ("b",),
+    Op.ADD: ("a", "b"), Op.SUB: ("a", "b"), Op.MUL: ("a", "b"),
+    Op.DIV: ("a", "b"), Op.MOD: ("a", "b"), Op.AND: ("a", "b"),
+    Op.OR: ("a", "b"), Op.XOR: ("a", "b"), Op.SHL: ("a", "b"),
+    Op.SHR: ("a", "b"),
+    Op.ADDI: ("a",),
+    Op.LD: ("b",), Op.LDB: ("b",),
+    Op.ST: ("a", "b"), Op.STB: ("a", "b"),
+    Op.BEQ: ("a", "b"), Op.BNE: ("a", "b"),
+    Op.BLT: ("a", "b"), Op.BGE: ("a", "b"),
+    Op.PUSH: ("a",),
+}
+
+#: Opcodes that write their ``a`` register.
+_WRITES_A = frozenset(
+    {
+        Op.LI, Op.MOV, Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND,
+        Op.OR, Op.XOR, Op.SHL, Op.SHR, Op.ADDI, Op.LD, Op.LDB, Op.POP,
+    }
+)
+
+#: Memory ops whose effective address is ``regs[b] + imm``.
+_MEM_OPS = frozenset({Op.LD, Op.ST, Op.LDB, Op.STB})
+
+
+def _loc(inst: Instruction) -> str:
+    return f"addr {inst.addr:#x}"
+
+
+def check_program(program: AssembledProgram, name: str = "") -> List[Diagnostic]:
+    """Run every static check; returns findings sorted by address."""
+    cfg = build_cfg(program)
+    diagnostics: List[Diagnostic] = []
+    diagnostics += _check_control_targets(cfg, name)
+    diagnostics += _check_fall_off_end(cfg, name)
+    diagnostics += _check_halt_reachability(cfg, name)
+    diagnostics += _check_unreachable(cfg, name)
+    diagnostics += _check_register_dataflow(cfg, name)
+    diagnostics += _check_stack_balance(cfg, name)
+    diagnostics += _check_data_bounds(cfg, name)
+    return diagnostics
+
+
+# -- Control-flow integrity ------------------------------------------------
+
+
+def _check_control_targets(cfg: ControlFlowGraph, name: str) -> List[Diagnostic]:
+    program = cfg.program
+    out: List[Diagnostic] = []
+    for inst in program.instructions:
+        if inst.op not in _TRANSFER_OPS:
+            continue
+        if inst.imm in program.addr_to_index:
+            continue
+        kind = "call" if inst.op == Op.CALL else "branch"
+        out.append(
+            Diagnostic(
+                rule="branch-out-of-range",
+                severity=Severity.ERROR,
+                message=(
+                    f"{kind} target {inst.imm:#x} is not an instruction "
+                    f"address (code spans {program.code_base:#x}.."
+                    f"{program.data_base:#x})"
+                ),
+                source=name,
+                location=_loc(inst),
+                data={"target": inst.imm},
+            )
+        )
+    return out
+
+
+def _check_fall_off_end(cfg: ControlFlowGraph, name: str) -> List[Diagnostic]:
+    if not cfg.blocks:
+        return []
+    program = cfg.program
+    last_block = cfg.blocks[-1]
+    last = program.instructions[last_block.end - 1]
+    if last.op in (Op.HALT, Op.JMP, Op.RET):
+        return []
+    reason = (
+        "a conditional branch can fall through"
+        if last.op in BRANCH_OPS
+        else f"{'call' if last.op == Op.CALL else 'straight-line code'} "
+        "continues past it"
+    )
+    return [
+        Diagnostic(
+            rule="fall-off-end",
+            severity=Severity.ERROR,
+            message=(
+                f"execution can fall off the end of the code segment: "
+                f"the last instruction is not halt/jmp/ret and {reason}"
+            ),
+            source=name,
+            location=_loc(last),
+        )
+    ]
+
+
+def _check_halt_reachability(cfg: ControlFlowGraph, name: str) -> List[Diagnostic]:
+    program = cfg.program
+    reachable = cfg.reachable_blocks()
+    for block_index in reachable:
+        block = cfg.blocks[block_index]
+        if any(
+            inst.op == Op.HALT for inst in block.instructions(program)
+        ):
+            return []
+    return [
+        Diagnostic(
+            rule="no-halt-path",
+            severity=Severity.ERROR,
+            message=(
+                "no halt instruction is reachable from the entry point: "
+                "the program provably never terminates"
+            ),
+            source=name,
+            location=None,
+        )
+    ]
+
+
+def _check_unreachable(cfg: ControlFlowGraph, name: str) -> List[Diagnostic]:
+    program = cfg.program
+    reachable = cfg.reachable_blocks()
+    out: List[Diagnostic] = []
+    for block in cfg.blocks:
+        if block.index in reachable:
+            continue
+        first = program.instructions[block.start]
+        last = program.instructions[block.end - 1]
+        out.append(
+            Diagnostic(
+                rule="unreachable-code",
+                severity=Severity.WARNING,
+                message=(
+                    f"{block.size} unreachable instruction(s) at "
+                    f"{first.addr:#x}..{last.addr:#x} (dead code)"
+                ),
+                source=name,
+                location=_loc(first),
+                data={"instructions": block.size},
+            )
+        )
+    return out
+
+
+# -- Register dataflow -----------------------------------------------------
+
+
+def _inst_reads(inst: Instruction) -> Tuple[int, ...]:
+    fields = _READS.get(inst.op, ())
+    return tuple(getattr(inst, field) for field in fields)
+
+
+def _check_register_dataflow(cfg: ControlFlowGraph, name: str) -> List[Diagnostic]:
+    """Flag reads of registers that *no* path has ever written.
+
+    Forward may-analysis: the written-set at a block entry is the union
+    over predecessors, so a read is only flagged when the register is
+    unwritten along **every** path — a fact, not a path-sensitivity
+    guess.  ``sp`` (r7) starts written: the machine initializes it.
+    """
+    if not cfg.blocks:
+        return []
+    program = cfg.program
+    entry_mask = 1 << 7  # sp
+    maybe_written: List[Optional[int]] = [None] * len(cfg.blocks)
+    maybe_written[0] = entry_mask
+    worklist = [0]
+    while worklist:
+        block = cfg.blocks[worklist.pop()]
+        mask = maybe_written[block.index]
+        for inst in block.instructions(program):
+            if inst.op in _WRITES_A:
+                mask |= 1 << inst.a
+        for successor in block.successors:
+            merged = (
+                mask
+                if maybe_written[successor] is None
+                else maybe_written[successor] | mask
+            )
+            if merged != maybe_written[successor]:
+                maybe_written[successor] = merged
+                worklist.append(successor)
+
+    out: List[Diagnostic] = []
+    flagged = set()
+    for block in cfg.blocks:
+        mask = maybe_written[block.index]
+        if mask is None:  # unreachable; covered by unreachable-code
+            continue
+        for inst in block.instructions(program):
+            for register in _inst_reads(inst):
+                if not mask & (1 << register) and (inst.addr, register) not in flagged:
+                    flagged.add((inst.addr, register))
+                    out.append(
+                        Diagnostic(
+                            rule="uninit-register-read",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"r{register} is read here but never "
+                                "written on any path from the entry point"
+                            ),
+                            source=name,
+                            location=_loc(inst),
+                            data={"register": register},
+                        )
+                    )
+            if inst.op in _WRITES_A:
+                mask |= 1 << inst.a
+    return out
+
+
+# -- Stack balance ---------------------------------------------------------
+
+
+def _routine_entries(cfg: ControlFlowGraph) -> List[int]:
+    entries = [0] if cfg.blocks else []
+    for index in cfg.subroutine_entries():
+        if index not in entries:
+            entries.append(index)
+    return entries
+
+
+def _check_stack_balance(cfg: ControlFlowGraph, name: str) -> List[Diagnostic]:
+    """Check push/pop and call/ret balance within each routine.
+
+    Each routine (the entry point plus every ``call`` target) is walked
+    intraprocedurally — a ``call`` inside it is stack-neutral (the
+    callee owns its frame), so only the routine's own ``push``/``pop``
+    moves the tracked depth.  Findings: a join point reached with two
+    different depths, a ``pop`` below the routine's own frame (in a
+    subroutine that clobbers the saved return address), and a ``ret``
+    with a non-empty frame (the machine would "return" to a data word).
+    """
+    program = cfg.program
+    out: List[Diagnostic] = []
+    for entry in _routine_entries(cfg):
+        is_subroutine = cfg.blocks[entry].is_call_target
+        depth_at: Dict[int, int] = {entry: 0}
+        worklist = [entry]
+        reported = set()
+        while worklist:
+            block = cfg.blocks[worklist.pop()]
+            depth = depth_at[block.index]
+            leave = True  # follow successors unless the block returns
+            for inst in block.instructions(program):
+                if inst.op == Op.PUSH:
+                    depth += 1
+                elif inst.op == Op.POP:
+                    depth -= 1
+                    if depth < 0 and ("pop", inst.addr) not in reported:
+                        reported.add(("pop", inst.addr))
+                        what = (
+                            "the saved return address"
+                            if is_subroutine
+                            else "a word this routine never pushed"
+                        )
+                        out.append(
+                            Diagnostic(
+                                rule="stack-imbalance",
+                                severity=Severity.ERROR,
+                                message=f"pop below the routine's frame: "
+                                f"this pops {what}",
+                                source=name,
+                                location=_loc(inst),
+                                data={"depth": depth},
+                            )
+                        )
+                elif inst.op == Op.RET:
+                    leave = False
+                    if not is_subroutine and ("ret", inst.addr) not in reported:
+                        reported.add(("ret", inst.addr))
+                        out.append(
+                            Diagnostic(
+                                rule="stack-imbalance",
+                                severity=Severity.ERROR,
+                                message=(
+                                    "ret in top-level code: no call ever "
+                                    "saved a return address to pop"
+                                ),
+                                source=name,
+                                location=_loc(inst),
+                            )
+                        )
+                    elif depth != 0 and ("ret", inst.addr) not in reported:
+                        reported.add(("ret", inst.addr))
+                        out.append(
+                            Diagnostic(
+                                rule="stack-imbalance",
+                                severity=Severity.ERROR,
+                                message=(
+                                    f"ret with {depth} word(s) still on the "
+                                    "frame: the machine would return to a "
+                                    "data word, not the saved address"
+                                ),
+                                source=name,
+                                location=_loc(inst),
+                                data={"depth": depth},
+                            )
+                        )
+                elif inst.op == Op.HALT:
+                    leave = False
+            if not leave:
+                continue
+            last = program.instructions[block.end - 1]
+            callee_start = (
+                program.addr_to_index.get(last.imm)
+                if last.op == Op.CALL
+                else None
+            )
+            fallthrough_start = (
+                block.end if block.end < len(program.instructions) else None
+            )
+            for successor in block.successors:
+                # Within a routine, skip the call edge: the callee is a
+                # separate routine.  The return edge (fall-through)
+                # stays — unless the callee *is* the fall-through, in
+                # which case the one edge serves as the return edge.
+                if (
+                    callee_start is not None
+                    and callee_start != fallthrough_start
+                    and cfg.blocks[successor].start == callee_start
+                ):
+                    continue
+                known = depth_at.get(successor)
+                if known is None:
+                    depth_at[successor] = depth
+                    worklist.append(successor)
+                elif known != depth and ("join", successor) not in reported:
+                    reported.add(("join", successor))
+                    target = program.instructions[cfg.blocks[successor].start]
+                    out.append(
+                        Diagnostic(
+                            rule="stack-imbalance",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"paths join at {target.addr:#x} with "
+                                f"different stack depths ({known} vs "
+                                f"{depth}): pushes and pops are unbalanced"
+                            ),
+                            source=name,
+                            location=_loc(target),
+                            data={"depths": sorted((known, depth))},
+                        )
+                    )
+    return out
+
+
+# -- Data-segment bounds ---------------------------------------------------
+
+
+def _check_data_bounds(cfg: ControlFlowGraph, name: str) -> List[Diagnostic]:
+    """Flag loads/stores through constant bases outside the data segment.
+
+    Intra-block constant propagation only: a register set by ``li``
+    (or derived by ``mov``/``addi`` from one) holds a known byte
+    address; a memory access through it with effective address outside
+    ``[data_base, data_limit)`` can never touch program data — it reads
+    zeros from code space or scribbles under the stack guard.
+    """
+    program = cfg.program
+    out: List[Diagnostic] = []
+    for block in cfg.blocks:
+        consts: Dict[int, int] = {}
+        for inst in block.instructions(program):
+            if inst.op in _MEM_OPS and inst.b in consts:
+                effective = consts[inst.b] + inst.imm
+                if not program.data_base <= effective < program.data_limit:
+                    action = "load from" if inst.op in (Op.LD, Op.LDB) else "store to"
+                    out.append(
+                        Diagnostic(
+                            rule="data-out-of-bounds",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"{action} {effective:#x} is provably outside "
+                                f"the data segment [{program.data_base:#x}, "
+                                f"{program.data_limit:#x})"
+                            ),
+                            source=name,
+                            location=_loc(inst),
+                            data={"effective": effective},
+                        )
+                    )
+            # Transfer function for the constant map.
+            if inst.op == Op.LI:
+                consts[inst.a] = inst.imm
+            elif inst.op == Op.ADDI and inst.a in consts:
+                consts[inst.a] = consts[inst.a] + inst.imm
+            elif inst.op == Op.MOV and inst.b in consts:
+                consts[inst.a] = consts[inst.b]
+            elif inst.op in _WRITES_A:
+                consts.pop(inst.a, None)
+    return out

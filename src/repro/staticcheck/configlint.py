@@ -1,0 +1,318 @@
+"""Cache-geometry and sweep-grid lint with structured diagnostics.
+
+:class:`~repro.core.config.CacheGeometry` already *rejects* bad shapes,
+but it rejects them one at a time, with a bare message, at construction
+time — which for a sweep can be deep inside a checkpointed campaign.
+This lint reports **every** problem of a shape or a grid at once, each
+with a stable rule id, without constructing anything:
+
+================================  ========  ==================================
+rule                              severity  meaning
+================================  ========  ==================================
+``geom-pow2``                     error     net/block/sub size is not a
+                                            positive power of two
+``geom-sub-gt-block``             error     sub-block larger than its block
+``geom-block-gt-net``             error     block larger than the cache
+``geom-assoc-invalid``            error     associativity < 1 or not a power
+                                            of two (zero-way caches hold
+                                            nothing)
+``geom-assoc-clamped``            warning   associativity exceeds the block
+                                            count; the cache degenerates to
+                                            fully associative (the paper's
+                                            convention, but worth knowing)
+``fetch-lf-single-sub``           warning   load-forward on a single-sub-block
+                                            geometry — there is nothing
+                                            forward of the only sub-block, so
+                                            the policy degenerates to demand
+                                            fetch
+``policy-unknown-fetch``          error     unknown fetch policy name
+``policy-unknown-replacement``    error     unknown replacement policy name
+``sweep-bad-warmup``              error     warmup is neither ``"fill"`` nor a
+                                            non-negative access count
+``grid-axis-empty``               error     a sweep axis is an empty list
+``grid-axis-type``                error     a sweep axis holds a non-integer
+================================  ========  ==================================
+
+Values that are not positive integers are reported under the geometry
+rule of the field they were passed for (``geom-pow2`` /
+``geom-assoc-invalid``): zero and negative sizes are just the most
+degenerate non-powers-of-two.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.core.config import is_power_of_two
+from repro.core.fetch import FetchPolicy, make_fetch
+from repro.core.replacement import make_replacement
+from repro.errors import ConfigurationError
+from repro.staticcheck.diagnostics import Diagnostic, Severity, raise_on_errors
+
+__all__ = [
+    "CONFIG_RULES",
+    "lint_geometry",
+    "lint_cell_options",
+    "lint_grid_axes",
+    "check_geometry",
+]
+
+#: Every rule this module can emit, for docs and tests.
+CONFIG_RULES = (
+    "geom-pow2",
+    "geom-sub-gt-block",
+    "geom-block-gt-net",
+    "geom-assoc-invalid",
+    "geom-assoc-clamped",
+    "fetch-lf-single-sub",
+    "policy-unknown-fetch",
+    "policy-unknown-replacement",
+    "sweep-bad-warmup",
+    "grid-axis-empty",
+    "grid-axis-type",
+)
+
+_LOAD_FORWARD_NAMES = {"load-forward", "load-forward-optimized"}
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def lint_geometry(
+    net: Any,
+    block: Any,
+    sub: Any,
+    assoc: Any = 4,
+    fetch: Union[str, FetchPolicy, None] = None,
+    source: str = "geometry",
+) -> List[Diagnostic]:
+    """Lint one cache shape (plus its fetch-policy compatibility).
+
+    Returns every applicable finding; never raises and never constructs
+    a :class:`~repro.core.config.CacheGeometry`.
+    """
+    out: List[Diagnostic] = []
+    sizes = {"net": net, "block": block, "sub": sub}
+    for field_name, value in sizes.items():
+        if not _is_int(value) or not is_power_of_two(value):
+            out.append(
+                Diagnostic(
+                    rule="geom-pow2",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{field_name} size must be a positive power of "
+                        f"two, got {value!r}"
+                    ),
+                    source=source,
+                    location=field_name,
+                    data={"value": value},
+                )
+            )
+    if not _is_int(assoc) or assoc < 1 or not is_power_of_two(assoc):
+        out.append(
+            Diagnostic(
+                rule="geom-assoc-invalid",
+                severity=Severity.ERROR,
+                message=(
+                    f"associativity must be a positive power of two, "
+                    f"got {assoc!r} (a zero-way cache holds nothing)"
+                ),
+                source=source,
+                location="assoc",
+                data={"value": assoc},
+            )
+        )
+    # Relational rules only make sense between well-formed sizes.
+    if _is_int(sub) and _is_int(block) and sub > 0 and block > 0 and sub > block:
+        out.append(
+            Diagnostic(
+                rule="geom-sub-gt-block",
+                severity=Severity.ERROR,
+                message=(
+                    f"sub-block size {sub} exceeds block size {block}; "
+                    "sub-blocks partition a block, so sub must divide block"
+                ),
+                source=source,
+                location="sub",
+                data={"sub": sub, "block": block},
+            )
+        )
+    if _is_int(block) and _is_int(net) and block > 0 and net > 0 and block > net:
+        out.append(
+            Diagnostic(
+                rule="geom-block-gt-net",
+                severity=Severity.ERROR,
+                message=(
+                    f"block size {block} exceeds net cache size {net}; "
+                    "the cache cannot hold a single block"
+                ),
+                source=source,
+                location="block",
+                data={"block": block, "net": net},
+            )
+        )
+    if (
+        _is_int(net) and _is_int(block) and _is_int(assoc)
+        and is_power_of_two(net) and is_power_of_two(block)
+        and block <= net and assoc >= 1 and is_power_of_two(assoc)
+        and assoc > net // block
+    ):
+        out.append(
+            Diagnostic(
+                rule="geom-assoc-clamped",
+                severity=Severity.WARNING,
+                message=(
+                    f"associativity {assoc} exceeds the {net // block} "
+                    "blocks the cache holds; it degenerates to fully "
+                    "associative (the paper's convention)"
+                ),
+                source=source,
+                location="assoc",
+                data={"assoc": assoc, "blocks": net // block},
+            )
+        )
+    fetch_name = fetch.name if isinstance(fetch, FetchPolicy) else fetch
+    if (
+        fetch_name is not None
+        and str(fetch_name).lower().replace("_", "-") in _LOAD_FORWARD_NAMES
+        and _is_int(sub) and _is_int(block) and sub == block
+    ):
+        out.append(
+            Diagnostic(
+                rule="fetch-lf-single-sub",
+                severity=Severity.WARNING,
+                message=(
+                    f"load-forward with one sub-block per block "
+                    f"(block == sub == {block}) degenerates to demand "
+                    "fetch: there is nothing forward of the target"
+                ),
+                source=source,
+                location="sub",
+                data={"block": block, "sub": sub},
+            )
+        )
+    return out
+
+
+def lint_cell_options(
+    fetch: Union[str, FetchPolicy, None],
+    replacement: Union[str, None],
+    warmup: Union[int, str, None],
+    source: str = "options",
+) -> List[Diagnostic]:
+    """Lint the execution options a sweep cell or query carries."""
+    out: List[Diagnostic] = []
+    if isinstance(fetch, str):
+        try:
+            make_fetch(fetch)
+        except ConfigurationError as exc:
+            out.append(
+                Diagnostic(
+                    rule="policy-unknown-fetch",
+                    severity=Severity.ERROR,
+                    message=str(exc),
+                    source=source,
+                    location="fetch",
+                    data={"value": fetch},
+                )
+            )
+    if isinstance(replacement, str):
+        try:
+            make_replacement(replacement)
+        except ConfigurationError as exc:
+            out.append(
+                Diagnostic(
+                    rule="policy-unknown-replacement",
+                    severity=Severity.ERROR,
+                    message=str(exc),
+                    source=source,
+                    location="replacement",
+                    data={"value": replacement},
+                )
+            )
+    if warmup is not None:
+        bad = (
+            isinstance(warmup, bool)
+            or not isinstance(warmup, (int, str))
+            or (isinstance(warmup, str) and warmup != "fill")
+            or (isinstance(warmup, int) and warmup < 0)
+        )
+        if bad:
+            out.append(
+                Diagnostic(
+                    rule="sweep-bad-warmup",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"warmup must be 'fill' or a non-negative access "
+                        f"count, got {warmup!r}"
+                    ),
+                    source=source,
+                    location="warmup",
+                    data={"value": warmup},
+                )
+            )
+    return out
+
+
+def lint_grid_axes(
+    axes: Dict[str, Sequence[Any]], source: str = "grid"
+) -> List[Diagnostic]:
+    """Lint raw sweep-grid axes (value lists, before cell expansion)."""
+    out: List[Diagnostic] = []
+    for axis, values in axes.items():
+        if values is None:
+            continue
+        if not isinstance(values, (list, tuple)) or len(values) == 0:
+            out.append(
+                Diagnostic(
+                    rule="grid-axis-empty",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"sweep grid axis {axis!r} must be a non-empty "
+                        f"list, got {values!r}"
+                    ),
+                    source=source,
+                    location=axis,
+                )
+            )
+            continue
+        for value in values:
+            if not _is_int(value):
+                out.append(
+                    Diagnostic(
+                        rule="grid-axis-type",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"sweep grid axis {axis!r} holds non-integer "
+                            f"{value!r}"
+                        ),
+                        source=source,
+                        location=axis,
+                        data={"value": value},
+                    )
+                )
+    return out
+
+
+def check_geometry(
+    net: Any,
+    block: Any,
+    sub: Any,
+    assoc: Any = 4,
+    fetch: Union[str, FetchPolicy, None] = None,
+    source: str = "geometry",
+) -> List[Diagnostic]:
+    """Lint one shape and raise on error-severity findings.
+
+    Raises:
+        StaticCheckError: Carrying the full diagnostic list (warnings
+            included), when any finding is an error.
+
+    Returns:
+        The findings (warnings only) when the shape is acceptable.
+    """
+    diagnostics = lint_geometry(
+        net, block, sub, assoc=assoc, fetch=fetch, source=source
+    )
+    return raise_on_errors(diagnostics, f"invalid {source}")

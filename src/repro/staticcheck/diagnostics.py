@@ -1,0 +1,129 @@
+"""Structured diagnostics shared by every static-analysis layer.
+
+A :class:`Diagnostic` is one finding: a stable ``rule`` identifier (the
+thing tests and CI gates key on), a :class:`Severity`, a human message,
+and a source location (program name + line / instruction address for
+the program checks, a field or axis name for the config lint).
+
+:class:`~repro.errors.StaticCheckError` carries a list of these through
+the existing :class:`~repro.errors.ConfigurationError` channel, so the
+HTTP layer's 400 mapping and every ``except ConfigurationError`` caller
+keep working while gaining machine-readable findings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import StaticCheckError
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "error_count",
+    "format_diagnostics",
+    "raise_on_errors",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail preflight (the runner refuses the sweep,
+    the service answers 400, ``repro lint`` exits non-zero).
+    ``WARNING`` findings are reported but never block execution.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - presentation sugar
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes:
+        rule: Stable rule identifier, e.g. ``"branch-out-of-range"``
+            or ``"geom-sub-gt-block"`` (see ``docs/staticcheck.md``
+            for the catalogue).
+        severity: :class:`Severity` of the finding.
+        message: Human-readable description.
+        source: What was analyzed — a program name, ``"geometry"``,
+            a sweep axis.
+        location: Where in the source — ``"addr 0x10c"`` for an
+            instruction, a field name for a config value, ``None``
+            when the finding is about the whole source.
+        data: Optional structured payload (offending values, targets).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    source: str = ""
+    location: Optional[str] = None
+    data: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the service's 400 payload, ``lint --format json``)."""
+        payload: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "source": self.source,
+        }
+        if self.location is not None:
+            payload["location"] = self.location
+        if self.data:
+            payload["data"] = dict(self.data)
+        return payload
+
+    def render(self) -> str:
+        """One-line ``source:location: severity [rule] message`` form."""
+        where = self.source
+        if self.location:
+            where = f"{where}:{self.location}" if where else self.location
+        prefix = f"{where}: " if where else ""
+        return f"{prefix}{self.severity.value} [{self.rule}] {self.message}"
+
+
+def error_count(diagnostics: Iterable[Diagnostic]) -> int:
+    """Number of error-severity findings."""
+    return sum(1 for diagnostic in diagnostics if diagnostic.is_error)
+
+
+def format_diagnostics(diagnostics: Sequence[Diagnostic]) -> str:
+    """Render findings one per line, errors first."""
+    ordered = sorted(
+        diagnostics, key=lambda diagnostic: (not diagnostic.is_error,)
+    )
+    return "\n".join(diagnostic.render() for diagnostic in ordered)
+
+
+def raise_on_errors(
+    diagnostics: Sequence[Diagnostic], context: str
+) -> List[Diagnostic]:
+    """Raise :class:`StaticCheckError` if any finding is an error.
+
+    Returns the diagnostics unchanged when none are errors, so callers
+    can thread warnings through after the gate.
+    """
+    errors = [diagnostic for diagnostic in diagnostics if diagnostic.is_error]
+    if errors:
+        summary = "; ".join(
+            f"[{diagnostic.rule}] {diagnostic.message}" for diagnostic in errors[:3]
+        )
+        if len(errors) > 3:
+            summary += f" (+{len(errors) - 3} more)"
+        raise StaticCheckError(
+            f"{context}: {summary}", diagnostics=list(diagnostics)
+        )
+    return list(diagnostics)

@@ -83,7 +83,11 @@ def _parse_register(token: str, lineno: int) -> int:
         index = int(name[1:])
         if 0 <= index <= 7:
             return index
-    raise AssemblyError(f"line {lineno}: {token!r} is not a register")
+    raise AssemblyError(
+        f"line {lineno}: {token!r} is not a register (use r0-r7, fp, sp)",
+        lineno=lineno,
+        token=token,
+    )
 
 
 def _parse_int(token: str) -> Optional[int]:
@@ -115,13 +119,19 @@ class _ImmediateRef:
             parsed = _parse_int(offset_text)
             if parsed is None:
                 raise AssemblyError(
-                    f"line {self.lineno}: bad offset in {text!r}"
+                    f"line {self.lineno}: bad offset in {text!r}",
+                    lineno=self.lineno,
+                    token=text,
                 )
             offset = parsed
         if base == "@word":
             return word_size + offset
         if base not in symbols:
-            raise AssemblyError(f"line {self.lineno}: undefined symbol {base!r}")
+            raise AssemblyError(
+                f"line {self.lineno}: undefined symbol {base!r}",
+                lineno=self.lineno,
+                token=base,
+            )
         return symbols[base] + offset
 
 
@@ -153,9 +163,18 @@ def assemble(source: str, word_size: int = 2, code_base: int = 0x100) -> Assembl
             label, _, rest = line.partition(":")
             label = label.strip()
             if not label.isidentifier():
-                raise AssemblyError(f"line {lineno}: bad label {label!r}")
+                raise AssemblyError(
+                    f"line {lineno}: bad label {label!r}",
+                    lineno=lineno,
+                    token=label,
+                )
             if label in labels:
-                raise AssemblyError(f"line {lineno}: duplicate label {label!r}")
+                raise AssemblyError(
+                    f"line {lineno}: duplicate label {label!r} "
+                    f"(first defined earlier in the source)",
+                    lineno=lineno,
+                    token=label,
+                )
             labels[label] = len(pending)
             line = rest.strip()
         if not line:
@@ -164,24 +183,40 @@ def assemble(source: str, word_size: int = 2, code_base: int = 0x100) -> Assembl
         head = parts[0].lower()
         if head == ".space":
             if len(parts) != 3:
-                raise AssemblyError(f"line {lineno}: .space needs 'name count'")
+                raise AssemblyError(
+                    f"line {lineno}: .space needs 'name count'", lineno=lineno
+                )
             count = _parse_int(parts[2])
             if count is None or count < 0:
-                raise AssemblyError(f"line {lineno}: bad .space count {parts[2]!r}")
+                raise AssemblyError(
+                    f"line {lineno}: bad .space count {parts[2]!r}",
+                    lineno=lineno,
+                    token=parts[2],
+                )
             data_directives.append((parts[1], [0] * count, lineno))
         elif head == ".words":
             if len(parts) < 3:
-                raise AssemblyError(f"line {lineno}: .words needs 'name v1 ...'")
+                raise AssemblyError(
+                    f"line {lineno}: .words needs 'name v1 ...'", lineno=lineno
+                )
             values = []
             for token in parts[2:]:
                 value = _parse_int(token)
                 if value is None:
-                    raise AssemblyError(f"line {lineno}: bad word value {token!r}")
+                    raise AssemblyError(
+                        f"line {lineno}: bad word value {token!r}",
+                        lineno=lineno,
+                        token=token,
+                    )
                 values.append(value)
             data_directives.append((parts[1], values, lineno))
         else:
             if head not in OPCODES:
-                raise AssemblyError(f"line {lineno}: unknown mnemonic {head!r}")
+                raise AssemblyError(
+                    f"line {lineno}: unknown mnemonic {head!r}",
+                    lineno=lineno,
+                    token=head,
+                )
             pending.append((lineno, head, parts[1:]))
 
     # Place instructions: two words when an immediate is carried.
@@ -196,9 +231,17 @@ def assemble(source: str, word_size: int = 2, code_base: int = 0x100) -> Assembl
     data: Dict[int, int] = {}
     for name, values, lineno in data_directives:
         if not name.isidentifier():
-            raise AssemblyError(f"line {lineno}: bad data symbol {name!r}")
+            raise AssemblyError(
+                f"line {lineno}: bad data symbol {name!r}",
+                lineno=lineno,
+                token=name,
+            )
         if name in symbols or name in labels:
-            raise AssemblyError(f"line {lineno}: duplicate symbol {name!r}")
+            raise AssemblyError(
+                f"line {lineno}: duplicate symbol {name!r}",
+                lineno=lineno,
+                token=name,
+            )
         symbols[name] = addr
         for value in values:
             data[addr] = value
@@ -206,7 +249,9 @@ def assemble(source: str, word_size: int = 2, code_base: int = 0x100) -> Assembl
     data_limit = addr
     for label, index in labels.items():
         if label in symbols:
-            raise AssemblyError(f"label {label!r} collides with a data symbol")
+            raise AssemblyError(
+                f"label {label!r} collides with a data symbol", token=label
+            )
         symbols[label] = (
             addresses[index] if index < len(addresses) else data_base
         )
@@ -222,7 +267,9 @@ def assemble(source: str, word_size: int = 2, code_base: int = 0x100) -> Assembl
             want = _REG_OPERANDS[op]
             if len(operands) != want:
                 raise AssemblyError(
-                    f"line {lineno}: {mnemonic} takes {want} register operand(s)"
+                    f"line {lineno}: {mnemonic} takes {want} register operand(s)",
+                    lineno=lineno,
+                    token=mnemonic,
                 )
             if want >= 1:
                 a = _parse_register(operands[0], lineno)
@@ -230,13 +277,19 @@ def assemble(source: str, word_size: int = 2, code_base: int = 0x100) -> Assembl
                 b = _parse_register(operands[1], lineno)
         elif op in (Op.LI, Op.ADDI):
             if len(operands) != 2:
-                raise AssemblyError(f"line {lineno}: {mnemonic} takes 'rd, imm'")
+                raise AssemblyError(
+                    f"line {lineno}: {mnemonic} takes 'rd, imm'",
+                    lineno=lineno,
+                    token=mnemonic,
+                )
             a = _parse_register(operands[0], lineno)
             imm = _ImmediateRef(operands[1], lineno).resolve(symbols, word_size)
         elif op in (Op.LD, Op.ST, Op.LDB, Op.STB):
             if len(operands) != 3:
                 raise AssemblyError(
-                    f"line {lineno}: {mnemonic} takes 'r, r, offset'"
+                    f"line {lineno}: {mnemonic} takes 'r, r, offset'",
+                    lineno=lineno,
+                    token=mnemonic,
                 )
             a = _parse_register(operands[0], lineno)
             b = _parse_register(operands[1], lineno)
@@ -244,14 +297,20 @@ def assemble(source: str, word_size: int = 2, code_base: int = 0x100) -> Assembl
         elif op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
             if len(operands) != 3:
                 raise AssemblyError(
-                    f"line {lineno}: {mnemonic} takes 'r, r, label'"
+                    f"line {lineno}: {mnemonic} takes 'r, r, label'",
+                    lineno=lineno,
+                    token=mnemonic,
                 )
             a = _parse_register(operands[0], lineno)
             b = _parse_register(operands[1], lineno)
             imm = _ImmediateRef(operands[2], lineno).resolve(symbols, word_size)
         elif op in (Op.JMP, Op.CALL):
             if len(operands) != 1:
-                raise AssemblyError(f"line {lineno}: {mnemonic} takes a label")
+                raise AssemblyError(
+                    f"line {lineno}: {mnemonic} takes a label",
+                    lineno=lineno,
+                    token=mnemonic,
+                )
             imm = _ImmediateRef(operands[0], lineno).resolve(symbols, word_size)
         else:  # pragma: no cover - every opcode is covered above
             raise AssemblyError(f"line {lineno}: unhandled mnemonic {mnemonic!r}")

@@ -15,7 +15,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core.cache import SubBlockCache
 from repro.core.config import CacheGeometry
 from repro.core.fetch import LoadForwardFetch
-from repro.trace.record import AccessType
 
 
 class ReferenceSubBlockCache:

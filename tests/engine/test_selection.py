@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import CacheGeometry
 from repro.engine import (
     ENGINE_NAMES,
     ReferenceEngine,

@@ -1,0 +1,86 @@
+"""Service-edge static-lint tests: 400 + diagnostics, engine untouched.
+
+The ``max_queue=0`` configuration turns the admission layer into a
+tripwire: any request that reaches the simulation core is answered 429
+(see ``test_http.TestOverload``).  A 400 from these requests therefore
+proves the lint rejected them *before* the engine was ever invoked.
+"""
+
+import json
+
+from repro.service.simulator import ServiceConfig
+from service.test_http import request, serve
+
+TRIPWIRE = ServiceConfig(batch_window=0.0, max_queue=0)
+
+BASE = {"suite": "pdp11", "trace": "ED", "length": 2000}
+
+
+def post(path, body, config=TRIPWIRE):
+    async def exchange(port):
+        return await request(port, "POST", path, body)
+
+    status, _, raw = serve(exchange, config)
+    return status, json.loads(raw)
+
+
+class TestSimulateGate:
+    def test_bad_geometry_is_400_with_diagnostics(self):
+        status, payload = post(
+            "/simulate", dict(BASE, net=100, block=32, sub=64, assoc=0)
+        )
+        assert status == 400
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert rules == {"geom-pow2", "geom-sub-gt-block", "geom-assoc-invalid"}
+        assert "error" in payload
+
+    def test_diagnostics_carry_structure(self):
+        status, payload = post("/simulate", dict(BASE, net=64, block=16, sub=32))
+        assert status == 400
+        (finding,) = payload["diagnostics"]
+        assert finding["rule"] == "geom-sub-gt-block"
+        assert finding["severity"] == "error"
+        assert finding["source"] == "query"
+        assert finding["location"] == "sub"
+        assert "sub-block size 32" in finding["message"]
+
+    def test_plain_validation_errors_have_no_diagnostics(self):
+        status, payload = post("/simulate", dict(BASE, suite="cray"))
+        assert status == 400
+        assert "diagnostics" not in payload
+
+    def test_valid_geometry_passes_the_lint_gate(self):
+        # Reaches admission (the tripwire) instead of being linted away.
+        status, payload = post("/simulate", dict(BASE, net=512, block=16, sub=8))
+        assert status == 429
+        assert payload["reason"] == "queue_full"
+
+
+class TestSweepGate:
+    def test_empty_grid_axis_is_400_with_rule(self):
+        status, payload = post(
+            "/sweep",
+            {"base": dict(BASE, block=16, sub=8), "grid": {"net": []}},
+        )
+        assert status == 400
+        assert [d["rule"] for d in payload["diagnostics"]] == ["grid-axis-empty"]
+
+    def test_non_integer_axis_value_is_400_with_rule(self):
+        status, payload = post(
+            "/sweep",
+            {"base": dict(BASE, block=16, sub=8), "grid": {"net": [256, "1k"]}},
+        )
+        assert status == 400
+        assert [d["rule"] for d in payload["diagnostics"]] == ["grid-axis-type"]
+
+    def test_one_bad_cell_fails_the_whole_grid(self):
+        status, payload = post(
+            "/sweep",
+            {
+                "base": dict(BASE, net=256, sub=8),
+                "grid": {"block": [8, 512]},  # 512 > net in one cell
+            },
+        )
+        assert status == 400
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert "geom-block-gt-net" in rules

@@ -1,0 +1,112 @@
+"""Control-flow graph construction tests."""
+
+from repro.staticcheck.cfg import build_cfg
+from repro.workloads.assembler import assemble
+
+LOOP_SOURCE = """
+    li   r0, 0
+    li   r1, 10
+loop:
+    addi r0, 1
+    blt  r0, r1, loop
+    halt
+"""
+
+CALL_SOURCE = """
+    li   r0, 5
+    call sub
+    halt
+sub:
+    ret
+"""
+
+
+class TestBasicBlocks:
+    def test_loop_program_splits_into_three_blocks(self):
+        cfg = build_cfg(assemble(LOOP_SOURCE))
+        assert [(b.start, b.end) for b in cfg.blocks] == [(0, 2), (2, 4), (4, 5)]
+        # Every instruction maps back to its block.
+        assert cfg.block_of == [0, 0, 1, 1, 2]
+
+    def test_edges_follow_branch_and_fallthrough(self):
+        cfg = build_cfg(assemble(LOOP_SOURCE))
+        assert cfg.blocks[0].successors == [1]
+        assert sorted(cfg.blocks[1].successors) == [1, 2]  # back edge + exit
+        assert cfg.blocks[2].successors == []
+        assert sorted(cfg.blocks[1].predecessors) == [0, 1]
+
+    def test_block_at_addr_resolves_byte_addresses(self):
+        program = assemble(LOOP_SOURCE)
+        cfg = build_cfg(program)
+        loop_addr = program.symbols["loop"]
+        block = cfg.block_at_addr(loop_addr)
+        assert block is not None and block.index == 1
+        assert cfg.block_at_addr(loop_addr + 1) is None  # mid-instruction
+
+    def test_empty_program_yields_empty_graph(self):
+        cfg = build_cfg(assemble("; nothing but a comment"))
+        assert cfg.blocks == [] and cfg.block_of == []
+        assert cfg.reachable_blocks() == set()
+        assert cfg.natural_loops() == []
+
+
+class TestCallEdges:
+    def test_call_adds_callee_and_return_edges(self):
+        program = assemble(CALL_SOURCE)
+        cfg = build_cfg(program)
+        entry = cfg.blocks[0]
+        sub_index = cfg.block_of[program.addr_to_index[program.symbols["sub"]]]
+        assert sub_index in entry.successors  # call edge
+        assert cfg.block_of[2] in entry.successors  # return (fall-through) edge
+
+    def test_call_target_marked_as_subroutine_entry(self):
+        cfg = build_cfg(assemble(CALL_SOURCE))
+        entries = cfg.subroutine_entries()
+        assert len(entries) == 1
+        assert cfg.blocks[entries[0]].is_call_target
+
+
+class TestDominatorsAndLoops:
+    def test_dominators_of_straight_loop(self):
+        cfg = build_cfg(assemble(LOOP_SOURCE))
+        dom = cfg.dominators()
+        assert dom[0] == {0}
+        assert dom[1] == {0, 1}
+        assert dom[2] == {0, 1, 2}
+
+    def test_natural_loop_found_with_correct_body(self):
+        cfg = build_cfg(assemble(LOOP_SOURCE))
+        loops = cfg.natural_loops()
+        assert len(loops) == 1
+        assert loops[0].header == 1
+        assert loops[0].back_edge_tail == 1
+        assert loops[0].body == frozenset({1})
+
+    def test_nested_loops_sorted_innermost_first(self):
+        source = """
+            li   r0, 0
+        outer:
+            li   r1, 0
+        inner:
+            addi r1, 1
+            blt  r1, r2, inner
+            addi r0, 1
+            blt  r0, r2, outer
+            halt
+        """
+        cfg = build_cfg(assemble(source))
+        loops = cfg.natural_loops()
+        assert len(loops) == 2
+        assert len(loops[0].body) < len(loops[1].body)
+        assert loops[0].body < loops[1].body  # inner nested in outer
+
+    def test_unreachable_block_excluded_from_loops(self):
+        source = """
+            halt
+        dead:
+            addi r0, 1
+            jmp  dead
+        """
+        cfg = build_cfg(assemble(source))
+        assert cfg.reachable_blocks() == {0}
+        assert cfg.natural_loops() == []

@@ -1,0 +1,92 @@
+"""Sweep-preflight tests: fail before the checkpoint, warn on the report."""
+
+import copy
+import os
+
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.errors import StaticCheckError
+from repro.runner.runner import RunnerConfig, run_sweep
+from repro.staticcheck import preflight_sweep
+from repro.workloads.suites import suite_trace
+
+GEOMS = [CacheGeometry(net_size=64, block_size=8, sub_block_size=8)]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return suite_trace("pdp11", "SIMP", length=500)
+
+
+class TestPreflightFunction:
+    def test_clean_sweep_yields_no_findings(self, trace):
+        assert preflight_sweep([trace], GEOMS) == []
+
+    def test_bad_replacement_is_an_error(self, trace):
+        with pytest.raises(StaticCheckError) as excinfo:
+            preflight_sweep([trace], GEOMS, replacement="lrru")
+        assert [d.rule for d in excinfo.value.diagnostics] == [
+            "policy-unknown-replacement"
+        ]
+
+    def test_duplicate_trace_names_are_an_error(self, trace):
+        twin = copy.copy(trace)
+        with pytest.raises(StaticCheckError) as excinfo:
+            preflight_sweep([trace, twin], GEOMS)
+        assert [d.rule for d in excinfo.value.diagnostics] == [
+            "sweep-duplicate-cell"
+        ]
+
+    def test_load_forward_single_sub_is_a_warning(self, trace):
+        findings = preflight_sweep([trace], GEOMS, fetch="load-forward")
+        assert [d.rule for d in findings] == ["fetch-lf-single-sub"]
+
+    def test_non_strict_returns_errors_instead_of_raising(self, trace):
+        findings = preflight_sweep(
+            [trace], GEOMS, replacement="lrru", strict=False
+        )
+        assert [d.rule for d in findings] == ["policy-unknown-replacement"]
+
+
+class TestRunnerIntegration:
+    def test_rejected_before_checkpoint_io(self, trace, tmp_path):
+        # The seeded failure mode: a misspelled policy used to fail the
+        # first cell *after* the checkpoint file had been truncated.
+        checkpoint = tmp_path / "ck.jsonl"
+        with pytest.raises(StaticCheckError):
+            run_sweep(
+                [trace], GEOMS, replacement="lrru",
+                config=RunnerConfig(checkpoint=checkpoint),
+            )
+        assert not os.path.exists(checkpoint)
+
+    def test_rejected_even_in_lenient_mode(self, trace):
+        # Lenient mode degrades per-cell failures; a sweep that cannot
+        # produce a single valid cell must still be refused outright.
+        with pytest.raises(StaticCheckError):
+            run_sweep(
+                [trace], GEOMS, fetch="prefetch-all",
+                config=RunnerConfig(lenient=True),
+            )
+
+    def test_warnings_land_on_the_report(self, trace):
+        points, report = run_sweep([trace], GEOMS, fetch="load-forward")
+        assert [d.rule for d in report.preflight] == ["fetch-lf-single-sub"]
+        assert points[0].miss_ratio > 0
+
+    def test_preflight_can_be_disabled(self, trace):
+        points, report = run_sweep(
+            [trace], GEOMS, fetch="load-forward",
+            config=RunnerConfig(preflight=False),
+        )
+        assert report.preflight == []
+        assert points[0].miss_ratio > 0
+
+    def test_clean_checkpointed_sweep_still_works(self, trace, tmp_path):
+        checkpoint = tmp_path / "ck.jsonl"
+        points, report = run_sweep(
+            [trace], GEOMS, config=RunnerConfig(checkpoint=checkpoint)
+        )
+        assert checkpoint.exists()
+        assert report.completed == 1 and report.preflight == []

@@ -172,6 +172,64 @@ class TestChaosCommand:
         assert "FAIL" not in out
 
 
+class TestLintCommand:
+    def test_all_programs_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "checked 13 program(s): 0 error(s), 0 warning(s)" in out
+        assert "fib:" in out and "editor:" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert len(payload["programs"]) == 13
+        by_name = {entry["name"]: entry for entry in payload["programs"]}
+        assert by_name["fib"]["diagnostics"] == []
+        assert by_name["fib"]["footprint"]["hot_loop_bytes"] > 0
+
+    def test_program_subset_and_word_size(self, capsys):
+        assert main(["lint", "--programs", "fib", "--word", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "checked 1 program(s)" in out
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(SystemExit, match="unknown programs"):
+            main(["lint", "--programs", "quux"])
+
+    def test_findings_fail_the_command(self, capsys, monkeypatch):
+        from repro.workloads.programs import PROGRAMS, ProgramSpec
+
+        def bad_build(**_params):
+            return ProgramSpec(
+                name="bad", source="loop:\n    addi r0, 1\n    jmp loop\n",
+                params={},
+            )
+
+        monkeypatch.setitem(PROGRAMS, "bad", bad_build)
+        assert main(["lint", "--programs", "bad"]) == 1
+        out = capsys.readouterr().out
+        assert "[no-halt-path]" in out
+
+    def test_strict_promotes_warnings(self, capsys, monkeypatch):
+        from repro.workloads.programs import PROGRAMS, ProgramSpec
+
+        def warn_build(**_params):
+            # Dead code after halt: a warning, not an error.
+            return ProgramSpec(
+                name="warn",
+                source="    li r0, 1\n    halt\ndead:\n    halt\n",
+                params={},
+            )
+
+        monkeypatch.setitem(PROGRAMS, "warn", warn_build)
+        assert main(["lint", "--programs", "warn"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--programs", "warn", "--strict"]) == 1
+
+
 class TestFigureCsv:
     def test_csv_output(self, capsys):
         assert main(LEN + ["figure", "4", "--csv"]) == 0

@@ -1,0 +1,108 @@
+"""Assembler diagnostic tests: every error names its line and token.
+
+:class:`~repro.errors.AssemblyError` carries ``lineno`` and ``token``
+attributes so tooling (and the static analyzer's users) can point at
+the offending source instead of grepping a bare message.
+"""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.workloads.assembler import assemble
+
+
+def assembly_error(source: str) -> AssemblyError:
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble(source)
+    return excinfo.value
+
+
+class TestDuplicateSymbols:
+    def test_duplicate_label_names_line_and_token(self):
+        error = assembly_error("start:\n    halt\nstart:\n    halt\n")
+        assert error.lineno == 3
+        assert error.token == "start"
+        assert "duplicate label" in str(error)
+        assert "line 3" in str(error)
+
+    def test_duplicate_data_symbol(self):
+        error = assembly_error(".words tab 1\n.space tab 4\n    halt\n")
+        assert error.lineno == 2
+        assert error.token == "tab"
+
+    def test_label_colliding_with_data_symbol(self):
+        error = assembly_error(".words buf 1\nbuf:\n    halt\n")
+        assert error.token == "buf"
+
+
+class TestUnknownOpcodes:
+    def test_unknown_mnemonic_names_line_and_token(self):
+        error = assembly_error("    li r0, 1\n    frobnicate r0\n    halt\n")
+        assert error.lineno == 2
+        assert error.token == "frobnicate"
+        assert "unknown mnemonic" in str(error)
+
+
+class TestBadRegisters:
+    def test_bad_register_names_line_and_token(self):
+        error = assembly_error("    li r9, 1\n    halt\n")
+        assert error.lineno == 1
+        assert error.token == "r9"
+        assert "not a register" in str(error)
+
+    def test_non_register_operand(self):
+        error = assembly_error("    li r0, 1\n    mov r0, banana\n    halt\n")
+        assert error.lineno == 2
+        assert error.token == "banana"
+
+
+class TestUndefinedSymbols:
+    def test_undefined_branch_target(self):
+        error = assembly_error("    li r0, 1\n    jmp nowhere\n    halt\n")
+        assert error.lineno == 2
+        assert error.token == "nowhere"
+        assert "undefined symbol" in str(error)
+
+    def test_undefined_data_symbol_in_load(self):
+        error = assembly_error("    ld r0, r1, missing\n    halt\n")
+        assert error.lineno == 1
+        assert error.token == "missing"
+
+    def test_bad_offset_in_symbol_arithmetic(self):
+        error = assembly_error(".words tab 1\n    li r0, tab+x\n    halt\n")
+        assert error.lineno == 2
+        assert error.token == "tab+x"
+        assert "bad offset" in str(error)
+
+
+class TestDirectiveAndOperandErrors:
+    def test_bad_space_count(self):
+        error = assembly_error(".space buf many\n    halt\n")
+        assert error.lineno == 1
+        assert error.token == "many"
+
+    def test_bad_word_value(self):
+        error = assembly_error(".words tab 1 two\n    halt\n")
+        assert error.lineno == 1
+        assert error.token == "two"
+
+    def test_wrong_operand_count_names_mnemonic(self):
+        error = assembly_error("    add r0\n    halt\n")
+        assert error.lineno == 1
+        assert error.token == "add"
+        assert "operand" in str(error)
+
+    def test_branch_missing_target(self):
+        error = assembly_error("    beq r0, r1\n    halt\n")
+        assert error.lineno == 1
+        assert error.token == "beq"
+
+    def test_bad_label_syntax(self):
+        error = assembly_error("9lives:\n    halt\n")
+        assert error.lineno == 1
+        assert error.token == "9lives"
+
+    def test_attributes_default_to_none(self):
+        error = AssemblyError("word_size must be 2 or 4")
+        assert error.lineno is None
+        assert error.token is None
