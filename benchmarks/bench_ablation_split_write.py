@@ -10,8 +10,8 @@ from repro.core.config import CacheGeometry
 from repro.core.sim import simulate
 from repro.core.split import SplitCache
 from repro.core.write import WritePolicy
-from repro.trace.record import AccessType
 from repro.trace.filters import reads_only
+from repro.trace.record import AccessType
 from repro.workloads.suites import suite_traces
 
 

@@ -24,8 +24,6 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.runner.runner import RunnerConfig
-
 from repro.analysis.paper_data import TABLE7, TABLE8
 from repro.analysis.sweep import SweepPoint, geometry_grid, sweep
 from repro.core.config import CacheGeometry
@@ -33,6 +31,7 @@ from repro.core.fetch import LoadForwardFetch
 from repro.core.sector import model85_cache, set_associative_equivalent
 from repro.core.sim import simulate
 from repro.errors import ConfigurationError
+from repro.runner.runner import RunnerConfig
 from repro.trace.filters import reads_only
 from repro.workloads.architectures import get_architecture
 from repro.workloads.suites import (

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CacheGeometry
 from repro.core.fetch import FetchPolicy
-from repro.memory.nibble import BusCostModel, NIBBLE_MODE_BUS
+from repro.memory.nibble import NIBBLE_MODE_BUS, BusCostModel
 from repro.trace.record import Trace
 
 __all__ = ["SweepPoint", "sweep", "geometry_grid"]

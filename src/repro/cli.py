@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro chaos [--quick]
     python -m repro serve [--host H] [--port P]
     python -m repro lint [--format json] [--strict]
+    python -m repro classify PROGRAM [--net N] [--format json] [--verify]
     python -m repro --version
 
 ``--length`` defaults to the ``REPRO_TRACE_LEN`` environment variable
@@ -22,16 +23,21 @@ resilience flags — ``--checkpoint FILE`` / ``--resume`` to survive
 interruption, ``--max-retries`` / ``--cell-timeout`` to bound flaky or
 runaway cells, and ``--lenient`` to degrade to partial suite averages
 instead of failing; see ``docs/resilience.md``.  They also accept
-execution flags — ``--engine {auto,reference,vectorized}`` to pick the
-simulation engine and ``--jobs N`` to fan cells out over worker
-processes; see ``docs/engines.md``.  ``chaos`` runs the
-fault-injection scenarios that prove the resilience guarantees, under
-either engine.  ``serve`` starts the interactive HTTP query service
-with its result cache, request coalescing, and admission control; see
-``docs/service.md``.  ``lint`` runs the static analyzer
+execution flags — ``--engine {auto,reference,vectorized,checked}`` to
+pick the simulation engine, ``--sanitize`` as a shorthand for the
+``checked`` (per-access invariant-asserting) engine, and ``--jobs N``
+to fan cells out over worker processes; see ``docs/engines.md``.
+``chaos`` runs the fault-injection scenarios that prove the resilience
+guarantees, under any engine.  ``serve`` starts the interactive HTTP
+query service with its result cache, request coalescing, and admission
+control; see ``docs/service.md``.  ``lint`` runs the static analyzer
 (:mod:`repro.staticcheck`) over every bundled workload program —
 CFG/dataflow program checks plus locality footprints — and exits
-non-zero on error-severity findings; see ``docs/staticcheck.md``.
+non-zero on error-severity findings.  ``classify`` runs the must/may
+abstract-interpretation cache analysis over one bundled program,
+optionally differentially verifying it against the simulator
+(``--verify``); see ``docs/staticcheck.md`` for both JSON schemas and
+the exit codes.
 """
 
 from __future__ import annotations
@@ -51,6 +57,7 @@ from repro.analysis.experiments import (
 from repro.analysis.figures import figure_series, series_to_csv
 from repro.analysis.plotting import ascii_figure
 from repro.analysis.tables import format_table6, format_table7, format_table8
+from repro.engine.base import ENGINE_NAMES
 from repro.runner.retry import RetryPolicy
 from repro.runner.runner import RunnerConfig
 from repro.trace.writer import write_din
@@ -96,9 +103,14 @@ def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
     )
     execution = subparser.add_argument_group("execution")
     execution.add_argument(
-        "--engine", default="auto", choices=["auto", "reference", "vectorized"],
+        "--engine", default="auto", choices=list(ENGINE_NAMES),
         help="simulation engine per cell (auto picks vectorized for "
              "plain traces; see docs/engines.md)",
+    )
+    execution.add_argument(
+        "--sanitize", action="store_true",
+        help="run every cell under the checked engine (per-access "
+             "cache-invariant and conservation-law assertions)",
     )
     execution.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -110,12 +122,13 @@ def _runner_config(args: argparse.Namespace) -> Optional[RunnerConfig]:
     """Build the resilience config from CLI flags; None when inert."""
     if args.resume and args.checkpoint is None:
         raise SystemExit("repro: --resume requires --checkpoint")
+    engine = "checked" if args.sanitize else args.engine
     if (
         args.checkpoint is None
         and args.max_retries == 0
         and args.cell_timeout is None
         and not args.lenient
-        and args.engine == "auto"
+        and engine == "auto"
         and args.jobs == 1
     ):
         return None
@@ -125,7 +138,7 @@ def _runner_config(args: argparse.Namespace) -> Optional[RunnerConfig]:
         checkpoint=args.checkpoint,
         resume=args.resume,
         lenient=args.lenient,
-        engine=args.engine,
+        engine=engine,
         jobs=args.jobs,
     )
 
@@ -189,8 +202,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--engine", default="auto",
-        choices=["auto", "reference", "vectorized"],
+        choices=list(ENGINE_NAMES),
         help="simulation engine for the scenario sweeps",
+    )
+    chaos.add_argument(
+        "--sanitize", action="store_true",
+        help="run the scenario sweeps under the checked engine",
     )
     serve = commands.add_parser(
         "serve",
@@ -224,8 +241,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--engine", default=None,
-        choices=["auto", "reference", "vectorized"],
-        help="force one engine for every query (default: per-query)",
+        choices=list(ENGINE_NAMES),
+        help="force one engine for every query (default: per-query; "
+             "checked opts the whole service into sanitized execution)",
     )
     serve.add_argument(
         "--log-level", default="info",
@@ -251,6 +269,35 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--strict", action="store_true",
         help="fail on warnings too, not just errors",
+    )
+    classify = commands.add_parser(
+        "classify",
+        help="must/may abstract-interpretation cache analysis of one program",
+    )
+    classify.add_argument("program", help="bundled program name (see lint)")
+    classify.add_argument("--net", type=int, default=1024, help="net size (bytes)")
+    classify.add_argument("--block", type=int, default=16, help="block size")
+    classify.add_argument("--sub", type=int, default=None, help="sub-block size")
+    classify.add_argument("--assoc", type=int, default=4, help="associativity")
+    classify.add_argument("--word", type=int, default=2, choices=[2, 4],
+                          help="data-path width to assemble for (default 2)")
+    classify.add_argument(
+        "--fetch",
+        default="demand",
+        choices=["demand", "load-forward", "load-forward-optimized"],
+    )
+    classify.add_argument(
+        "--stack-words", type=int, default=4096, metavar="N",
+        help="machine stack capacity the analysis assumes (default 4096)",
+    )
+    classify.add_argument(
+        "--format", dest="fmt", default="text", choices=["text", "json"],
+        help="report format",
+    )
+    classify.add_argument(
+        "--verify", action="store_true",
+        help="differentially check the classification against an actual "
+             "machine run through the simulator (exit 1 on any violation)",
     )
     commands.add_parser("riscii", help="RISC II instruction-cache results")
     commands.add_parser("suites", help="list the workload suites and traces")
@@ -365,6 +412,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_simulate(args)
     elif args.command == "lint":
         return _cmd_lint(args)
+    elif args.command == "classify":
+        return _cmd_classify(args)
     elif args.command == "chaos":
         from repro.runner.chaos import run_chaos
 
@@ -372,7 +421,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             quick=args.quick,
             seed=args.seed,
             checkpoint_dir=args.checkpoint_dir,
-            engine=args.engine,
+            engine="checked" if args.sanitize else args.engine,
         )
     elif args.command == "serve":
         from repro.service.app import run_server
@@ -436,6 +485,7 @@ def _cmd_lint(args) -> int:
         print(
             json.dumps(
                 {
+                    "schema_version": 1,
                     "programs": [
                         {
                             "name": name,
@@ -467,6 +517,100 @@ def _cmd_lint(args) -> int:
         )
     failed = errors > 0 or (args.strict and warnings > 0)
     return 1 if failed else 0
+
+
+def _cmd_classify(args) -> int:
+    """Abstract-interpretation cache classification of one program.
+
+    Exit codes: 0 = analysis (and, with ``--verify``, the differential
+    check) succeeded; 1 = the program has error-severity findings, the
+    geometry is invalid, or verification found a violated proof.
+    """
+    import inspect
+    import json
+
+    from repro.core.config import CacheGeometry
+    from repro.errors import ConfigurationError
+    from repro.staticcheck import classify_program, verify_classification
+    from repro.workloads.assembler import assemble
+    from repro.workloads.programs import PROGRAMS
+
+    if args.program not in PROGRAMS:
+        raise SystemExit(
+            f"repro: unknown program {args.program!r}; "
+            f"choose from {sorted(PROGRAMS)}"
+        )
+    builder = PROGRAMS[args.program]
+    params = (
+        {"seed": 0}
+        if "seed" in inspect.signature(builder).parameters
+        else {}
+    )
+    program = assemble(builder(**params).source, word_size=args.word)
+    try:
+        geometry = CacheGeometry(
+            net_size=args.net,
+            block_size=args.block,
+            sub_block_size=args.sub if args.sub is not None else args.block,
+            associativity=args.assoc,
+        )
+        report = classify_program(
+            program,
+            geometry,
+            fetch=args.fetch,
+            stack_words=args.stack_words,
+            name=args.program,
+        )
+    except ConfigurationError as error:
+        print(f"repro: classify failed: {error}", file=sys.stderr)
+        return 1
+    verification = (
+        verify_classification(program, report) if args.verify else None
+    )
+
+    if args.fmt == "json":
+        payload = report.to_dict()
+        if verification is not None:
+            payload["verification"] = verification.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        counts = report.counts
+        print(
+            f"{report.name}: {len(report.sites)} site(s) @ "
+            f"net {report.net_size} B, block {report.block_size}, "
+            f"sub-block {report.sub_block_size}, "
+            f"{report.associativity}-way, {report.fetch} fetch"
+        )
+        for key, value in counts.items():
+            print(f"  {key:13s} {value}")
+        print(f"  unclassified fraction: {report.unclassified_fraction:.3f}")
+        for site in report.sites:
+            if site.classification.value == "unclassified":
+                continue
+            target = (
+                f" -> {site.target:#x}" if site.target is not None else ""
+            )
+            print(
+                f"  addr {site.instr_addr:#06x} [{site.site}] "
+                f"{site.kind}{target}: {site.classification.value}"
+            )
+        if verification is not None:
+            status = "PASSED" if verification.ok else "FAILED"
+            print(
+                f"  verification {status}: {verification.accesses} accesses "
+                f"({verification.checked} against proofs, "
+                f"{verification.unclassified_accesses} unclassified)"
+            )
+            for site, occurrence, expected, observed in (
+                verification.violations[:10]
+            ):
+                print(
+                    f"    VIOLATION {site} occurrence {occurrence}: "
+                    f"expected {expected}, observed {observed}"
+                )
+    if verification is not None and not verification.ok:
+        return 1
+    return 0
 
 
 def _cmd_simulate(args) -> None:

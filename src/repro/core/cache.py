@@ -159,7 +159,7 @@ class SubBlockCache:
         sub_mask = 1 << geometry.sub_block_index(addr)
 
         blk = None
-        for way, candidate in enumerate(ways):
+        for candidate in ways:
             if candidate is not None and candidate.tag == tag:
                 blk = candidate
                 break
@@ -236,12 +236,14 @@ class SubBlockCache:
         is_write = kind is AccessType.WRITE
 
         blk = None
+        hit_way = -1
         for way, candidate in enumerate(ways):
             if candidate is not None and candidate.tag == tag:
                 blk = candidate
+                hit_way = way
                 break
         if blk is not None:
-            self.replacement.on_hit(state, way)
+            self.replacement.on_hit(state, hit_way)
             missing = needed & ~blk.valid
             blk.referenced |= needed
             if not missing:

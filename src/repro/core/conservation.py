@@ -1,0 +1,186 @@
+"""Conservation laws over :class:`~repro.core.stats.CacheStats`.
+
+Every counter the simulator maintains is related to the others by
+arithmetic identities that hold at *every* point of a run — after any
+prefix of accesses, whatever the geometry, policies, or warm-up resets.
+:func:`check_stats_conservation` evaluates all of them and returns the
+violations, which is what the checked engine
+(:mod:`repro.engine.checked`) asserts per access and what tests use to
+validate serialized stats.
+
+The laws (``K`` = sub-blocks per block, ``W`` = word size in bytes):
+
+===========================  ==================================================
+rule                         identity
+===========================  ==================================================
+``conservation-hits``        ``0 <= misses <= accesses``
+``conservation-kind-sum``    ``accesses == sum(accesses_by_kind)`` and
+                             ``misses == sum(misses_by_kind)``
+``conservation-kind-bound``  ``misses_by_kind[k] <= accesses_by_kind[k]``
+``conservation-miss-split``  every non-write miss records a block- or
+                             sub-block-level miss:
+                             ``misses - misses_by_kind[WRITE]
+                             <= block_misses + sub_block_misses``
+``conservation-traffic``     ``bytes_fetched == W * sum(words * count)``
+                             over the transaction histogram
+``conservation-redundant``   ``redundant_bytes_fetched <= bytes_fetched``
+``conservation-eviction``    ``evicted_sub_blocks_total == evictions * K``
+                             and ``referenced <= total``
+``conservation-writeback``   ``writebacks <= evictions`` and the written
+                             bytes fit ``[writebacks * sub_block,
+                             writebacks * block]``
+``conservation-negative``    no counter is negative
+===========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import CacheGeometry
+from repro.core.stats import CacheStats
+from repro.trace.record import AccessType
+
+__all__ = ["check_stats_conservation"]
+
+
+def check_stats_conservation(
+    stats: CacheStats,
+    geometry: Optional[CacheGeometry] = None,
+    word_size: Optional[int] = None,
+) -> List[str]:
+    """Return every violated conservation law as ``"rule: detail"`` strings.
+
+    Args:
+        stats: The counters to validate.
+        geometry: When given, enables the geometry-dependent laws
+            (eviction totals, write-back byte bounds).
+        word_size: When given, enables the transaction-histogram traffic
+            law (``bytes_fetched`` must equal the histogram total).
+
+    Returns:
+        An empty list when every law holds.
+    """
+    violations: List[str] = []
+
+    def fail(rule: str, detail: str) -> None:
+        violations.append(f"{rule}: {detail}")
+
+    counters = {
+        "accesses": stats.accesses,
+        "misses": stats.misses,
+        "block_misses": stats.block_misses,
+        "sub_block_misses": stats.sub_block_misses,
+        "bytes_accessed": stats.bytes_accessed,
+        "bytes_fetched": stats.bytes_fetched,
+        "redundant_bytes_fetched": stats.redundant_bytes_fetched,
+        "evictions": stats.evictions,
+        "evicted_sub_blocks_referenced": stats.evicted_sub_blocks_referenced,
+        "evicted_sub_blocks_total": stats.evicted_sub_blocks_total,
+        "writebacks": stats.writebacks,
+        "bytes_written_back": stats.bytes_written_back,
+        "bytes_written_through": stats.bytes_written_through,
+        "prefetches": stats.prefetches,
+    }
+    for name, value in counters.items():
+        if value < 0:
+            fail("conservation-negative", f"{name} = {value}")
+    for histogram_name, histogram in (
+        ("accesses_by_kind", stats.accesses_by_kind),
+        ("misses_by_kind", stats.misses_by_kind),
+        ("transaction_words", stats.transaction_words),
+    ):
+        for key, value in histogram.items():
+            if value < 0:
+                fail("conservation-negative", f"{histogram_name}[{key}] = {value}")
+
+    if not 0 <= stats.misses <= stats.accesses:
+        fail(
+            "conservation-hits",
+            f"misses ({stats.misses}) outside [0, accesses={stats.accesses}]",
+        )
+    kind_accesses = sum(stats.accesses_by_kind.values())
+    kind_misses = sum(stats.misses_by_kind.values())
+    if stats.accesses != kind_accesses:
+        fail(
+            "conservation-kind-sum",
+            f"accesses ({stats.accesses}) != by-kind sum ({kind_accesses})",
+        )
+    if stats.misses != kind_misses:
+        fail(
+            "conservation-kind-sum",
+            f"misses ({stats.misses}) != by-kind sum ({kind_misses})",
+        )
+    for kind in stats.accesses_by_kind:
+        if stats.misses_by_kind.get(kind, 0) > stats.accesses_by_kind[kind]:
+            fail(
+                "conservation-kind-bound",
+                f"{kind.name.lower()} misses "
+                f"({stats.misses_by_kind.get(kind, 0)}) exceed accesses "
+                f"({stats.accesses_by_kind[kind]})",
+            )
+    # A non-allocating write miss records neither a block nor a sub-block
+    # miss, so only the read/ifetch misses are bounded by the split.
+    write_misses = stats.misses_by_kind.get(AccessType.WRITE, 0)
+    if stats.misses - write_misses > stats.block_misses + stats.sub_block_misses:
+        fail(
+            "conservation-miss-split",
+            f"{stats.misses - write_misses} non-write misses but only "
+            f"{stats.block_misses} block + {stats.sub_block_misses} "
+            "sub-block miss events",
+        )
+    if stats.redundant_bytes_fetched > stats.bytes_fetched:
+        fail(
+            "conservation-redundant",
+            f"redundant bytes ({stats.redundant_bytes_fetched}) exceed "
+            f"fetched bytes ({stats.bytes_fetched})",
+        )
+    if word_size is not None:
+        histogram_bytes = word_size * sum(
+            words * count for words, count in stats.transaction_words.items()
+        )
+        if stats.bytes_fetched != histogram_bytes:
+            fail(
+                "conservation-traffic",
+                f"bytes_fetched ({stats.bytes_fetched}) != transaction "
+                f"histogram total ({histogram_bytes})",
+            )
+    if geometry is not None:
+        expected_total = stats.evictions * geometry.sub_blocks_per_block
+        if stats.evicted_sub_blocks_total != expected_total:
+            fail(
+                "conservation-eviction",
+                f"evicted_sub_blocks_total ({stats.evicted_sub_blocks_total})"
+                f" != evictions * sub_blocks_per_block ({expected_total})",
+            )
+        if stats.writebacks and not (
+            stats.writebacks * geometry.sub_block_size
+            <= stats.bytes_written_back
+            <= stats.writebacks * geometry.block_size
+        ):
+            fail(
+                "conservation-writeback",
+                f"bytes_written_back ({stats.bytes_written_back}) outside "
+                f"[{stats.writebacks * geometry.sub_block_size}, "
+                f"{stats.writebacks * geometry.block_size}] for "
+                f"{stats.writebacks} writeback(s)",
+            )
+        if stats.writebacks == 0 and stats.bytes_written_back != 0:
+            fail(
+                "conservation-writeback",
+                f"{stats.bytes_written_back} bytes written back without a "
+                "recorded writeback",
+            )
+    if stats.evicted_sub_blocks_referenced > stats.evicted_sub_blocks_total:
+        fail(
+            "conservation-eviction",
+            f"referenced sub-blocks ({stats.evicted_sub_blocks_referenced}) "
+            f"exceed evicted total ({stats.evicted_sub_blocks_total})",
+        )
+    if stats.writebacks > stats.evictions:
+        fail(
+            "conservation-writeback",
+            f"writebacks ({stats.writebacks}) exceed evictions "
+            f"({stats.evictions})",
+        )
+    return violations

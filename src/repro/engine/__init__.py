@@ -11,6 +11,9 @@ Public surface:
   loop (semantics baseline; handles guarded / fault-injected traces).
 * :class:`~repro.engine.vectorized.VectorizedEngine` — the NumPy batch
   engine, pinned to the reference by the equivalence suite.
+* :class:`~repro.engine.checked.CheckedEngine` — reference semantics
+  plus per-access sanitizer assertions (cache-model invariants and
+  statistics conservation laws); the ``--sanitize`` engine.
 * :class:`~repro.engine.traceview.TraceView` — shared cached decode of
   one trace, reused across every geometry of a sweep.
 * :mod:`repro.engine.batch` — the batch entry point: prepare and
@@ -23,6 +26,7 @@ contract.
 
 from repro.engine.base import ENGINE_NAMES, Engine, make_engine, resolve_engine
 from repro.engine.batch import CellSpec, predecode, prepare_trace, run_batch, run_cell
+from repro.engine.checked import CheckedCache, CheckedEngine, check_cache_invariants
 from repro.engine.reference import ReferenceEngine
 from repro.engine.traceview import TraceView
 from repro.engine.vectorized import VectorizedEngine
@@ -34,6 +38,9 @@ __all__ = [
     "resolve_engine",
     "ReferenceEngine",
     "VectorizedEngine",
+    "CheckedEngine",
+    "CheckedCache",
+    "check_cache_invariants",
     "TraceView",
     "CellSpec",
     "prepare_trace",

@@ -39,8 +39,11 @@ from repro.trace.record import Trace
 
 __all__ = ["Engine", "ENGINE_NAMES", "make_engine", "resolve_engine"]
 
-#: Accepted ``--engine`` values; ``auto`` resolves per run.
-ENGINE_NAMES = ("auto", "reference", "vectorized")
+#: Accepted ``--engine`` values; ``auto`` resolves per run.  ``checked``
+#: is the sanitizing wrapper (reference semantics + per-access
+#: invariant assertions; see :mod:`repro.engine.checked`) and is never
+#: chosen by ``auto`` — it must be requested explicitly.
+ENGINE_NAMES = ("auto", "reference", "vectorized", "checked")
 
 
 class Engine(ABC):
@@ -83,7 +86,7 @@ class Engine(ABC):
 
 
 def make_engine(name: str) -> Engine:
-    """Build an engine by name (``reference`` or ``vectorized``).
+    """Build an engine by name (``reference``, ``vectorized``, ``checked``).
 
     ``auto`` is not a constructible engine — it is a per-run choice;
     use :func:`resolve_engine`.
@@ -92,6 +95,7 @@ def make_engine(name: str) -> Engine:
         ConfigurationError: For an unknown name (including ``auto``).
     """
     # Imported here: the implementations import this module for Engine.
+    from repro.engine.checked import CheckedEngine
     from repro.engine.reference import ReferenceEngine
     from repro.engine.vectorized import VectorizedEngine
 
@@ -100,8 +104,11 @@ def make_engine(name: str) -> Engine:
         return ReferenceEngine()
     if key == "vectorized":
         return VectorizedEngine()
+    if key == "checked":
+        return CheckedEngine()
     raise ConfigurationError(
-        f"unknown engine {name!r}; choose from ['reference', 'vectorized']"
+        f"unknown engine {name!r}; choose from "
+        "['reference', 'vectorized', 'checked']"
     )
 
 
@@ -126,6 +133,10 @@ def resolve_engine(name: str, trace) -> Engine:
         raise ConfigurationError(
             f"unknown engine {name!r}; choose from {list(ENGINE_NAMES)}"
         )
+    if key == "checked":
+        # The sanitizer wrapper shares the reference engine's per-access
+        # loop, so it can execute any trace proxy directly.
+        return make_engine("checked")
     batchable = isinstance(trace, (Trace, TraceView))
     if key == "reference" or not batchable:
         return ReferenceEngine()

@@ -118,6 +118,35 @@ class EngineError(ReproError, RuntimeError):
     """
 
 
+class SanitizerError(EngineError):
+    """The checked engine caught a cache-model invariant violation.
+
+    Raised by :class:`repro.engine.checked.CheckedEngine` when a
+    per-access assertion fails — a corrupted LRU stack, a duplicate tag
+    within a set, a valid bit outside the block's sub-block range, or a
+    statistics counter that broke a conservation law.  Deterministic
+    like every :class:`EngineError`: it marks a simulator bug (or a
+    deliberately seeded fault in tests), never a flaky cell.
+
+    Attributes:
+        rule: Stable identifier of the violated invariant (e.g.
+            ``"sanitizer-lru-stack"``); the catalogue lives in
+            ``docs/staticcheck.md``.
+        diagnostics: Structured findings, each a
+            :class:`repro.staticcheck.Diagnostic`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rule: str = "",
+        diagnostics: "list | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.rule = rule
+        self.diagnostics = list(diagnostics) if diagnostics else []
+
+
 class CellTimeoutError(ReproError, TimeoutError):
     """A sweep cell exceeded its wall-clock timeout or access budget.
 

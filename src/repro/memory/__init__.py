@@ -3,9 +3,9 @@
 from repro.memory.bus import Bus
 from repro.memory.multiproc import SharedBusResult, SharedBusSystem
 from repro.memory.nibble import (
-    BusCostModel,
     LINEAR_BUS,
     NIBBLE_MODE_BUS,
+    BusCostModel,
     scaled_traffic_factor,
 )
 from repro.memory.timing import MemoryTiming, effective_access_time

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.errors import ConfigurationError
-from repro.memory.nibble import BusCostModel, LINEAR_BUS
+from repro.memory.nibble import LINEAR_BUS, BusCostModel
 
 __all__ = ["Bus"]
 

@@ -27,7 +27,7 @@ from typing import List, Sequence
 
 from repro.core.cache import SubBlockCache
 from repro.errors import ConfigurationError
-from repro.memory.nibble import BusCostModel, NIBBLE_MODE_BUS
+from repro.memory.nibble import NIBBLE_MODE_BUS, BusCostModel
 from repro.trace.record import Trace
 
 __all__ = ["SharedBusSystem", "SharedBusResult"]

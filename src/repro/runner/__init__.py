@@ -8,12 +8,12 @@ See ``docs/resilience.md`` for the architecture and the checkpoint
 format.
 """
 
+from repro.runner.chaos import run_chaos
 from repro.runner.checkpoint import (
     CheckpointWriter,
     load_checkpoint,
     sweep_fingerprint,
 )
-from repro.runner.chaos import run_chaos
 from repro.runner.faults import FaultInjector, FaultyTrace, SweepAborted, corrupt_din
 from repro.runner.health import CellOutcome, CellStatus, HealthMonitor, RunReport
 from repro.runner.retry import RetryPolicy, call_with_retry

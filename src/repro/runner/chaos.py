@@ -202,11 +202,15 @@ def run_chaos(
 
     # -- Scenario 5: a stalled cell trips the timeout ---------------------
     stalled_key = cell_key(geometries[-1], traces[-1].name)
+    # The checked engine asserts invariants per access (~10x slower), so
+    # healthy cells need a wider budget; the stall sleeps per access and
+    # blows through either budget by orders of magnitude.
+    cell_timeout = 1.0 if engine == "checked" else 0.05
     timed, timeout_report = run_sweep(
         traces, geometries, word_size=2,
         config=config(
             lenient=True,
-            cell_timeout=0.05,
+            cell_timeout=cell_timeout,
             injector=FaultInjector(
                 stall_cells=(stalled_key,), stall_seconds=0.002,
             ),

@@ -61,7 +61,7 @@ from repro.errors import (
     EngineError,
     ReproError,
 )
-from repro.memory.nibble import BusCostModel, NIBBLE_MODE_BUS
+from repro.memory.nibble import NIBBLE_MODE_BUS, BusCostModel
 from repro.runner.checkpoint import (
     CheckpointWriter,
     load_checkpoint,

@@ -39,7 +39,7 @@ from repro.engine.base import resolve_engine
 from repro.engine.batch import predecode, prepare_trace, run_cell
 from repro.errors import ReproError
 from repro.memory.nibble import NIBBLE_MODE_BUS
-from repro.runner.health import RunReport, CellOutcome, CellStatus
+from repro.runner.health import CellOutcome, CellStatus, RunReport
 from repro.service.admission import AdmissionController, Breaker
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.metrics import MetricsRegistry

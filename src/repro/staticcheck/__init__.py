@@ -15,12 +15,26 @@ Three layers, all producing the same structured
   validation with stable rule ids, wired in as fail-fast preflight for
   the runner (reject before checkpointing) and the HTTP service
   (400 with diagnostics, engine never invoked).
+* **Abstract cache analysis** (:mod:`repro.staticcheck.abscache`) —
+  must/may abstract interpretation classifying every reference site as
+  always-hit / always-miss / first-miss / unclassified for one concrete
+  geometry, differentially verified against the simulator.
 
 ``python -m repro lint`` runs the program analyzer over every bundled
-workload program.  See ``docs/staticcheck.md`` for the rule catalogue.
+workload program; ``python -m repro classify`` runs the abstract cache
+analysis.  See ``docs/staticcheck.md`` for the rule catalogue.
 """
 
 from repro.errors import StaticCheckError
+from repro.staticcheck.abscache import (
+    ClassificationReport,
+    SiteClass,
+    SiteResult,
+    VerificationResult,
+    classify_program,
+    predict_knee,
+    verify_classification,
+)
 from repro.staticcheck.cfg import BasicBlock, ControlFlowGraph, Loop, build_cfg
 from repro.staticcheck.checks import PROGRAM_RULES, check_program
 from repro.staticcheck.configlint import (
@@ -48,6 +62,13 @@ from repro.staticcheck.locality import (
 from repro.staticcheck.preflight import preflight_sweep
 
 __all__ = [
+    "ClassificationReport",
+    "SiteClass",
+    "SiteResult",
+    "VerificationResult",
+    "classify_program",
+    "predict_knee",
+    "verify_classification",
     "BasicBlock",
     "ControlFlowGraph",
     "Loop",

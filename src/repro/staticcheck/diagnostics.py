@@ -86,6 +86,46 @@ class Diagnostic:
             payload["data"] = dict(self.data)
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Diagnostic":
+        """Rebuild a finding from its :meth:`to_dict` form.
+
+        Strict, like :meth:`repro.core.stats.CacheStats.from_dict`:
+        the four always-emitted keys must be present, only the two
+        optional keys may be absent, and anything else is rejected —
+        a schema drift between writer and reader should fail loudly,
+        not produce a half-empty finding.
+
+        Raises:
+            ValueError: On missing required keys, unknown keys, or an
+                unknown severity value.
+        """
+        required = {"rule", "severity", "message", "source"}
+        optional = {"location", "data"}
+        keys = set(payload)
+        missing = sorted(required - keys)
+        unknown = sorted(keys - required - optional)
+        if missing or unknown:
+            raise ValueError(
+                "diagnostic payload mismatch: "
+                f"missing keys {missing}, unknown keys {unknown}"
+            )
+        try:
+            severity = Severity(payload["severity"])
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {payload['severity']!r}; expected one of "
+                f"{[level.value for level in Severity]}"
+            ) from None
+        return cls(
+            rule=payload["rule"],
+            severity=severity,
+            message=payload["message"],
+            source=payload["source"],
+            location=payload.get("location"),
+            data=dict(payload.get("data", {})),
+        )
+
     def render(self) -> str:
         """One-line ``source:location: severity [rule] message`` form."""
         where = self.source

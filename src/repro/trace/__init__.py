@@ -1,8 +1,5 @@
 """Address traces: the record model, file formats, transforms, statistics."""
 
-from repro.trace.record import Access, AccessType, Trace
-from repro.trace.reader import read_din, read_npz
-from repro.trace.writer import write_din, write_npz
 from repro.trace.filters import (
     align_addresses,
     interleave,
@@ -11,12 +8,15 @@ from repro.trace.filters import (
     reads_only,
     truncate,
 )
+from repro.trace.reader import read_din, read_npz
+from repro.trace.record import Access, AccessType, Trace
 from repro.trace.stats import (
     TraceProfile,
     profile_trace,
     run_length_histogram,
     working_set_curve,
 )
+from repro.trace.writer import write_din, write_npz
 
 __all__ = [
     "Access",

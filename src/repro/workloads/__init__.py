@@ -21,9 +21,9 @@ from repro.workloads.machine import Machine, MachineResult
 from repro.workloads.programs import PROGRAMS, ProgramSpec
 from repro.workloads.suites import (
     SUITES,
-    TraceSpec,
     Z8000_FIGURE_TRACES,
     Z8000_LOADFORWARD_TRACES,
+    TraceSpec,
     clear_trace_cache,
     suite_names,
     suite_specs,

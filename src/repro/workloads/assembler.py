@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import AssemblyError
-from repro.workloads.isa import HAS_IMMEDIATE, Instruction, Op, OPCODES, REGISTER_ALIASES
+from repro.workloads.isa import HAS_IMMEDIATE, OPCODES, REGISTER_ALIASES, Instruction, Op
 
 __all__ = ["AssembledProgram", "assemble"]
 
@@ -222,7 +222,7 @@ def assemble(source: str, word_size: int = 2, code_base: int = 0x100) -> Assembl
     # Place instructions: two words when an immediate is carried.
     addresses: List[int] = []
     addr = code_base
-    for lineno, mnemonic, operands in pending:
+    for _lineno, mnemonic, _operands in pending:
         addresses.append(addr)
         addr += word_size * (2 if OPCODES[mnemonic] in HAS_IMMEDIATE else 1)
     data_base = addr

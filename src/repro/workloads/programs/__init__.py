@@ -11,7 +11,6 @@ program proven to have done its job.
 
 from typing import Callable, Dict
 
-from repro.workloads.programs._common import ProgramSpec
 from repro.workloads.programs import (
     bubble,
     editor,
@@ -27,6 +26,7 @@ from repro.workloads.programs import (
     tree,
     wordcount,
 )
+from repro.workloads.programs._common import ProgramSpec
 
 #: Program name -> builder (each returns a ProgramSpec).
 PROGRAMS: Dict[str, Callable[..., ProgramSpec]] = {

@@ -22,13 +22,12 @@ live in :mod:`repro.workloads.architectures`.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import List
 
 from repro.errors import ConfigurationError
 from repro.trace.record import AccessType, Trace
-
-import random
 
 __all__ = ["SyntheticProfile", "generate_synthetic"]
 

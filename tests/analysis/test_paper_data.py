@@ -14,7 +14,7 @@ from repro.core.config import CacheGeometry
 
 class TestTable7Consistency:
     def test_all_keys_are_valid_geometries(self):
-        for arch, rows in TABLE7.items():
+        for rows in TABLE7.values():
             for net, block, sub in rows:
                 CacheGeometry(net, block, sub)  # must not raise
 
@@ -36,7 +36,7 @@ class TestTable7Consistency:
                 )
 
     def test_miss_decreases_with_net_size(self):
-        for arch, rows in TABLE7.items():
+        for rows in TABLE7.values():
             for net_small, net_large in ((64, 256), (256, 1024)):
                 for net, block, sub in rows:
                     if net != net_small or (net_large, block, sub) not in rows:
@@ -47,7 +47,7 @@ class TestTable7Consistency:
                     )
 
     def test_miss_increases_as_sub_block_shrinks(self):
-        for arch, rows in TABLE7.items():
+        for rows in TABLE7.values():
             for (net, block, sub), point in rows.items():
                 smaller = (net, block, sub // 2)
                 if smaller in rows:

@@ -36,7 +36,7 @@ class TestSectorBehaviour:
         cache = model85_cache()
         # Touch 17 distinct 1024-byte regions round-robin: every access
         # misses because only 16 tags exist.
-        for repeat in range(3):
+        for _repeat in range(3):
             for region in range(17):
                 cache.access(region * 1024)
         assert cache.stats.hits == 0
@@ -46,7 +46,7 @@ class TestSectorBehaviour:
         # One hot word in each of 17 separate 1024-byte regions, offset
         # so the 64-byte blocks land in distinct sets (the scattered-
         # hot-data pattern that ruins the sector cache).
-        for repeat in range(3):
+        for _repeat in range(3):
             for region in range(17):
                 cache.access(region * 1024 + region * 64)
         # After the cold pass everything hits: miss ratio 17/51 versus

@@ -1,0 +1,142 @@
+"""The checked engine: equivalence plus seeded-fault detection.
+
+Two obligations.  First, the sanitizer must be invisible when nothing
+is wrong: identical stats to the reference engine, access for access.
+Second — the reason it exists — each class of cache-model corruption
+must trip its *own* sanitizer rule on the access that exposes it:
+replacement-stack corruption, stale valid bits, and statistics counter
+drift are seeded directly into a live cache and must raise
+:class:`~repro.errors.SanitizerError` with the matching rule id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.engine import CheckedCache, CheckedEngine, ReferenceEngine
+from repro.errors import EngineError, SanitizerError
+from repro.trace.record import AccessType, Trace
+
+GEOMETRY = CacheGeometry(net_size=256, block_size=16, sub_block_size=8, associativity=2)
+
+
+def _trace(n=400, addr_space=1024, seed=3):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        rng.integers(0, addr_space, n).astype(np.int64),
+        rng.choice([0, 0, 1, 2], n).astype(np.uint8),
+        np.full(n, 2, np.uint8),
+        name="checked-rnd",
+    )
+
+
+def _warm_cache(accesses=64):
+    """A CheckedCache with a healthy populated state."""
+    cache = CheckedCache(GEOMETRY, word_size=2)
+    rng = np.random.default_rng(11)
+    for addr in rng.integers(0, 512, accesses):
+        cache.access(int(addr), AccessType.READ, 2)
+    return cache
+
+def _resident_block(cache):
+    """(set index, way, block) of some resident block."""
+    for set_index, ways in enumerate(cache._sets):
+        for way, blk in enumerate(ways):
+            if blk is not None:
+                return set_index, way, blk
+    raise AssertionError("warm cache has no resident block")
+
+
+def _other_set_addr(set_index):
+    """An address mapping to a different set than ``set_index``.
+
+    The detecting access must not touch the corrupted set: the check
+    scans the whole cache either way, but an access in the same set
+    could evict or refill the corrupted block before the scan sees it.
+    """
+    other = (set_index + 1) % GEOMETRY.num_sets
+    return GEOMETRY.block_size * (other + GEOMETRY.num_sets * 100)
+
+
+class TestEquivalence:
+    def test_checked_matches_reference_exactly(self, z8000_grep_trace):
+        checked = CheckedEngine().run(GEOMETRY, z8000_grep_trace)
+        reference = ReferenceEngine().run(GEOMETRY, z8000_grep_trace)
+        assert checked.snapshot() == reference.snapshot()
+        assert checked.transaction_words == reference.transaction_words
+        assert checked.accesses_by_kind == reference.accesses_by_kind
+
+    def test_clean_random_run_raises_nothing(self):
+        stats = CheckedEngine().run(GEOMETRY, _trace(), warmup=0)
+        assert stats.accesses == 400
+
+    def test_sanitizer_error_is_an_engine_error(self):
+        # The runner's retry/lenient machinery keys on EngineError.
+        assert issubclass(SanitizerError, EngineError)
+
+
+class TestSeededFaults:
+    """Each corruption class trips its own rule on the next access."""
+
+    def test_lru_stack_corruption_trips_lru_rule(self):
+        cache = _warm_cache()
+        set_index, way, _ = _resident_block(cache)
+        # Duplicate one way in the recency stack — the classic aliasing
+        # bug when a hit update inserts instead of moving.
+        stack = cache._policy_state[set_index]
+        stack.append(stack[0] if stack else way)
+        with pytest.raises(SanitizerError) as excinfo:
+            cache.access(_other_set_addr(set_index), AccessType.READ, 2)
+        assert excinfo.value.rule == "sanitizer-lru-stack"
+        assert excinfo.value.diagnostics[0].rule == "sanitizer-lru-stack"
+
+    def test_stale_valid_bit_trips_valid_mask_rule(self):
+        cache = _warm_cache()
+        set_index, _, blk = _resident_block(cache)
+        # A valid bit beyond the geometry's sub-block range: the stale
+        # mask a geometry change or bad sector fill would leave behind.
+        blk.valid |= 1 << GEOMETRY.sub_blocks_per_block
+        with pytest.raises(SanitizerError) as excinfo:
+            cache.access(_other_set_addr(set_index), AccessType.READ, 2)
+        assert excinfo.value.rule == "sanitizer-valid-mask"
+
+    def test_resident_block_with_no_valid_bits_trips_valid_mask_rule(self):
+        cache = _warm_cache()
+        set_index, _, blk = _resident_block(cache)
+        blk.valid = 0
+        with pytest.raises(SanitizerError) as excinfo:
+            cache.access(_other_set_addr(set_index), AccessType.READ, 2)
+        assert excinfo.value.rule == "sanitizer-valid-mask"
+
+    def test_counter_drift_trips_conservation_rule(self):
+        cache = _warm_cache()
+        # Drift the aggregate miss counter away from its by-kind split.
+        cache.stats.misses += 1
+        with pytest.raises(SanitizerError) as excinfo:
+            cache.access(0, AccessType.READ, 2)
+        assert excinfo.value.rule == "sanitizer-conservation"
+        assert "conservation-" in str(excinfo.value)
+
+    def test_duplicate_tag_trips_tag_rule(self):
+        cache = _warm_cache()
+        set_index, way, blk = _resident_block(cache)
+        ways = cache._sets[set_index]
+        other = next(
+            (w for w, b in enumerate(ways) if b is not None and w != way),
+            None,
+        )
+        if other is None:  # pragma: no cover - geometry keeps sets full
+            pytest.skip("need two resident blocks in one set")
+        ways[other].tag = blk.tag
+        with pytest.raises(SanitizerError) as excinfo:
+            cache.access(_other_set_addr(set_index), AccessType.READ, 2)
+        assert excinfo.value.rule == "sanitizer-tag-dup"
+
+    def test_fill_count_drift_trips_fill_rule(self):
+        cache = _warm_cache()
+        cache._filled_blocks = GEOMETRY.num_blocks + 1
+        with pytest.raises(SanitizerError) as excinfo:
+            cache.access(0, AccessType.READ, 2)
+        assert excinfo.value.rule == "sanitizer-fill-count"

@@ -11,6 +11,7 @@ drift in either engine fails deterministically.
 
 from __future__ import annotations
 
+import os
 import random
 
 import numpy as np
@@ -24,10 +25,15 @@ from repro.core.replacement import (
     RandomReplacement,
 )
 from repro.core.write import WritePolicy
-from repro.engine import ReferenceEngine, TraceView, VectorizedEngine
+from repro.engine import CheckedEngine, ReferenceEngine, TraceView, VectorizedEngine
 from repro.trace.record import Trace
 
-REFERENCE = ReferenceEngine()
+# REPRO_SANITIZE=1 swaps the reference side of every comparison for the
+# checked engine (identical semantics, per-access invariant assertions),
+# so this suite doubles as the sanitizer smoke pass in CI.
+REFERENCE = (
+    CheckedEngine() if os.environ.get("REPRO_SANITIZE") else ReferenceEngine()
+)
 VECTORIZED = VectorizedEngine()
 
 #: Every CacheStats counter an engine can produce.

@@ -6,6 +6,7 @@ import pytest
 
 from repro.engine import (
     ENGINE_NAMES,
+    CheckedEngine,
     ReferenceEngine,
     TraceView,
     VectorizedEngine,
@@ -13,16 +14,17 @@ from repro.engine import (
     resolve_engine,
 )
 from repro.errors import ConfigurationError, EngineError
-from repro.runner.runner import RunnerConfig, run_sweep, _GuardedTrace
+from repro.runner.runner import RunnerConfig, _GuardedTrace, run_sweep
 
 
 def test_engine_names_are_the_cli_choices():
-    assert ENGINE_NAMES == ("auto", "reference", "vectorized")
+    assert ENGINE_NAMES == ("auto", "reference", "vectorized", "checked")
 
 
 def test_make_engine_by_name():
     assert isinstance(make_engine("reference"), ReferenceEngine)
     assert isinstance(make_engine("vectorized"), VectorizedEngine)
+    assert isinstance(make_engine("checked"), CheckedEngine)
 
 
 def test_make_engine_rejects_unknown_and_auto():

@@ -19,7 +19,7 @@ from repro.analysis import (
     table7_experiment,
 )
 from repro.analysis.sweep import geometry_grid
-from repro.trace import reads_only, write_din, read_din
+from repro.trace import read_din, reads_only, write_din
 from repro.workloads import Z8000_FIGURE_TRACES, suite_traces
 
 LEN = 10_000

@@ -5,9 +5,9 @@ from hypothesis import given, strategies as st
 
 from repro.errors import ConfigurationError
 from repro.memory.nibble import (
-    BusCostModel,
     LINEAR_BUS,
     NIBBLE_MODE_BUS,
+    BusCostModel,
     scaled_traffic_factor,
 )
 

@@ -1,0 +1,106 @@
+"""Diagnostic serialization: lossless round-trip, property-tested.
+
+Mirrors the :class:`~repro.core.stats.CacheStats` round-trip suite:
+``to_dict``/``from_dict`` is what carries findings across the service's
+400 payloads and ``lint``/``classify`` JSON reports, so it must be
+exactly invertible — including the optional ``location`` and the
+structured ``data`` payload — through a real JSON encode/decode.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.staticcheck import Diagnostic, Severity
+
+text = st.text(max_size=40)
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10 ** 12), max_value=10 ** 12),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    text,
+)
+
+#: JSON-safe nested payloads, like the offending-value dumps the
+#: checkers attach (lists of targets, nested geometry snapshots).
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+diagnostics = st.builds(
+    Diagnostic,
+    rule=text,
+    severity=st.sampled_from(list(Severity)),
+    message=text,
+    source=text,
+    location=st.one_of(st.none(), text),
+    data=st.dictionaries(st.text(max_size=10), json_values, max_size=5),
+)
+
+
+def as_tuple(diagnostic: Diagnostic):
+    return (
+        diagnostic.rule,
+        diagnostic.severity,
+        diagnostic.message,
+        diagnostic.source,
+        diagnostic.location,
+        diagnostic.data,
+    )
+
+
+class TestRoundTripProperty:
+    @given(diagnostics)
+    def test_every_field_survives_a_json_round_trip(self, diagnostic):
+        payload = json.loads(json.dumps(diagnostic.to_dict()))
+        restored = Diagnostic.from_dict(payload)
+        assert as_tuple(restored) == as_tuple(diagnostic)
+
+    @given(diagnostics)
+    def test_severity_and_render_agree_after_round_trip(self, diagnostic):
+        restored = Diagnostic.from_dict(diagnostic.to_dict())
+        assert restored.is_error == diagnostic.is_error
+        assert restored.render() == diagnostic.render()
+
+
+class TestStrictness:
+    def payload(self):
+        return Diagnostic(
+            rule="r", severity=Severity.ERROR, message="m", source="s",
+            location="addr 0x2", data={"target": 7},
+        ).to_dict()
+
+    def test_missing_key_rejected(self):
+        payload = self.payload()
+        payload.pop("message")
+        with pytest.raises(ValueError, match="missing keys \\['message'\\]"):
+            Diagnostic.from_dict(payload)
+
+    def test_unknown_key_rejected(self):
+        payload = self.payload()
+        payload["confidence"] = 0.8
+        with pytest.raises(ValueError, match="unknown keys \\['confidence'\\]"):
+            Diagnostic.from_dict(payload)
+
+    def test_unknown_severity_rejected(self):
+        payload = self.payload()
+        payload["severity"] = "catastrophic"
+        with pytest.raises(ValueError, match="unknown severity"):
+            Diagnostic.from_dict(payload)
+
+    def test_optional_fields_default(self):
+        restored = Diagnostic.from_dict(
+            {"rule": "r", "severity": "warning", "message": "m", "source": ""}
+        )
+        assert restored.location is None
+        assert restored.data == {}

@@ -153,3 +153,52 @@ class TestAgainstSimulation:
         comparison = compare_with_sweep(report, points)
         assert comparison.consistent
         assert comparison.monotone
+
+
+class TestLoopFreeComparison:
+    """Regression: a loop-free program against a flat curve.
+
+    Loop-free programs have an empty working-set list, every reference
+    is compulsory, and the measured curve is flat from the smallest
+    cache — which used to be reported as *inconsistent* because the
+    total-footprint estimate sat far above the (meaningless) knee.
+    """
+
+    def test_flat_curve_of_loop_free_program_is_consistent(self):
+        report = footprint(assemble(STRAIGHT_SOURCE), name="straight")
+        assert not report.loops and report.hot_loop_bytes == 0
+        curve = [FakePoint(net, 0.31) for net in (64, 128, 256, 512)]
+        comparison = compare_with_sweep(report, curve)
+        assert comparison.observed_knee_net == 64
+        assert comparison.consistent  # regression: was falsely flagged
+
+    def test_empty_point_list_is_still_defined(self):
+        comparison = compare_with_sweep(
+            footprint(assemble(STRAIGHT_SOURCE)), []
+        )
+        assert comparison.observed_knee_net is None
+        assert comparison.consistent
+        assert comparison.detail == {}
+
+    def test_loop_free_rising_curve_still_uses_the_band(self):
+        # The exemption is only for flat curves: a curve that knees
+        # later keeps the normal slack-band comparison.
+        report = footprint(assemble(STRAIGHT_SOURCE))
+        curve = [FakePoint(16, 0.9), FakePoint(32, 0.31), FakePoint(64, 0.30)]
+        comparison = compare_with_sweep(report, curve)
+        assert comparison.observed_knee_net == 32
+        # predicted = total footprint; 32 is within slack of it here.
+        assert comparison.consistent == (
+            comparison.predicted_bytes / 8.0 <= 32 <= comparison.predicted_bytes * 8
+        )
+
+    def test_classified_knee_replaces_the_structural_estimate(self):
+        report = footprint(assemble(LOOP_SOURCE), name="loop")
+        curve = [
+            FakePoint(64, 0.5), FakePoint(128, 0.5),
+            FakePoint(256, 0.04), FakePoint(512, 0.04),
+        ]
+        comparison = compare_with_sweep(report, curve, classified_knee=256)
+        assert comparison.predicted_bytes == 256
+        assert comparison.observed_knee_net == 256
+        assert comparison.consistent
