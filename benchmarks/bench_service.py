@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import re
 import subprocess
@@ -161,16 +162,26 @@ def scrape_hit_ratio(metrics_text: str) -> float:
     return float(match.group(1)) if match else -1.0
 
 
-def spawn_server(length: int) -> Tuple[subprocess.Popen, str]:
+def spawn_server(
+    length: int,
+    extra_args: Tuple[str, ...] = (),
+    env: Optional[Dict[str, str]] = None,
+) -> Tuple[subprocess.Popen, str]:
     """Start ``python -m repro serve --port 0``; return (proc, url)."""
+    full_env = None
+    if env:
+        full_env = dict(os.environ)
+        full_env.update(env)
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro",
             "--length", str(length),
             "serve", "--port", "0", "--workers", "2",
+            *extra_args,
         ],
         stderr=subprocess.PIPE,
         text=True,
+        env=full_env,
     )
     assert proc.stderr is not None
     deadline = time.time() + 30
@@ -183,6 +194,107 @@ def spawn_server(length: int) -> Tuple[subprocess.Popen, str]:
             return proc, match.group(1)
     proc.terminate()
     raise SystemExit("bench_service: server never reported its port")
+
+
+def scrape_metric(metrics_text: str, name: str, labels: str = "") -> float:
+    needle = f"{name}{labels} "
+    for line in metrics_text.splitlines():
+        if line.startswith(needle):
+            return float(line[len(needle):])
+    return 0.0
+
+
+def run_degraded(args) -> int:
+    """Degraded mode: 1 of N supervised workers crash-looping.
+
+    Two supervised runs over the same unique-query set: a healthy
+    fleet, then one where worker 0 exits at startup forever (the
+    supervisor keeps restarting it with backoff while worker 1 carries
+    the load).  The service must stay at 100% success — slower is
+    expected and reported, broken is a failure.  Writes
+    ``BENCH_service_chaos.json``.
+    """
+    base = {"suite": SUITE, "trace": TRACE, "length": args.length}
+    queries = [
+        dict(base, **geometry)
+        for geometry in unique_geometries(args.cold, args.seed)
+    ]
+    supervised = ("--supervised", "--worker-processes", "2")
+    phases = {}
+    restarts = workers_alive = 0.0
+    for name, env in (
+        ("healthy", None),
+        ("degraded", {
+            "REPRO_WORKER_CRASH_ON_START": "1",
+            "REPRO_WORKER_CHAOS_INDEX": "0",
+        }),
+    ):
+        proc, url = spawn_server(args.length, supervised, env)
+        client = Client(url)
+        try:
+            phases[name] = run_phase(client, name, queries, args.concurrency)
+            metrics = client.get_text("/metrics")
+            if name == "degraded":
+                restarts = scrape_metric(
+                    metrics,
+                    "repro_service_worker_restarts_total",
+                    '{reason="crashed"}',
+                )
+                workers_alive = scrape_metric(
+                    metrics, "repro_service_workers_alive"
+                )
+        finally:
+            proc.terminate()
+            proc.wait(timeout=15)
+
+    slowdown = (
+        phases["degraded"]["wall_seconds"] / phases["healthy"]["wall_seconds"]
+    )
+    artifact = Path(
+        args.out
+        if args.out is not None
+        else Path(__file__).resolve().parent / "BENCH_service_chaos.json"
+    )
+    artifact.write_text(
+        json.dumps(
+            {
+                "workload": {
+                    "suite": SUITE, "trace": TRACE, "length": args.length,
+                    "unique_queries": args.cold,
+                    "concurrency": args.concurrency, "seed": args.seed,
+                },
+                "fleet": {"workers": 2, "crash_looping": 1},
+                "healthy": phases["healthy"],
+                "degraded": phases["degraded"],
+                "degraded_slowdown": slowdown,
+                "worker_restarts_crashed": restarts,
+                "workers_alive_at_end": workers_alive,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(
+        f"  degraded slowdown: {slowdown:.2f}x   crash-loop restarts: "
+        f"{restarts:.0f}   (artifact: {artifact})"
+    )
+
+    failed = []
+    for name in ("healthy", "degraded"):
+        if phases[name]["success_rate"] < args.min_success:
+            failed.append(
+                f"{name} success rate {phases[name]['success_rate']:.3f} "
+                f"< {args.min_success}"
+            )
+    if restarts < 1:
+        failed.append("the crash-looping worker was never restarted")
+    if failed:
+        for reason in failed:
+            print(f"service-chaos-bench: FAIL — {reason}")
+        return 1
+    print("service-chaos-bench: OK")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -205,7 +317,17 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="artifact path (default: BENCH_service.json "
                              "next to this script)")
+    parser.add_argument(
+        "--degraded", action="store_true",
+        help="benchmark a supervised fleet with 1 of 2 workers "
+             "crash-looping instead (writes BENCH_service_chaos.json)",
+    )
     args = parser.parse_args(argv)
+
+    if args.degraded:
+        if args.url is not None:
+            parser.error("--degraded spawns its own servers; drop --url")
+        return run_degraded(args)
 
     base = {"suite": SUITE, "trace": TRACE, "length": args.length}
     rng = random.Random(args.seed)

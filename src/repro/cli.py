@@ -9,8 +9,9 @@ Usage (after ``pip install -e .``)::
     python -m repro riscii [--length N]
     python -m repro suites
     python -m repro trace SUITE NAME [--length N] [--out FILE.din]
-    python -m repro chaos [--quick]
-    python -m repro serve [--host H] [--port P]
+    python -m repro chaos [--quick] [--serve [--out FILE] [--budget S]]
+    python -m repro serve [--host H] [--port P] [--supervised]
+                          [--store-dir DIR]
     python -m repro lint [--format json] [--strict]
     python -m repro classify PROGRAM [--net N] [--format json] [--verify]
     python -m repro --version
@@ -189,13 +190,26 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(figure)
     chaos = commands.add_parser(
         "chaos",
-        help="fault-injection scenarios proving the resilient runner",
+        help="fault-injection scenarios proving the resilience guarantees",
     )
     chaos.add_argument(
         "--quick", action="store_true",
         help="smallest credible sweep (the CI smoke configuration)",
     )
     chaos.add_argument("--seed", type=int, default=0, help="fault placement seed")
+    chaos.add_argument(
+        "--serve", action="store_true",
+        help="run the service-level scenarios instead (worker kills, "
+             "WAL corruption, slow-loris, drain; see docs/service.md)",
+    )
+    chaos.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="with --serve: write the JSON scenario report here",
+    )
+    chaos.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="with --serve: fail if the run exceeds this wall clock",
+    )
     chaos.add_argument(
         "--checkpoint-dir", default=None, metavar="DIR",
         help="keep scenario checkpoints here (default: temp dir)",
@@ -226,6 +240,28 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--disk-cache", default=None, metavar="FILE",
         help="JSONL disk tier for the result cache (survives restarts)",
+    )
+    serve.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="crash-safe WAL result store (fsync'd commits, torn-tail "
+             "recovery, quarantine); alternative to --disk-cache",
+    )
+    serve.add_argument(
+        "--supervised", action="store_true",
+        help="run cells on supervised worker processes (crash isolation, "
+             "heartbeats, automatic restarts) instead of threads",
+    )
+    serve.add_argument(
+        "--worker-processes", type=int, default=2, metavar="N",
+        help="supervised worker process count (default 2)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", type=float, default=2.0, metavar="SECONDS",
+        help="worker silence treated as a hang (default 2.0)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-shutdown budget for in-flight work (default 10)",
     )
     serve.add_argument(
         "--max-inflight", type=int, default=8, metavar="N",
@@ -415,6 +451,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "classify":
         return _cmd_classify(args)
     elif args.command == "chaos":
+        if args.serve:
+            from repro.service.chaos import run_serve_chaos
+
+            return run_serve_chaos(
+                quick=args.quick,
+                seed=args.seed,
+                budget=args.budget,
+                report_path=args.out,
+            )
         from repro.runner.chaos import run_chaos
 
         return run_chaos(
@@ -434,11 +479,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 workers=args.workers,
                 cache_size=args.cache_size,
                 disk_cache=args.disk_cache,
+                store_dir=args.store_dir,
                 max_inflight=args.max_inflight,
                 max_queue=args.max_queue,
                 breaker_failures=args.breaker_failures or None,
                 engine=args.engine,
                 default_length=args.length,
+                supervised=args.supervised,
+                worker_processes=args.worker_processes,
+                heartbeat_timeout=args.heartbeat_timeout,
+                drain_timeout=args.drain_timeout,
             ),
             log_level=args.log_level,
         )

@@ -25,8 +25,9 @@ resolves to ``reference`` — see :func:`resolve_engine` and
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 from repro.core.config import CacheGeometry
 from repro.core.fetch import FetchPolicy
@@ -34,10 +35,50 @@ from repro.core.replacement import ReplacementPolicy
 from repro.core.stats import CacheStats
 from repro.core.write import WritePolicy
 from repro.engine.traceview import TraceView
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlineExceededError
 from repro.trace.record import Trace
 
-__all__ = ["Engine", "ENGINE_NAMES", "make_engine", "resolve_engine"]
+__all__ = [
+    "Engine",
+    "ENGINE_NAMES",
+    "deadline_guard",
+    "make_engine",
+    "resolve_engine",
+]
+
+#: Accesses between deadline checks in the per-access engines.  Small
+#: enough that an expired deadline surfaces within microseconds of
+#: simulated work, large enough that the clock read is invisible in the
+#: per-access profile.
+DEADLINE_CHECK_EVERY = 1024
+
+
+def deadline_guard(
+    trace, deadline: Optional[float], stage: str = "simulate"
+) -> Iterator:
+    """Yield ``trace``'s accesses, raising once ``deadline`` passes.
+
+    The cooperative-cancellation shim for the per-access engines: the
+    monotonic clock (:func:`time.monotonic`, the service's deadline
+    epoch) is sampled every :data:`DEADLINE_CHECK_EVERY` accesses.  A
+    ``None`` deadline yields the trace unchanged.
+
+    Raises:
+        DeadlineExceededError: When the budget expires mid-trace.
+    """
+    if deadline is None:
+        yield from trace
+        return
+    countdown = DEADLINE_CHECK_EVERY
+    for record in trace:
+        countdown -= 1
+        if countdown <= 0:
+            countdown = DEADLINE_CHECK_EVERY
+            if time.monotonic() >= deadline:
+                raise DeadlineExceededError(
+                    "request deadline expired mid-simulation", stage=stage
+                )
+        yield record
 
 #: Accepted ``--engine`` values; ``auto`` resolves per run.  ``checked``
 #: is the sanitizing wrapper (reference semantics + per-access
@@ -63,6 +104,7 @@ class Engine(ABC):
         word_size: int = 2,
         warmup: Union[int, str] = "fill",
         flush_at_end: bool = False,
+        deadline: Optional[float] = None,
     ) -> CacheStats:
         """Simulate one geometry over one trace and return its stats.
 
@@ -79,6 +121,12 @@ class Engine(ABC):
                 :func:`~repro.core.sim.simulate`.
             flush_at_end: Evict everything after the run so
                 eviction-based statistics cover resident blocks.
+            deadline: Optional :func:`time.monotonic` instant after
+                which the run must cooperatively cancel by raising
+                :class:`~repro.errors.DeadlineExceededError`.  Checked
+                periodically, never per access, so it does not perturb
+                the equivalence contract: a run that finishes produces
+                identical stats with or without a deadline.
         """
 
     def __repr__(self) -> str:

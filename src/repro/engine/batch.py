@@ -94,12 +94,22 @@ def predecode(prepared: Trace, specs: Iterable[CellSpec]) -> None:
         view.demand(spec.geometry, spec.word_size)
 
 
-def run_cell(prepared: Trace, spec: CellSpec) -> CacheStats:
+def run_cell(
+    prepared: Trace,
+    spec: CellSpec,
+    deadline: Optional[float] = None,
+) -> CacheStats:
     """Execute one cell of a batch and return its full statistics.
 
     Engine resolution and policy construction match the resilient
     runner's cell execution, so the result is interchangeable with a
     sweep cell for the same configuration.
+
+    Args:
+        deadline: Optional :func:`time.monotonic` instant propagated
+            into the engine for cooperative cancellation
+            (:class:`~repro.errors.DeadlineExceededError`); the
+            service's ``X-Repro-Deadline-Ms`` budget ends here.
     """
     engine = resolve_engine(spec.engine, prepared)
     fetch: Optional[FetchPolicy] = (
@@ -112,6 +122,7 @@ def run_cell(prepared: Trace, spec: CellSpec) -> CacheStats:
         fetch=fetch,
         word_size=spec.word_size,
         warmup=spec.warmup,
+        deadline=deadline,
     )
 
 

@@ -39,7 +39,7 @@ from repro.core.replacement import ReplacementPolicy
 from repro.core.sim import simulate
 from repro.core.stats import CacheStats
 from repro.core.write import WritePolicy
-from repro.engine.base import Engine
+from repro.engine.base import Engine, deadline_guard
 from repro.engine.traceview import TraceView
 from repro.errors import SanitizerError
 from repro.trace.record import AccessType
@@ -190,6 +190,7 @@ class CheckedEngine(Engine):
         word_size: int = 2,
         warmup: Union[int, str] = "fill",
         flush_at_end: bool = False,
+        deadline: Optional[float] = None,
     ) -> CacheStats:
         if isinstance(trace, TraceView):
             trace = trace.trace
@@ -200,4 +201,6 @@ class CheckedEngine(Engine):
             write_policy=write_policy,
             word_size=word_size,
         )
+        if deadline is not None:
+            trace = deadline_guard(trace, deadline)
         return simulate(cache, trace, warmup=warmup, flush_at_end=flush_at_end)

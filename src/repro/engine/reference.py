@@ -20,7 +20,7 @@ from repro.core.replacement import ReplacementPolicy
 from repro.core.sim import simulate
 from repro.core.stats import CacheStats
 from repro.core.write import WritePolicy
-from repro.engine.base import Engine
+from repro.engine.base import Engine, deadline_guard
 from repro.engine.traceview import TraceView
 
 __all__ = ["ReferenceEngine"]
@@ -42,6 +42,7 @@ class ReferenceEngine(Engine):
         word_size: int = 2,
         warmup: Union[int, str] = "fill",
         flush_at_end: bool = False,
+        deadline: Optional[float] = None,
     ) -> CacheStats:
         if isinstance(trace, TraceView):
             trace = trace.trace
@@ -52,4 +53,6 @@ class ReferenceEngine(Engine):
             write_policy=write_policy,
             word_size=word_size,
         )
+        if deadline is not None:
+            trace = deadline_guard(trace, deadline)
         return simulate(cache, trace, warmup=warmup, flush_at_end=flush_at_end)

@@ -36,6 +36,7 @@ randomized geometries, programs, warmups, and policies.
 from __future__ import annotations
 
 import bisect
+import time as _time
 from typing import Optional, Union
 
 from repro.core.accounting import account_eviction
@@ -48,7 +49,7 @@ from repro.core.write import WritePolicy
 from repro.engine.base import Engine
 from repro.engine.kernels import FetchPlanCache
 from repro.engine.traceview import TraceView
-from repro.errors import ConfigurationError, EngineError
+from repro.errors import ConfigurationError, DeadlineExceededError, EngineError
 from repro.trace.record import AccessType, Trace
 
 __all__ = ["VectorizedEngine"]
@@ -73,6 +74,7 @@ class VectorizedEngine(Engine):
         word_size: int = 2,
         warmup: Union[int, str] = "fill",
         flush_at_end: bool = False,
+        deadline: Optional[float] = None,
     ) -> CacheStats:
         if isinstance(trace, Trace):
             view = TraceView.of(trace)
@@ -111,7 +113,7 @@ class VectorizedEngine(Engine):
             )
         return self._run(
             geometry, view, replacement, fetch, write_policy, word_size,
-            fill_mode, reset_at, flush_at_end,
+            fill_mode, reset_at, flush_at_end, deadline,
         )
 
     def _run(
@@ -125,6 +127,7 @@ class VectorizedEngine(Engine):
         fill_mode: bool,
         reset_at: Optional[int],
         flush_at_end: bool,
+        deadline: Optional[float] = None,
     ) -> CacheStats:
         t = view.trace
         n = len(t)
@@ -258,7 +261,16 @@ class VectorizedEngine(Engine):
             return True
 
         # -- Main loop over runs -------------------------------------------
+        monotonic = _time.monotonic
         for ri in range(len(starts) - 1):
+            if deadline is not None and (ri & 8191) == 0:
+                # Cooperative cancellation: one clock read per 8k runs
+                # keeps the check out of the hot-loop profile while an
+                # expired budget still surfaces within milliseconds.
+                if monotonic() >= deadline:
+                    raise DeadlineExceededError(
+                        "request deadline expired mid-simulation"
+                    )
             i = starts[ri]
             run_end = starts[ri + 1]
             if reset_at is not None and i >= reset_at:

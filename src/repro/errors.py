@@ -154,3 +154,34 @@ class CellTimeoutError(ReproError, TimeoutError):
     again), so the runner never retries it: the cell is skipped in
     lenient mode or fails the sweep in strict mode.
     """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request's end-to-end deadline expired before its result.
+
+    Carried by the service's deadline propagation
+    (``X-Repro-Deadline-Ms`` header -> per-stage budgets -> cooperative
+    cancellation inside the engine batch path) and mapped to HTTP 504
+    at the edge.  Distinct from :class:`CellTimeoutError`: the *cell*
+    did nothing wrong — the client's budget ran out, and the same query
+    with a wider budget would succeed.
+
+    Attributes:
+        stage: Where the budget died (``admission``, ``queue``,
+            ``simulate``), for the 504 body and the request log.
+    """
+
+    def __init__(self, message: str, stage: str = "simulate") -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
+class WorkerCrashError(TransientError):
+    """A supervised worker process died while holding an in-flight cell.
+
+    A subclass of :class:`TransientError` because the crash says
+    nothing about the query: the supervisor retries the cell on another
+    worker, and only when the retry budget is spent does the caller see
+    this error.  The committed results in the WAL store are unaffected
+    — a crash can only lose the cell that was in flight.
+    """

@@ -18,6 +18,7 @@ corrupted interior line raises :class:`~repro.errors.ChecksumError`.
 from __future__ import annotations
 
 import json
+import logging
 import zlib
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Union
@@ -29,8 +30,11 @@ __all__ = [
     "CheckpointWriter",
     "line_crc",
     "load_checkpoint",
+    "repair_tail",
     "sweep_fingerprint",
 ]
+
+logger = logging.getLogger("repro.runner")
 
 #: Format history:
 #:
@@ -76,6 +80,55 @@ def line_crc(record: Dict[str, Any]) -> str:
     return f"{zlib.crc32(body.encode('utf-8')) & 0xFFFFFFFF:08x}"
 
 
+def _line_is_intact(raw: bytes) -> bool:
+    """True when one newline-terminated record verifies its CRC."""
+    try:
+        record = json.loads(raw.decode("utf-8"))
+        crc = record.pop("crc", None)
+        return crc == line_crc(record)
+    except (ValueError, UnicodeDecodeError, AttributeError):
+        return False
+
+
+def repair_tail(path: Union[str, Path]) -> int:
+    """Truncate a torn final record off a checkpoint file, warning once.
+
+    A process killed mid-``record_cell`` leaves a final line that is
+    unterminated or fails its CRC.  Loading tolerates it, but appending
+    *after* it would glue the next record onto the torn bytes and turn
+    a recoverable tail into fatal interior corruption — so any writer
+    that resumes an existing file repairs the tail first.
+
+    Returns:
+        Bytes truncated (0 when the file is absent or already clean).
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    data = path.read_bytes()
+    if not data:
+        return 0
+    body, _, tail = data.rpartition(b"\n")
+    if tail:  # unterminated final line: a torn write by definition
+        keep = len(body) + 1 if body else 0
+    else:
+        # Terminated, but the last full line may still be torn (the
+        # crash can land between the payload and its newline flush).
+        prev, _, last = body.rpartition(b"\n")
+        if not last.strip() or _line_is_intact(last):
+            return 0
+        keep = len(prev) + 1 if prev else 0
+    dropped = len(data) - keep
+    with path.open("r+b") as handle:
+        handle.truncate(keep)
+    logger.warning(
+        "%s: dropped a torn final record (%d bytes) left by an "
+        "interrupted write; resuming from the last intact cell",
+        path, dropped,
+    )
+    return dropped
+
+
 class CheckpointWriter:
     """Appends cell records to a checkpoint file, flushing per cell.
 
@@ -83,7 +136,9 @@ class CheckpointWriter:
         path: Checkpoint file; parent directories are created.
         fingerprint: The sweep fingerprint written in the header.
         fresh: Truncate any existing file instead of appending (used
-            when a sweep starts over rather than resuming).
+            when a sweep starts over rather than resuming).  Appending
+            first repairs a torn tail (:func:`repair_tail`), so a crash
+            mid-record can never poison the file for later resumes.
     """
 
     def __init__(
@@ -96,6 +151,11 @@ class CheckpointWriter:
         self.fingerprint = fingerprint
         self.path.parent.mkdir(parents=True, exist_ok=True)
         mode = "w" if fresh or not self.path.exists() else "a"
+        if mode == "a":
+            repair_tail(self.path)
+            if self.path.stat().st_size == 0:
+                # The torn record was the header itself: start over.
+                mode = "w"
         self._handle = self.path.open(mode, encoding="utf-8")
         if mode == "w":
             self._write(
@@ -200,7 +260,12 @@ def load_checkpoint(
                 raise ValueError("crc mismatch")
         except ValueError:
             if index == len(lines) - 1:
-                break  # torn final write; everything before it is good
+                # Torn final write; everything before it is good.
+                logger.warning(
+                    "%s: ignoring a torn final record (crash artifact); "
+                    "the cell it described will be re-run", path,
+                )
+                break
             bad_interior = index + 1
             break
         records.append(record)

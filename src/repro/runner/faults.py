@@ -33,6 +33,8 @@ __all__ = [
     "FaultyTrace",
     "FaultInjector",
     "corrupt_din",
+    "flip_bit",
+    "tear_tail",
 ]
 
 
@@ -73,6 +75,65 @@ def corrupt_din(text: str, n_lines: int = 1, seed: int = 0) -> str:
     for count, index in enumerate(candidates[: max(n_lines, 0)]):
         lines[index] = mutations[count % len(mutations)](lines[index])
     return "\n".join(lines) + ("\n" if text.endswith("\n") else "")
+
+
+def tear_tail(path, keep_fraction: float = 0.5, seed: int = 0) -> int:
+    """Crash-truncate a file mid-record: keep a prefix, drop the rest.
+
+    Models the torn write a ``kill -9`` (or power cut) leaves behind:
+    the file ends at an arbitrary byte offset, not a record boundary.
+    The offset is seeded-random within the final portion of the file so
+    repeated chaos runs tear at the same place.
+
+    Args:
+        path: File to damage in place.
+        keep_fraction: Lower bound on the kept prefix (the cut lands
+            uniformly between this fraction and the full length).
+        seed: Determinism knob.
+
+    Returns:
+        Bytes removed.
+    """
+    from pathlib import Path
+
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < 2:
+        return 0
+    rng = random.Random(seed)
+    lower = max(1, int(len(data) * keep_fraction))
+    cut = rng.randint(lower, len(data) - 1)
+    with path.open("r+b") as handle:
+        handle.truncate(cut)
+    return len(data) - cut
+
+
+def flip_bit(path, offset: Optional[int] = None, seed: int = 0) -> int:
+    """Flip one bit of a file in place (seeded bit rot).
+
+    Args:
+        path: File to damage.
+        offset: Byte to hit; None picks a seeded-random byte past any
+            8-byte header (so the damage lands in record data, the
+            interesting case — a mangled header is just quarantined
+            wholesale).
+        seed: Determinism knob.
+
+    Returns:
+        The byte offset that was flipped (-1 if the file is too small).
+    """
+    from pathlib import Path
+
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if len(data) <= 8:
+        return -1
+    rng = random.Random(seed)
+    if offset is None:
+        offset = rng.randint(8, len(data) - 1)
+    data[offset] ^= 1 << rng.randint(0, 7)
+    path.write_bytes(bytes(data))
+    return offset
 
 
 class FaultyTrace:

@@ -13,12 +13,17 @@ repeat-heavy query mixes cache studies produce.  Pieces:
   admission, worker dispatch.
 * :mod:`~repro.service.admission` — bounded queue and the
   HealthMonitor-backed circuit breaker.
+* :mod:`~repro.service.store` — the crash-safe WAL result store
+  (fsync'd commits, torn-tail recovery, quarantine).
+* :mod:`~repro.service.supervisor` / :mod:`~repro.service.worker` —
+  supervised child-process execution with heartbeats and restarts.
+* :mod:`~repro.service.chaos` — the ``repro chaos --serve`` scenarios.
 * :mod:`~repro.service.metrics` — Prometheus text-format metrics.
 * :mod:`~repro.service.app` — the asyncio HTTP edge
   (``python -m repro serve``).
 
-See ``docs/service.md`` for endpoints, cache semantics, and overload
-behavior.
+See ``docs/service.md`` for endpoints, cache semantics, overload
+behavior, and the failure model.
 """
 
 from repro.service.admission import AdmissionController, Breaker, RejectedError
@@ -26,17 +31,23 @@ from repro.service.cache import CacheEntry, ResultCache
 from repro.service.metrics import MetricsRegistry
 from repro.service.query import SimQuery, expand_sweep
 from repro.service.simulator import ServiceConfig, SimResult, SimulationService
+from repro.service.store import RecoveryReport, WalStore
+from repro.service.supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
     "AdmissionController",
     "Breaker",
     "CacheEntry",
     "MetricsRegistry",
+    "RecoveryReport",
     "RejectedError",
     "ResultCache",
     "ServiceConfig",
     "SimQuery",
     "SimResult",
     "SimulationService",
+    "Supervisor",
+    "SupervisorConfig",
+    "WalStore",
     "expand_sweep",
 ]

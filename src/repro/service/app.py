@@ -15,9 +15,12 @@ auditable.  Endpoints:
 Error mapping: validation -> 400 (carrying a ``diagnostics`` array of
 structured findings when the static config lint rejected the request —
 see :mod:`repro.staticcheck.configlint`), unknown route -> 404,
-admission refusal -> 429 (queue full) or 503 (breaker open), both with
-``Retry-After``; anything else -> 500.  Every request emits one
-structured JSON log line on the ``repro.service`` logger.
+admission refusal -> 429 (queue full) or 503 (breaker open, no live
+workers, draining), both with a *jittered* ``Retry-After`` so a
+thundering herd of rejected clients does not re-synchronize; a spent
+``X-Repro-Deadline-Ms`` budget -> 504; a client too slow to deliver its
+own request (slow-loris) -> 408; anything else -> 500.  Every request
+emits one structured JSON log line on the ``repro.service`` logger.
 """
 
 from __future__ import annotations
@@ -25,11 +28,14 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
+import random
+import signal
 import sys
 import time
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, DeadlineExceededError, ReproError
 from repro.service.admission import RejectedError
 from repro.service.query import SimQuery, expand_sweep
 from repro.service.simulator import ServiceConfig, SimulationService
@@ -42,12 +48,29 @@ logger = logging.getLogger("repro.service")
 #: bigger is a mistake or an attack.
 MAX_BODY_BYTES = 1 << 20
 
+#: Rejection reasons answered with 503 (total outage / shedding) rather
+#: than 429 (client should slow down).
+_UNAVAILABLE_REASONS = frozenset({"breaker_open", "no_workers", "draining"})
+
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+
+def _retry_after_header(retry_after: float) -> str:
+    """Integer seconds with up-to-50% positive jitter.
+
+    Identical hints would march every rejected client back in lockstep,
+    re-creating the overload that caused the rejection; the jitter
+    de-correlates them while never promising less than the true
+    back-off.
+    """
+    jittered = max(0.0, retry_after) * (1.0 + 0.5 * random.random())
+    return str(max(1, round(jittered)))
 
 
 class _HttpError(Exception):
@@ -66,6 +89,10 @@ class ServiceApp:
         host / port: Bind address; port 0 picks an ephemeral port
             (the tests' mode), readable from :attr:`port` after
             :meth:`start`.
+        read_timeout: Seconds a client gets to deliver its complete
+            request (line, headers, body).  A slow-loris connection is
+            answered 408 and closed instead of holding a handler
+            forever.
     """
 
     def __init__(
@@ -73,10 +100,12 @@ class ServiceApp:
         config: Optional[ServiceConfig] = None,
         host: str = "127.0.0.1",
         port: int = 8787,
+        read_timeout: float = 10.0,
     ) -> None:
         self.service = SimulationService(config)
         self.host = host
         self.port = port
+        self.read_timeout = read_timeout
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> None:
@@ -106,6 +135,21 @@ class ServiceApp:
             self._server = None
         await self.service.stop()
 
+    async def drain(self) -> float:
+        """Graceful shutdown (the SIGTERM path).
+
+        Stops accepting new connections, lets admitted requests finish,
+        flushes the result store, and retires supervised workers.
+
+        Returns:
+            Seconds the drain took.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        return await self.service.drain()
+
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
@@ -121,22 +165,38 @@ class ServiceApp:
         extra: Dict[str, Any] = {}
         try:
             try:
-                method, path, body = await self._read_request(reader)
+                try:
+                    method, path, body, request_headers = await asyncio.wait_for(
+                        self._read_request(reader), timeout=self.read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    raise _HttpError(
+                        408,
+                        "request not received within "
+                        f"{self.read_timeout:.0f}s; connection closed",
+                    ) from None
+                deadline = self._parse_deadline(request_headers)
                 status, payload, headers = await self._dispatch(
-                    method, path, body, extra
+                    method, path, body, extra, deadline
                 )
             except _HttpError as exc:
                 status = exc.status
                 payload = {"error": str(exc)}
                 headers = {}
+            except DeadlineExceededError as exc:
+                status = 504
+                payload = {"error": str(exc), "stage": exc.stage}
+                headers = {}
             except RejectedError as exc:
-                status = 503 if exc.reason == "breaker_open" else 429
+                status = (
+                    503 if exc.reason in _UNAVAILABLE_REASONS else 429
+                )
                 payload = {
                     "error": str(exc),
                     "reason": exc.reason,
                     "retry_after": exc.retry_after,
                 }
-                headers = {"Retry-After": f"{max(1, round(exc.retry_after))}"}
+                headers = {"Retry-After": _retry_after_header(exc.retry_after)}
             except ConfigurationError as exc:
                 status = 400
                 payload = {"error": str(exc)}
@@ -179,7 +239,7 @@ class ServiceApp:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
+    ) -> Tuple[str, str, bytes, Dict[str, str]]:
         request_line = await reader.readline()
         if not request_line:
             raise asyncio.IncompleteReadError(b"", None)
@@ -189,7 +249,7 @@ class ServiceApp:
             )
         except (UnicodeDecodeError, ValueError):
             raise _HttpError(400, "malformed request line") from None
-        content_length = 0
+        headers: Dict[str, str] = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
@@ -198,17 +258,42 @@ class ServiceApp:
                 name, _, value = line.decode("latin-1").partition(":")
             except UnicodeDecodeError:
                 raise _HttpError(400, "malformed header") from None
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise _HttpError(400, "bad Content-Length") from None
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
         if content_length > MAX_BODY_BYTES:
             raise _HttpError(413, "request body too large")
         body = (
             await reader.readexactly(content_length) if content_length else b""
         )
-        return method.upper(), path, body
+        return method.upper(), path, body, headers
+
+    @staticmethod
+    def _parse_deadline(headers: Dict[str, str]) -> Optional[float]:
+        """``X-Repro-Deadline-Ms`` -> a local monotonic instant.
+
+        The header carries a *duration* (milliseconds the client is
+        willing to wait), not a timestamp, so no clock agreement
+        between client and server is needed.
+        """
+        raw = headers.get("x-repro-deadline-ms")
+        if raw is None:
+            return None
+        try:
+            budget_ms = float(raw)
+        except ValueError:
+            raise _HttpError(
+                400, f"X-Repro-Deadline-Ms must be a number, got {raw!r}"
+            ) from None
+        if not math.isfinite(budget_ms) or budget_ms <= 0:
+            raise _HttpError(
+                400,
+                "X-Repro-Deadline-Ms must be a positive finite number "
+                f"(got {raw}); omit the header for no deadline",
+            )
+        return time.monotonic() + budget_ms / 1000.0
 
     # -- Routing ----------------------------------------------------------
 
@@ -218,6 +303,7 @@ class ServiceApp:
         path: str,
         body: bytes,
         extra: Dict[str, Any],
+        deadline: Optional[float] = None,
     ) -> Tuple[int, Any, Dict[str, str]]:
         route = path.split("?", 1)[0]
         if route == "/healthz":
@@ -234,7 +320,7 @@ class ServiceApp:
             query = SimQuery.from_payload(
                 self._parse_json(body), self.service.default_length
             )
-            result = await self.service.simulate(query)
+            result = await self.service.simulate(query, deadline=deadline)
             extra["fingerprint"] = result.entry.fingerprint
             extra["source"] = result.source
             return 200, result.to_payload(), {}
@@ -245,7 +331,10 @@ class ServiceApp:
                 self._parse_json(body), self.service.default_length
             )
             results = await asyncio.gather(
-                *(self.service.simulate(query) for query in queries)
+                *(
+                    self.service.simulate(query, deadline=deadline)
+                    for query in queries
+                )
             )
             extra["cells"] = len(results)
             return (
@@ -323,11 +412,37 @@ def run_server(
             file=sys.stderr,
             flush=True,
         )
+        loop = asyncio.get_event_loop()
+        stop_requested = asyncio.Event()
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without loop signal support
+        serving = asyncio.ensure_future(app.serve_forever())
+        stopper = asyncio.ensure_future(stop_requested.wait())
         try:
-            await app.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            await asyncio.wait(
+                {serving, stopper}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if stop_requested.is_set():
+                # Graceful drain: finish in-flight requests, flush the
+                # store (fsync barrier), retire workers, exit 0.
+                print("repro-service: draining", file=sys.stderr, flush=True)
+                elapsed = await app.drain()
+                print(
+                    f"repro-service: drained in {elapsed:.2f}s",
+                    file=sys.stderr,
+                    flush=True,
+                )
         finally:
+            for task in (serving, stopper):
+                task.cancel()
+            await asyncio.gather(serving, stopper, return_exceptions=True)
+            for signum in installed:
+                loop.remove_signal_handler(signum)
             await app.stop()
 
     try:

@@ -13,13 +13,20 @@ buys two properties at once:
   geometry, or an execution option changes the address.
 
 Tiering: the memory LRU serves the hot set; the optional disk tier is
-an append-only JSONL file, indexed by byte offset at startup, from
-which evicted entries are transparently re-read and promoted.  Disk
-records carry the same per-line CRC as checkpoints
-(:func:`repro.runner.checkpoint.line_crc`); a torn final line — the
-usual crash artifact — is dropped silently, and any interior
-corruption skips just the damaged record (a cache may lose entries,
-never serve bad ones).
+one of two interchangeable backends, selected at construction:
+
+* the legacy append-only JSONL file (``disk_path``), indexed by byte
+  offset at startup, whose records carry the same per-line CRC as
+  checkpoints (:func:`repro.runner.checkpoint.line_crc`);
+* the crash-safe WAL segment store (``store_dir``,
+  :class:`repro.service.store.WalStore`) — fsync'd atomic commits,
+  torn-tail truncation, and quarantine of corrupt segments — which the
+  supervised service uses so that a SIGKILL can never lose or corrupt
+  a committed result.
+
+Either way a cache may lose entries, never serve bad ones, and the
+checkpoint interop surface (:meth:`ResultCache.export_checkpoint`,
+:meth:`ResultCache.seed_from_checkpoint`) is backend-independent.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.runner.checkpoint import CheckpointWriter, line_crc, load_checkpoint
+from repro.service.store import WalStore
 
 __all__ = ["CacheEntry", "ResultCache"]
 
@@ -96,23 +104,36 @@ class ResultCache:
 
     Args:
         maxsize: Memory-tier capacity in entries.
-        disk_path: JSONL persistence file; None keeps the cache
+        disk_path: Legacy JSONL persistence file; None keeps the cache
             memory-only.  The file is created lazily on first put and
             scanned (for its fingerprint -> offset index) on startup.
+        store_dir: Crash-safe WAL store directory
+            (:class:`repro.service.store.WalStore`); mutually exclusive
+            with ``disk_path``.  Recovery (tail truncation, quarantine)
+            runs during construction.
     """
 
     def __init__(
         self,
         maxsize: int = 1024,
         disk_path: Optional[Union[str, Path]] = None,
+        store_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if maxsize < 1:
             raise ConfigurationError(f"cache maxsize must be >= 1, got {maxsize}")
+        if disk_path is not None and store_dir is not None:
+            raise ConfigurationError(
+                "disk_path and store_dir are alternative disk tiers; "
+                "configure at most one"
+            )
         self.maxsize = maxsize
         self._lock = threading.Lock()
         self._memory: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._disk_path = Path(disk_path) if disk_path is not None else None
         self._disk_index: Dict[str, int] = {}
+        self.store: Optional[WalStore] = (
+            WalStore(store_dir) if store_dir is not None else None
+        )
         if self._disk_path is not None and self._disk_path.exists():
             self._scan_disk()
 
@@ -182,6 +203,12 @@ class ResultCache:
             if entry is not None:
                 self._memory.move_to_end(fingerprint)
                 return entry, "memory"
+            if self.store is not None:
+                record = self.store.get(fingerprint)
+                if record is not None and record.get("kind") == "result":
+                    entry = CacheEntry.from_record(record)
+                    self._insert_memory(entry)
+                    return entry, "disk"
             if self._disk_path is not None and fingerprint in self._disk_index:
                 entry = self._disk_read(fingerprint)
                 if entry is not None:
@@ -190,13 +217,20 @@ class ResultCache:
             return None
 
     def put(self, entry: CacheEntry) -> None:
-        """Insert a finished result into both tiers (idempotent)."""
+        """Insert a finished result into both tiers (idempotent).
+
+        With a WAL store the entry is durably committed (fsync'd)
+        before this returns: a kill -9 one instruction later loses
+        nothing.
+        """
         with self._lock:
             fresh_on_disk = (
                 self._disk_path is not None
                 and entry.fingerprint not in self._disk_index
             )
             self._insert_memory(entry)
+            if self.store is not None:
+                self.store.put(entry.to_record())
             if fresh_on_disk:
                 self._disk_append(entry)
 
@@ -212,9 +246,26 @@ class ResultCache:
 
     @property
     def disk_entries(self) -> int:
-        """Entries reachable through the disk tier."""
+        """Entries reachable through the disk tier (either backend)."""
         with self._lock:
+            if self.store is not None:
+                return len(self.store)
             return len(self._disk_index)
+
+    def flush(self) -> None:
+        """Durability barrier: fsync the WAL tier (drain path).
+
+        The legacy JSONL tier flushes per append already; this is a
+        no-op for it and for memory-only caches.
+        """
+        with self._lock:
+            if self.store is not None:
+                self.store.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self.store is not None:
+                self.store.close()
 
     # -- Checkpoint interoperability --------------------------------------
 

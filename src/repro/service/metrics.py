@@ -259,6 +259,33 @@ class MetricsRegistry:
             "Per-stage latency: queue wait, trace prepare, simulate, total.",
             labels=("stage",),
         )
+        self.worker_restarts_total = self.counter(
+            "repro_service_worker_restarts_total",
+            "Supervised worker restarts, by reason (crashed, hung).",
+            labels=("reason",),
+        )
+        self.workers_alive = self.gauge(
+            "repro_service_workers_alive",
+            "Supervised worker processes currently running.",
+        )
+        self.deadline_exceeded_total = self.counter(
+            "repro_service_deadline_exceeded_total",
+            "Requests whose X-Repro-Deadline-Ms budget expired, by stage.",
+            labels=("stage",),
+        )
+        self.store_recoveries_total = self.counter(
+            "repro_service_store_recoveries_total",
+            "WAL store recovery actions (tails truncated, records salvaged).",
+            labels=("action",),
+        )
+        self.store_quarantined_total = self.counter(
+            "repro_service_store_quarantined_total",
+            "Corrupt WAL segments moved to quarantine (never deleted).",
+        )
+        self.drain_seconds = self.gauge(
+            "repro_service_drain_seconds",
+            "Wall-clock seconds the last graceful drain took.",
+        )
 
     # -- Factories --------------------------------------------------------
 

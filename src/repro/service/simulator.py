@@ -37,13 +37,14 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.analysis.experiments import default_trace_length
 from repro.engine.base import resolve_engine
 from repro.engine.batch import predecode, prepare_trace, run_cell
-from repro.errors import ReproError
+from repro.errors import DeadlineExceededError, ReproError
 from repro.memory.nibble import NIBBLE_MODE_BUS
 from repro.runner.health import CellOutcome, CellStatus, RunReport
-from repro.service.admission import AdmissionController, Breaker
+from repro.service.admission import AdmissionController, Breaker, RejectedError
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.metrics import MetricsRegistry
 from repro.service.query import SimQuery
+from repro.service.supervisor import Supervisor, SupervisorConfig
 from repro.trace.record import Trace
 from repro.workloads.suites import suite_trace
 
@@ -77,6 +78,18 @@ class ServiceConfig:
         default_length: Trace length when a query omits ``length``
             (None: :func:`~repro.analysis.experiments
             .default_trace_length`).
+        supervised: Execute cells on supervised child *processes*
+            (:mod:`repro.service.supervisor`) instead of in-process
+            threads — crash isolation at the cost of pipe hops.
+        worker_processes: Child-process count in supervised mode.
+        heartbeat_timeout: Worker silence treated as a hang.
+        store_dir: Crash-safe WAL store directory for the disk tier
+            (:class:`repro.service.store.WalStore`); mutually exclusive
+            with ``disk_cache``.
+        drain_timeout: Seconds a graceful drain waits for in-flight
+            work before forcing shutdown.
+        worker_env: Extra environment for supervised workers (the
+            chaos harness's fault-injection channel).
     """
 
     workers: int = 2
@@ -90,6 +103,12 @@ class ServiceConfig:
     retry_after: float = 1.0
     engine: Optional[str] = None
     default_length: Optional[int] = None
+    supervised: bool = False
+    worker_processes: int = 2
+    heartbeat_timeout: float = 2.0
+    store_dir: Optional[str] = None
+    drain_timeout: float = 10.0
+    worker_env: Optional[Dict[str, str]] = None
 
 
 @dataclass(frozen=True)
@@ -131,6 +150,7 @@ class _Pending:
     query: SimQuery
     future: "asyncio.Future[Tuple[CacheEntry, str]]"
     enqueued_at: float
+    deadline: Optional[float] = None
 
 
 class SimulationService:
@@ -150,8 +170,11 @@ class SimulationService:
             else ResultCache(
                 maxsize=self.config.cache_size,
                 disk_path=self.config.disk_cache,
+                store_dir=self.config.store_dir,
             )
         )
+        if self.cache.store is not None:
+            self._record_recovery_metrics()
         self.admission = AdmissionController(
             max_inflight=self.config.max_inflight,
             max_queue=self.config.max_queue,
@@ -169,6 +192,9 @@ class SimulationService:
             else default_trace_length()
         )
         self._fingerprints: "OrderedDict[SimQuery, str]" = OrderedDict()
+        self._prepared_lengths: "Dict[tuple, int]" = {}
+        if self.cache.store is not None:
+            self._load_prepared_lengths()
         self._inflight_futures: "Dict[SimQuery, asyncio.Future]" = {}
         self._queue: "deque[_Pending]" = deque()
         self._wake: Optional[asyncio.Event] = None
@@ -177,7 +203,54 @@ class SimulationService:
         self._scheduler: Optional[asyncio.Task] = None
         self._group_tasks: "set[asyncio.Task]" = set()
         self._executor: Optional[ThreadPoolExecutor] = None
+        self.supervisor: Optional[Supervisor] = None
         self._stopped = False
+        self._draining = False
+
+    def _record_recovery_metrics(self) -> None:
+        """Export what startup recovery found (chaos asserts on these)."""
+        assert self.cache.store is not None
+        report = self.cache.store.last_recovery
+        if report.tails_truncated:
+            self.metrics.store_recoveries_total.inc(
+                report.tails_truncated, labels={"action": "tail_truncated"}
+            )
+        if report.records_salvaged:
+            self.metrics.store_recoveries_total.inc(
+                report.records_salvaged, labels={"action": "record_salvaged"}
+            )
+        if report.segments_quarantined:
+            self.metrics.store_quarantined_total.inc(
+                report.segments_quarantined
+            )
+
+    def _load_prepared_lengths(self) -> None:
+        """Reload trace-group prepared lengths committed by past runs.
+
+        Supervised-mode fingerprints fold in the prepared (read
+        filtered) trace length, which only a worker response reveals —
+        so without these meta records a restarted service could not
+        address its own store until it re-simulated one cell per trace
+        group.  With them, a restart warm-starts from disk.
+        """
+        assert self.cache.store is not None
+        for record in self.cache.store.records():
+            if record.get("kind") != "prepared_length":
+                continue
+            group = record.get("group")
+            length = record.get("prepared_length")
+            if isinstance(group, list) and isinstance(length, int):
+                self._prepared_lengths[tuple(group)] = length
+
+    def _persist_prepared_length(self, group: tuple, length: int) -> None:
+        if self.cache.store is None:
+            return
+        self.cache.store.put({
+            "kind": "prepared_length",
+            "fingerprint": "plen:" + ":".join(str(part) for part in group),
+            "group": list(group),
+            "prepared_length": length,
+        })
 
     @property
     def default_length(self) -> int:
@@ -196,11 +269,66 @@ class SimulationService:
             thread_name_prefix="repro-service",
         )
         self._stopped = False
+        self._draining = False
+        if self.config.supervised:
+            self.supervisor = Supervisor(
+                SupervisorConfig(
+                    workers=self.config.worker_processes,
+                    heartbeat_timeout=self.config.heartbeat_timeout,
+                    breaker_failures=self.config.breaker_failures,
+                    breaker_reset=self.config.breaker_reset,
+                    default_length=self._default_length,
+                    worker_env=self.config.worker_env,
+                ),
+                metrics=self.metrics,
+            )
+            await self.supervisor.start()
         self._scheduler = asyncio.ensure_future(self._schedule())
+
+    async def drain(self, timeout: Optional[float] = None) -> float:
+        """Graceful shutdown: finish in-flight work, flush, stop.
+
+        The SIGTERM path.  New queries are refused with a ``draining``
+        rejection the moment this starts; everything already admitted
+        runs to completion (bounded by ``timeout``), the store is
+        flushed (an fsync barrier), and the worker fleet is retired.
+
+        Returns:
+            Wall-clock seconds the drain took (also the
+            ``repro_service_drain_seconds`` gauge).
+        """
+        loop = asyncio.get_event_loop()
+        started = loop.time()
+        budget = timeout if timeout is not None else self.config.drain_timeout
+        self._draining = True
+        # Let already-queued work get scheduled, then wait it out.
+        if self._wake is not None:
+            self._wake.set()
+        deadline = loop.time() + budget
+        while (self._queue or self._group_tasks) and loop.time() < deadline:
+            tasks = list(self._group_tasks)
+            if tasks:
+                await asyncio.wait(
+                    tasks, timeout=max(0.05, deadline - loop.time())
+                )
+            else:
+                await asyncio.sleep(0.02)
+        self.cache.flush()
+        if self.supervisor is not None:
+            await self.supervisor.drain(
+                timeout=max(0.5, deadline - loop.time())
+            )
+        await self.stop()
+        elapsed = loop.time() - started
+        self.metrics.drain_seconds.set(elapsed)
+        return elapsed
 
     async def stop(self) -> None:
         """Stop scheduling, fail queued work, release the pool."""
         self._stopped = True
+        if self.supervisor is not None:
+            await self.supervisor.drain(timeout=2.0)
+            self.supervisor = None
         if self._scheduler is not None:
             self._scheduler.cancel()
             try:
@@ -222,6 +350,7 @@ class SimulationService:
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
+        self.cache.close()
 
     # -- Request path -----------------------------------------------------
 
@@ -232,17 +361,40 @@ class SimulationService:
             )
         return query
 
-    async def simulate(self, query: SimQuery) -> SimResult:
+    async def simulate(
+        self, query: SimQuery, deadline: Optional[float] = None
+    ) -> SimResult:
         """Answer one query through cache, coalescing, and the queue.
+
+        Args:
+            deadline: Optional :func:`time.monotonic` instant by which
+                the client needs the answer (``X-Repro-Deadline-Ms``).
+                An already-expired budget is refused up front; a budget
+                that expires mid-flight cancels cooperatively.
 
         Raises:
             RejectedError: When admission control refuses the query.
+            DeadlineExceededError: When the budget cannot be met.
             ReproError: When the simulation itself fails.
         """
         if self._wake is None:
             raise ReproError("service not started; call start() first")
         loop = asyncio.get_event_loop()
         started = loop.time()
+        if deadline is not None and time.monotonic() >= deadline:
+            self.metrics.deadline_exceeded_total.inc(
+                labels={"stage": "admission"}
+            )
+            raise DeadlineExceededError(
+                "deadline already expired at admission", stage="admission"
+            )
+        if self._draining or self._stopped:
+            self.metrics.rejected_total.inc(labels={"reason": "draining"})
+            raise RejectedError(
+                "service is draining for shutdown",
+                reason="draining",
+                retry_after=self.config.retry_after,
+            )
         query = self._normalize(query)
 
         # 1. Fast path: known fingerprint + cached result.
@@ -272,7 +424,7 @@ class SimulationService:
         # 4. Enqueue for the batch scheduler.
         future: "asyncio.Future[Tuple[CacheEntry, str]]" = loop.create_future()
         self._inflight_futures[query] = future
-        self._queue.append(_Pending(query, future, started))
+        self._queue.append(_Pending(query, future, started, deadline))
         self.metrics.queue_depth.set(len(self._queue))
         self._wake.set()
         entry, source = await asyncio.shield(future)
@@ -304,6 +456,15 @@ class SimulationService:
 
     async def _run_group(self, group: List[_Pending]) -> None:
         """Prepare one trace, then run/resolve every cell of the group."""
+        if self.supervisor is not None:
+            # Supervised mode: workers own trace preparation (each
+            # keeps a prepared-trace LRU), so the parent dispatches
+            # cells directly and learns the prepared length from the
+            # first response.
+            await asyncio.gather(
+                *(self._run_cell_supervised(pending) for pending in group)
+            )
+            return
         assert self._executor is not None and self._prepare_lock is not None
         loop = asyncio.get_event_loop()
         sample = group[0].query
@@ -339,6 +500,65 @@ class SimulationService:
         predecode(prepared, specs)
         return prepared
 
+    async def _run_cell_supervised(self, pending: _Pending) -> None:
+        """One cell through the worker fleet instead of the thread pool."""
+        assert self._slots is not None and self.supervisor is not None
+        loop = asyncio.get_event_loop()
+        query = pending.query
+
+        # The prepared length — and with it the fingerprint — is known
+        # once any cell of this trace group has come back; until then
+        # the cache check happens after execution (put is idempotent).
+        known_length = self._prepared_lengths.get(query.trace_group())
+        fingerprint: Optional[str] = None
+        if known_length is not None:
+            fingerprint = query.fingerprint(known_length)
+            self._memoize(query, fingerprint)
+            found = self.cache.get(fingerprint)
+            if found is not None:
+                entry, tier = found
+                self.metrics.record_lookup(tier)
+                self._complete_ok(pending, entry, tier)
+                return
+        self.metrics.record_lookup("miss")
+
+        async with self._slots:
+            self.metrics.stage_seconds.observe(
+                loop.time() - pending.enqueued_at, labels={"stage": "queue"}
+            )
+            self.metrics.inflight.inc()
+            simulate_started = loop.time()
+            try:
+                response = await self.supervisor.submit(
+                    query.to_dict(), deadline=pending.deadline
+                )
+            except Exception as exc:  # noqa: BLE001 - surface per query
+                self._complete_error(pending, exc)
+                return
+            finally:
+                self.metrics.inflight.dec()
+                self.metrics.stage_seconds.observe(
+                    loop.time() - simulate_started, labels={"stage": "simulate"}
+                )
+        prepared_length = response["prepared_length"]
+        if self._prepared_lengths.get(query.trace_group()) != prepared_length:
+            self._prepared_lengths[query.trace_group()] = prepared_length
+            self._persist_prepared_length(query.trace_group(), prepared_length)
+        fingerprint = query.fingerprint(prepared_length)
+        self._memoize(query, fingerprint)
+        entry = CacheEntry(
+            fingerprint=fingerprint,
+            key=response["key"],
+            trace=response["trace"],
+            miss=response["miss"],
+            traffic=response["traffic"],
+            scaled=response["scaled"],
+            stats=response["stats"],
+            engine=response["engine"],
+        )
+        self.cache.put(entry)
+        self._complete_ok(pending, entry, "computed")
+
     async def _run_cell(self, pending: _Pending, prepared: Trace) -> None:
         assert self._slots is not None and self._executor is not None
         loop = asyncio.get_event_loop()
@@ -361,11 +581,26 @@ class SimulationService:
             self.metrics.stage_seconds.observe(
                 loop.time() - pending.enqueued_at, labels={"stage": "queue"}
             )
+            if (
+                pending.deadline is not None
+                and time.monotonic() >= pending.deadline
+            ):
+                self._complete_error(
+                    pending,
+                    DeadlineExceededError(
+                        "deadline expired while queued", stage="queue"
+                    ),
+                )
+                return
             self.metrics.inflight.inc()
             simulate_started = loop.time()
             try:
                 stats, engine_name = await loop.run_in_executor(
-                    self._executor, self._execute, prepared, query
+                    self._executor,
+                    self._execute,
+                    prepared,
+                    query,
+                    pending.deadline,
                 )
             except Exception as exc:  # noqa: BLE001 - surface per query
                 self._complete_error(pending, exc)
@@ -389,10 +624,12 @@ class SimulationService:
         self._complete_ok(pending, entry, "computed")
 
     @staticmethod
-    def _execute(prepared: Trace, query: SimQuery):
+    def _execute(
+        prepared: Trace, query: SimQuery, deadline: Optional[float] = None
+    ):
         """Worker-side cell execution; returns (stats, engine name)."""
         engine_name = resolve_engine(query.engine, prepared).name
-        return run_cell(prepared, query.spec()), engine_name
+        return run_cell(prepared, query.spec(), deadline=deadline), engine_name
 
     # -- Completion -------------------------------------------------------
 
@@ -423,7 +660,16 @@ class SimulationService:
         query = pending.query
         self._inflight_futures.pop(query, None)
         reason = f"{type(error).__name__}: {error}"
-        self.admission.breaker.record(query.cell(), query.trace, error=reason)
+        if isinstance(error, DeadlineExceededError):
+            # A spent client budget says nothing about service health:
+            # count it, but don't feed the breaker's failure streak.
+            self.metrics.deadline_exceeded_total.inc(
+                labels={"stage": error.stage}
+            )
+        else:
+            self.admission.breaker.record(
+                query.cell(), query.trace, error=reason
+            )
         self.metrics.cells_total.inc(labels={"status": "failed"})
         self.report.add(
             CellOutcome(
@@ -440,7 +686,7 @@ class SimulationService:
         import repro
 
         breaker = self.admission.breaker
-        return {
+        body = {
             "status": "degraded" if breaker.state == "open" else "ok",
             "version": repro.__version__,
             "uptime_seconds": time.time() - self.started_at,
@@ -454,3 +700,12 @@ class SimulationService:
                 "skipped": len(self.report.skipped),
             },
         }
+        if self._draining:
+            body["status"] = "draining"
+        if self.supervisor is not None:
+            body["supervisor"] = self.supervisor.describe()
+            if body["supervisor"]["alive"] == 0:
+                body["status"] = "degraded"
+        if self.cache.store is not None:
+            body["store"] = self.cache.store.describe()
+        return body

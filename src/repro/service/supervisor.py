@@ -1,0 +1,485 @@
+"""Worker supervision: heartbeats, backoff restarts, crash containment.
+
+The :class:`Supervisor` owns N child worker processes
+(:mod:`repro.service.worker`), each a crash domain of its own: a
+SIGKILL, a segfault, or a wedge in one worker costs at most the cells
+that worker held in flight — never the service, never a committed
+result (those are already fsync'd in the WAL store by the time a
+client sees them).
+
+Health model, reusing the runner's primitives:
+
+* **Liveness** — every worker heartbeats on its stdout; a worker
+  silent for ``heartbeat_timeout`` seconds is presumed hung, killed,
+  and counted as a ``hung`` restart (distinct from ``crashed``, where
+  the process died on its own).
+* **Restart policy** — exponential backoff per worker
+  (``restart_base_delay`` doubling to ``restart_max_delay``), reset
+  after a stretch of good behaviour, so a crash-looping worker cannot
+  monopolize the CPU a healthy sibling needs.
+* **Circuit breaker** — each worker feeds a
+  :class:`~repro.service.admission.Breaker` (the runner's
+  ``HealthMonitor`` streak accounting underneath): a worker that keeps
+  dying is taken out of dispatch until its breaker half-opens, while
+  the others keep serving.
+
+Dispatch routes each request to the live worker with the fewest cells
+in flight, forwards the *remaining* deadline budget, and retries a
+crash-orphaned request once on another worker when the budget allows —
+so a single worker SIGKILL is invisible to the client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ReproError,
+    WorkerCrashError,
+)
+from repro.service.admission import Breaker, RejectedError
+from repro.service.metrics import MetricsRegistry
+
+__all__ = ["SupervisorConfig", "Supervisor"]
+
+logger = logging.getLogger("repro.service.supervisor")
+
+#: ``error_type`` names a worker may report, mapped back to the
+#: exception the caller would have seen in-process.
+_ERROR_TYPES = {
+    "ConfigurationError": ConfigurationError,
+    "DeadlineExceededError": DeadlineExceededError,
+}
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tunables of the worker supervisor.
+
+    Attributes:
+        workers: Child processes to keep alive.
+        heartbeat_interval: Seconds between worker heartbeats.
+        heartbeat_timeout: Silence after which a worker is presumed
+            hung and killed.
+        startup_grace: Silence tolerated before a worker's *first*
+            heartbeat — interpreter and NumPy imports take ~1s, which
+            must not read as a hang.
+        restart_base_delay / restart_multiplier / restart_max_delay:
+            Exponential backoff between restarts of one worker.
+        breaker_failures: Consecutive failures that open a worker's
+            breaker (None disables).
+        breaker_reset: Per-worker breaker cool-down in seconds.
+        crash_retries: Times one request is re-dispatched after a
+            worker crash before the caller sees the crash.
+        default_length: Forwarded to workers for queries omitting
+            ``length`` (already normalized by the service; belt and
+            braces).
+        worker_env: Extra environment for the children (the chaos
+            harness injects its fault variables here).
+    """
+
+    workers: int = 2
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float = 2.0
+    startup_grace: float = 15.0
+    restart_base_delay: float = 0.1
+    restart_multiplier: float = 2.0
+    restart_max_delay: float = 5.0
+    breaker_failures: Optional[int] = 5
+    breaker_reset: float = 5.0
+    crash_retries: int = 1
+    default_length: Optional[int] = None
+    worker_env: Optional[Dict[str, str]] = None
+
+
+@dataclass
+class _Worker:
+    """One supervised child and its in-flight bookkeeping."""
+
+    index: int
+    proc: Optional[asyncio.subprocess.Process] = None
+    reader: Optional[asyncio.Task] = None
+    inflight: Dict[int, asyncio.Future] = field(default_factory=dict)
+    last_heartbeat: float = 0.0
+    restarts: int = 0
+    consecutive_failures: int = 0
+    next_start_at: float = 0.0
+    breaker: Optional[Breaker] = None
+    draining: bool = False
+    hung: bool = False
+    heard_once: bool = False
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.returncode is None
+
+    def dispatchable(self) -> bool:
+        return (
+            self.alive
+            and not self.draining
+            and (self.breaker is None or self.breaker.allow())
+        )
+
+
+class Supervisor:
+    """Runs and heals the worker fleet; see the module docstring."""
+
+    def __init__(
+        self,
+        config: Optional[SupervisorConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else SupervisorConfig()
+        if self.config.workers < 1:
+            raise ConfigurationError(
+                f"supervisor needs >= 1 worker, got {self.config.workers}"
+            )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._workers: List[_Worker] = [
+            _Worker(
+                index=i,
+                breaker=Breaker(
+                    max_consecutive_failures=self.config.breaker_failures,
+                    reset_after=self.config.breaker_reset,
+                ),
+            )
+            for i in range(self.config.workers)
+        ]
+        self._next_id = 0
+        self._monitor: Optional[asyncio.Task] = None
+        self._stopping = False
+
+    # -- Lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        self._stopping = False
+        for worker in self._workers:
+            await self._spawn(worker)
+        self._monitor = asyncio.ensure_future(self._monitor_loop())
+
+    async def _spawn(self, worker: _Worker) -> None:
+        env = dict(os.environ)
+        env["REPRO_WORKER_INDEX"] = str(worker.index)
+        env.setdefault("PYTHONUNBUFFERED", "1")
+        if self.config.worker_env:
+            env.update(self.config.worker_env)
+        worker.proc = await asyncio.create_subprocess_exec(
+            sys.executable, "-m", "repro.service.worker",
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.DEVNULL,
+            env=env,
+        )
+        worker.last_heartbeat = time.monotonic()
+        worker.heard_once = False
+        worker.reader = asyncio.ensure_future(self._read_loop(worker))
+        self._set_alive_gauge()
+
+    def _set_alive_gauge(self) -> None:
+        self.metrics.workers_alive.set(
+            sum(1 for worker in self._workers if worker.alive)
+        )
+
+    async def _read_loop(self, worker: _Worker) -> None:
+        proc = worker.proc
+        assert proc is not None and proc.stdout is not None
+        while True:
+            raw = await proc.stdout.readline()
+            if not raw:
+                break
+            try:
+                message = json.loads(raw)
+            except ValueError:
+                continue
+            kind = message.get("kind")
+            if kind == "hb":
+                worker.last_heartbeat = time.monotonic()
+                worker.heard_once = True
+            elif kind == "res":
+                worker.last_heartbeat = time.monotonic()
+                worker.heard_once = True
+                future = worker.inflight.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        # EOF: the process died (or drained).  Orphan every in-flight
+        # request; the dispatcher decides whether to retry them.
+        await proc.wait()
+        self._set_alive_gauge()
+        if not self._stopping and not worker.draining:
+            self._on_death(worker, reason="hung" if worker.hung else "crashed")
+        worker.hung = False
+
+    def _on_death(self, worker: _Worker, reason: str) -> None:
+        code = worker.proc.returncode if worker.proc else None
+        logger.warning(
+            "worker %d died (%s, exit code %s); restart backoff engaged",
+            worker.index, reason, code,
+        )
+        crash = WorkerCrashError(
+            f"worker {worker.index} died ({reason}, exit code {code}) "
+            "with the request in flight"
+        )
+        for future in worker.inflight.values():
+            if not future.done():
+                future.set_exception(crash)
+        worker.inflight.clear()
+        if worker.breaker is not None:
+            worker.breaker.record(
+                f"worker-{worker.index}", "supervisor", error=reason
+            )
+        worker.consecutive_failures += 1
+        delay = min(
+            self.config.restart_base_delay
+            * self.config.restart_multiplier
+            ** (worker.consecutive_failures - 1),
+            self.config.restart_max_delay,
+        )
+        worker.next_start_at = time.monotonic() + delay
+        self.metrics.worker_restarts_total.inc(labels={"reason": reason})
+
+    async def _monitor_loop(self) -> None:
+        interval = min(
+            self.config.heartbeat_interval, self.config.heartbeat_timeout / 4
+        )
+        while True:
+            await asyncio.sleep(max(0.05, interval))
+            if self._stopping:
+                return
+            now = time.monotonic()
+            for worker in self._workers:
+                if worker.alive:
+                    silent = now - worker.last_heartbeat
+                    threshold = (
+                        self.config.heartbeat_timeout
+                        if worker.heard_once
+                        else max(
+                            self.config.heartbeat_timeout,
+                            self.config.startup_grace,
+                        )
+                    )
+                    if silent > threshold:
+                        # Hung: alive but not talking.  SIGKILL — a
+                        # wedged process can't be trusted to honor
+                        # anything gentler — and let the read loop's
+                        # EOF path orphan its requests.
+                        logger.warning(
+                            "worker %d heartbeat silent for %.2fs; killing",
+                            worker.index, silent,
+                        )
+                        worker.hung = True
+                        worker.last_heartbeat = now  # one kill per stall
+                        try:
+                            worker.proc.kill()
+                        except ProcessLookupError:
+                            pass
+                elif not self._stopping and now >= worker.next_start_at:
+                    worker.restarts += 1
+                    try:
+                        await self._spawn(worker)
+                    except OSError as exc:
+                        logger.error(
+                            "worker %d respawn failed: %s", worker.index, exc
+                        )
+                        worker.next_start_at = (
+                            time.monotonic() + self.config.restart_max_delay
+                        )
+
+    # -- Dispatch ---------------------------------------------------------
+
+    def _pick(self) -> Optional[_Worker]:
+        candidates = [w for w in self._workers if w.dispatchable()]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda w: len(w.inflight))
+
+    async def submit(
+        self,
+        query_payload: Dict[str, Any],
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Run one query on some worker; returns the worker's response.
+
+        Args:
+            query_payload: ``SimQuery.to_dict()`` of a normalized query.
+            deadline: Optional :func:`time.monotonic` budget end.
+
+        Raises:
+            RejectedError: No dispatchable worker exists right now
+                (all dead or breaker-open) — HTTP 503 at the edge.
+            WorkerCrashError: The worker died mid-request and the
+                retry budget (or the deadline) was exhausted.
+            DeadlineExceededError: The budget expired before or during
+                execution.
+        """
+        attempts = self.config.crash_retries + 1
+        last_crash: Optional[WorkerCrashError] = None
+        for _ in range(attempts):
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceededError(
+                    "deadline expired before a worker could run the query",
+                    stage="dispatch",
+                )
+            worker = self._pick()
+            if worker is None:
+                raise RejectedError(
+                    "no live simulation worker (crashed workers are "
+                    "restarting with backoff); retry shortly",
+                    reason="no_workers",
+                    retry_after=self.config.restart_base_delay * 2,
+                )
+            try:
+                return await self._send(worker, query_payload, deadline)
+            except WorkerCrashError as exc:
+                # The breaker and backoff were already fed by the read
+                # loop's death handling; just try another worker.
+                last_crash = exc
+                continue
+        assert last_crash is not None
+        raise last_crash
+
+    async def _send(
+        self,
+        worker: _Worker,
+        query_payload: Dict[str, Any],
+        deadline: Optional[float],
+    ) -> Dict[str, Any]:
+        proc = worker.proc
+        if proc is None or proc.stdin is None or not worker.alive:
+            raise WorkerCrashError(
+                f"worker {worker.index} died before accepting the request"
+            )
+        self._next_id += 1
+        request_id = self._next_id
+        loop = asyncio.get_event_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        worker.inflight[request_id] = future
+        request = {
+            "kind": "req",
+            "id": request_id,
+            "query": query_payload,
+            "deadline_ms": (
+                max(0.0, (deadline - time.monotonic()) * 1000.0)
+                if deadline is not None
+                else None
+            ),
+            "default_length": self.config.default_length,
+        }
+        try:
+            proc.stdin.write(
+                (json.dumps(request, sort_keys=True) + "\n").encode("utf-8")
+            )
+            await proc.stdin.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            worker.inflight.pop(request_id, None)
+            raise WorkerCrashError(
+                f"worker {worker.index} pipe broke mid-send: {exc}"
+            ) from exc
+        response = await future
+        if response.get("ok"):
+            worker.consecutive_failures = 0
+            if worker.breaker is not None:
+                worker.breaker.record(f"worker-{worker.index}", "supervisor")
+            return response
+        error_type = response.get("error_type", "ReproError")
+        message = response.get("error", "worker reported an error")
+        if error_type == "DeadlineExceededError":
+            raise DeadlineExceededError(
+                message, stage=response.get("stage", "simulate")
+            )
+        raise _ERROR_TYPES.get(error_type, ReproError)(message)
+
+    # -- Drain ------------------------------------------------------------
+
+    async def drain(self, timeout: float = 10.0) -> float:
+        """Graceful stop: wait for in-flight work, then retire workers.
+
+        Returns:
+            Wall-clock seconds the drain took (also exported as the
+            ``repro_service_drain_seconds`` gauge).
+        """
+        started = time.monotonic()
+        self._stopping = True
+        if self._monitor is not None:
+            self._monitor.cancel()
+            try:
+                await self._monitor
+            except asyncio.CancelledError:
+                pass
+            self._monitor = None
+        pending = [
+            future
+            for worker in self._workers
+            for future in worker.inflight.values()
+            if not future.done()
+        ]
+        if pending:
+            await asyncio.wait(pending, timeout=timeout)
+        for worker in self._workers:
+            worker.draining = True
+            proc = worker.proc
+            if proc is None:
+                continue
+            if proc.stdin is not None:
+                try:
+                    proc.stdin.close()  # EOF: the worker's drain signal
+                except (BrokenPipeError, OSError):
+                    pass
+            if worker.alive:
+                try:
+                    proc.send_signal(signal.SIGTERM)
+                except ProcessLookupError:
+                    pass
+        deadline = time.monotonic() + max(0.5, timeout / 2)
+        for worker in self._workers:
+            proc = worker.proc
+            if proc is None:
+                continue
+            remaining = deadline - time.monotonic()
+            try:
+                await asyncio.wait_for(proc.wait(), timeout=max(0.1, remaining))
+            except asyncio.TimeoutError:
+                try:
+                    proc.kill()
+                except ProcessLookupError:
+                    pass
+                await proc.wait()
+            if worker.reader is not None:
+                try:
+                    await worker.reader
+                except (asyncio.CancelledError, Exception):
+                    pass
+        self._set_alive_gauge()
+        elapsed = time.monotonic() - started
+        self.metrics.drain_seconds.set(elapsed)
+        return elapsed
+
+    # -- Introspection ----------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``/healthz`` supervisor block."""
+        return {
+            "workers": [
+                {
+                    "index": worker.index,
+                    "alive": worker.alive,
+                    "pid": worker.proc.pid if worker.proc else None,
+                    "inflight": len(worker.inflight),
+                    "restarts": worker.restarts,
+                    "breaker": (
+                        worker.breaker.state if worker.breaker else "disabled"
+                    ),
+                }
+                for worker in self._workers
+            ],
+            "alive": sum(1 for worker in self._workers if worker.alive),
+        }

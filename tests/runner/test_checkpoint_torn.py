@@ -1,0 +1,152 @@
+"""Partial-write regression: a torn final checkpoint record never
+poisons ``--resume``.
+
+The crash window is quantified exhaustively: the file is truncated at
+*every* byte offset of its final record (every instant a kill -9 could
+land during that write), and at each offset the checkpoint must still
+load, and appending after repair must yield a fully intact file.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.errors import ChecksumError
+from repro.runner.checkpoint import (
+    CheckpointWriter,
+    line_crc,
+    load_checkpoint,
+    repair_tail,
+)
+from repro.runner.runner import RunnerConfig, run_sweep
+from repro.workloads.suites import suite_trace
+
+FINGERPRINT = "cafecafe"
+
+
+def write_cells(path, count: int) -> None:
+    with CheckpointWriter(path, FINGERPRINT, fresh=True) as writer:
+        for n in range(count):
+            writer.record_cell(
+                f"1024:16,8@4/T{n}", f"T{n}", "ok",
+                ratios=(0.1 * n, 0.2 * n, 0.3 * n),
+            )
+
+
+def last_record_span(data: bytes) -> "tuple[int, int]":
+    """(start, end) byte offsets of the final newline-terminated line."""
+    assert data.endswith(b"\n")
+    start = data.rfind(b"\n", 0, len(data) - 1) + 1
+    return start, len(data)
+
+
+def line_verifies(raw: bytes) -> bool:
+    """True when the truncated remnant is still a CRC-valid record."""
+    try:
+        record = json.loads(raw)
+    except ValueError:
+        return False
+    return record.pop("crc", None) == line_crc(record)
+
+
+class TestEveryCrashOffset:
+    def test_load_survives_truncation_at_every_byte_of_the_last_record(
+        self, tmp_path
+    ):
+        path = tmp_path / "ck.jsonl"
+        write_cells(path, 3)
+        blob = path.read_bytes()
+        start, end = last_record_span(blob)
+        for cut in range(start, end):  # every offset inside the record
+            path.write_bytes(blob[:cut])
+            cells = load_checkpoint(path, FINGERPRINT)
+            # The torn record is dropped — unless the cut removed only
+            # the trailing newline, leaving a line that still verifies
+            # (cut == end - 1), which loading rightly keeps.  Every
+            # earlier cell survives either way.
+            expected = {"1024:16,8@4/T0", "1024:16,8@4/T1"}
+            if line_verifies(blob[start:cut]):
+                expected.add("1024:16,8@4/T2")
+            assert set(cells) == expected, (
+                f"cut at byte {cut} mishandled the torn record"
+            )
+
+    def test_repair_then_append_heals_at_every_byte_of_the_last_record(
+        self, tmp_path
+    ):
+        path = tmp_path / "ck.jsonl"
+        write_cells(path, 3)
+        blob = path.read_bytes()
+        start, end = last_record_span(blob)
+        for cut in range(start, end):
+            path.write_bytes(blob[:cut])
+            dropped = repair_tail(path)
+            assert dropped == cut - start, f"cut at byte {cut}"
+            # Appending through the writer (resume mode) must produce a
+            # file where *every* line verifies — no glued records.
+            with CheckpointWriter(path, FINGERPRINT, fresh=False) as writer:
+                writer.record_cell(
+                    "1024:16,8@4/T2", "T2", "ok", ratios=(0.2, 0.4, 0.6)
+                )
+            for line in path.read_bytes().splitlines():
+                record = json.loads(line)
+                assert record.pop("crc") == line_crc(record)
+            cells = load_checkpoint(path, FINGERPRINT)
+            assert set(cells) == {
+                "1024:16,8@4/T0", "1024:16,8@4/T1", "1024:16,8@4/T2"
+            }
+
+    def test_truncation_inside_the_header_restarts_cleanly(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        write_cells(path, 1)
+        blob = path.read_bytes()
+        header_end = blob.index(b"\n") + 1
+        for cut in range(0, header_end):
+            path.write_bytes(blob[:cut])
+            with CheckpointWriter(path, FINGERPRINT, fresh=False) as writer:
+                writer.record_cell(
+                    "1024:16,8@4/T9", "T9", "ok", ratios=(0.1, 0.2, 0.3)
+                )
+            cells = load_checkpoint(path, FINGERPRINT)
+            assert set(cells) == {"1024:16,8@4/T9"}, f"cut at byte {cut}"
+
+
+class TestInteriorCorruptionStillFatal:
+    def test_a_corrupt_interior_line_raises_checksum_error(self, tmp_path):
+        """Tail tolerance must not soften interior corruption."""
+        path = tmp_path / "ck.jsonl"
+        write_cells(path, 3)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1].replace(b'"ok"', b'"OK"')  # break line 2's CRC
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(ChecksumError, match="line 2"):
+            load_checkpoint(path, FINGERPRINT)
+
+
+class TestResumeEndToEnd:
+    def test_resume_after_a_torn_tail_reproduces_the_full_sweep(
+        self, tmp_path
+    ):
+        trace = suite_trace("pdp11", "ED", length=2000)
+        geometries = [
+            CacheGeometry(net, 16, 8) for net in (256, 512, 1024)
+        ]
+        path = tmp_path / "sweep.jsonl"
+        baseline, _ = run_sweep(
+            [trace], geometries, config=RunnerConfig(checkpoint=path)
+        )
+        # Tear the final record mid-write, then resume.
+        blob = path.read_bytes()
+        start, end = last_record_span(blob)
+        path.write_bytes(blob[: (start + end) // 2])
+        resumed, report = run_sweep(
+            [trace], geometries,
+            config=RunnerConfig(checkpoint=path, resume=True),
+        )
+        assert report.resumed == len(geometries) - 1
+        assert [
+            (p.geometry, p.per_trace) for p in resumed
+        ] == [(p.geometry, p.per_trace) for p in baseline]

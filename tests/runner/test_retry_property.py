@@ -1,0 +1,121 @@
+"""Property tests for the retry backoff schedule.
+
+The claims the resilience docs make about :meth:`RetryPolicy.delay` —
+exponential growth, a hard ceiling, and jitter that only ever *shortens*
+a delay — hold for every policy and attempt number, not just the
+defaults, so they are quantified here rather than spot-checked.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runner.retry import RetryPolicy, call_with_retry
+from repro.errors import TransientError
+
+policies = st.builds(
+    RetryPolicy,
+    max_retries=st.integers(min_value=0, max_value=6),
+    base_delay=st.floats(min_value=0.0, max_value=2.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=0.0, max_value=10.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    policy=policies,
+    attempt=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_delay_stays_inside_the_documented_envelope(policy, attempt, seed):
+    """raw = min(base * mult^(n-1), max); delay in [raw*(1-j), raw]."""
+    raw = min(
+        policy.base_delay * policy.multiplier ** (attempt - 1),
+        policy.max_delay,
+    )
+    delay = policy.delay(attempt, random.Random(seed))
+    assert 0.0 <= delay
+    assert delay <= raw + 1e-12
+    assert delay >= raw * (1.0 - policy.jitter) - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    policy=policies,
+    attempt=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_delay_is_deterministic_under_a_seeded_rng(policy, attempt, seed):
+    first = policy.delay(attempt, random.Random(seed))
+    second = policy.delay(attempt, random.Random(seed))
+    assert first == second
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    policy=policies,
+    attempts=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_unjittered_ceilings_are_monotone_nondecreasing(
+    policy, attempts, seed
+):
+    """The *cap* of each successive delay never shrinks (mult >= 1)."""
+    caps = [
+        min(
+            policy.base_delay * policy.multiplier ** (n - 1),
+            policy.max_delay,
+        )
+        for n in range(1, attempts + 1)
+    ]
+    assert caps == sorted(caps)
+    # And the jittered samples respect their own per-attempt cap.
+    rng = random.Random(seed)
+    for n, cap in enumerate(caps, start=1):
+        assert policy.delay(n, rng) <= cap + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    max_retries=st.integers(min_value=0, max_value=5),
+    failures=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_call_with_retry_makes_exactly_the_budgeted_attempts(
+    max_retries, failures, seed
+):
+    """fn runs min(failures, max_retries) + 1 times; sleeps are bounded."""
+    policy = RetryPolicy(max_retries=max_retries, base_delay=0.01)
+    calls = []
+    sleeps: "list[float]" = []
+
+    def flaky(attempt: int) -> str:
+        calls.append(attempt)
+        if len(calls) <= failures:
+            raise TransientError("injected")
+        return "ok"
+
+    rng = random.Random(seed)
+    if failures <= max_retries:
+        result, attempts = call_with_retry(
+            flaky, policy, rng=rng, sleep=sleeps.append
+        )
+        assert result == "ok"
+        assert attempts == failures + 1
+        assert len(sleeps) == failures
+    else:
+        try:
+            call_with_retry(flaky, policy, rng=rng, sleep=sleeps.append)
+            raise AssertionError("expected the retry budget to exhaust")
+        except TransientError as exc:
+            assert exc.retry_attempts == max_retries + 1
+        assert len(sleeps) == max_retries
+    assert calls == list(range(1, len(calls) + 1))
+    for n, slept in enumerate(sleeps, start=1):
+        cap = min(policy.base_delay * policy.multiplier ** (n - 1),
+                  policy.max_delay)
+        assert 0.0 <= slept <= cap + 1e-12

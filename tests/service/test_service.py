@@ -173,7 +173,7 @@ class TestOverloadAndFailure:
             cached = await service.simulate(QUERY)  # populate the cache
             assert cached.source == "computed"
 
-            def explode(prepared, query):
+            def explode(prepared, query, deadline=None):
                 raise ReproError("injected cell failure")
 
             service._execute = explode

@@ -1,0 +1,161 @@
+"""Supervisor tests: real child processes, injected crashes, drains.
+
+These spawn actual ``python -m repro.service.worker`` subprocesses, so
+each test pays a ~1s interpreter cold start per worker — the suite is
+deliberately small and each test asserts several properties.  The
+full fault matrix (torn stores, bit flips, slow loris) lives in the
+service chaos harness (``python -m repro chaos --serve``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.service.admission import RejectedError
+from repro.service.supervisor import Supervisor, SupervisorConfig
+
+QUERY = {
+    "suite": "pdp11", "trace": "ED", "length": 2000,
+    "net": 512, "block": 16, "sub": 8,
+}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def wait_for(predicate, timeout: float, step: float = 0.1) -> bool:
+    for _ in range(int(timeout / step) + 1):
+        if predicate():
+            return True
+        await asyncio.sleep(step)
+    return predicate()
+
+
+class TestHappyPath:
+    def test_submit_answers_and_drain_retires_the_fleet(self):
+        async def main():
+            sup = Supervisor(SupervisorConfig(workers=1, default_length=2000))
+            await sup.start()
+            try:
+                response = await sup.submit(dict(QUERY))
+            finally:
+                elapsed = await sup.drain()
+            assert response["ok"] is True
+            assert 0.0 < response["miss"] <= 1.0
+            assert response["trace"] == "ED"
+            assert response["stats"]["accesses"] > 0
+            # Drain retired every worker and exported its latency.
+            assert sup.describe()["alive"] == 0
+            assert sup.metrics.drain_seconds.value() == elapsed
+            assert elapsed < 10.0
+
+        run(main())
+
+
+class TestCrashContainment:
+    def test_sigkill_mid_request_is_retried_on_a_sibling(self):
+        async def main():
+            sup = Supervisor(
+                SupervisorConfig(
+                    workers=2,
+                    default_length=2000,
+                    worker_env={
+                        "REPRO_WORKER_CRASH_AFTER": "1",
+                        "REPRO_WORKER_CHAOS_INDEX": "0",
+                    },
+                )
+            )
+            await sup.start()
+            try:
+                # Worker 0 (fewest in flight, picked first) SIGKILLs
+                # itself with the request in flight; the supervisor
+                # must re-dispatch to worker 1 invisibly.
+                response = await sup.submit(dict(QUERY))
+                assert response["ok"] is True
+                crashed = await wait_for(
+                    lambda: sup.metrics.worker_restarts_total.value(
+                        labels={"reason": "crashed"}
+                    ) >= 1,
+                    timeout=5.0,
+                )
+                assert crashed, "the SIGKILL was never accounted as a crash"
+            finally:
+                await sup.drain()
+
+        run(main())
+
+    def test_crash_loop_keeps_restarting_with_backoff(self):
+        async def main():
+            sup = Supervisor(
+                SupervisorConfig(
+                    workers=1,
+                    worker_env={"REPRO_WORKER_CRASH_ON_START": "1"},
+                )
+            )
+            await sup.start()
+            try:
+                # With the only worker crash-looping, dispatch refuses
+                # (or reports the crash) rather than hanging — never a
+                # success, and the edge turns the refusal into a 503.
+                rejected = None
+                for _ in range(50):
+                    try:
+                        await sup.submit(dict(QUERY))
+                    except RejectedError as exc:
+                        rejected = exc
+                        break
+                    except WorkerCrashError:
+                        # The death raced the dispatch; the breaker
+                        # and backoff are being fed, try again.
+                        await asyncio.sleep(0.1)
+                    else:
+                        raise AssertionError(
+                            "a crash-on-start worker answered a request"
+                        )
+                assert rejected is not None
+                assert rejected.reason == "no_workers"
+                restarted = await wait_for(
+                    lambda: sup.metrics.worker_restarts_total.value(
+                        labels={"reason": "crashed"}
+                    ) >= 2,
+                    timeout=10.0,
+                )
+                assert restarted, "the crash loop was not restarted"
+            finally:
+                await sup.drain()
+
+        run(main())
+
+    def test_hung_worker_is_killed_and_counted_as_hung(self):
+        async def main():
+            sup = Supervisor(
+                SupervisorConfig(
+                    workers=1,
+                    heartbeat_timeout=1.0,
+                    crash_retries=0,
+                    default_length=2000,
+                    worker_env={"REPRO_WORKER_STALL_HEARTBEAT_AFTER": "1"},
+                )
+            )
+            await sup.start()
+            try:
+                # Wait out the cold start so the stall is judged
+                # against the tight heartbeat timeout, not the
+                # startup grace.
+                heard = await wait_for(
+                    lambda: sup._workers[0].heard_once, timeout=10.0
+                )
+                assert heard, "worker never sent its first heartbeat"
+                with pytest.raises(WorkerCrashError, match="hung"):
+                    await sup.submit(dict(QUERY))
+                assert sup.metrics.worker_restarts_total.value(
+                    labels={"reason": "hung"}
+                ) >= 1
+            finally:
+                await sup.drain()
+
+        run(main())
