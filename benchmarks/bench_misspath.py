@@ -1,0 +1,165 @@
+"""CI misspath smoke: victim cache vs miss cache vs stream buffers.
+
+A small, dependency-free comparison (no pytest-benchmark) for the CI
+misspath-smoke step::
+
+    PYTHONPATH=src python benchmarks/bench_misspath.py [--length N]
+
+Reproduces the classic miss-side evaluation on the repo's bundled
+workloads: the same L1 miss stream is replayed through a bare miss
+path, a victim cache, a tag-only miss cache, stream buffers, and the
+combined victim + stream configuration, and the memory-side traffic of
+each is compared.  The L1 counters are identical across rows by
+construction (the chain never alters L1 behavior) — what changes is
+how many misses reach memory and how many bytes they move.
+
+The gate asserts the two qualitative orderings the literature predicts
+at small L1 sizes, per workload:
+
+* every structure beats the bare L1 on memory traffic, and
+* the combined victim + stream chain beats either structure alone.
+
+The full grid (all rows, both L1 sizes, per-structure hit counters)
+lands in ``BENCH_misspath.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import CacheGeometry
+from repro.core.misspath import MissPathConfig
+from repro.core.sim import run_config
+from repro.workloads.suites import suite_trace
+
+#: The compared miss-path rows, in print order.
+CONFIGS = {
+    "bare": None,
+    "vc4": MissPathConfig(victim_entries=4),
+    "mc4": MissPathConfig(miss_entries=4),
+    "sb4x4": MissPathConfig(stream_buffers=4, stream_depth=4),
+    "vc4+sb4x4": MissPathConfig(
+        victim_entries=4, stream_buffers=4, stream_depth=4
+    ),
+    "vc4+sb4x4+l2": MissPathConfig(
+        victim_entries=4, stream_buffers=4, stream_depth=4, l2_net_size=4096
+    ),
+}
+
+#: Bundled workloads the gate runs over (suite, program).
+WORKLOADS = [("pdp11", "ED"), ("z8000", "GREP"), ("vax", "c2")]
+
+#: L1 net sizes: the gate applies at the smallest; both are recorded.
+NET_SIZES = (128, 256)
+GATE_NET = 128
+
+
+def memory_bytes(stats) -> int:
+    """Memory-side traffic of one row (chained or bare)."""
+    if stats.misspath is not None:
+        return stats.misspath.memory_bytes_fetched
+    return stats.bytes_fetched
+
+
+def run_grid(length: int):
+    results = {}
+    for suite, program in WORKLOADS:
+        trace = suite_trace(suite, program, length=length)
+        workload_key = f"{suite}/{program}"
+        results[workload_key] = {}
+        for net in NET_SIZES:
+            geometry = CacheGeometry(net, 16, 8, associativity=2)
+            rows = {}
+            baseline = None
+            for name, miss_path in CONFIGS.items():
+                stats = run_config(geometry, trace, miss_path=miss_path)
+                row = {
+                    "memory_bytes": memory_bytes(stats),
+                    "l1_bytes_fetched": stats.bytes_fetched,
+                    "l1_miss_ratio": stats.miss_ratio,
+                }
+                if stats.misspath is not None:
+                    row["hits"] = stats.misspath.hits_summary()
+                    row["demand_misses"] = stats.misspath.demand_misses
+                if baseline is None:
+                    baseline = row["l1_bytes_fetched"]
+                # The invariance contract, asserted on every cell: the
+                # chain never changes what the L1 itself fetches.
+                assert row["l1_bytes_fetched"] == baseline, (
+                    f"{workload_key} {net}B {name}: L1 traffic perturbed"
+                )
+                rows[name] = row
+            results[workload_key][str(net)] = rows
+            print(f"{workload_key} @ {net}B L1 (16,8) 2-way:")
+            for name, row in rows.items():
+                saved = 1 - row["memory_bytes"] / baseline if baseline else 0.0
+                print(
+                    f"  {name:>14s}: {row['memory_bytes']:8d} memory bytes "
+                    f"({saved:6.1%} saved)"
+                )
+    return results
+
+
+def check_orderings(results) -> list:
+    """The qualitative gates, evaluated at the smallest L1."""
+    failures = []
+    for workload, by_net in results.items():
+        rows = by_net[str(GATE_NET)]
+        bare = rows["bare"]["memory_bytes"]
+        for name in ("vc4", "mc4", "sb4x4"):
+            if not rows[name]["memory_bytes"] < bare:
+                failures.append(
+                    f"{workload}: {name} ({rows[name]['memory_bytes']} B) "
+                    f"does not beat bare ({bare} B)"
+                )
+        combined = rows["vc4+sb4x4"]["memory_bytes"]
+        for name in ("vc4", "sb4x4"):
+            if not combined < rows[name]["memory_bytes"]:
+                failures.append(
+                    f"{workload}: vc4+sb4x4 ({combined} B) does not beat "
+                    f"{name} alone ({rows[name]['memory_bytes']} B)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--length", type=int, default=30_000)
+    args = parser.parse_args(argv)
+
+    results = run_grid(args.length)
+    failures = check_orderings(results)
+
+    artifact = Path(__file__).resolve().parent / "BENCH_misspath.json"
+    artifact.write_text(
+        json.dumps(
+            {
+                "length": args.length,
+                "geometry": f"net:{list(NET_SIZES)} block:16 sub:8 assoc:2",
+                "gate_net": GATE_NET,
+                "configs": {
+                    name: (config.key() if config is not None else "none")
+                    for name, config in CONFIGS.items()
+                },
+                "results": results,
+                "failures": failures,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"artifact: {artifact}")
+    for failure in failures:
+        print(f"misspath-smoke: FAIL — {failure}")
+    if failures:
+        return 1
+    print("misspath-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,7 @@ def sweep(
     bus_model: BusCostModel = NIBBLE_MODE_BUS,
     filter_writes: bool = True,
     runner_config: Optional["RunnerConfig"] = None,
+    miss_path=None,
 ) -> List[SweepPoint]:
     """Simulate each geometry over each trace and average the ratios.
 
@@ -83,6 +84,10 @@ def sweep(
         filter_writes: Apply the paper's read-only filtering first.
         runner_config: Resilience knobs (checkpointing, retries,
             timeouts, lenient degradation, fault injection).
+        miss_path: Optional miss-path chain
+            (:class:`~repro.core.misspath.MissPathConfig` or its dict
+            form) applied to every cell; ratios then reflect the chain
+            (traffic charged only for fetches no structure serviced).
 
     Returns:
         One :class:`SweepPoint` per geometry, in input order.  Under a
@@ -103,6 +108,7 @@ def sweep(
         bus_model=bus_model,
         filter_writes=filter_writes,
         config=runner_config,
+        miss_path=miss_path,
     )
     return points
 

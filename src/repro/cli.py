@@ -12,7 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro chaos [--quick] [--serve [--out FILE] [--budget S]]
     python -m repro serve [--host H] [--port P] [--supervised]
                           [--store-dir DIR]
-    python -m repro lint [--format json] [--strict]
+    python -m repro lint [--format json] [--strict] [--misspath JSON]
     python -m repro classify PROGRAM [--net N] [--format json] [--verify]
     python -m repro --version
 
@@ -306,6 +306,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="fail on warnings too, not just errors",
     )
+    lint.add_argument(
+        "--misspath", default=None, metavar="JSON",
+        help="also lint a miss-path chain config (JSON object with "
+             "victim_entries/miss_entries/stream_buffers/l2_* keys; "
+             "see docs/misspath.md)",
+    )
     classify = commands.add_parser(
         "classify",
         help="must/may abstract-interpretation cache analysis of one program",
@@ -365,6 +371,43 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--keep-writes", action="store_true",
         help="keep write accesses (default: the paper's read filtering)",
+    )
+    miss_path = simulate.add_argument_group(
+        "miss path",
+        "optional structures consulted between an L1 miss and memory "
+        "(see docs/misspath.md); all default to off",
+    )
+    miss_path.add_argument(
+        "--victim-entries", type=int, default=0, metavar="N",
+        help="fully-associative victim cache entries (holds L1 evictions)",
+    )
+    miss_path.add_argument(
+        "--miss-entries", type=int, default=0, metavar="N",
+        help="tag-only miss cache entries",
+    )
+    miss_path.add_argument(
+        "--stream-buffers", type=int, default=0, metavar="N",
+        help="sequential-prefetch stream buffers",
+    )
+    miss_path.add_argument(
+        "--stream-depth", type=int, default=4, metavar="N",
+        help="prefetch FIFO depth per stream buffer (default 4)",
+    )
+    miss_path.add_argument(
+        "--l2-net", type=int, default=0, metavar="BYTES",
+        help="backing L2 net size (0 = no L2)",
+    )
+    miss_path.add_argument(
+        "--l2-block", type=int, default=0, metavar="BYTES",
+        help="L2 block size (default: the L1 block size)",
+    )
+    miss_path.add_argument(
+        "--l2-sub", type=int, default=0, metavar="BYTES",
+        help="L2 sub-block size (default: the L2 block size)",
+    )
+    miss_path.add_argument(
+        "--l2-assoc", type=int, default=4, metavar="N",
+        help="L2 associativity (default 4)",
     )
     return parser
 
@@ -517,6 +560,17 @@ def _cmd_lint(args) -> int:
 
     entries = []
     errors = warnings = 0
+    misspath_diagnostics = None
+    if args.misspath is not None:
+        from repro.staticcheck.configlint import lint_miss_path
+
+        try:
+            raw_misspath = json.loads(args.misspath)
+        except ValueError as exc:
+            raise SystemExit(f"repro: --misspath is not valid JSON: {exc}")
+        misspath_diagnostics = lint_miss_path(raw_misspath, source="cli")
+        errors += sum(1 for d in misspath_diagnostics if d.is_error)
+        warnings += sum(1 for d in misspath_diagnostics if not d.is_error)
     for name in names:
         builder = PROGRAMS[name]
         params = (
@@ -532,25 +586,29 @@ def _cmd_lint(args) -> int:
         entries.append((name, diagnostics, footprint(program, name=name)))
 
     if args.fmt == "json":
-        print(
-            json.dumps(
+        payload = {
+            "schema_version": 1,
+            "programs": [
                 {
-                    "schema_version": 1,
-                    "programs": [
-                        {
-                            "name": name,
-                            "diagnostics": [d.to_dict() for d in diagnostics],
-                            "footprint": report.to_dict(),
-                        }
-                        for name, diagnostics, report in entries
-                    ],
-                    "errors": errors,
-                    "warnings": warnings,
-                },
-                indent=2,
-            )
-        )
+                    "name": name,
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                    "footprint": report.to_dict(),
+                }
+                for name, diagnostics, report in entries
+            ],
+            "errors": errors,
+            "warnings": warnings,
+        }
+        if misspath_diagnostics is not None:
+            payload["misspath"] = {
+                "diagnostics": [d.to_dict() for d in misspath_diagnostics],
+            }
+        print(json.dumps(payload, indent=2))
     else:
+        if misspath_diagnostics is not None:
+            print(f"misspath config: {len(misspath_diagnostics)} finding(s)")
+            for diagnostic in misspath_diagnostics:
+                print(f"  {diagnostic.render()}")
         for name, diagnostics, report in entries:
             loops = sum(1 for loop in report.loops if loop.innermost)
             print(
@@ -666,6 +724,7 @@ def _cmd_classify(args) -> int:
 def _cmd_simulate(args) -> None:
     from repro.core.config import CacheGeometry
     from repro.core.fetch import make_fetch
+    from repro.core.misspath import MissPathConfig
     from repro.core.replacement import make_replacement
     from repro.core.sim import run_config
     from repro.memory.nibble import NIBBLE_MODE_BUS
@@ -681,6 +740,16 @@ def _cmd_simulate(args) -> None:
         sub_block_size=args.sub if args.sub is not None else args.block,
         associativity=args.assoc,
     )
+    miss_path = MissPathConfig(
+        victim_entries=args.victim_entries,
+        miss_entries=args.miss_entries,
+        stream_buffers=args.stream_buffers,
+        stream_depth=args.stream_depth,
+        l2_net_size=args.l2_net,
+        l2_block_size=args.l2_block,
+        l2_sub_block_size=args.l2_sub,
+        l2_associativity=args.l2_assoc,
+    )
     stats = run_config(
         geometry,
         trace,
@@ -688,6 +757,7 @@ def _cmd_simulate(args) -> None:
         fetch=make_fetch(args.fetch),
         word_size=args.word,
         warmup=0 if args.cold else "fill",
+        miss_path=miss_path if miss_path.enabled else None,
     )
     print(f"trace:        {args.din} ({len(trace)} accesses after filtering)")
     print(f"cache:        {geometry}")
@@ -698,6 +768,21 @@ def _cmd_simulate(args) -> None:
         f"nibble:       "
         f"{stats.scaled_traffic_ratio(NIBBLE_MODE_BUS, args.word):.4f}"
     )
+    if stats.misspath is not None:
+        misspath = stats.misspath
+        print(f"miss path:    {miss_path.key()} "
+              f"({misspath.demand_misses} demand misses)")
+        for name in misspath.chain:
+            structure = misspath.structures[name]
+            print(
+                f"  {name:7s} probes {structure.probes:>8d}  "
+                f"hits {structure.hits:>8d}  fills {structure.fills:>8d}  "
+                f"evictions {structure.evictions:>8d}"
+            )
+        print(
+            f"  memory  fetches {misspath.memory_fetches} "
+            f"({misspath.memory_bytes_fetched} bytes)"
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

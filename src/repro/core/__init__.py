@@ -10,11 +10,27 @@ Public surface:
   warm-start support.
 * Sector-cache constructors for the 360/85 comparison.
 * :class:`SplitCache` and :class:`WritePolicy` extensions.
+* The miss-path chain (:class:`MissPathConfig`, :class:`VictimCache`,
+  :class:`MissCache`, :class:`StreamBufferSet`, :class:`BackingL2`)
+  with its :class:`MissPathStats` accounting.
 """
 
 from repro.core.block import Block, mask_of_range, popcount
 from repro.core.cache import SubBlockCache
 from repro.core.config import CacheGeometry, is_power_of_two, log2_int
+from repro.core.misspath import (
+    MISS_PATH_KEYS,
+    BackingL2,
+    MissCache,
+    MissPathChain,
+    MissPathConfig,
+    MissPathStats,
+    MissPathStructure,
+    StreamBufferSet,
+    StructureStats,
+    VictimCache,
+    build_miss_path,
+)
 from repro.core.fetch import (
     DemandFetch,
     FetchPlan,
@@ -42,6 +58,17 @@ __all__ = [
     "popcount",
     "SubBlockCache",
     "CacheGeometry",
+    "MISS_PATH_KEYS",
+    "BackingL2",
+    "MissCache",
+    "MissPathChain",
+    "MissPathConfig",
+    "MissPathStats",
+    "MissPathStructure",
+    "StreamBufferSet",
+    "StructureStats",
+    "VictimCache",
+    "build_miss_path",
     "is_power_of_two",
     "log2_int",
     "DemandFetch",

@@ -22,12 +22,13 @@ Example:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.accounting import account_eviction, account_fetch
 from repro.core.block import Block, mask_of_range
 from repro.core.config import CacheGeometry
 from repro.core.fetch import DemandFetch, FetchPolicy
+from repro.core.misspath import MissPathConfig, build_miss_path
 from repro.core.replacement import LRUReplacement, ReplacementPolicy
 from repro.core.stats import CacheStats
 from repro.core.write import WritePolicy
@@ -52,12 +53,22 @@ class SubBlockCache:
         word_size: Processor data-path width in bytes; used to convert
             fetch transactions into word counts for the nibble-mode
             cost model and as the default access size.
+        miss_path: Optional miss-path chain configuration (a
+            :class:`~repro.core.misspath.MissPathConfig` or its mapping
+            form).  When any structure is configured, every demand miss
+            consults the chain — victim cache, miss cache, stream
+            buffers, backing L2 — before being charged to memory.  The
+            chain never alters L1 behavior or the 17 core counters; its
+            own accounting lands in ``stats.misspath``.
 
     Attributes:
         stats: The :class:`~repro.core.stats.CacheStats` accumulated so
             far.  Call ``stats.reset()`` (or use
             :func:`repro.core.sim.simulate` with a warm-up) for
             warm-start measurement.
+        miss_path: The live
+            :class:`~repro.core.misspath.MissPathChain`, or None for a
+            bare L1.
     """
 
     def __init__(
@@ -67,6 +78,7 @@ class SubBlockCache:
         fetch: Optional[FetchPolicy] = None,
         write_policy: WritePolicy = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
         word_size: int = 2,
+        miss_path: "Union[MissPathConfig, Dict[str, Any], None]" = None,
     ) -> None:
         if word_size < 1:
             raise ConfigurationError(f"word_size must be >= 1, got {word_size}")
@@ -82,6 +94,9 @@ class SubBlockCache:
         self.write_policy = write_policy
         self.word_size = word_size
         self.stats = CacheStats()
+        self.miss_path = build_miss_path(miss_path, geometry, word_size)
+        if self.miss_path is not None:
+            self.stats.misspath = self.miss_path.stats
 
         self._sets: List[List[Optional[Block]]] = [
             [None] * geometry.ways for _ in range(geometry.num_sets)
@@ -155,7 +170,6 @@ class SubBlockCache:
         set_index = block_addr % geometry.num_sets
         tag = block_addr // geometry.num_sets
         ways = self._sets[set_index]
-        state = self._policy_state[set_index]
         sub_mask = 1 << geometry.sub_block_index(addr)
 
         blk = None
@@ -167,19 +181,7 @@ class SubBlockCache:
             if blk.valid & sub_mask:
                 return False
         else:
-            victim_way = None
-            for way, candidate in enumerate(ways):
-                if candidate is None:
-                    victim_way = way
-                    break
-            if victim_way is None:
-                victim_way = self.replacement.victim(state)
-                self._evict(ways[victim_way])
-            else:
-                self._filled_blocks += 1
-            blk = Block(tag)
-            ways[victim_way] = blk
-            self.replacement.on_fill(state, victim_way)
+            blk = self._fill_block(set_index, tag)
         sub_size = geometry.sub_block_size
         self.stats.record_transaction(sub_size // self.word_size)
         self.stats.bytes_fetched += sub_size
@@ -197,7 +199,7 @@ class SubBlockCache:
         for set_index, ways in enumerate(self._sets):
             for way, blk in enumerate(ways):
                 if blk is not None:
-                    self._evict(blk)
+                    self._evict(blk, set_index)
                     ways[way] = None
             self._policy_state[set_index] = self.replacement.new_set(
                 self.geometry.ways
@@ -255,7 +257,7 @@ class SubBlockCache:
                 self._complete_write(blk, 0, True, nbytes)
                 return True
             self.stats.sub_block_misses += 1
-            self._apply_fetch(blk, missing)
+            self._apply_fetch(blk, missing, block_addr)
             self._complete_write(blk, needed, is_write, nbytes)
             return True
 
@@ -264,6 +266,22 @@ class SubBlockCache:
             self.stats.bytes_written_through += nbytes
             return True
         self.stats.block_misses += 1
+        blk = self._fill_block(set_index, tag)
+        self._apply_fetch(blk, needed, block_addr)
+        blk.referenced |= needed
+        self._complete_write(blk, needed, is_write, nbytes)
+        return True
+
+    def _fill_block(self, set_index: int, tag: int) -> Block:
+        """Allocate a frame for ``tag`` in ``set_index`` and return it.
+
+        The one victim-selection/fill sequence shared by the access
+        slow path and :meth:`prefetch`: reuse an invalid way if any,
+        otherwise displace the replacement victim — which is also the
+        single point where evictions feed the miss-path chain.
+        """
+        ways = self._sets[set_index]
+        state = self._policy_state[set_index]
         victim_way = None
         for way, candidate in enumerate(ways):
             if candidate is None:
@@ -271,26 +289,34 @@ class SubBlockCache:
                 break
         if victim_way is None:
             victim_way = self.replacement.victim(state)
-            self._evict(ways[victim_way])
+            self._evict(ways[victim_way], set_index)
         else:
             self._filled_blocks += 1
         blk = Block(tag)
         ways[victim_way] = blk
         self.replacement.on_fill(state, victim_way)
-        self._apply_fetch(blk, needed)
-        blk.referenced |= needed
-        self._complete_write(blk, needed, is_write, nbytes)
-        return True
+        return blk
 
-    def _apply_fetch(self, blk: Block, needed_missing: int) -> None:
-        """Run the fetch policy for a miss and account the traffic."""
+    def _apply_fetch(self, blk: Block, needed_missing: int, block_addr: int) -> None:
+        """Run the fetch policy for a miss and account the traffic.
+
+        With a miss-path chain configured this is also the consult
+        point: the chain sees every demand miss (block- and
+        sub-block-level) with the mask the plan moves, and decides
+        whether the fill came from a structure or from memory.
+        """
         geometry = self.geometry
         first_needed = (needed_missing & -needed_missing).bit_length() - 1
         plan = self.fetch.plan(
             needed_missing, first_needed, blk.valid, geometry.sub_blocks_per_block
         )
+        before = self.stats.bytes_fetched
         account_fetch(self.stats, plan, geometry.sub_block_size, self.word_size)
         blk.valid |= plan.fetch_mask
+        if self.miss_path is not None:
+            self.miss_path.service_miss(
+                block_addr, plan.fetch_mask, self.stats.bytes_fetched - before
+            )
 
     def _complete_write(
         self, blk: Block, needed: int, is_write: bool, nbytes: int
@@ -308,8 +334,15 @@ class SubBlockCache:
         else:
             blk.dirty |= needed
 
-    def _evict(self, blk: Block) -> None:
-        """Account statistics and write-backs for a displaced block."""
+    def _evict(self, blk: Block, set_index: int) -> None:
+        """Account statistics and write-backs for a displaced block.
+
+        The displaced block is also offered to the miss-path chain
+        (victim-cache capture) before its frame is reused.  A chain
+        probe for the *same* address can never follow in the same miss:
+        eviction only happens on a block miss, whose tag necessarily
+        differs from the victim's.
+        """
         account_eviction(
             self.stats,
             blk.referenced,
@@ -317,6 +350,9 @@ class SubBlockCache:
             self.geometry.sub_blocks_per_block,
             self.geometry.sub_block_size,
         )
+        if self.miss_path is not None:
+            block_addr = blk.tag * self.geometry.num_sets + set_index
+            self.miss_path.on_l1_eviction(block_addr, blk.valid)
 
     def __repr__(self) -> str:
         return (

@@ -31,17 +31,44 @@ rule                         identity
                              writebacks * block]``
 ``conservation-negative``    no counter is negative
 ===========================  ==================================================
+
+:func:`check_misspath_conservation` does the same for the miss-path
+chain's :class:`~repro.core.misspath.MissPathStats`:
+
+===========================  ==================================================
+rule                         identity
+===========================  ==================================================
+``misspath-negative``        no chain counter is negative
+``misspath-bounds``          per structure, ``hits <= probes``
+``misspath-chain``           the first structure sees every demand miss
+                             and each later structure sees exactly the
+                             misses its predecessors passed:
+                             ``probes[0] == demand_misses`` and
+                             ``probes[i+1] == probes[i] - hits[i]``
+``misspath-service``         every demand miss is serviced exactly once:
+                             ``demand_misses == sum(hits) + memory_fetches``
+``misspath-l1-link``         against the L1 stats: ``demand_misses ==
+                             block_misses + sub_block_misses``
+``misspath-l2``              with a backing L2: its probes equal the L2
+                             stats' accesses, its hits the L2's hits,
+                             and memory traffic equals the L2's own
+                             fetch traffic
+``misspath-memory``          memory bytes move iff memory fetches happen
+===========================  ==================================================
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.config import CacheGeometry
 from repro.core.stats import CacheStats
 from repro.trace.record import AccessType
 
-__all__ = ["check_stats_conservation"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.misspath import MissPathStats
+
+__all__ = ["check_stats_conservation", "check_misspath_conservation"]
 
 
 def check_stats_conservation(
@@ -182,5 +209,115 @@ def check_stats_conservation(
             "conservation-writeback",
             f"writebacks ({stats.writebacks}) exceed evictions "
             f"({stats.evictions})",
+        )
+    return violations
+
+
+def check_misspath_conservation(
+    misspath: "MissPathStats",
+    l1_stats: Optional[CacheStats] = None,
+) -> List[str]:
+    """Return every violated miss-path law as ``"rule: detail"`` strings.
+
+    The laws hold after any prefix of accesses, like the core ones:
+    the chain is probed front to back, stops at the first hit, and
+    charges memory for exactly the misses nothing serviced.
+
+    Args:
+        misspath: The chain counters to validate.
+        l1_stats: When given, enables the cross-level link law
+            (``misspath-l1-link``): the chain must have seen exactly
+            the L1's block- and sub-block-miss events.
+
+    Returns:
+        An empty list when every law holds.
+    """
+    violations: List[str] = []
+
+    def fail(rule: str, detail: str) -> None:
+        violations.append(f"{rule}: {detail}")
+
+    scalars = {
+        "demand_misses": misspath.demand_misses,
+        "memory_fetches": misspath.memory_fetches,
+        "memory_bytes_fetched": misspath.memory_bytes_fetched,
+    }
+    for name, value in scalars.items():
+        if value < 0:
+            fail("misspath-negative", f"{name} = {value}")
+    for name in misspath.chain:
+        structure = misspath.structures[name]
+        for counter in ("probes", "hits", "fills", "evictions"):
+            value = getattr(structure, counter)
+            if value < 0:
+                fail("misspath-negative", f"{name}.{counter} = {value}")
+        if structure.hits > structure.probes:
+            fail(
+                "misspath-bounds",
+                f"{name} hits ({structure.hits}) exceed probes "
+                f"({structure.probes})",
+            )
+
+    expected_probes = misspath.demand_misses
+    for name in misspath.chain:
+        structure = misspath.structures[name]
+        if structure.probes != expected_probes:
+            fail(
+                "misspath-chain",
+                f"{name} probes ({structure.probes}) != misses passed down "
+                f"({expected_probes})",
+            )
+        expected_probes = structure.probes - structure.hits
+
+    serviced = misspath.structure_hits + misspath.memory_fetches
+    if misspath.demand_misses != serviced:
+        fail(
+            "misspath-service",
+            f"demand_misses ({misspath.demand_misses}) != structure hits + "
+            f"memory fetches ({serviced})",
+        )
+
+    if l1_stats is not None:
+        l1_misses = l1_stats.block_misses + l1_stats.sub_block_misses
+        if misspath.demand_misses != l1_misses:
+            fail(
+                "misspath-l1-link",
+                f"demand_misses ({misspath.demand_misses}) != L1 block + "
+                f"sub-block misses ({l1_misses})",
+            )
+
+    if misspath.l2_stats is not None:
+        l2 = misspath.structures.get("l2")
+        if l2 is None:
+            fail("misspath-l2", "l2_stats present but no l2 structure in chain")
+        else:
+            if l2.probes != misspath.l2_stats.accesses:
+                fail(
+                    "misspath-l2",
+                    f"l2 probes ({l2.probes}) != L2 accesses "
+                    f"({misspath.l2_stats.accesses})",
+                )
+            if l2.hits != misspath.l2_stats.hits:
+                fail(
+                    "misspath-l2",
+                    f"l2 structure hits ({l2.hits}) != L2 stats hits "
+                    f"({misspath.l2_stats.hits})",
+                )
+            if misspath.memory_bytes_fetched != misspath.l2_stats.bytes_fetched:
+                fail(
+                    "misspath-l2",
+                    f"memory_bytes_fetched ({misspath.memory_bytes_fetched}) "
+                    f"!= L2 bytes_fetched ({misspath.l2_stats.bytes_fetched})",
+                )
+    if misspath.memory_fetches == 0 and misspath.memory_bytes_fetched != 0:
+        fail(
+            "misspath-memory",
+            f"{misspath.memory_bytes_fetched} memory bytes without a "
+            "memory fetch",
+        )
+    if misspath.memory_fetches > 0 and misspath.memory_bytes_fetched == 0:
+        fail(
+            "misspath-memory",
+            f"{misspath.memory_fetches} memory fetch(es) moved zero bytes",
         )
     return violations

@@ -16,11 +16,12 @@ stats.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.core.cache import SubBlockCache
 from repro.core.config import CacheGeometry
 from repro.core.fetch import FetchPolicy
+from repro.core.misspath import MissPathConfig
 from repro.core.replacement import ReplacementPolicy
 from repro.core.stats import CacheStats
 from repro.core.write import WritePolicy
@@ -88,11 +89,14 @@ def run_config(
     write_policy: WritePolicy = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
     word_size: int = 2,
     warmup: Union[int, str] = "fill",
+    miss_path: "Union[MissPathConfig, Dict[str, Any], None]" = None,
 ) -> CacheStats:
     """Simulate one geometry over one trace and return the stats.
 
     Defaults reproduce the paper's methodology: LRU replacement, demand
-    fetch, warm-start measurement.
+    fetch, warm-start measurement.  ``miss_path`` optionally configures
+    the miss-path chain (:mod:`repro.core.misspath`); its counters land
+    in the returned stats' ``misspath`` attribute.
     """
     cache = SubBlockCache(
         geometry,
@@ -100,5 +104,6 @@ def run_config(
         fetch=fetch,
         write_policy=write_policy,
         word_size=word_size,
+        miss_path=miss_path,
     )
     return simulate(cache, trace, warmup=warmup)

@@ -52,6 +52,10 @@ class CacheStats:
             Accumulators for the sub-block utilization statistic.
         writebacks / bytes_written_back: Write-back extension traffic.
         bytes_written_through: Write-through extension traffic.
+        misspath: A :class:`~repro.core.misspath.MissPathStats` when a
+            miss-path chain is attached to the cache, else None.  Not
+            one of the 17 core counters: the chain never perturbs
+            them.
     """
 
     __slots__ = (
@@ -72,13 +76,25 @@ class CacheStats:
         "bytes_written_back",
         "bytes_written_through",
         "prefetches",
+        "misspath",
     )
 
     def __init__(self) -> None:
         self.reset()
 
     def reset(self) -> None:
-        """Zero every counter (used to start warm-start measurement)."""
+        """Zero every counter (used to start warm-start measurement).
+
+        A linked :class:`~repro.core.misspath.MissPathStats` is reset
+        *in place* — the warm-start boundary must clear the chain's
+        counters (including a backing L2's nested stats) without
+        breaking the live structures' references to them.
+        """
+        misspath = getattr(self, "misspath", None)
+        if misspath is not None:
+            misspath.reset()
+        else:
+            self.misspath = None
         self.accesses = 0
         self.misses = 0
         self.block_misses = 0
@@ -184,8 +200,12 @@ class CacheStats:
         cache and JSON responses).  Dict keys that JSON would corrupt
         are stringified here — access kinds by enum name, transaction
         word counts by decimal string — and restored exactly on load.
+
+        A ``misspath`` entry appears only when a miss-path chain was
+        attached, so bare-L1 dumps are byte-identical to every dump
+        this simulator has ever produced.
         """
-        return {
+        payload = {
             "accesses": self.accesses,
             "misses": self.misses,
             "block_misses": self.block_misses,
@@ -211,6 +231,9 @@ class CacheStats:
             "bytes_written_through": self.bytes_written_through,
             "prefetches": self.prefetches,
         }
+        if self.misspath is not None:
+            payload["misspath"] = self.misspath.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "CacheStats":
@@ -219,14 +242,16 @@ class CacheStats:
         Strict by design: a missing or unrecognized counter means the
         payload was not produced by :meth:`to_dict` (or by a different
         version of it), and silently defaulting would let a corrupted
-        cache entry masquerade as a measured result.
+        cache entry masquerade as a measured result.  The ``misspath``
+        entry is the one optional key: it exists only for runs with a
+        miss-path chain.
 
         Raises:
             ValueError: On missing keys, unknown keys, or an
                 unrecognized access-kind name.
         """
-        expected = set(cls.__slots__)
-        keys = set(payload)
+        expected = set(cls.__slots__) - {"misspath"}
+        keys = set(payload) - {"misspath"}
         if keys != expected:
             missing = sorted(expected - keys)
             unknown = sorted(keys - expected)
@@ -266,6 +291,10 @@ class CacheStats:
         stats.bytes_written_back = payload["bytes_written_back"]
         stats.bytes_written_through = payload["bytes_written_through"]
         stats.prefetches = payload["prefetches"]
+        if payload.get("misspath") is not None:
+            from repro.core.misspath import MissPathStats
+
+            stats.misspath = MissPathStats.from_dict(payload["misspath"])
         return stats
 
     def snapshot(self) -> Dict[str, float]:

@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Iterator, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.core.config import CacheGeometry
 from repro.core.fetch import FetchPolicy
+from repro.core.misspath import MissPathConfig
 from repro.core.replacement import ReplacementPolicy
 from repro.core.stats import CacheStats
 from repro.core.write import WritePolicy
@@ -105,6 +106,7 @@ class Engine(ABC):
         warmup: Union[int, str] = "fill",
         flush_at_end: bool = False,
         deadline: Optional[float] = None,
+        miss_path: "Union[MissPathConfig, Dict[str, Any], None]" = None,
     ) -> CacheStats:
         """Simulate one geometry over one trace and return its stats.
 
@@ -127,6 +129,13 @@ class Engine(ABC):
                 periodically, never per access, so it does not perturb
                 the equivalence contract: a run that finishes produces
                 identical stats with or without a deadline.
+            miss_path: Optional miss-path chain configuration
+                (:class:`~repro.core.misspath.MissPathConfig` or its
+                mapping form).  A configured chain requires per-access
+                execution: the vectorized engine rejects it, and
+                :func:`resolve_engine` degrades to ``reference``
+                exactly as it does for per-access trace proxies.  An
+                empty configuration is equivalent to None.
         """
 
     def __repr__(self) -> str:
@@ -160,7 +169,11 @@ def make_engine(name: str) -> Engine:
     )
 
 
-def resolve_engine(name: str, trace) -> Engine:
+def resolve_engine(
+    name: str,
+    trace,
+    miss_path: "Union[MissPathConfig, Dict[str, Any], None]" = None,
+) -> Engine:
     """Pick the engine that will actually execute one cell.
 
     ``auto`` selects ``vectorized`` whenever the input is a plain
@@ -169,10 +182,14 @@ def resolve_engine(name: str, trace) -> Engine:
     ``reference`` when the trace is a per-access proxy (guarded or
     fault-injected cells), because only per-access iteration can honor
     those wrappers — the equivalence contract makes the substitution
-    invisible in the results.
+    invisible in the results.  A configured miss-path chain degrades
+    the same way: the chain's structures mutate per miss, which only
+    the per-access loop can drive, and the L1 counters are identical
+    either way.
 
     Raises:
-        ConfigurationError: For a name outside :data:`ENGINE_NAMES`.
+        ConfigurationError: For a name outside :data:`ENGINE_NAMES` or
+            a malformed ``miss_path`` mapping.
     """
     from repro.engine.reference import ReferenceEngine
 
@@ -185,7 +202,9 @@ def resolve_engine(name: str, trace) -> Engine:
         # The sanitizer wrapper shares the reference engine's per-access
         # loop, so it can execute any trace proxy directly.
         return make_engine("checked")
+    config = MissPathConfig.coerce(miss_path)
+    chained = config is not None and config.enabled
     batchable = isinstance(trace, (Trace, TraceView))
-    if key == "reference" or not batchable:
+    if key == "reference" or not batchable or chained:
         return ReferenceEngine()
     return make_engine("vectorized")

@@ -22,6 +22,7 @@ from typing import Iterable, List, Optional, Union
 
 from repro.core.config import CacheGeometry
 from repro.core.fetch import FetchPolicy, make_fetch
+from repro.core.misspath import MissPathConfig
 from repro.core.replacement import make_replacement
 from repro.core.stats import CacheStats
 from repro.engine.base import resolve_engine
@@ -39,7 +40,9 @@ class CellSpec:
     The fields mirror :meth:`repro.engine.base.Engine.run`; ``fetch``
     and ``replacement`` are names so a spec stays hashable and
     process-safe, with fresh policy objects built per run (``random``
-    replacement must not share RNG state across cells).
+    replacement must not share RNG state across cells).  ``miss_path``
+    is the frozen (hashable) chain configuration; fresh structures are
+    built per run like the policies.
     """
 
     geometry: CacheGeometry
@@ -48,6 +51,7 @@ class CellSpec:
     replacement: str = "lru"
     warmup: Union[int, str] = "fill"
     word_size: int = 2
+    miss_path: Optional[MissPathConfig] = None
 
 
 def prepare_trace(trace: Trace, filter_writes: bool = True) -> Trace:
@@ -111,7 +115,7 @@ def run_cell(
             (:class:`~repro.errors.DeadlineExceededError`); the
             service's ``X-Repro-Deadline-Ms`` budget ends here.
     """
-    engine = resolve_engine(spec.engine, prepared)
+    engine = resolve_engine(spec.engine, prepared, miss_path=spec.miss_path)
     fetch: Optional[FetchPolicy] = (
         make_fetch(spec.fetch) if spec.fetch != "demand" else None
     )
@@ -123,6 +127,7 @@ def run_cell(
         word_size=spec.word_size,
         warmup=spec.warmup,
         deadline=deadline,
+        miss_path=spec.miss_path,
     )
 
 

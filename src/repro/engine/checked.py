@@ -18,8 +18,10 @@ moment any is violated:
 * **Frame accounting** — the filled-frame counter brackets the number
   of resident blocks (``sanitizer-fill-count``).
 * **Counter conservation** — every law of
-  :func:`~repro.core.conservation.check_stats_conservation`
-  (``sanitizer-conservation``).
+  :func:`~repro.core.conservation.check_stats_conservation`, plus the
+  miss-path laws of
+  :func:`~repro.core.conservation.check_misspath_conservation` when a
+  chain is configured (``sanitizer-conservation``).
 
 Because both engines are bound by the equivalence contract, running a
 sweep under ``--sanitize`` changes nothing but speed: identical stats,
@@ -29,12 +31,16 @@ by ``benchmarks/bench_abscache.py``.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.core.cache import SubBlockCache
 from repro.core.config import CacheGeometry
-from repro.core.conservation import check_stats_conservation
+from repro.core.conservation import (
+    check_misspath_conservation,
+    check_stats_conservation,
+)
 from repro.core.fetch import FetchPolicy
+from repro.core.misspath import MissPathConfig
 from repro.core.replacement import ReplacementPolicy
 from repro.core.sim import simulate
 from repro.core.stats import CacheStats
@@ -150,6 +156,12 @@ class CheckedCache(SubBlockCache):
         violations = check_stats_conservation(
             self.stats, geometry=self.geometry, word_size=self.word_size
         )
+        if self.miss_path is not None:
+            violations.extend(
+                check_misspath_conservation(
+                    self.miss_path.stats, l1_stats=self.stats
+                )
+            )
         if violations:
             _fail("sanitizer-conservation", "; ".join(violations))
 
@@ -191,6 +203,7 @@ class CheckedEngine(Engine):
         warmup: Union[int, str] = "fill",
         flush_at_end: bool = False,
         deadline: Optional[float] = None,
+        miss_path: "Union[MissPathConfig, Dict[str, Any], None]" = None,
     ) -> CacheStats:
         if isinstance(trace, TraceView):
             trace = trace.trace
@@ -200,6 +213,7 @@ class CheckedEngine(Engine):
             fetch=fetch,
             write_policy=write_policy,
             word_size=word_size,
+            miss_path=miss_path,
         )
         if deadline is not None:
             trace = deadline_guard(trace, deadline)

@@ -11,11 +11,12 @@ of the requested engine.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.core.cache import SubBlockCache
 from repro.core.config import CacheGeometry
 from repro.core.fetch import FetchPolicy
+from repro.core.misspath import MissPathConfig
 from repro.core.replacement import ReplacementPolicy
 from repro.core.sim import simulate
 from repro.core.stats import CacheStats
@@ -43,6 +44,7 @@ class ReferenceEngine(Engine):
         warmup: Union[int, str] = "fill",
         flush_at_end: bool = False,
         deadline: Optional[float] = None,
+        miss_path: "Union[MissPathConfig, Dict[str, Any], None]" = None,
     ) -> CacheStats:
         if isinstance(trace, TraceView):
             trace = trace.trace
@@ -52,6 +54,7 @@ class ReferenceEngine(Engine):
             fetch=fetch,
             write_policy=write_policy,
             word_size=word_size,
+            miss_path=miss_path,
         )
         if deadline is not None:
             trace = deadline_guard(trace, deadline)

@@ -37,12 +37,13 @@ from __future__ import annotations
 
 import bisect
 import time as _time
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.core.accounting import account_eviction
 from repro.core.block import mask_of_range, popcount
 from repro.core.config import CacheGeometry
 from repro.core.fetch import DemandFetch, FetchPolicy
+from repro.core.misspath import MissPathConfig
 from repro.core.replacement import LRUReplacement, ReplacementPolicy
 from repro.core.stats import CacheStats
 from repro.core.write import WritePolicy
@@ -75,7 +76,16 @@ class VectorizedEngine(Engine):
         warmup: Union[int, str] = "fill",
         flush_at_end: bool = False,
         deadline: Optional[float] = None,
+        miss_path: "Union[MissPathConfig, Dict[str, Any], None]" = None,
     ) -> CacheStats:
+        config = MissPathConfig.coerce(miss_path)
+        if config is not None and config.enabled:
+            raise EngineError(
+                "the vectorized engine cannot drive a miss-path chain "
+                f"({config.key()}): structure state mutates per miss, which "
+                "requires the reference engine's per-access loop "
+                "(resolve_engine degrades automatically)"
+            )
         if isinstance(trace, Trace):
             view = TraceView.of(trace)
         elif isinstance(trace, TraceView):

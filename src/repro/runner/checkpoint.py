@@ -27,6 +27,7 @@ from repro.errors import ChecksumError, ConfigurationError
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "FINGERPRINT_PARAMS",
     "CheckpointWriter",
     "line_crc",
     "load_checkpoint",
@@ -41,11 +42,31 @@ logger = logging.getLogger("repro.runner")
 #: * **1** — original format; fingerprint params did not include the
 #:   simulation engine.
 #: * **2** — the engine name is folded into the fingerprint params.
-#:   Version-1 checkpoints still resume when their fingerprint matches
-#:   the sweep's *legacy* fingerprint (computed without the engine
-#:   param) — sound because the engines are equivalence-pinned, so the
-#:   recorded ratios are engine-independent.
-CHECKPOINT_VERSION = 2
+#: * **3** — the miss-path chain key is folded into the fingerprint
+#:   params, and unknown fingerprint params are rejected loudly.
+#:
+#: Older checkpoints still resume when their fingerprint matches the
+#: sweep's *legacy* fingerprint for that version (computed without the
+#: params that version lacked) — sound for v1 because the engines are
+#: equivalence-pinned, and for v2 only when the sweep has no miss-path
+#: chain (a chainless v3 sweep records exactly what a v2 run recorded).
+CHECKPOINT_VERSION = 3
+
+#: The params a sweep fingerprint may carry.  Closed set by design: a
+#: typo'd param (``victim_entires=...``) must fail immediately, not
+#: silently fingerprint as a different sweep and orphan the checkpoint.
+FINGERPRINT_PARAMS = frozenset(
+    {
+        "word_size",
+        "fetch",
+        "replacement",
+        "warmup",
+        "bus_model",
+        "filter_writes",
+        "engine",
+        "miss_path",
+    }
+)
 
 
 def sweep_fingerprint(
@@ -58,7 +79,18 @@ def sweep_fingerprint(
     Two sweeps share a fingerprint exactly when they simulate the same
     cells over the same-length traces with the same policies, which is
     the condition under which resuming is sound.
+
+    Raises:
+        ConfigurationError: For a param outside
+            :data:`FINGERPRINT_PARAMS` — unknown keys are rejected
+            loudly rather than silently minting a distinct fingerprint.
     """
+    unknown = sorted(set(params) - FINGERPRINT_PARAMS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fingerprint params {unknown}; "
+            f"expected a subset of {sorted(FINGERPRINT_PARAMS)}"
+        )
     payload = json.dumps(
         {
             "cells": list(cell_keys),
@@ -181,6 +213,7 @@ class CheckpointWriter:
         attempts: int = 1,
         reason: str = "",
         stats: Optional[Dict[str, Any]] = None,
+        misspath: Optional[Dict[str, int]] = None,
     ) -> None:
         """Record one finished cell (``status`` = ``ok`` or ``skipped``).
 
@@ -191,6 +224,11 @@ class CheckpointWriter:
                 triple; the service's checkpoint export keeps the whole
                 stats object so a cached result survives the round trip
                 losslessly.
+            misspath: Optional per-structure hit summary
+                (:meth:`repro.core.misspath.MissPathStats.hits_summary`)
+                for sweeps with a miss-path chain — the same flat form
+                the service exposes on ``/metrics``, so checkpointed
+                and served results stay interchangeable.
         """
         record: Dict[str, Any] = {
             "kind": "cell",
@@ -205,6 +243,8 @@ class CheckpointWriter:
             record["reason"] = reason
         if stats is not None:
             record["stats"] = stats
+        if misspath is not None:
+            record["misspath"] = misspath
         self._write(record)
 
     def close(self) -> None:
@@ -221,6 +261,7 @@ def load_checkpoint(
     path: Union[str, Path],
     fingerprint: str,
     legacy_fingerprint: Optional[str] = None,
+    legacy_fingerprints: Optional[Dict[int, str]] = None,
 ) -> Dict[str, Dict[str, Any]]:
     """Read completed cells from a checkpoint for resumption.
 
@@ -231,7 +272,14 @@ def load_checkpoint(
             under checkpoint version 1 (before the engine param was
             folded in).  A version-1 header matching it resumes
             normally, so pre-existing checkpoints survive the format
-            bump.
+            bump.  Shorthand for ``legacy_fingerprints={1: ...}``.
+        legacy_fingerprints: Per-version map of the fingerprints this
+            sweep would have had under older checkpoint formats (e.g.
+            ``{2: ..., 1: ...}``).  A header of such a version resumes
+            when its fingerprint matches the mapped value.  Callers
+            offer an older version only when the sweep records nothing
+            that format could not hold (a chained sweep must not resume
+            a chainless checkpoint).
 
     Returns:
         ``{cell key: record}`` for every intact cell line.
@@ -280,10 +328,13 @@ def load_checkpoint(
         )
     header = records[0]
     version = header.get("version")
+    legacy = dict(legacy_fingerprints or {})
+    if legacy_fingerprint is not None:
+        legacy.setdefault(1, legacy_fingerprint)
     if version == CHECKPOINT_VERSION:
         expected = fingerprint
-    elif version == 1 and legacy_fingerprint is not None:
-        expected = legacy_fingerprint
+    elif version in legacy:
+        expected = legacy[version]
     else:
         raise ConfigurationError(
             f"{path}: checkpoint version {version} is not "

@@ -51,6 +51,7 @@ from typing import (
 
 from repro.core.config import CacheGeometry
 from repro.core.fetch import FetchPolicy, make_fetch
+from repro.core.misspath import MissPathConfig
 from repro.core.replacement import make_replacement
 from repro.engine.base import ENGINE_NAMES, resolve_engine
 from repro.engine.reference import ReferenceEngine
@@ -236,11 +237,15 @@ def _execute_cell(
     bus_model: BusCostModel,
     rng: random.Random,
     sleep: Callable[[float], None],
-) -> "tuple[tuple[float, float, float], int]":
-    """Run one cell under retry; returns ``((miss, traffic, scaled), attempts)``.
+    miss_path: Optional[MissPathConfig] = None,
+) -> "tuple[tuple[float, float, float], Optional[Dict[str, int]], int]":
+    """Run one cell under retry.
 
-    Shared verbatim by the in-process path and the pool workers, so a
-    sweep computes identical ratios regardless of ``jobs``.
+    Returns ``((miss, traffic, scaled), misspath_hits, attempts)``,
+    where ``misspath_hits`` is the chain's per-structure hit summary
+    (None without a chain).  Shared verbatim by the in-process path and
+    the pool workers, so a sweep computes identical results regardless
+    of ``jobs``.
     """
 
     def attempt(_attempt_number: int):
@@ -255,9 +260,10 @@ def _execute_cell(
             )
             run_trace = _GuardedTrace(run_trace, key, deadline, max_cell_accesses)
         fetch_policy = make_fetch(fetch) if isinstance(fetch, str) else fetch
-        engine = resolve_engine(engine_name, run_trace)
+        engine = resolve_engine(engine_name, run_trace, miss_path=miss_path)
         kwargs: Dict[str, Any] = dict(
-            fetch=fetch_policy, word_size=word_size, warmup=warmup
+            fetch=fetch_policy, word_size=word_size, warmup=warmup,
+            miss_path=miss_path,
         )
         if engine.name == "vectorized":
             try:
@@ -288,13 +294,20 @@ def _execute_cell(
                 geometry, run_trace,
                 replacement=make_replacement(replacement), **kwargs,
             )
-        return (
+        ratios = (
             stats.miss_ratio,
             stats.traffic_ratio(),
             stats.scaled_traffic_ratio(bus_model, word_size),
         )
+        misspath = (
+            stats.misspath.hits_summary() if stats.misspath is not None else None
+        )
+        return ratios, misspath
 
-    return call_with_retry(attempt, retry_policy, rng, sleep=sleep)
+    (ratios, misspath), attempts = call_with_retry(
+        attempt, retry_policy, rng, sleep=sleep
+    )
+    return ratios, misspath, attempts
 
 
 # -- Process-pool plumbing -------------------------------------------------
@@ -329,7 +342,7 @@ def _pool_run_cell(
     rng = random.Random(zlib.crc32(key.encode("utf-8")) ^ params["seed"])
     started = time.monotonic()
     try:
-        ratios, attempts = _execute_cell(
+        ratios, misspath, attempts = _execute_cell(
             geometry, trace, key,
             engine_name=params["engine"],
             retry_policy=params["retry"],
@@ -344,11 +357,15 @@ def _pool_run_cell(
             bus_model=params["bus_model"],
             rng=rng,
             sleep=time.sleep,
+            miss_path=params["miss_path"],
         )
     except ReproError as exc:
         attempts = getattr(exc, "retry_attempts", 1)
         return (key, trace.name, "failed", exc, attempts, time.monotonic() - started)
-    return (key, trace.name, "ok", ratios, attempts, time.monotonic() - started)
+    return (
+        key, trace.name, "ok", (ratios, misspath), attempts,
+        time.monotonic() - started,
+    )
 
 
 def run_sweep(
@@ -361,11 +378,18 @@ def run_sweep(
     bus_model: BusCostModel = NIBBLE_MODE_BUS,
     filter_writes: bool = True,
     config: Optional[RunnerConfig] = None,
+    miss_path: "Union[MissPathConfig, Dict[str, Any], None]" = None,
 ) -> "tuple[list, RunReport]":
     """Run the paper's sweep cell by cell under the resilience layer.
 
     Arguments mirror :func:`repro.analysis.sweep.sweep` (which
-    delegates here); ``config`` adds the resilience knobs.
+    delegates here); ``config`` adds the resilience knobs and
+    ``miss_path`` an optional miss-path chain
+    (:class:`~repro.core.misspath.MissPathConfig` or its dict form)
+    applied to every cell.  Chained cells record their per-structure
+    hit summaries in the checkpoint, and the chain key is part of the
+    sweep fingerprint, so a chained sweep can never resume a chainless
+    checkpoint (or vice versa).
 
     Returns:
         ``(points, report)`` — one
@@ -379,6 +403,8 @@ def run_sweep(
             failure; in lenient mode only the health breaker raises.
     """
     config = config if config is not None else RunnerConfig()
+    miss_path_config = MissPathConfig.coerce(miss_path)
+    chained = miss_path_config is not None and miss_path_config.enabled
     engine_name = config.engine.lower()
     if engine_name not in ENGINE_NAMES:
         raise ConfigurationError(
@@ -400,6 +426,7 @@ def run_sweep(
         preflight_findings = preflight_sweep(
             traces, geometries,
             fetch=fetch, replacement=replacement, warmup=warmup,
+            miss_path=miss_path_config,
         )
     prepared = [_prepare_trace(trace, filter_writes) for trace in traces]
     fetch_name = (
@@ -421,14 +448,25 @@ def run_sweep(
         filter_writes=filter_writes,
     )
     trace_lengths = [len(trace) for trace in prepared]
+    miss_path_key = (
+        miss_path_config.key() if miss_path_config is not None else "none"
+    )
     fingerprint = sweep_fingerprint(
-        keys, trace_lengths, engine=engine_name, **fingerprint_params
+        keys, trace_lengths, engine=engine_name, miss_path=miss_path_key,
+        **fingerprint_params,
     )
-    # What the same sweep hashed to before engines existed (checkpoint
-    # format v1) — lets pre-existing checkpoints resume.
-    legacy_fingerprint = sweep_fingerprint(
-        keys, trace_lengths, **fingerprint_params
-    )
+    # What the same sweep hashed to under older checkpoint formats:
+    # v2 lacked the miss-path key, v1 additionally lacked the engine.
+    # Offered only for chainless sweeps — a chained sweep's cells carry
+    # misspath counters an old checkpoint could not have recorded.
+    legacy_fingerprints: Dict[int, str] = {}
+    if not chained:
+        legacy_fingerprints = {
+            2: sweep_fingerprint(
+                keys, trace_lengths, engine=engine_name, **fingerprint_params
+            ),
+            1: sweep_fingerprint(keys, trace_lengths, **fingerprint_params),
+        }
 
     completed: Dict[str, dict] = {}
     writer: Optional[CheckpointWriter] = None
@@ -436,7 +474,7 @@ def run_sweep(
         if config.resume:
             completed = load_checkpoint(
                 config.checkpoint, fingerprint,
-                legacy_fingerprint=legacy_fingerprint,
+                legacy_fingerprints=legacy_fingerprints,
             )
         writer = CheckpointWriter(
             config.checkpoint, fingerprint, fresh=not config.resume
@@ -471,6 +509,7 @@ def run_sweep(
                 replacement=replacement,
                 warmup=warmup,
                 bus_model=bus_model,
+                miss_path=miss_path_config,
             )
             executor = ProcessPoolExecutor(
                 max_workers=min(config.jobs, len(pending)),
@@ -518,7 +557,8 @@ def run_sweep(
                                 attempts=attempts, reason=reason,
                             )
                     else:
-                        ratios[key] = payload
+                        cell_ratios, cell_misspath = payload
+                        ratios[key] = cell_ratios
                         outcome = CellOutcome(
                             key, trace.name, CellStatus.OK,
                             attempts=attempts, elapsed=elapsed,
@@ -526,12 +566,13 @@ def run_sweep(
                         if writer is not None:
                             writer.record_cell(
                                 key, trace.name, "ok",
-                                ratios=payload, attempts=attempts,
+                                ratios=cell_ratios, attempts=attempts,
+                                misspath=cell_misspath,
                             )
                 else:
                     started = time.monotonic()
                     try:
-                        cell_ratios, attempts = _execute_cell(
+                        cell_ratios, cell_misspath, attempts = _execute_cell(
                             geometry, trace, key,
                             engine_name=engine_name,
                             retry_policy=retry_policy,
@@ -546,6 +587,7 @@ def run_sweep(
                             bus_model=bus_model,
                             rng=rng,
                             sleep=config.sleep,
+                            miss_path=miss_path_config,
                         )
                     except ReproError as exc:
                         if not config.lenient:
@@ -573,6 +615,7 @@ def run_sweep(
                             writer.record_cell(
                                 key, trace.name, "ok",
                                 ratios=cell_ratios, attempts=attempts,
+                                misspath=cell_misspath,
                             )
                 results[key] = outcome
                 report.add(outcome)

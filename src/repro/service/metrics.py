@@ -254,6 +254,12 @@ class MetricsRegistry:
             "Simulation cells executed, by terminal status.",
             labels=("status",),
         )
+        self.misspath_hits_total = self.counter(
+            "repro_service_misspath_hits_total",
+            "Miss-path chain services for computed cells, by structure "
+            "(victim/miss/stream/l2; 'memory' counts unserviced fetches).",
+            labels=("structure",),
+        )
         self.stage_seconds = self.histogram(
             "repro_service_stage_seconds",
             "Per-stage latency: queue wait, trace prepare, simulate, total.",

@@ -29,6 +29,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.core.config import CacheGeometry
 from repro.core.fetch import make_fetch
+from repro.core.misspath import MissPathConfig
 from repro.core.replacement import make_replacement
 from repro.engine.base import ENGINE_NAMES
 from repro.engine.batch import CellSpec
@@ -36,7 +37,11 @@ from repro.errors import ConfigurationError
 from repro.memory.nibble import NIBBLE_MODE_BUS
 from repro.runner.checkpoint import sweep_fingerprint
 from repro.runner.runner import cell_key
-from repro.staticcheck.configlint import check_geometry, lint_grid_axes
+from repro.staticcheck.configlint import (
+    check_geometry,
+    lint_grid_axes,
+    lint_miss_path,
+)
 from repro.staticcheck.diagnostics import raise_on_errors
 from repro.workloads.architectures import get_architecture
 from repro.workloads.suites import suite_specs
@@ -51,7 +56,7 @@ _QUERY_KEYS = frozenset(
     {
         "suite", "trace", "length", "geometry", "net", "block", "sub",
         "assoc", "engine", "fetch", "replacement", "warmup", "word_size",
-        "filter_writes",
+        "filter_writes", "miss_path",
     }
 )
 
@@ -87,6 +92,7 @@ class SimQuery:
     warmup: Union[int, str] = "fill"
     word_size: int = 2
     filter_writes: bool = True
+    miss_path: Optional[MissPathConfig] = None
 
     @classmethod
     def from_payload(
@@ -172,11 +178,25 @@ class SimQuery:
                 f"filter_writes must be a boolean, got {filter_writes!r}"
             )
 
+        # Miss-path chain: lint first (every problem at once, each with
+        # a rule id -> structured 400), then parse; a config with no
+        # enabled structure normalizes to None so spellings like
+        # ``"miss_path": {}`` coalesce with chainless queries.
+        raw_miss_path = payload.get("miss_path")
+        raise_on_errors(
+            lint_miss_path(raw_miss_path, l1_block_size=block, source="query"),
+            "invalid miss_path",
+        )
+        miss_path = MissPathConfig.coerce(raw_miss_path)
+        if miss_path is not None and not miss_path.enabled:
+            miss_path = None
+
         query = cls(
             suite=suite, trace=trace, length=length,
             net=net, block=block, sub=sub, assoc=assoc,
             engine=engine, fetch=fetch, replacement=replacement,
             warmup=warmup, word_size=word_size, filter_writes=filter_writes,
+            miss_path=miss_path,
         )
         query.geometry()  # validates the shape eagerly (400, not 500)
         return query
@@ -201,6 +221,7 @@ class SimQuery:
             replacement=self.replacement,
             warmup=self.warmup,
             word_size=self.word_size,
+            miss_path=self.miss_path,
         )
 
     def coalesce_key(self) -> "SimQuery":
@@ -231,6 +252,9 @@ class SimQuery:
             [self.cell()],
             [prepared_length],
             engine=self.engine,
+            miss_path=(
+                self.miss_path.key() if self.miss_path is not None else "none"
+            ),
             word_size=self.word_size,
             fetch=self.fetch,
             replacement=self.replacement,
@@ -255,6 +279,9 @@ class SimQuery:
             "warmup": self.warmup,
             "word_size": self.word_size,
             "filter_writes": self.filter_writes,
+            "miss_path": (
+                self.miss_path.to_dict() if self.miss_path is not None else None
+            ),
         }
 
 

@@ -557,6 +557,7 @@ class SimulationService:
             engine=response["engine"],
         )
         self.cache.put(entry)
+        self._record_misspath(entry.stats)
         self._complete_ok(pending, entry, "computed")
 
     async def _run_cell(self, pending: _Pending, prepared: Trace) -> None:
@@ -621,6 +622,7 @@ class SimulationService:
             engine=engine_name,
         )
         self.cache.put(entry)
+        self._record_misspath(entry.stats)
         self._complete_ok(pending, entry, "computed")
 
     @staticmethod
@@ -628,8 +630,36 @@ class SimulationService:
         prepared: Trace, query: SimQuery, deadline: Optional[float] = None
     ):
         """Worker-side cell execution; returns (stats, engine name)."""
-        engine_name = resolve_engine(query.engine, prepared).name
+        engine_name = resolve_engine(
+            query.engine, prepared, miss_path=query.miss_path
+        ).name
         return run_cell(prepared, query.spec(), deadline=deadline), engine_name
+
+    def _record_misspath(self, stats_payload: Any) -> None:
+        """Export a computed cell's miss-path services to ``/metrics``.
+
+        Works from the serialized stats dict so the in-process and
+        supervised paths feed the counter identically; chainless cells
+        (no ``misspath`` key) record nothing.
+        """
+        if not isinstance(stats_payload, dict):
+            return
+        misspath = stats_payload.get("misspath")
+        if not isinstance(misspath, dict):
+            return
+        structures = misspath.get("structures", {})
+        if isinstance(structures, dict):
+            for name, structure in structures.items():
+                hits = structure.get("hits", 0) if isinstance(structure, dict) else 0
+                if hits:
+                    self.metrics.misspath_hits_total.inc(
+                        hits, labels={"structure": str(name)}
+                    )
+        fetches = misspath.get("memory_fetches", 0)
+        if fetches:
+            self.metrics.misspath_hits_total.inc(
+                fetches, labels={"structure": "memory"}
+            )
 
     # -- Completion -------------------------------------------------------
 

@@ -31,6 +31,13 @@ rule                              severity  meaning
                                             non-negative access count
 ``grid-axis-empty``               error     a sweep axis is an empty list
 ``grid-axis-type``                error     a sweep axis holds a non-integer
+``misspath-unknown-key``          error     a miss-path config key is not one
+                                            of :data:`~repro.core.misspath.
+                                            MISS_PATH_KEYS` (a typo like
+                                            ``victim_entires`` must fail, not
+                                            silently configure no chain)
+``misspath-bad-value``            error     a miss-path config value is not an
+                                            integer in its field's range
 ================================  ========  ==================================
 
 Values that are not positive integers are reported under the geometry
@@ -45,6 +52,7 @@ from typing import Any, Dict, List, Sequence, Union
 
 from repro.core.config import is_power_of_two
 from repro.core.fetch import FetchPolicy, make_fetch
+from repro.core.misspath import MISS_PATH_KEYS, MissPathConfig
 from repro.core.replacement import make_replacement
 from repro.errors import ConfigurationError
 from repro.staticcheck.diagnostics import Diagnostic, Severity, raise_on_errors
@@ -54,6 +62,7 @@ __all__ = [
     "lint_geometry",
     "lint_cell_options",
     "lint_grid_axes",
+    "lint_miss_path",
     "check_geometry",
 ]
 
@@ -70,6 +79,8 @@ CONFIG_RULES = (
     "sweep-bad-warmup",
     "grid-axis-empty",
     "grid-axis-type",
+    "misspath-unknown-key",
+    "misspath-bad-value",
 )
 
 _LOAD_FORWARD_NAMES = {"load-forward", "load-forward-optimized"}
@@ -292,6 +303,108 @@ def lint_grid_axes(
                         data={"value": value},
                     )
                 )
+    return out
+
+
+#: Smallest legal value per miss-path field (all must be non-bool ints).
+_MISSPATH_MIN = {
+    "victim_entries": 0,
+    "miss_entries": 0,
+    "stream_buffers": 0,
+    "stream_depth": 1,
+    "l2_net_size": 0,
+    "l2_block_size": 0,
+    "l2_sub_block_size": 0,
+    "l2_associativity": 1,
+}
+
+
+def lint_miss_path(
+    miss_path: Any,
+    l1_block_size: Any = None,
+    source: str = "misspath",
+) -> List[Diagnostic]:
+    """Lint a miss-path chain configuration (dict form or parsed).
+
+    Reports *every* problem at once and never raises, unlike
+    :meth:`~repro.core.misspath.MissPathConfig.from_dict` which raises
+    on the first.  A typo'd key (``victim_entires``) is an error — a
+    key that silently configured no chain would silently fingerprint
+    and simulate a different experiment.
+
+    When an L2 is configured, its resolved geometry is linted through
+    :func:`lint_geometry` (the chain builder constructs the
+    :class:`~repro.core.config.CacheGeometry` only at cell-run time,
+    deep inside a campaign); pass ``l1_block_size`` so the L2 block
+    default can be resolved when the config omits ``l2_block_size``.
+    """
+    out: List[Diagnostic] = []
+    if miss_path is None:
+        return out
+    if isinstance(miss_path, MissPathConfig):
+        values: Dict[str, Any] = miss_path.to_dict()
+    elif isinstance(miss_path, dict):
+        values = dict(miss_path)
+        for key in sorted(set(values) - MISS_PATH_KEYS):
+            out.append(
+                Diagnostic(
+                    rule="misspath-unknown-key",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"unknown miss-path key {key!r}; expected a subset "
+                        f"of {sorted(MISS_PATH_KEYS)}"
+                    ),
+                    source=source,
+                    location=key,
+                    data={"key": key},
+                )
+            )
+            del values[key]
+    else:
+        return [
+            Diagnostic(
+                rule="misspath-bad-value",
+                severity=Severity.ERROR,
+                message=(
+                    f"miss-path config must be a mapping of miss-path keys "
+                    f"to integers, got {type(miss_path).__name__}"
+                ),
+                source=source,
+                data={"value": repr(miss_path)},
+            )
+        ]
+    bad_fields = set()
+    for field_name, minimum in _MISSPATH_MIN.items():
+        if field_name not in values:
+            continue
+        value = values[field_name]
+        if not _is_int(value) or value < minimum:
+            bad_fields.add(field_name)
+            out.append(
+                Diagnostic(
+                    rule="misspath-bad-value",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{field_name} must be an integer >= {minimum}, "
+                        f"got {value!r}"
+                    ),
+                    source=source,
+                    location=field_name,
+                    data={"value": value},
+                )
+            )
+    l2_net = values.get("l2_net_size", 0)
+    if "l2_net_size" not in bad_fields and _is_int(l2_net) and l2_net > 0:
+        block = values.get("l2_block_size", 0) or l1_block_size
+        sub = values.get("l2_sub_block_size", 0)
+        if _is_int(block) and block:
+            out += lint_geometry(
+                l2_net,
+                block,
+                sub if _is_int(sub) and sub else block,
+                assoc=values.get("l2_associativity", 4),
+                source=f"{source}-l2",
+            )
     return out
 
 

@@ -34,7 +34,11 @@ from typing import List, Optional, Sequence, Union
 
 from repro.core.config import CacheGeometry
 from repro.core.fetch import FetchPolicy
-from repro.staticcheck.configlint import lint_cell_options, lint_geometry
+from repro.staticcheck.configlint import (
+    lint_cell_options,
+    lint_geometry,
+    lint_miss_path,
+)
 from repro.staticcheck.diagnostics import Diagnostic, Severity, raise_on_errors
 
 __all__ = ["preflight_sweep"]
@@ -47,6 +51,7 @@ def preflight_sweep(
     replacement: Optional[str] = None,
     warmup: Union[int, str, None] = None,
     strict: bool = True,
+    miss_path=None,
 ) -> List[Diagnostic]:
     """Validate a sweep's inputs before any cell executes.
 
@@ -59,6 +64,12 @@ def preflight_sweep(
         fetch / replacement / warmup: The per-cell execution options.
         strict: Raise on error-severity findings (the runner's mode);
             False returns everything for reporting instead.
+        miss_path: Optional miss-path chain config (dict form or
+            :class:`~repro.core.misspath.MissPathConfig`), linted
+            through :func:`~repro.staticcheck.configlint.lint_miss_path`
+            against every L1 block size in the grid — the L2's resolved
+            geometry is otherwise only constructed at cell-run time,
+            deep inside the campaign.
 
     Raises:
         StaticCheckError: With the full diagnostic list, when ``strict``
@@ -69,6 +80,23 @@ def preflight_sweep(
     """
     diagnostics: List[Diagnostic] = []
     diagnostics += lint_cell_options(fetch, replacement, warmup, source="sweep")
+    if miss_path is not None:
+        # One lint per distinct L1 block size: the L2 block default
+        # follows the L1 block, so each distinct shape can resolve to a
+        # different L2 geometry.
+        block_sizes = sorted(
+            {geometry.block_size for geometry in geometries}
+        ) or [None]
+        seen_findings = set()
+        for block_size in block_sizes:
+            for finding in lint_miss_path(
+                miss_path, l1_block_size=block_size, source="sweep-misspath"
+            ):
+                marker = (finding.rule, finding.location, finding.message)
+                if marker not in seen_findings:
+                    seen_findings.add(marker)
+                    diagnostics.append(finding)
+
 
     seen = {}
     for index, trace in enumerate(traces):

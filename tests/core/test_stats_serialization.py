@@ -16,6 +16,7 @@ from hypothesis import given, strategies as st
 
 from repro.core.cache import SubBlockCache
 from repro.core.config import CacheGeometry
+from repro.core.misspath import MissPathStats
 from repro.core.sim import simulate
 from repro.core.stats import CacheStats
 from repro.trace.record import AccessType
@@ -38,6 +39,25 @@ transaction_maps = st.dictionaries(
 
 
 @st.composite
+def misspath_objects(draw):
+    chain = tuple(
+        name
+        for name in ("victim", "miss", "stream", "l2")
+        if draw(st.booleans())
+    )
+    misspath = MissPathStats(chain)
+    misspath.demand_misses = draw(counts)
+    misspath.memory_fetches = draw(counts)
+    misspath.memory_bytes_fetched = draw(counts)
+    for structure in misspath.structures.values():
+        structure.probes = draw(counts)
+        structure.hits = draw(counts)
+        structure.fills = draw(counts)
+        structure.evictions = draw(counts)
+    return misspath
+
+
+@st.composite
 def stats_objects(draw):
     stats = CacheStats()
     for slot in CacheStats.__slots__:
@@ -45,6 +65,8 @@ def stats_objects(draw):
             setattr(stats, slot, draw(kind_maps))
         elif slot == "transaction_words":
             setattr(stats, slot, draw(transaction_maps))
+        elif slot == "misspath":
+            setattr(stats, slot, draw(st.none() | misspath_objects()))
         else:
             setattr(stats, slot, draw(counts))
     return stats

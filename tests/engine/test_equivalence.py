@@ -19,6 +19,7 @@ import pytest
 
 from repro.core.config import CacheGeometry
 from repro.core.fetch import DemandFetch, LoadForwardFetch
+from repro.core.misspath import MissPathConfig
 from repro.core.replacement import (
     FIFOReplacement,
     LRUReplacement,
@@ -35,6 +36,24 @@ REFERENCE = (
     CheckedEngine() if os.environ.get("REPRO_SANITIZE") else ReferenceEngine()
 )
 VECTORIZED = VectorizedEngine()
+
+# REPRO_MISSPATH_EMPTY=1 replays the reference side of every comparison
+# through the miss-path plumbing — once with an empty (disabled) config
+# and once with a small full chain — and asserts every L1 counter is
+# byte-identical to the bare run.  This is the miss-path refactor's
+# equivalence tripwire: the chain must never alter L1 behavior, so the
+# whole 220+-combo suite doubles as its invariance proof.
+MISSPATH_TRIPWIRE = bool(os.environ.get("REPRO_MISSPATH_EMPTY"))
+_TRIPWIRE_CHAINS = (
+    MissPathConfig(),
+    MissPathConfig(
+        victim_entries=2,
+        miss_entries=2,
+        stream_buffers=2,
+        stream_depth=2,
+        l2_net_size=2048,
+    ),
+)
 
 #: Every CacheStats counter an engine can produce.
 _COUNTERS = (
@@ -76,6 +95,28 @@ def assert_identical(geometry, trace, **kwargs):
             f"({kwargs}): reference {getattr(ref, counter)!r} "
             f"!= vectorized {getattr(vec, counter)!r}"
         )
+    if MISSPATH_TRIPWIRE:
+        for miss_path in _TRIPWIRE_CHAINS:
+            chained_kwargs = dict(kwargs)
+            if seed is not None:
+                chained_kwargs["replacement"] = RandomReplacement(seed=seed)
+            chained = REFERENCE.run(
+                geometry, trace, miss_path=miss_path, **chained_kwargs
+            )
+            for counter in _COUNTERS:
+                assert getattr(ref, counter) == getattr(chained, counter), (
+                    f"{counter} perturbed by miss path {miss_path.key()!r} "
+                    f"for {geometry} over {trace!r} ({kwargs}): bare "
+                    f"{getattr(ref, counter)!r} != chained "
+                    f"{getattr(chained, counter)!r}"
+                )
+            if miss_path.enabled:
+                assert chained.misspath is not None
+                assert chained.misspath.demand_misses == (
+                    ref.block_misses + ref.sub_block_misses
+                )
+            else:
+                assert chained.misspath is None
     return ref
 
 

@@ -95,8 +95,8 @@ def test_strict_mode_surfaces_engine_error(
 ):
     import repro.runner.runner as runner_module
 
-    def broken_resolve(name, trace):
-        engine = resolve_engine(name, trace)
+    def broken_resolve(name, trace, **kwargs):
+        engine = resolve_engine(name, trace, **kwargs)
         if isinstance(engine, VectorizedEngine):
             return _ExplodingVectorized()
         return engine
@@ -114,8 +114,8 @@ def test_lenient_mode_falls_back_to_reference(
 ):
     import repro.runner.runner as runner_module
 
-    def broken_resolve(name, trace):
-        engine = resolve_engine(name, trace)
+    def broken_resolve(name, trace, **kwargs):
+        engine = resolve_engine(name, trace, **kwargs)
         if isinstance(engine, VectorizedEngine):
             return _ExplodingVectorized()
         return engine

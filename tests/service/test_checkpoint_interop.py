@@ -68,6 +68,7 @@ class TestFingerprintIdentity:
                 [cell_key(GEOMETRY, "ED")],
                 [prepared_length],
                 engine=engine,
+                miss_path="none",
                 word_size=word_size,
                 fetch="demand",
                 replacement=replacement,

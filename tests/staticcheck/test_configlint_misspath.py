@@ -1,0 +1,122 @@
+"""Config-lint corpus for the miss-path rules.
+
+``misspath-unknown-key`` and ``misspath-bad-value`` are stable rule
+ids — service clients and CI gates key on them — so each defect class
+pins its exact id here, like the geometry corpus does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.core.misspath import MissPathConfig
+from repro.errors import StaticCheckError
+from repro.staticcheck import CONFIG_RULES, Severity
+from repro.staticcheck.configlint import lint_miss_path
+from repro.staticcheck.preflight import preflight_sweep
+from repro.trace.record import Trace
+
+#: miss_path payload -> the exact rule ids expected.
+BAD_CONFIGS = [
+    ({"victim_entires": 4}, {"misspath-unknown-key"}),
+    ({"victim_entries": 4, "extra": 1}, {"misspath-unknown-key"}),
+    ({"victim_entries": -1}, {"misspath-bad-value"}),
+    ({"stream_depth": 0}, {"misspath-bad-value"}),
+    ({"l2_associativity": 0}, {"misspath-bad-value"}),
+    ({"victim_entries": True}, {"misspath-bad-value"}),
+    ({"miss_entries": "four"}, {"misspath-bad-value"}),
+    ("vc4", {"misspath-bad-value"}),
+    (
+        {"victim_entires": 4, "stream_depth": 0},
+        {"misspath-unknown-key", "misspath-bad-value"},
+    ),
+    # A bad L2 shape surfaces through the reused geometry rules.
+    ({"l2_net_size": 100, "l2_block_size": 16}, {"geom-pow2"}),
+    (
+        {"l2_net_size": 1024, "l2_block_size": 8, "l2_sub_block_size": 16},
+        {"geom-sub-gt-block"},
+    ),
+]
+
+
+class TestMisspathCorpus:
+    @pytest.mark.parametrize("payload,expected", BAD_CONFIGS)
+    def test_known_bad_config_maps_to_exact_rules(self, payload, expected):
+        diagnostics = lint_miss_path(payload)
+        assert {d.rule for d in diagnostics} == expected
+        assert all(d.severity is Severity.ERROR for d in diagnostics)
+
+    def test_rules_are_documented(self):
+        assert {"misspath-unknown-key", "misspath-bad-value"} <= set(
+            CONFIG_RULES
+        )
+
+    def test_clean_configs_are_clean(self):
+        assert lint_miss_path(None) == []
+        assert lint_miss_path({}) == []
+        assert lint_miss_path({"victim_entries": 4, "stream_buffers": 2}) == []
+        assert lint_miss_path(
+            MissPathConfig(victim_entries=4, l2_net_size=1024),
+            l1_block_size=16,
+        ) == []
+
+    def test_every_problem_reported_at_once(self):
+        diagnostics = lint_miss_path(
+            {"victim_entires": 4, "stream_depth": 0, "miss_entries": -2}
+        )
+        assert len(diagnostics) == 3
+
+    def test_l2_default_block_comes_from_l1(self):
+        # l2_block_size omitted: the L1 block is the L2 block, so the
+        # lint needs the L1 shape to validate the resolved geometry.
+        payload = {"l2_net_size": 1024}
+        assert lint_miss_path(payload, l1_block_size=16) == []
+        findings = lint_miss_path(payload, l1_block_size=24)
+        assert {d.rule for d in findings} == {"geom-pow2"}
+        assert all(d.source == "misspath-l2" for d in findings)
+
+
+class TestPreflightMissPath:
+    def _sweep_args(self):
+        trace = Trace([0, 16, 32], [0, 0, 0], 2, name="t")
+        geometries = [CacheGeometry(256, 16, 8), CacheGeometry(256, 32, 8)]
+        return [trace], geometries
+
+    def test_clean_chain_passes(self):
+        traces, geometries = self._sweep_args()
+        findings = preflight_sweep(
+            traces, geometries,
+            miss_path=MissPathConfig(victim_entries=4, l2_net_size=4096),
+        )
+        assert [f for f in findings if f.severity is Severity.ERROR] == []
+
+    def test_bad_chain_fails_fast(self):
+        traces, geometries = self._sweep_args()
+        with pytest.raises(StaticCheckError, match="misspath"):
+            preflight_sweep(
+                traces, geometries, miss_path={"victim_entires": 4}
+            )
+
+    def test_l2_shape_checked_per_l1_block_size(self):
+        # Block sizes 16 and 32 both resolve the default L2 block; an
+        # L2 too small for the larger block must surface in preflight.
+        traces, geometries = self._sweep_args()
+        with pytest.raises(StaticCheckError, match="geom-block-gt-net"):
+            preflight_sweep(
+                traces, geometries,
+                miss_path=MissPathConfig(l2_net_size=16),
+            )
+
+    def test_findings_deduplicated_across_block_sizes(self):
+        traces, geometries = self._sweep_args()
+        findings = preflight_sweep(
+            traces, geometries,
+            miss_path={"victim_entries": -1},
+            strict=False,
+        )
+        misspath_findings = [
+            f for f in findings if f.rule == "misspath-bad-value"
+        ]
+        # One config-level finding, not one per distinct L1 block size.
+        assert len(misspath_findings) == 1

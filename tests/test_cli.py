@@ -239,3 +239,57 @@ class TestFigureCsv:
         fields = first.split(",")
         assert len(fields) == 5
         float(fields[3]), float(fields[4])  # parses as numbers
+
+
+class TestMisspathCli:
+    @pytest.fixture()
+    def din_file(self, tmp_path):
+        path = tmp_path / "grep.din"
+        main(LEN + ["trace", "z8000", "GREP", "--out", str(path)])
+        return str(path)
+
+    def test_simulate_reports_the_chain(self, din_file, capsys):
+        assert main([
+            "simulate", din_file, "--net", "256",
+            "--victim-entries", "4", "--stream-buffers", "2",
+            "--l2-net", "4096",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "miss path:    vc4+sb2x4+l2:4096/0/0@4" in out
+        assert "victim" in out and "stream" in out
+        assert "memory  fetches" in out
+
+    def test_simulate_without_chain_is_silent_about_it(self, din_file, capsys):
+        assert main(["simulate", din_file]) == 0
+        assert "miss path" not in capsys.readouterr().out
+
+    def test_lint_misspath_clean(self, capsys):
+        assert main([
+            "lint", "--misspath", '{"victim_entries": 4}',
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "misspath config: 0 finding(s)" in out
+
+    def test_lint_misspath_typo_fails(self, capsys):
+        assert main([
+            "lint", "--misspath", '{"victim_entires": 4}',
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "misspath-unknown-key" in out
+
+    def test_lint_misspath_json_format(self, capsys):
+        import json
+
+        assert main([
+            "lint", "--format", "json",
+            "--misspath", '{"stream_depth": 0}',
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        rules = [
+            d["rule"] for d in payload["misspath"]["diagnostics"]
+        ]
+        assert rules == ["misspath-bad-value"]
+
+    def test_lint_misspath_invalid_json_rejected(self):
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["lint", "--misspath", "{nope"])
