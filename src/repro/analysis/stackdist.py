@@ -3,10 +3,13 @@
 The paper chooses LRU partly because "LRU permits more efficient
 simulation" [Mattson et al. 1970]: one pass over a trace yields the
 miss ratio of *every* fully-associative LRU cache size at once, via the
-stack-distance histogram.  This module implements that algorithm at
-block granularity and is cross-checked against the direct simulator by
-the property-based tests (LRU's inclusion property makes the two
-agree exactly for fully-associative, block == sub-block caches).
+stack-distance histogram.  The distance machinery itself now lives in
+the grid-level subsystem (:mod:`repro.stackdist`), which generalizes it
+to set-associative geometries and sub-block traffic; this module keeps
+the original fully-associative analysis API as thin wrappers over
+:func:`repro.stackdist.engine.distance_histogram` (``num_sets=1``).
+Cold first touches are consistently reported under the ``-1`` bucket,
+the same convention the per-set implementation uses.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.errors import ConfigurationError
+from repro.stackdist.engine import distance_histogram
 from repro.trace.record import Trace
 
 __all__ = [
@@ -30,6 +34,10 @@ def stack_distance_histogram(trace: Trace, block_size: int) -> Dict[int, int]:
     referenced since the last touch of its block (1 = immediate reuse).
     Cold first touches are recorded under distance ``-1``.
 
+    Back-compat wrapper over
+    :func:`repro.stackdist.engine.distance_histogram` with a single
+    set (fully associative).
+
     Args:
         trace: Input trace (all access kinds are included; filter
             first if needed).
@@ -38,23 +46,7 @@ def stack_distance_histogram(trace: Trace, block_size: int) -> Dict[int, int]:
     Returns:
         Mapping distance -> count, with ``-1`` for cold misses.
     """
-    if block_size < 1:
-        raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
-    stack: List[int] = []  # most recent first
-    index: Dict[int, int] = {}  # block -> position hint (rebuilt lazily)
-    histogram: Dict[int, int] = {}
-    for addr in (trace.addrs // block_size).tolist():
-        try:
-            position = stack.index(addr)
-        except ValueError:
-            histogram[-1] = histogram.get(-1, 0) + 1
-            stack.insert(0, addr)
-            continue
-        distance = position + 1
-        histogram[distance] = histogram.get(distance, 0) + 1
-        del stack[position]
-        stack.insert(0, addr)
-    return histogram
+    return distance_histogram(trace, block_size, num_sets=1)
 
 
 def miss_ratio_curve(
@@ -83,6 +75,7 @@ def miss_ratio_curve(
                 f"size {size} is not a multiple of block_size {block_size}"
             )
         capacity = size // block_size
+        # Cold misses sit in the -1 bucket, never a hit at any size.
         hits = sum(
             count
             for distance, count in histogram.items()

@@ -59,6 +59,7 @@ from repro.analysis.figures import figure_series, series_to_csv
 from repro.analysis.plotting import ascii_figure
 from repro.analysis.tables import format_table6, format_table7, format_table8
 from repro.engine.base import ENGINE_NAMES
+from repro.stackdist.planner import GRID_ENGINE_NAMES
 from repro.runner.retry import RetryPolicy
 from repro.runner.runner import RunnerConfig
 from repro.trace.writer import write_din
@@ -114,6 +115,12 @@ def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
              "cache-invariant and conservation-law assertions)",
     )
     execution.add_argument(
+        "--grid-engine", default="auto", choices=list(GRID_ENGINE_NAMES),
+        help="grid-level strategy: auto answers coverable LRU pass "
+             "groups from one stack-distance pass per trace, stackdist "
+             "forces it, percell disables it (see docs/stackdist.md)",
+    )
+    execution.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for sweep cells (default 1 = in-process)",
     )
@@ -130,6 +137,7 @@ def _runner_config(args: argparse.Namespace) -> Optional[RunnerConfig]:
         and args.cell_timeout is None
         and not args.lenient
         and engine == "auto"
+        and args.grid_engine == "auto"
         and args.jobs == 1
     ):
         return None
@@ -140,6 +148,7 @@ def _runner_config(args: argparse.Namespace) -> Optional[RunnerConfig]:
         resume=args.resume,
         lenient=args.lenient,
         engine=engine,
+        grid_engine=args.grid_engine,
         jobs=args.jobs,
     )
 
@@ -282,6 +291,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "checked opts the whole service into sanitized execution)",
     )
     serve.add_argument(
+        "--grid-engine", default="auto", choices=list(GRID_ENGINE_NAMES),
+        help="answer batched LRU pass groups from one stack-distance "
+             "pass (auto), force it (stackdist), or disable it (percell)",
+    )
+    serve.add_argument(
         "--log-level", default="info",
         choices=["debug", "info", "warning", "error"],
         help="structured request-log verbosity",
@@ -311,6 +325,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also lint a miss-path chain config (JSON object with "
              "victim_entries/miss_entries/stream_buffers/l2_* keys; "
              "see docs/misspath.md)",
+    )
+    lint.add_argument(
+        "--sweep-coverage", nargs="+", type=int, default=None, metavar="NET",
+        help="also report one-pass (stack-distance) coverage of the "
+             "paper's geometry grid at these net sizes — info-level "
+             "sweep-stackdist-* rules (see docs/stackdist.md)",
     )
     classify = commands.add_parser(
         "classify",
@@ -527,6 +547,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_queue=args.max_queue,
                 breaker_failures=args.breaker_failures or None,
                 engine=args.engine,
+                grid_engine=args.grid_engine,
                 default_length=args.length,
                 supervised=args.supervised,
                 worker_processes=args.worker_processes,
@@ -571,6 +592,21 @@ def _cmd_lint(args) -> int:
         misspath_diagnostics = lint_miss_path(raw_misspath, source="cli")
         errors += sum(1 for d in misspath_diagnostics if d.is_error)
         warnings += sum(1 for d in misspath_diagnostics if not d.is_error)
+    coverage_diagnostics = None
+    if args.sweep_coverage is not None:
+        from repro.analysis.sweep import geometry_grid
+        from repro.errors import ReproError
+        from repro.staticcheck.configlint import lint_stackdist_coverage
+
+        try:
+            grid = geometry_grid(args.sweep_coverage, min_sub=args.word)
+        except ReproError as exc:
+            raise SystemExit(f"repro: --sweep-coverage: {exc}")
+        # Info-severity planning report: never counted as warnings, so
+        # --strict stays about real findings.
+        coverage_diagnostics = lint_stackdist_coverage(
+            grid, source="paper-grid"
+        )
     for name in names:
         builder = PROGRAMS[name]
         params = (
@@ -603,11 +639,21 @@ def _cmd_lint(args) -> int:
             payload["misspath"] = {
                 "diagnostics": [d.to_dict() for d in misspath_diagnostics],
             }
+        if coverage_diagnostics is not None:
+            payload["sweep_coverage"] = {
+                "net_sizes": list(args.sweep_coverage),
+                "diagnostics": [d.to_dict() for d in coverage_diagnostics],
+            }
         print(json.dumps(payload, indent=2))
     else:
         if misspath_diagnostics is not None:
             print(f"misspath config: {len(misspath_diagnostics)} finding(s)")
             for diagnostic in misspath_diagnostics:
+                print(f"  {diagnostic.render()}")
+        if coverage_diagnostics is not None:
+            nets = ", ".join(str(net) for net in args.sweep_coverage)
+            print(f"sweep coverage (nets {nets}):")
+            for diagnostic in coverage_diagnostics:
                 print(f"  {diagnostic.render()}")
         for name, diagnostics, report in entries:
             loops = sum(1 for loop in report.loops if loop.innermost)

@@ -214,10 +214,19 @@ class CheckpointWriter:
         reason: str = "",
         stats: Optional[Dict[str, Any]] = None,
         misspath: Optional[Dict[str, int]] = None,
+        engine: Optional[str] = None,
     ) -> None:
         """Record one finished cell (``status`` = ``ok`` or ``skipped``).
 
         Args:
+            engine: Optional name of the engine that computed the cell
+                (``stackdist``, ``vectorized``, ``reference``, …).
+                Omitted from the record when ``None``, so writers that
+                do not track engines (the service's checkpoint export)
+                produce byte-identical records to older versions.
+                Purely informational: the engine never participates in
+                the sweep fingerprint, because any engine must produce
+                identical ratios for the same cell.
             stats: Optional full counter dump
                 (:meth:`repro.core.stats.CacheStats.to_dict`), stored
                 verbatim.  The sweep runner records only the ratio
@@ -245,6 +254,8 @@ class CheckpointWriter:
             record["stats"] = stats
         if misspath is not None:
             record["misspath"] = misspath
+        if engine is not None:
+            record["engine"] = engine
         self._write(record)
 
     def close(self) -> None:

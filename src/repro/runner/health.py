@@ -40,6 +40,10 @@ class CellOutcome:
         attempts: Calls made, including the successful one.
         reason: Failure description for skipped cells.
         elapsed: Wall-clock seconds spent on the cell (0 for resumed).
+        engine: Name of the engine that computed the cell
+            (``stackdist`` for one-pass grid cells, ``vectorized`` /
+            ``reference`` for per-cell runs; empty for skipped cells
+            and for resumed records that predate engine tracking).
     """
 
     key: str
@@ -48,6 +52,7 @@ class CellOutcome:
     attempts: int = 1
     reason: str = ""
     elapsed: float = 0.0
+    engine: str = ""
 
 
 @dataclass
@@ -59,10 +64,13 @@ class RunReport:
         preflight: Warning-severity findings from the static preflight
             (:mod:`repro.staticcheck.preflight`).  Error findings never
             reach a report — they abort the sweep before any cell runs.
+        pass_groups: Stack-distance pass groups the sweep planner
+            scheduled (0 for per-cell-only sweeps).
     """
 
     outcomes: List[CellOutcome] = field(default_factory=list)
     preflight: List = field(default_factory=list)
+    pass_groups: int = 0
 
     def add(self, outcome: CellOutcome) -> None:
         self.outcomes.append(outcome)
@@ -101,6 +109,20 @@ class RunReport:
             grouped.setdefault(outcome.trace, []).append(outcome)
         return grouped
 
+    def by_engine(self) -> Dict[str, int]:
+        """Completed-cell counts per computing engine.
+
+        Cells without an engine label (skips, resumed records written
+        before engine tracking) land under ``""`` and are left out of
+        :meth:`summary`.
+        """
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.status is CellStatus.SKIPPED:
+                continue
+            counts[outcome.engine] = counts.get(outcome.engine, 0) + 1
+        return counts
+
     def summary(self) -> str:
         """Multi-line human-readable digest, skips listed with reasons."""
         lines = [
@@ -108,6 +130,17 @@ class RunReport:
             f"({self.resumed} from checkpoint, {self.retried} after retry), "
             f"{len(self.skipped)} skipped"
         ]
+        engines = {
+            name: count for name, count in self.by_engine().items() if name
+        }
+        if engines:
+            parts = ", ".join(
+                f"{name} {count}" for name, count in sorted(engines.items())
+            )
+            lines.append(
+                f"engines: {parts} ({self.pass_groups} stackdist pass "
+                f"group{'s' if self.pass_groups != 1 else ''})"
+            )
         for outcome in self.skipped:
             lines.append(f"  skipped {outcome.key}: {outcome.reason}")
         return "\n".join(lines)

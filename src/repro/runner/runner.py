@@ -71,6 +71,8 @@ from repro.runner.checkpoint import (
 from repro.runner.faults import FaultInjector
 from repro.runner.health import CellOutcome, CellStatus, HealthMonitor, RunReport
 from repro.runner.retry import RetryPolicy, call_with_retry
+from repro.stackdist.engine import run_group_pass
+from repro.stackdist.planner import plan_grid, trace_coverable
 from repro.trace.filters import reads_only
 from repro.trace.record import Trace
 
@@ -107,6 +109,15 @@ class RunnerConfig:
             ``reference``, or ``vectorized``.  ``auto`` resolves per
             cell; guarded and fault-injected cells always run on the
             reference engine (see :func:`repro.engine.resolve_engine`).
+        grid_engine: Grid-level strategy — ``auto`` (default),
+            ``stackdist``, or ``percell``.  ``auto`` answers every
+            coverable pass group of >= 2 cells (LRU, demand fetch, no
+            chain/guard/injector) from one stack-distance pass per
+            trace (:mod:`repro.stackdist`) and runs the rest per cell;
+            ``stackdist`` forces passes onto every coverable group;
+            ``percell`` disables the one-pass path entirely.  Never
+            part of the sweep fingerprint: any grid engine produces
+            identical ratios, so checkpoints resume across the knob.
         jobs: Worker processes for cell execution.  1 (default) runs
             in-process; N > 1 fans cells out over a process pool while
             the parent keeps sole ownership of the checkpoint file.
@@ -130,6 +141,7 @@ class RunnerConfig:
     injector: Optional[FaultInjector] = None
     sleep: Callable[[float], None] = time.sleep
     engine: str = "auto"
+    grid_engine: str = "auto"
     jobs: int = 1
     preflight: bool = True
 
@@ -238,14 +250,16 @@ def _execute_cell(
     rng: random.Random,
     sleep: Callable[[float], None],
     miss_path: Optional[MissPathConfig] = None,
-) -> "tuple[tuple[float, float, float], Optional[Dict[str, int]], int]":
+) -> "tuple[tuple[float, float, float], Optional[Dict[str, int]], int, str]":
     """Run one cell under retry.
 
-    Returns ``((miss, traffic, scaled), misspath_hits, attempts)``,
-    where ``misspath_hits`` is the chain's per-structure hit summary
-    (None without a chain).  Shared verbatim by the in-process path and
-    the pool workers, so a sweep computes identical results regardless
-    of ``jobs``.
+    Returns ``((miss, traffic, scaled), misspath_hits, attempts,
+    engine_used)``, where ``misspath_hits`` is the chain's
+    per-structure hit summary (None without a chain) and
+    ``engine_used`` the resolved engine that produced the accepted
+    result.  Shared verbatim by the in-process path and the pool
+    workers, so a sweep computes identical results regardless of
+    ``jobs``.
     """
 
     def attempt(_attempt_number: int):
@@ -261,6 +275,7 @@ def _execute_cell(
             run_trace = _GuardedTrace(run_trace, key, deadline, max_cell_accesses)
         fetch_policy = make_fetch(fetch) if isinstance(fetch, str) else fetch
         engine = resolve_engine(engine_name, run_trace, miss_path=miss_path)
+        engine_used = engine.name
         kwargs: Dict[str, Any] = dict(
             fetch=fetch_policy, word_size=word_size, warmup=warmup,
             miss_path=miss_path,
@@ -289,6 +304,7 @@ def _execute_cell(
                     geometry, run_trace,
                     replacement=make_replacement(replacement), **kwargs,
                 )
+                engine_used = "reference"
         else:
             stats = engine.run(
                 geometry, run_trace,
@@ -302,12 +318,12 @@ def _execute_cell(
         misspath = (
             stats.misspath.hits_summary() if stats.misspath is not None else None
         )
-        return ratios, misspath
+        return ratios, misspath, engine_used
 
-    (ratios, misspath), attempts = call_with_retry(
+    (ratios, misspath, engine_used), attempts = call_with_retry(
         attempt, retry_policy, rng, sleep=sleep
     )
-    return ratios, misspath, attempts
+    return ratios, misspath, attempts, engine_used
 
 
 # -- Process-pool plumbing -------------------------------------------------
@@ -342,7 +358,7 @@ def _pool_run_cell(
     rng = random.Random(zlib.crc32(key.encode("utf-8")) ^ params["seed"])
     started = time.monotonic()
     try:
-        ratios, misspath, attempts = _execute_cell(
+        ratios, misspath, attempts, engine_used = _execute_cell(
             geometry, trace, key,
             engine_name=params["engine"],
             retry_policy=params["retry"],
@@ -363,7 +379,7 @@ def _pool_run_cell(
         attempts = getattr(exc, "retry_attempts", 1)
         return (key, trace.name, "failed", exc, attempts, time.monotonic() - started)
     return (
-        key, trace.name, "ok", (ratios, misspath), attempts,
+        key, trace.name, "ok", (ratios, misspath, engine_used), attempts,
         time.monotonic() - started,
     )
 
@@ -417,6 +433,21 @@ def run_sweep(
             "fault injection requires jobs=1: per-access fault proxies "
             "cannot cross process boundaries"
         )
+    # Grid-level plan: which geometries share a stack-distance pass and
+    # which fall back to per-cell execution.  Computed up front so an
+    # invalid grid_engine fails before the checkpoint file is touched.
+    plan = plan_grid(
+        geometries,
+        grid_engine=config.grid_engine,
+        replacement=replacement,
+        fetch=fetch,
+        warmup=warmup,
+        miss_path=miss_path_config,
+        engine=engine_name,
+        cell_timeout=config.cell_timeout,
+        max_cell_accesses=config.max_cell_accesses,
+        injector_active=config.injector is not None,
+    )
     preflight_findings: List = []
     if config.preflight:
         # Fail-fast: error findings raise StaticCheckError here, before
@@ -427,6 +458,13 @@ def run_sweep(
             traces, geometries,
             fetch=fetch, replacement=replacement, warmup=warmup,
             miss_path=miss_path_config,
+            # Coverage report only on an explicit grid-engine choice;
+            # the default stays quiet so clean sweeps keep an empty
+            # preflight (the summary line reports engines regardless).
+            grid_engine=(
+                config.grid_engine
+                if config.grid_engine != "auto" else None
+            ),
         )
     prepared = [_prepare_trace(trace, filter_writes) for trace in traces]
     fetch_name = (
@@ -487,6 +525,51 @@ def run_sweep(
     results: Dict[str, CellOutcome] = {}
     ratios: Dict[str, "tuple[float, float, float]"] = {}
 
+    # Phase 1: stack-distance passes.  One pass per (group, trace)
+    # answers every member cell at once; the per-cell loop below then
+    # only *emits* those results, in the same canonical order as a
+    # per-cell run, so checkpoint lines keep their ordering contract.
+    # A pass that cannot run (a trace still carrying writes under
+    # filter_writes=False, or an unexpected engine rejection) simply
+    # leaves its cells to the per-cell path — fallback is transparent.
+    stack_results: Dict[str, "tuple[tuple[float, float, float], float]"] = {}
+    passes_run = 0
+    for trace in prepared:
+        if not plan.groups:
+            break
+        if not trace_coverable(trace):
+            continue
+        for group in plan.groups:
+            group_keys = [
+                cell_key(geometries[i], trace.name)
+                for i in group.geometry_indices
+            ]
+            if all(key in completed for key in group_keys):
+                continue
+            started = time.monotonic()
+            try:
+                stats_list = run_group_pass(
+                    trace, group.block_size, group.num_sets,
+                    group.members, word_size=word_size,
+                )
+            except ReproError:
+                continue
+            passes_run += 1
+            # Attribute the pass wall-clock evenly across its cells.
+            share = (time.monotonic() - started) / len(group_keys)
+            for key, stats in zip(group_keys, stats_list):
+                if key in completed:
+                    continue
+                stack_results[key] = (
+                    (
+                        stats.miss_ratio,
+                        stats.traffic_ratio(),
+                        stats.scaled_traffic_ratio(bus_model, word_size),
+                    ),
+                    share,
+                )
+    report.pass_groups = passes_run
+
     executor: Optional[ProcessPoolExecutor] = None
     futures: Dict[str, Any] = {}
     if config.jobs > 1:
@@ -495,6 +578,7 @@ def run_sweep(
             for gi, geometry in enumerate(geometries)
             for ti, trace in enumerate(prepared)
             if cell_key(geometry, trace.name) not in completed
+            and cell_key(geometry, trace.name) not in stack_results
         ]
         if pending:
             worker_params = dict(
@@ -534,6 +618,7 @@ def run_sweep(
                     outcome = CellOutcome(
                         key, trace.name, CellStatus.RESUMED,
                         attempts=record.get("attempts", 1),
+                        engine=record.get("engine", ""),
                     )
                 elif record is not None:  # previously skipped; keep the skip
                     outcome = CellOutcome(
@@ -541,6 +626,19 @@ def run_sweep(
                         attempts=record.get("attempts", 1),
                         reason=record.get("reason", ""),
                     )
+                elif key in stack_results:
+                    cell_ratios, elapsed = stack_results.pop(key)
+                    ratios[key] = cell_ratios
+                    outcome = CellOutcome(
+                        key, trace.name, CellStatus.OK,
+                        attempts=1, elapsed=elapsed, engine="stackdist",
+                    )
+                    if writer is not None:
+                        writer.record_cell(
+                            key, trace.name, "ok",
+                            ratios=cell_ratios, attempts=1,
+                            engine="stackdist",
+                        )
                 elif key in futures:
                     _, _, status, payload, attempts, elapsed = futures.pop(key).result()
                     if status == "failed":
@@ -557,22 +655,23 @@ def run_sweep(
                                 attempts=attempts, reason=reason,
                             )
                     else:
-                        cell_ratios, cell_misspath = payload
+                        cell_ratios, cell_misspath, cell_engine = payload
                         ratios[key] = cell_ratios
                         outcome = CellOutcome(
                             key, trace.name, CellStatus.OK,
                             attempts=attempts, elapsed=elapsed,
+                            engine=cell_engine,
                         )
                         if writer is not None:
                             writer.record_cell(
                                 key, trace.name, "ok",
                                 ratios=cell_ratios, attempts=attempts,
-                                misspath=cell_misspath,
+                                misspath=cell_misspath, engine=cell_engine,
                             )
                 else:
                     started = time.monotonic()
                     try:
-                        cell_ratios, cell_misspath, attempts = _execute_cell(
+                        cell_ratios, cell_misspath, attempts, cell_engine = _execute_cell(
                             geometry, trace, key,
                             engine_name=engine_name,
                             retry_policy=retry_policy,
@@ -610,12 +709,13 @@ def run_sweep(
                             key, trace.name, CellStatus.OK,
                             attempts=attempts,
                             elapsed=time.monotonic() - started,
+                            engine=cell_engine,
                         )
                         if writer is not None:
                             writer.record_cell(
                                 key, trace.name, "ok",
                                 ratios=cell_ratios, attempts=attempts,
-                                misspath=cell_misspath,
+                                misspath=cell_misspath, engine=cell_engine,
                             )
                 results[key] = outcome
                 report.add(outcome)

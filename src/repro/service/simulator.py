@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.analysis.experiments import default_trace_length
 from repro.engine.base import resolve_engine
 from repro.engine.batch import predecode, prepare_trace, run_cell
-from repro.errors import DeadlineExceededError, ReproError
+from repro.errors import ConfigurationError, DeadlineExceededError, ReproError
 from repro.memory.nibble import NIBBLE_MODE_BUS
 from repro.runner.health import CellOutcome, CellStatus, RunReport
 from repro.service.admission import AdmissionController, Breaker, RejectedError
@@ -45,6 +45,8 @@ from repro.service.cache import CacheEntry, ResultCache
 from repro.service.metrics import MetricsRegistry
 from repro.service.query import SimQuery
 from repro.service.supervisor import Supervisor, SupervisorConfig
+from repro.stackdist.engine import MemberSpec, run_group_pass
+from repro.stackdist.planner import GRID_ENGINE_NAMES, trace_coverable
 from repro.trace.record import Trace
 from repro.workloads.suites import suite_trace
 
@@ -75,6 +77,15 @@ class ServiceConfig:
         engine: Default engine for queries that don't specify one is
             always ``auto``; this forces a specific engine for *all*
             queries instead (operational escape hatch).
+        grid_engine: Grid-level strategy for batched queries —
+            ``auto`` (default), ``stackdist``, or ``percell``.  In
+            in-process mode, cells of one batch that share a
+            ``(block, num_sets, word_size, warmup)`` pass group under
+            LRU/demand-fetch/no-chain are answered by one
+            stack-distance pass (:mod:`repro.stackdist`) instead of
+            per-cell runs; ``percell`` disables this.  Supervised mode
+            always runs per cell (workers are the isolation unit).
+            Cache entries and fingerprints are identical either way.
         default_length: Trace length when a query omits ``length``
             (None: :func:`~repro.analysis.experiments
             .default_trace_length`).
@@ -102,6 +113,7 @@ class ServiceConfig:
     breaker_reset: float = 5.0
     retry_after: float = 1.0
     engine: Optional[str] = None
+    grid_engine: str = "auto"
     default_length: Optional[int] = None
     supervised: bool = False
     worker_processes: int = 2
@@ -163,6 +175,11 @@ class SimulationService:
         cache: Optional[ResultCache] = None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
+        if self.config.grid_engine not in GRID_ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown grid engine {self.config.grid_engine!r}; choose "
+                f"from {list(GRID_ENGINE_NAMES)}"
+            )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = (
             cache
@@ -489,9 +506,90 @@ class SimulationService:
         self.metrics.stage_seconds.observe(
             loop.time() - prepare_started, labels={"stage": "prepare"}
         )
+        precomputed: "Dict[SimQuery, Any]" = {}
+        if self.config.grid_engine != "percell":
+            await self._stackdist_passes(group, prepared, precomputed)
         await asyncio.gather(
-            *(self._run_cell(pending, prepared) for pending in group)
+            *(
+                self._run_cell(
+                    pending, prepared,
+                    precomputed=precomputed.get(pending.query),
+                )
+                for pending in group
+            )
         )
+
+    async def _stackdist_passes(
+        self,
+        group: List[_Pending],
+        prepared: Trace,
+        out: "Dict[SimQuery, Any]",
+    ) -> None:
+        """Answer coverable cells of one batch from stack-distance passes.
+
+        The service-side mirror of the runner's sweep planner: cells of
+        the batch that share a ``(block, num_sets, word_size, warmup)``
+        pass group under LRU, demand fetch, no miss-path chain, and the
+        ``auto`` engine are computed together by one
+        :func:`repro.stackdist.engine.run_group_pass` over the already
+        prepared trace.  Under ``grid_engine="auto"`` only groups of
+        >= 2 cells run as passes (a singleton gains nothing);
+        ``"stackdist"`` forces singletons too.  Cells with a deadline,
+        already-cached cells, and anything non-coverable stay on the
+        per-cell path — fallback is transparent because both paths
+        produce identical stats and fingerprints.
+        """
+        if not trace_coverable(prepared):
+            return
+        passes: "OrderedDict[tuple, List[_Pending]]" = OrderedDict()
+        for pending in group:
+            query = pending.query
+            if (
+                pending.deadline is not None
+                or query.replacement != "lru"
+                or query.fetch != "demand"
+                or query.miss_path is not None
+                or query.engine != "auto"
+            ):
+                continue
+            fingerprint = query.fingerprint(len(prepared))
+            if self.cache.get(fingerprint) is not None:
+                continue  # the cell's own cache lookup will serve it
+            key = (
+                query.block, query.geometry().num_sets,
+                query.word_size, query.warmup,
+            )
+            passes.setdefault(key, []).append(pending)
+        minimum = 1 if self.config.grid_engine == "stackdist" else 2
+        assert self._slots is not None and self._executor is not None
+        loop = asyncio.get_event_loop()
+        for (block, num_sets, word_size, warmup), pendings in passes.items():
+            if len(pendings) < minimum:
+                continue
+            members = [
+                MemberSpec(
+                    ways=pending.query.assoc,
+                    sub_block_size=pending.query.sub,
+                    warmup=warmup,
+                )
+                for pending in pendings
+            ]
+            async with self._slots:
+                simulate_started = loop.time()
+                try:
+                    stats_list = await loop.run_in_executor(
+                        self._executor, run_group_pass,
+                        prepared, block, num_sets, members, word_size,
+                    )
+                except ReproError:
+                    continue  # transparent fallback to per-cell runs
+                finally:
+                    self.metrics.stage_seconds.observe(
+                        loop.time() - simulate_started,
+                        labels={"stage": "simulate"},
+                    )
+            for pending, stats in zip(pendings, stats_list):
+                out[pending.query] = stats
 
     def _prepare_group(self, sample: SimQuery, specs: list) -> Trace:
         """Worker-side batch prepare: generate, filter, predecode."""
@@ -560,7 +658,12 @@ class SimulationService:
         self._record_misspath(entry.stats)
         self._complete_ok(pending, entry, "computed")
 
-    async def _run_cell(self, pending: _Pending, prepared: Trace) -> None:
+    async def _run_cell(
+        self,
+        pending: _Pending,
+        prepared: Trace,
+        precomputed: Any = None,
+    ) -> None:
         assert self._slots is not None and self._executor is not None
         loop = asyncio.get_event_loop()
         query = pending.query
@@ -577,6 +680,26 @@ class SimulationService:
             self._complete_ok(pending, entry, tier)
             return
         self.metrics.record_lookup("miss")
+
+        if precomputed is not None:
+            # A stack-distance pass already answered this cell; its
+            # slot and simulate-stage time were accounted by the pass.
+            entry = CacheEntry(
+                fingerprint=fingerprint,
+                key=query.cell(),
+                trace=query.trace,
+                miss=precomputed.miss_ratio,
+                traffic=precomputed.traffic_ratio(),
+                scaled=precomputed.scaled_traffic_ratio(
+                    NIBBLE_MODE_BUS, query.word_size
+                ),
+                stats=precomputed.to_dict(),
+                engine="stackdist",
+            )
+            self.cache.put(entry)
+            self._record_misspath(entry.stats)
+            self._complete_ok(pending, entry, "computed")
+            return
 
         async with self._slots:
             self.metrics.stage_seconds.observe(

@@ -1,0 +1,251 @@
+"""Partition a sweep grid into one-pass groups and fallback cells.
+
+The stack-distance engine (:mod:`repro.stackdist.engine`) answers every
+geometry sharing a ``(block_size, num_sets)`` pair from a single trace
+pass, but only where LRU inclusion actually holds and nothing needs the
+per-cell machinery: Random/FIFO replacement, load-forward fetch, an
+enabled miss-path chain, the checked (sanitizing) engine, per-cell
+timeouts/budgets, and fault injection all force a cell back onto the
+per-cell reference/vectorized path.  :func:`plan_grid` applies those
+rules once per sweep and splits the geometry list into
+:class:`PassGroup` batches versus fallback indices, recording *why*
+whichever side lost — the runner consumes the split, ``repro lint``
+and the :class:`~repro.runner.health.RunReport` surface the reasons.
+
+Coverage is decided per *sweep* (the knobs are sweep-global) plus per
+*trace* (a trace containing writes breaks inclusion — write misses do
+not allocate — so the runner additionally checks each prepared trace
+with :func:`trace_coverable` before reusing a pass group for it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import CacheGeometry
+from repro.core.fetch import FetchPolicy
+from repro.core.misspath import MissPathConfig
+from repro.errors import ConfigurationError
+from repro.stackdist.engine import MemberSpec
+
+__all__ = [
+    "GRID_ENGINE_NAMES",
+    "PassGroup",
+    "GridPlan",
+    "plan_grid",
+    "trace_coverable",
+]
+
+#: Valid values of the runner's ``grid_engine`` knob: ``auto`` uses
+#: stackdist for every pass group covering >= 2 cells (a single-cell
+#: "group" gains nothing over the vectorized engine), ``stackdist``
+#: forces it onto every coverable group, ``percell`` disables it.
+GRID_ENGINE_NAMES = ("auto", "stackdist", "percell")
+
+_WRITE = 1  # AccessType.WRITE — kinds array code for stores
+
+
+@dataclass(frozen=True)
+class PassGroup:
+    """Geometries answered by one stack-distance pass per trace.
+
+    Attributes:
+        block_size: Shared block size in bytes.
+        num_sets: Shared set count.
+        geometry_indices: Indices into the planned geometry sequence,
+            in input order.
+        members: One :class:`~repro.stackdist.engine.MemberSpec` per
+            index, aligned with ``geometry_indices``.
+    """
+
+    block_size: int
+    num_sets: int
+    geometry_indices: Tuple[int, ...]
+    members: Tuple[MemberSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.geometry_indices)
+
+
+@dataclass(frozen=True)
+class GridPlan:
+    """How a sweep grid will be executed.
+
+    Attributes:
+        groups: Pass groups the stack-distance engine will run.
+        fallback_indices: Geometry indices executed per cell, in input
+            order.
+        blockers: Sweep-level reasons that forced the *whole* grid to
+            fall back (empty when any group was planned or the grid
+            was simply too fragmented).
+        fallback_reasons: Reason per fallback index (mirrors
+            ``blockers`` for sweep-level exclusions; "pass group of 1"
+            for singleton groups under ``auto``).
+    """
+
+    groups: Tuple[PassGroup, ...]
+    fallback_indices: Tuple[int, ...]
+    blockers: Tuple[str, ...] = ()
+    fallback_reasons: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def covered(self) -> int:
+        """Cells (geometries) answered by stack-distance passes."""
+        return sum(len(group) for group in self.groups)
+
+
+def _sweep_blockers(
+    replacement: str,
+    fetch: Union[str, FetchPolicy, None],
+    miss_path: Optional[MissPathConfig],
+    engine: str,
+    cell_timeout: Optional[float],
+    max_cell_accesses: Optional[int],
+    injector_active: bool,
+    mode: str,
+) -> List[str]:
+    """Sweep-global conditions that rule out stack-distance passes."""
+    blockers: List[str] = []
+    if replacement.lower() != "lru":
+        blockers.append(f"replacement policy {replacement!r} (inclusion needs LRU)")
+    fetch_name = (
+        fetch if isinstance(fetch, str)
+        else fetch.name if fetch is not None
+        else "demand"
+    )
+    if fetch_name.lower().replace("_", "-") != "demand":
+        blockers.append(f"fetch policy {fetch_name!r} (only demand fetch)")
+    if miss_path is not None and miss_path.enabled:
+        blockers.append("enabled miss-path chain (per-miss structure state)")
+    engine_key = engine.lower()
+    if engine_key == "checked":
+        blockers.append("checked engine (sanitizer must observe every access)")
+    elif engine_key != "auto" and mode == "auto":
+        # An explicitly requested per-cell engine wins over the default
+        # grid mode; grid_engine="stackdist" is the more explicit ask
+        # and overrides it (the results are identical either way).
+        blockers.append(
+            f"explicit per-cell engine {engine!r} (auto grid defers to it)"
+        )
+    if cell_timeout is not None:
+        blockers.append("cell_timeout (per-cell deadline needs per-cell runs)")
+    if max_cell_accesses is not None:
+        blockers.append("max_cell_accesses (per-cell budget needs per-cell runs)")
+    if injector_active:
+        blockers.append("fault injector (per-access proxies are per cell)")
+    return blockers
+
+
+def trace_coverable(trace) -> bool:
+    """Whether a prepared trace can feed a stack-distance pass.
+
+    Write misses do not allocate, which breaks Mattson inclusion, so
+    only read/ifetch traces qualify.  Sweeps run with the paper-style
+    ``filter_writes=True`` always pass; an unfiltered trace is scanned.
+    """
+    kinds = getattr(trace, "kinds", None)
+    if kinds is None:
+        return False  # guarded/proxy traces never reach the planner
+    return not bool(np.any(np.asarray(kinds) == _WRITE))
+
+
+def plan_grid(
+    geometries: Sequence[CacheGeometry],
+    grid_engine: str = "auto",
+    replacement: str = "lru",
+    fetch: Union[str, FetchPolicy, None] = None,
+    warmup: Union[int, str] = "fill",
+    miss_path: Optional[MissPathConfig] = None,
+    engine: str = "auto",
+    cell_timeout: Optional[float] = None,
+    max_cell_accesses: Optional[int] = None,
+    injector_active: bool = False,
+) -> GridPlan:
+    """Split a geometry grid into pass groups and fallback cells.
+
+    Args:
+        geometries: The sweep's geometry axis, in input order.
+        grid_engine: ``auto`` | ``stackdist`` | ``percell``.
+        replacement / fetch / warmup / miss_path / engine /
+        cell_timeout / max_cell_accesses: The sweep-global knobs the
+            coverage rules inspect (warmup — ``"fill"`` or an access
+            count — is natively supported by the pass engine and never
+            forces fallback).
+        injector_active: Whether a fault injector is attached.
+
+    Returns:
+        A :class:`GridPlan`.  Under ``percell`` (or any sweep-level
+        blocker) every index lands in ``fallback_indices``; under
+        ``auto`` only groups of >= 2 geometries become passes; under
+        ``stackdist`` every coverable group does, singletons included.
+
+    Raises:
+        ConfigurationError: For a ``grid_engine`` outside
+            :data:`GRID_ENGINE_NAMES`.
+    """
+    mode = grid_engine.lower()
+    if mode not in GRID_ENGINE_NAMES:
+        raise ConfigurationError(
+            f"unknown grid engine {grid_engine!r}; choose from "
+            f"{list(GRID_ENGINE_NAMES)}"
+        )
+    all_indices = tuple(range(len(geometries)))
+    if mode == "percell":
+        return GridPlan(
+            groups=(), fallback_indices=all_indices,
+            blockers=("grid engine forced to percell",),
+            fallback_reasons={
+                i: "grid engine forced to percell" for i in all_indices
+            },
+        )
+    blockers = _sweep_blockers(
+        replacement, fetch, miss_path, engine,
+        cell_timeout, max_cell_accesses, injector_active, mode,
+    )
+    if blockers:
+        reason = "; ".join(blockers)
+        return GridPlan(
+            groups=(), fallback_indices=all_indices,
+            blockers=tuple(blockers),
+            fallback_reasons={i: reason for i in all_indices},
+        )
+
+    grouped: Dict[Tuple[int, int], List[int]] = {}
+    for i, geometry in enumerate(geometries):
+        grouped.setdefault(
+            (geometry.block_size, geometry.num_sets), []
+        ).append(i)
+
+    groups: List[PassGroup] = []
+    fallback: List[int] = []
+    fallback_reasons: Dict[int, str] = {}
+    for (block_size, num_sets), indices in grouped.items():
+        if mode == "auto" and len(indices) < 2:
+            fallback.extend(indices)
+            for i in indices:
+                fallback_reasons[i] = "pass group of 1 (auto keeps per-cell)"
+            continue
+        groups.append(
+            PassGroup(
+                block_size=block_size,
+                num_sets=num_sets,
+                geometry_indices=tuple(indices),
+                members=tuple(
+                    MemberSpec(
+                        ways=geometries[i].associativity,
+                        sub_block_size=geometries[i].sub_block_size,
+                        warmup=warmup,
+                    )
+                    for i in indices
+                ),
+            )
+        )
+    return GridPlan(
+        groups=tuple(groups),
+        fallback_indices=tuple(sorted(fallback)),
+        blockers=(),
+        fallback_reasons=fallback_reasons,
+    )

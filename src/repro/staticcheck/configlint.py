@@ -38,6 +38,15 @@ rule                              severity  meaning
                                             silently configure no chain)
 ``misspath-bad-value``            error     a miss-path config value is not an
                                             integer in its field's range
+``sweep-stackdist-coverage``      info      how many cells of a sweep grid the
+                                            one-pass stack-distance engine
+                                            covers, and in how many pass
+                                            groups (:mod:`repro.stackdist`)
+``sweep-stackdist-fallback``      info      which axis (replacement policy,
+                                            fetch policy, miss-path chain,
+                                            engine, guard) forces cells onto
+                                            the per-cell fallback path, with
+                                            the affected cell count
 ================================  ========  ==================================
 
 Values that are not positive integers are reported under the geometry
@@ -63,6 +72,7 @@ __all__ = [
     "lint_cell_options",
     "lint_grid_axes",
     "lint_miss_path",
+    "lint_stackdist_coverage",
     "check_geometry",
 ]
 
@@ -81,6 +91,8 @@ CONFIG_RULES = (
     "grid-axis-type",
     "misspath-unknown-key",
     "misspath-bad-value",
+    "sweep-stackdist-coverage",
+    "sweep-stackdist-fallback",
 )
 
 _LOAD_FORWARD_NAMES = {"load-forward", "load-forward-optimized"}
@@ -429,3 +441,82 @@ def check_geometry(
         net, block, sub, assoc=assoc, fetch=fetch, source=source
     )
     return raise_on_errors(diagnostics, f"invalid {source}")
+
+
+def lint_stackdist_coverage(
+    geometries: Sequence,
+    grid_engine: str = "auto",
+    replacement: str = "lru",
+    fetch: Union[str, FetchPolicy, None] = None,
+    warmup: Union[int, str] = "fill",
+    miss_path: Union[MissPathConfig, Dict[str, Any], None] = None,
+    engine: str = "auto",
+    cell_timeout: Any = None,
+    max_cell_accesses: Any = None,
+    injector_active: bool = False,
+    source: str = "sweep",
+) -> List[Diagnostic]:
+    """Report a sweep grid's one-pass (stack-distance) coverage.
+
+    Info-severity only — this is a planning report, not a judgement:
+    ``sweep-stackdist-coverage`` carries how many cells of the grid the
+    :mod:`repro.stackdist` engine answers and in how many pass groups,
+    ``sweep-stackdist-fallback`` names each axis (replacement policy,
+    fetch policy, miss-path chain, engine, per-cell guard) that forces
+    cells onto the per-cell path, with the affected cell count.
+
+    Mirrors :func:`repro.stackdist.planner.plan_grid` exactly — the
+    runner plans with the same function, so the lint never disagrees
+    with what a sweep actually does.
+    """
+    from repro.stackdist.planner import plan_grid
+
+    miss_path_config = MissPathConfig.coerce(miss_path)
+    plan = plan_grid(
+        geometries,
+        grid_engine=grid_engine,
+        replacement=replacement if replacement is not None else "lru",
+        fetch=fetch,
+        warmup=warmup,
+        miss_path=miss_path_config,
+        engine=engine,
+        cell_timeout=cell_timeout,
+        max_cell_accesses=max_cell_accesses,
+        injector_active=injector_active,
+    )
+    total = len(geometries)
+    out: List[Diagnostic] = [
+        Diagnostic(
+            rule="sweep-stackdist-coverage",
+            severity=Severity.INFO,
+            message=(
+                f"{plan.covered} of {total} grid cells are one-pass "
+                f"coverable in {len(plan.groups)} stack-distance pass "
+                f"group(s); {len(plan.fallback_indices)} cell(s) run "
+                "per cell"
+            ),
+            source=source,
+            data={
+                "covered": plan.covered,
+                "total": total,
+                "pass_groups": len(plan.groups),
+                "fallback": len(plan.fallback_indices),
+                "grid_engine": grid_engine,
+            },
+        )
+    ]
+    by_reason: Dict[str, int] = {}
+    for index in plan.fallback_indices:
+        reason = plan.fallback_reasons.get(index, "not coverable")
+        by_reason[reason] = by_reason.get(reason, 0) + 1
+    for reason, count in sorted(by_reason.items()):
+        out.append(
+            Diagnostic(
+                rule="sweep-stackdist-fallback",
+                severity=Severity.INFO,
+                message=f"{count} cell(s) fall back to per-cell: {reason}",
+                source=source,
+                data={"reason": reason, "cells": count},
+            )
+        )
+    return out

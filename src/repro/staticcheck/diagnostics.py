@@ -34,10 +34,14 @@ class Severity(enum.Enum):
     ``ERROR`` findings fail preflight (the runner refuses the sweep,
     the service answers 400, ``repro lint`` exits non-zero).
     ``WARNING`` findings are reported but never block execution.
+    ``INFO`` findings are purely observational — coverage and planning
+    reports (e.g. the ``sweep-stackdist-*`` rules) that carry numbers,
+    not judgements.
     """
 
     ERROR = "error"
     WARNING = "warning"
+    INFO = "info"
 
     def __str__(self) -> str:  # pragma: no cover - presentation sugar
         return self.value

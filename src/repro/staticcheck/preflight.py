@@ -52,6 +52,7 @@ def preflight_sweep(
     warmup: Union[int, str, None] = None,
     strict: bool = True,
     miss_path=None,
+    grid_engine: Optional[str] = None,
 ) -> List[Diagnostic]:
     """Validate a sweep's inputs before any cell executes.
 
@@ -70,6 +71,11 @@ def preflight_sweep(
             against every L1 block size in the grid — the L2's resolved
             geometry is otherwise only constructed at cell-run time,
             deep inside the campaign.
+        grid_engine: When given (an explicit ``--grid-engine`` value),
+            append the info-severity ``sweep-stackdist-*`` coverage
+            report (:func:`~repro.staticcheck.configlint
+            .lint_stackdist_coverage`) for this grid; ``None`` (the
+            runner's ``auto`` default) keeps preflight quiet.
 
     Raises:
         StaticCheckError: With the full diagnostic list, when ``strict``
@@ -142,6 +148,18 @@ def preflight_sweep(
             assoc=geometry.associativity,
             fetch=fetch,
             source=f"geometry {geometry.label}@{geometry.net_size}",
+        )
+
+    if grid_engine is not None:
+        from repro.staticcheck.configlint import lint_stackdist_coverage
+
+        diagnostics += lint_stackdist_coverage(
+            geometries,
+            grid_engine=grid_engine,
+            replacement=replacement if replacement is not None else "lru",
+            fetch=fetch,
+            warmup=warmup if warmup is not None else "fill",
+            miss_path=miss_path,
         )
 
     if strict:

@@ -1,0 +1,156 @@
+"""--grid-engine wiring in run_sweep: equality, records, resume interop."""
+
+import json
+
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.runner.chaos import points_digest
+from repro.runner.runner import RunnerConfig, run_sweep
+from repro.trace.record import Trace
+
+
+def read_trace(n=300, name="reads", stride=12):
+    addrs = [(i * stride) % 2048 for i in range(n)]
+    return Trace(addrs, [0] * n, 2, name=name)
+
+
+@pytest.fixture
+def traces():
+    return [read_trace(name="alpha"), read_trace(name="beta", stride=40)]
+
+
+@pytest.fixture
+def grid():
+    """Constant-sets quartet: net co-varies with assoc, one pass group."""
+    return [
+        CacheGeometry(
+            net_size=256 * assoc, block_size=16,
+            sub_block_size=8, associativity=assoc,
+        )
+        for assoc in (1, 2, 4, 8)
+    ]
+
+
+def test_stackdist_points_equal_percell(traces, grid):
+    base, base_report = run_sweep(
+        traces, grid, config=RunnerConfig(grid_engine="percell")
+    )
+    fast, fast_report = run_sweep(
+        traces, grid, config=RunnerConfig(grid_engine="stackdist")
+    )
+    assert points_digest(base) == points_digest(fast)
+    for lhs, rhs in zip(base, fast):
+        assert lhs.per_trace == rhs.per_trace
+    assert base_report.pass_groups == 0
+    assert fast_report.pass_groups == 2  # one group per trace
+    assert fast_report.by_engine().get("stackdist") == 8
+
+
+def test_auto_uses_passes_for_groups_of_two_plus(traces, grid):
+    points, report = run_sweep(traces, grid, config=RunnerConfig())
+    assert report.pass_groups == 2
+    assert all(o.engine == "stackdist" for o in report.outcomes)
+    summary = report.summary()
+    assert "stackdist" in summary and "pass group" in summary
+
+
+def test_singleton_grid_stays_percell_under_auto(traces):
+    grid = [CacheGeometry(512, 16, 8), CacheGeometry(1024, 32, 8)]
+    points, report = run_sweep(traces, grid, config=RunnerConfig())
+    assert report.pass_groups == 0
+    assert "stackdist" not in report.by_engine()
+
+
+def test_write_traces_fall_back_transparently(grid):
+    # filter_writes=False keeps the WRITE accesses, which break LRU
+    # inclusion — the pass phase must skip the trace, not mis-answer it.
+    n = 200
+    writes = Trace(
+        [(i * 24) % 1024 for i in range(n)],
+        [0, 1] * (n // 2), 2, name="rw",
+    )
+    base, _ = run_sweep(
+        [writes], grid, filter_writes=False,
+        config=RunnerConfig(grid_engine="percell"),
+    )
+    fast, report = run_sweep(
+        [writes], grid, filter_writes=False,
+        config=RunnerConfig(grid_engine="stackdist"),
+    )
+    assert points_digest(base) == points_digest(fast)
+    assert report.pass_groups == 0
+    assert "stackdist" not in report.by_engine()
+
+
+def test_filtered_write_trace_is_coverable(grid):
+    # The default filter_writes=True drops writes during preparation,
+    # so the prepared trace is read-only and one-pass coverable again.
+    n = 200
+    writes = Trace(
+        [(i * 24) % 1024 for i in range(n)],
+        [0, 1] * (n // 2), 2, name="rw",
+    )
+    _, report = run_sweep(
+        [writes], grid, config=RunnerConfig(grid_engine="stackdist")
+    )
+    assert report.pass_groups == 1
+    assert report.by_engine().get("stackdist") == 4
+
+
+def test_unknown_grid_engine_rejected(traces, grid):
+    with pytest.raises(ConfigurationError):
+        run_sweep(traces, grid, config=RunnerConfig(grid_engine="warp"))
+
+
+def test_records_carry_engine_and_same_fingerprint(traces, grid, tmp_path):
+    ck_fast = tmp_path / "fast.jsonl"
+    ck_slow = tmp_path / "slow.jsonl"
+    run_sweep(
+        traces, grid,
+        config=RunnerConfig(checkpoint=ck_fast, grid_engine="stackdist"),
+    )
+    run_sweep(
+        traces, grid,
+        config=RunnerConfig(checkpoint=ck_slow, grid_engine="percell"),
+    )
+    fast_lines = [json.loads(line) for line in ck_fast.read_text().splitlines()]
+    slow_lines = [json.loads(line) for line in ck_slow.read_text().splitlines()]
+    # Same header fingerprint: grid engine is not part of the sweep's
+    # identity, only of how cells were computed.
+    assert fast_lines[0]["fingerprint"] == slow_lines[0]["fingerprint"]
+    fast_cells = {r["key"]: r for r in fast_lines[1:] if r.get("kind") == "cell"}
+    slow_cells = {r["key"]: r for r in slow_lines[1:] if r.get("kind") == "cell"}
+    assert fast_cells.keys() == slow_cells.keys()
+    for key, record in fast_cells.items():
+        assert record["engine"] == "stackdist"
+        assert slow_cells[key]["engine"] == "vectorized"
+        for ratio in ("miss", "traffic", "scaled"):
+            assert record[ratio] == slow_cells[key][ratio]
+
+
+@pytest.mark.parametrize(
+    "first, second", [("stackdist", "percell"), ("percell", "stackdist")]
+)
+def test_resume_interop_across_grid_engines(traces, grid, tmp_path, first, second):
+    ck = tmp_path / "sweep.jsonl"
+    baseline, _ = run_sweep(traces, grid)
+    # Full sweep under one engine, then truncate to half the cells to
+    # simulate a kill mid-sweep...
+    run_sweep(
+        traces, grid,
+        config=RunnerConfig(checkpoint=ck, grid_engine=first),
+    )
+    lines = ck.read_text().splitlines(keepends=True)
+    ck.write_text("".join(lines[:5]))  # header + 4 cell records
+    # ...then the full sweep resumes under the other engine.
+    points, report = run_sweep(
+        traces, grid,
+        config=RunnerConfig(checkpoint=ck, resume=True, grid_engine=second),
+    )
+    assert report.resumed == 4
+    assert points_digest(points) == points_digest(baseline)
+    resumed = [o for o in report.outcomes if o.status.value == "resumed"]
+    want_engine = "stackdist" if first == "stackdist" else "vectorized"
+    assert all(o.engine == want_engine for o in resumed)

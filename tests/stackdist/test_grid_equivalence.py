@@ -1,0 +1,134 @@
+"""REPRO_STACKDIST_GRID tripwire: 220 combos, stackdist == reference.
+
+Mirrors ``tests/engine/test_equivalence.py``'s randomized sweep, but on
+the stack-distance engine's coverable subset (LRU, demand fetch,
+read/ifetch traces): 4 chunks x 55 seeded combos, each simulated once
+through :func:`repro.stackdist.run_group_pass` — grouped with sibling
+associativities sharing the (block, sets) pair, exactly as the planner
+would batch them — and once per member through the
+:class:`~repro.engine.ReferenceEngine`, asserting every counter equal.
+
+Skipped unless ``REPRO_STACKDIST_GRID=1`` (CI's stackdist-smoke job
+sets it); the always-on property suite lives in ``test_property.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.engine import ReferenceEngine
+from repro.stackdist import MemberSpec, run_group_pass
+from repro.trace.record import Trace
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_STACKDIST_GRID"),
+    reason="set REPRO_STACKDIST_GRID=1 to run the 220-combo grid tripwire",
+)
+
+REFERENCE = ReferenceEngine()
+
+_COUNTERS = (
+    "accesses",
+    "misses",
+    "block_misses",
+    "sub_block_misses",
+    "accesses_by_kind",
+    "misses_by_kind",
+    "bytes_accessed",
+    "bytes_fetched",
+    "redundant_bytes_fetched",
+    "transaction_words",
+    "evictions",
+    "evicted_sub_blocks_referenced",
+    "evicted_sub_blocks_total",
+    "writebacks",
+    "bytes_written_back",
+    "bytes_written_through",
+    "prefetches",
+)
+
+
+def _readonly_trace(rng, n, addr_space, max_size, spanning):
+    """Sequential ifetch runs + random reads — no writes (coverable)."""
+    addrs, kinds, sizes = [], [], []
+    pc = rng.randrange(addr_space)
+    for _ in range(n):
+        if rng.random() < 0.5:
+            if rng.random() < 0.6:
+                pc += rng.choice((0, 0, 2, 2, 4))
+            else:
+                pc = rng.randrange(addr_space)
+            addrs.append(pc % addr_space)
+            kinds.append(2)
+            sizes.append(rng.choice((0, 2)))
+        else:
+            addrs.append(rng.randrange(addr_space))
+            kinds.append(0)
+            sizes.append(
+                rng.choice((0, 1, 2, 4) + ((max_size,) if spanning else ()))
+            )
+    return Trace(
+        np.array(addrs, np.int64),
+        np.array(kinds, np.uint8),
+        np.array(sizes, np.uint8),
+        name="rnd",
+    )
+
+
+def _random_group(rng):
+    """One (trace, block, sets, members, word, flush) pass-group combo."""
+    block = rng.choice((4, 8, 16, 32))
+    num_sets = rng.choice((1, 2, 4, 8, 32))
+    word = rng.choice([w for w in (1, 2, 4) if w <= block])
+    subs = [s for s in (1, 2, 4, 8, 16) if word <= s <= block]
+    n = rng.choice((0, 1, 5, 50, 400))
+    members = []
+    for ways in rng.sample((1, 2, 4, 8, 256), k=rng.randint(1, 3)):
+        members.append(
+            MemberSpec(
+                ways=ways,
+                sub_block_size=rng.choice(subs),
+                warmup=rng.choice(("fill", 0, 1, n // 2, n, n + 3)),
+            )
+        )
+    trace = _readonly_trace(
+        rng, n, rng.choice((64, 256, 4096)), 13, spanning=rng.random() < 0.5
+    )
+    return trace, block, num_sets, members, word, rng.random() < 0.3
+
+
+@pytest.mark.parametrize("chunk", range(4))
+def test_randomized_grid_equivalence(chunk):
+    """220 randomized pass groups, exact counter equality per member."""
+    rng = random.Random(7000 + chunk)
+    for _ in range(55):
+        trace, block, num_sets, members, word, flush = _random_group(rng)
+        got_list = run_group_pass(
+            trace, block, num_sets, members,
+            word_size=word, flush_at_end=flush,
+        )
+        for member, got in zip(members, got_list):
+            geometry = CacheGeometry(
+                net_size=block * num_sets * member.ways,
+                block_size=block,
+                sub_block_size=member.sub_block_size,
+                associativity=member.ways,
+            )
+            want = REFERENCE.run(
+                geometry, trace,
+                word_size=word,
+                warmup=member.warmup,
+                flush_at_end=flush,
+            )
+            for counter in _COUNTERS:
+                assert getattr(want, counter) == getattr(got, counter), (
+                    f"{counter} diverged for {geometry} member {member} "
+                    f"over {trace!r} (word {word}, flush {flush}): "
+                    f"reference {getattr(want, counter)!r} != stackdist "
+                    f"{getattr(got, counter)!r}"
+                )

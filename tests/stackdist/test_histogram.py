@@ -1,0 +1,62 @@
+"""Tests for repro.stackdist.distance_histogram (per-set distances)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stackdist import distance_histogram
+from repro.trace.record import Trace
+
+
+def _trace(addrs):
+    n = len(addrs)
+    return Trace(
+        np.array(addrs, np.int64),
+        np.zeros(n, np.uint8),
+        np.zeros(n, np.uint8),
+        name="hist",
+    )
+
+
+def test_cold_misses_land_in_minus_one():
+    hist = distance_histogram(_trace([0, 16, 32]), block_size=16)
+    assert hist == {-1: 3}
+
+
+def test_repeat_distance_counts_intervening_blocks():
+    # Blocks: A B C A — A's re-reference sees 3 distinct blocks on the
+    # stack (itself included), so distance 3.
+    hist = distance_histogram(_trace([0, 16, 32, 0]), block_size=16)
+    assert hist == {-1: 3, 3: 1}
+
+
+def test_immediate_rereference_is_distance_one():
+    hist = distance_histogram(_trace([0, 4, 8]), block_size=16)
+    assert hist == {-1: 1, 1: 2}
+
+
+def test_num_sets_partitions_the_stack():
+    # Blocks 0,1,2,3 then 0 again.  One set: distance 4.  Two sets:
+    # blocks 0,2 share set 0, so only one distinct block intervenes.
+    addrs = [0, 16, 32, 48, 0]
+    assert distance_histogram(_trace(addrs), 16)[4] == 1
+    assert distance_histogram(_trace(addrs), 16, num_sets=2)[2] == 1
+
+
+def test_total_mass_equals_trace_length():
+    rng = np.random.default_rng(9)
+    addrs = rng.integers(0, 512, size=200).tolist()
+    for num_sets in (1, 2, 8):
+        hist = distance_histogram(_trace(addrs), 8, num_sets=num_sets)
+        assert sum(hist.values()) == 200
+
+
+@pytest.mark.parametrize("kwargs", [dict(block_size=0), dict(num_sets=0)])
+def test_invalid_shape_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        distance_histogram(
+            _trace([0]), kwargs.get("block_size", 16),
+            num_sets=kwargs.get("num_sets", 1),
+        )

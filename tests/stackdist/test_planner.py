@@ -1,0 +1,150 @@
+"""Unit tests for the pass-group planner (repro.stackdist.planner)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.core.fetch import DemandFetch, LoadForwardFetch
+from repro.core.misspath import MissPathConfig
+from repro.errors import ConfigurationError
+from repro.stackdist import (
+    GRID_ENGINE_NAMES,
+    plan_grid,
+    trace_coverable,
+)
+from repro.trace.record import Trace
+
+
+def _constant_sets_grid():
+    """Four geometries sharing (block=16, sets=16): one pass group."""
+    return [
+        CacheGeometry(
+            net_size=256 * assoc, block_size=16,
+            sub_block_size=4, associativity=assoc,
+        )
+        for assoc in (1, 2, 4, 8)
+    ]
+
+
+def _mixed_grid():
+    """Two pass-group keys plus the constant-sets quartet."""
+    return _constant_sets_grid() + [
+        CacheGeometry(net_size=512, block_size=8, sub_block_size=4),
+        CacheGeometry(net_size=512, block_size=8, sub_block_size=8),
+    ]
+
+
+def test_grid_engine_names_frozen():
+    assert GRID_ENGINE_NAMES == ("auto", "stackdist", "percell")
+
+
+def test_plan_groups_by_block_and_sets():
+    plan = plan_grid(_mixed_grid())
+    assert plan.covered == 6
+    assert plan.fallback_indices == ()
+    keys = {(g.block_size, g.num_sets) for g in plan.groups}
+    assert keys == {(16, 16), (8, 16)}
+    by_key = {(g.block_size, g.num_sets): g for g in plan.groups}
+    assert by_key[(16, 16)].geometry_indices == (0, 1, 2, 3)
+    assert by_key[(8, 16)].geometry_indices == (4, 5)
+
+
+def test_members_carry_resolved_assoc_sub_and_warmup():
+    plan = plan_grid(_constant_sets_grid(), warmup=100)
+    (group,) = plan.groups
+    assert [m.ways for m in group.members] == [1, 2, 4, 8]
+    assert all(m.sub_block_size == 4 for m in group.members)
+    assert all(m.warmup == 100 for m in group.members)
+
+
+def test_auto_keeps_singleton_groups_per_cell():
+    grid = [CacheGeometry(512, 8, 4), CacheGeometry(1024, 16, 4)]
+    plan = plan_grid(grid, grid_engine="auto")
+    assert plan.groups == ()
+    assert plan.fallback_indices == (0, 1)
+    assert all(
+        "pass group of 1" in reason
+        for reason in plan.fallback_reasons.values()
+    )
+
+
+def test_stackdist_mode_takes_singletons():
+    grid = [CacheGeometry(512, 8, 4), CacheGeometry(1024, 16, 4)]
+    plan = plan_grid(grid, grid_engine="stackdist")
+    assert plan.covered == 2
+    assert plan.fallback_indices == ()
+    assert all(len(group) == 1 for group in plan.groups)
+
+
+def test_percell_mode_covers_nothing():
+    plan = plan_grid(_constant_sets_grid(), grid_engine="percell")
+    assert plan.groups == ()
+    assert plan.fallback_indices == (0, 1, 2, 3)
+    assert plan.blockers == ("grid engine forced to percell",)
+
+
+def test_unknown_grid_engine_rejected():
+    with pytest.raises(ConfigurationError):
+        plan_grid(_constant_sets_grid(), grid_engine="warp")
+
+
+@pytest.mark.parametrize(
+    "kwargs, needle",
+    [
+        (dict(replacement="fifo"), "replacement"),
+        (dict(fetch=LoadForwardFetch()), "fetch"),
+        (dict(miss_path=MissPathConfig(victim_entries=2)), "miss-path"),
+        (dict(engine="checked"), "checked"),
+        (dict(cell_timeout=1.0), "cell_timeout"),
+        (dict(max_cell_accesses=10), "max_cell_accesses"),
+        (dict(injector_active=True), "injector"),
+    ],
+)
+def test_sweep_blockers_force_fallback(kwargs, needle):
+    plan = plan_grid(_constant_sets_grid(), **kwargs)
+    assert plan.groups == ()
+    assert plan.fallback_indices == (0, 1, 2, 3)
+    assert any(needle in blocker for blocker in plan.blockers)
+
+
+def test_disabled_miss_path_does_not_block():
+    plan = plan_grid(_constant_sets_grid(), miss_path=MissPathConfig())
+    assert plan.covered == 4
+
+
+@pytest.mark.parametrize("fetch", [None, "demand", DemandFetch()])
+def test_demand_fetch_spellings_all_coverable(fetch):
+    plan = plan_grid(_constant_sets_grid(), fetch=fetch)
+    assert plan.covered == 4
+
+
+def test_explicit_percell_engine_blocks_auto_only():
+    grid = _constant_sets_grid()
+    auto = plan_grid(grid, engine="vectorized", grid_engine="auto")
+    assert auto.groups == ()
+    assert any("defers" in blocker for blocker in auto.blockers)
+    forced = plan_grid(grid, engine="vectorized", grid_engine="stackdist")
+    assert forced.covered == 4
+    # checked is a sanitizer: it must actually run per cell, always.
+    checked = plan_grid(grid, engine="checked", grid_engine="stackdist")
+    assert checked.groups == ()
+
+
+def test_trace_coverable_rejects_writes():
+    reads = Trace(
+        np.array([0, 8, 16], np.int64),
+        np.array([0, 2, 0], np.uint8),
+        np.zeros(3, np.uint8),
+        name="reads",
+    )
+    writes = Trace(
+        np.array([0, 8, 16], np.int64),
+        np.array([0, 1, 0], np.uint8),
+        np.zeros(3, np.uint8),
+        name="writes",
+    )
+    assert trace_coverable(reads)
+    assert not trace_coverable(writes)
+    assert not trace_coverable(object())

@@ -1,0 +1,178 @@
+"""Property tests: one-pass stack-distance counters == ReferenceEngine.
+
+The stack-distance engine's whole value proposition is *exact*
+equality: every member cell of a pass group must be bit-identical to a
+reference-engine run of the same geometry.  Hypothesis drives the
+geometry axes (sets x assoc x block x sub-block), warm-up modes, and
+randomized read/ifetch streams; the assertion compares every
+:class:`~repro.core.stats.CacheStats` counter, not just the ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CacheGeometry
+from repro.engine import CheckedEngine, ReferenceEngine
+from repro.errors import ConfigurationError
+from repro.stackdist import MemberSpec, run_group_pass
+from repro.trace.record import Trace
+
+REFERENCE = ReferenceEngine()
+
+_COUNTERS = (
+    "accesses",
+    "misses",
+    "block_misses",
+    "sub_block_misses",
+    "accesses_by_kind",
+    "misses_by_kind",
+    "bytes_accessed",
+    "bytes_fetched",
+    "redundant_bytes_fetched",
+    "transaction_words",
+    "evictions",
+    "evicted_sub_blocks_referenced",
+    "evicted_sub_blocks_total",
+    "writebacks",
+    "prefetches",
+)
+
+
+def _trace(addrs, kinds, sizes):
+    return Trace(
+        np.array(addrs, np.int64),
+        np.array(kinds, np.uint8),
+        np.array(sizes, np.uint8),
+        name="prop",
+    )
+
+
+def _assert_members_match(
+    trace, block_size, num_sets, members, word_size=2, flush_at_end=False
+):
+    """run_group_pass vs one ReferenceEngine run per member, all counters."""
+    stats_list = run_group_pass(
+        trace, block_size, num_sets, members,
+        word_size=word_size, flush_at_end=flush_at_end,
+    )
+    assert len(stats_list) == len(members)
+    for member, got in zip(members, stats_list):
+        geometry = CacheGeometry(
+            net_size=block_size * num_sets * member.ways,
+            block_size=block_size,
+            sub_block_size=member.sub_block_size,
+            associativity=member.ways,
+        )
+        want = REFERENCE.run(
+            geometry, trace,
+            word_size=word_size,
+            warmup=member.warmup,
+            flush_at_end=flush_at_end,
+        )
+        for counter in _COUNTERS:
+            assert getattr(want, counter) == getattr(got, counter), (
+                f"{counter} diverged for member {member} "
+                f"(block {block_size}, sets {num_sets}): reference "
+                f"{getattr(want, counter)!r} != stackdist "
+                f"{getattr(got, counter)!r}"
+            )
+
+
+@st.composite
+def _pass_group_case(draw):
+    """A (trace, block, sets, members) case over the paper's axes."""
+    block_size = draw(st.sampled_from([4, 8, 16, 32]))
+    num_sets = draw(st.sampled_from([1, 2, 4, 16]))
+    n = draw(st.integers(min_value=0, max_value=120))
+    addr_space = block_size * num_sets * 24
+    addrs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=addr_space - 1),
+            min_size=n, max_size=n,
+        )
+    )
+    kinds = draw(
+        st.lists(st.sampled_from([0, 2]), min_size=n, max_size=n)
+    )
+    sizes = draw(
+        st.lists(st.sampled_from([0, 1, 2, 4]), min_size=n, max_size=n)
+    )
+    word_size = draw(st.sampled_from([1, 2]))
+    subs = [
+        s for s in (1, 2, 4, 8, 16) if word_size <= s <= block_size
+    ]
+    members = []
+    # Power-of-two ways only: CacheGeometry requires a power-of-two
+    # net_size = block * sets * ways.
+    for ways in draw(
+        st.lists(
+            st.sampled_from([1, 2, 4, 8]),
+            min_size=1, max_size=4, unique=True,
+        )
+    ):
+        warmup = draw(
+            st.one_of(
+                st.just("fill"),
+                st.integers(min_value=0, max_value=n + 2),
+            )
+        )
+        members.append(
+            MemberSpec(
+                ways=ways,
+                sub_block_size=draw(st.sampled_from(subs)),
+                warmup=warmup,
+            )
+        )
+    flush = draw(st.booleans())
+    return (
+        _trace(addrs, kinds, sizes),
+        block_size, num_sets, members, word_size, flush,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=_pass_group_case())
+def test_pass_group_matches_reference(case):
+    trace, block_size, num_sets, members, word_size, flush = case
+    _assert_members_match(
+        trace, block_size, num_sets, members,
+        word_size=word_size, flush_at_end=flush,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    addrs=st.lists(
+        st.integers(min_value=0, max_value=511), min_size=1, max_size=60
+    ),
+    ways=st.sampled_from([1, 2, 4]),
+)
+def test_spot_check_against_checked_engine(addrs, ways):
+    """The sanitizing engine agrees too (belt and braces)."""
+    trace = _trace(addrs, [0] * len(addrs), [2] * len(addrs))
+    member = MemberSpec(ways=ways, sub_block_size=4)
+    (got,) = run_group_pass(trace, 8, 4, [member])
+    geometry = CacheGeometry(8 * 4 * ways, 8, 4, associativity=ways)
+    want = CheckedEngine().run(geometry, trace, warmup="fill")
+    assert want.snapshot() == got.snapshot()
+
+
+def test_write_trace_rejected():
+    trace = _trace([0, 8], [0, 1], [0, 0])
+    with pytest.raises(ConfigurationError, match="read/ifetch"):
+        run_group_pass(trace, 8, 2, [MemberSpec(ways=1, sub_block_size=4)])
+
+
+def test_empty_trace_all_members_zero():
+    trace = _trace([], [], [])
+    members = [
+        MemberSpec(ways=1, sub_block_size=4),
+        MemberSpec(ways=4, sub_block_size=8),
+    ]
+    for stats in run_group_pass(trace, 8, 2, members):
+        assert stats.accesses == 0
+        assert stats.misses == 0
