@@ -361,6 +361,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="differentially check the classification against an actual "
              "machine run through the simulator (exit 1 on any violation)",
     )
+    classify_chain = classify.add_argument_group(
+        "miss path",
+        "optional structures between an L1 miss and memory; the "
+        "analysis lifts its must/may proofs through the chain and "
+        "bounds each structure's counters (see docs/staticcheck.md)",
+    )
+    classify_chain.add_argument(
+        "--victim-entries", type=int, default=0, metavar="N",
+        help="fully-associative victim cache entries (holds L1 evictions)",
+    )
+    classify_chain.add_argument(
+        "--miss-entries", type=int, default=0, metavar="N",
+        help="tag-only miss cache entries",
+    )
+    classify_chain.add_argument(
+        "--stream-buffers", type=int, default=0, metavar="N",
+        help="sequential-prefetch stream buffers",
+    )
+    classify_chain.add_argument(
+        "--stream-depth", type=int, default=4, metavar="N",
+        help="prefetch FIFO depth per stream buffer (default 4)",
+    )
+    classify_chain.add_argument(
+        "--l2-net", type=int, default=0, metavar="BYTES",
+        help="backing L2 net size (0 = no L2)",
+    )
+    classify_chain.add_argument(
+        "--l2-block", type=int, default=0, metavar="BYTES",
+        help="L2 block size (default: the L1 block size)",
+    )
+    classify_chain.add_argument(
+        "--l2-sub", type=int, default=0, metavar="BYTES",
+        help="L2 sub-block size (default: the L2 block size)",
+    )
+    classify_chain.add_argument(
+        "--l2-assoc", type=int, default=4, metavar="N",
+        help="L2 associativity (default 4)",
+    )
     commands.add_parser("riscii", help="RISC II instruction-cache results")
     commands.add_parser("suites", help="list the workload suites and traces")
     trace = commands.add_parser("trace", help="generate one trace")
@@ -673,19 +711,37 @@ def _cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _format_bound(bound) -> str:
+    if bound is None:
+        return "?"
+    lo, hi = bound
+    return f"[{lo}, {'∞' if hi is None else hi}]"
+
+
 def _cmd_classify(args) -> int:
-    """Abstract-interpretation cache classification of one program.
+    """Hierarchical abstract-interpretation classification of one program.
+
+    Always runs the chain-aware analyzer
+    (:func:`repro.staticcheck.abschain.classify_chain_program`): with no
+    miss-path flags the chain is bare and the hierarchy degenerates to
+    the single-level proofs, but the static counter bounds are computed
+    either way.
 
     Exit codes: 0 = analysis (and, with ``--verify``, the differential
     check) succeeded; 1 = the program has error-severity findings, the
-    geometry is invalid, or verification found a violated proof.
+    geometry is invalid, or verification found a violated proof or an
+    out-of-bounds counter.
     """
     import inspect
     import json
 
     from repro.core.config import CacheGeometry
     from repro.errors import ConfigurationError
-    from repro.staticcheck import classify_program, verify_classification
+    from repro.staticcheck import (
+        classify_chain_program,
+        lint_chain_report,
+        verify_chain_classification,
+    )
     from repro.workloads.assembler import assemble
     from repro.workloads.programs import PROGRAMS
 
@@ -701,6 +757,16 @@ def _cmd_classify(args) -> int:
         else {}
     )
     program = assemble(builder(**params).source, word_size=args.word)
+    miss_path = {
+        "victim_entries": args.victim_entries,
+        "miss_entries": args.miss_entries,
+        "stream_buffers": args.stream_buffers,
+        "stream_depth": args.stream_depth,
+        "l2_net_size": args.l2_net,
+        "l2_block_size": args.l2_block,
+        "l2_sub_block_size": args.l2_sub,
+        "l2_associativity": args.l2_assoc,
+    }
     try:
         geometry = CacheGeometry(
             net_size=args.net,
@@ -708,9 +774,10 @@ def _cmd_classify(args) -> int:
             sub_block_size=args.sub if args.sub is not None else args.block,
             associativity=args.assoc,
         )
-        report = classify_program(
+        report = classify_chain_program(
             program,
             geometry,
+            miss_path=miss_path,
             fetch=args.fetch,
             stack_words=args.stack_words,
             name=args.program,
@@ -719,7 +786,7 @@ def _cmd_classify(args) -> int:
         print(f"repro: classify failed: {error}", file=sys.stderr)
         return 1
     verification = (
-        verify_classification(program, report) if args.verify else None
+        verify_chain_classification(program, report) if args.verify else None
     )
 
     if args.fmt == "json":
@@ -728,18 +795,42 @@ def _cmd_classify(args) -> int:
             payload["verification"] = verification.to_dict()
         print(json.dumps(payload, indent=2))
     else:
-        counts = report.counts
+        chained = report.miss_path.enabled
         print(
             f"{report.name}: {len(report.sites)} site(s) @ "
             f"net {report.net_size} B, block {report.block_size}, "
             f"sub-block {report.sub_block_size}, "
-            f"{report.associativity}-way, {report.fetch} fetch"
+            f"{report.associativity}-way, {report.fetch} fetch, "
+            f"chain {report.miss_path.key()}"
         )
-        for key, value in counts.items():
-            print(f"  {key:13s} {value}")
-        print(f"  unclassified fraction: {report.unclassified_fraction:.3f}")
+        for key, value in report.counts.items():
+            print(f"  {key:20s} {value}")
+        print(f"  classified fraction: {report.classified_fraction:.3f}")
+        print("  static counter bounds:")
+        for key in (
+            "demand_misses", "memory_fetches", "memory_bytes_fetched"
+        ):
+            print(f"    {key:22s} {_format_bound(report.bound(key))}")
+        if chained:
+            print("  per-structure proofs:")
+            header = (
+                f"    {'structure':9s} {'proven-hits':>11s} "
+                f"{'probes':>14s} {'hits':>14s} "
+                f"{'fills':>14s} {'evictions':>14s}"
+            )
+            print(header)
+            for row in report.proof_rows():
+                print(
+                    f"    {row['structure']:9s} {row['proven_hits']:>11d} "
+                    f"{_format_bound(row['probes']):>14s} "
+                    f"{_format_bound(row['hits']):>14s} "
+                    f"{_format_bound(row['fills']):>14s} "
+                    f"{_format_bound(row['evictions']):>14s}"
+                )
+        for finding in lint_chain_report(report):
+            print(f"  {finding.render()}")
         for site in report.sites:
-            if site.classification.value == "unclassified":
+            if site.classification.value in ("unclassified", "L1-hit"):
                 continue
             target = (
                 f" -> {site.target:#x}" if site.target is not None else ""
@@ -750,8 +841,10 @@ def _cmd_classify(args) -> int:
             )
         if verification is not None:
             status = "PASSED" if verification.ok else "FAILED"
+            sanitized = " (checked engine)" if verification.sanitized else ""
             print(
-                f"  verification {status}: {verification.accesses} accesses "
+                f"  verification {status}{sanitized}: "
+                f"{verification.accesses} accesses "
                 f"({verification.checked} against proofs, "
                 f"{verification.unclassified_accesses} unclassified)"
             )
@@ -761,6 +854,13 @@ def _cmd_classify(args) -> int:
                 print(
                     f"    VIOLATION {site} occurrence {occurrence}: "
                     f"expected {expected}, observed {observed}"
+                )
+            for counter, lo, hi, observed in (
+                verification.bound_violations[:10]
+            ):
+                print(
+                    f"    BOUND VIOLATION {counter}: observed {observed} "
+                    f"outside {_format_bound((lo, hi))}"
                 )
     if verification is not None and not verification.ok:
         return 1

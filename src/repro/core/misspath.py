@@ -691,6 +691,10 @@ class MissPathChain:
             structure.stats = self.stats.structures[structure.name]
         if self.l2 is not None:
             self.stats.l2_stats = self.l2.cache.stats
+        #: Who serviced the most recent demand miss: a structure name,
+        #: ``"memory"``, or None before the first miss.  Consumed by the
+        #: abschain differential verifier to check chain-hit proofs.
+        self.last_serviced: Optional[str] = None
 
     def service_miss(self, block_addr: int, mask: int, nbytes: int) -> None:
         """Resolve one L1 demand miss through the chain.
@@ -713,6 +717,7 @@ class MissPathChain:
                 structure.stats.hits += 1
                 serviced = structure
                 break
+        self.last_serviced = serviced.name if serviced is not None else "memory"
         if serviced is None:
             stats.memory_fetches += 1
             if self.l2 is not None:

@@ -184,7 +184,12 @@ class SimQuery:
         # ``"miss_path": {}`` coalesce with chainless queries.
         raw_miss_path = payload.get("miss_path")
         raise_on_errors(
-            lint_miss_path(raw_miss_path, l1_block_size=block, source="query"),
+            lint_miss_path(
+                raw_miss_path,
+                l1_block_size=block,
+                source="query",
+                l1_net_size=net,
+            ),
             "invalid miss_path",
         )
         miss_path = MissPathConfig.coerce(raw_miss_path)

@@ -9,14 +9,18 @@ order:
    result cache answer repeat queries without touching the queue.
 2. **Coalescing** — concurrent identical queries share one in-flight
    future; only the first does any work.
-3. **Admission** — the breaker and the bounded queue refuse work the
+3. **Static budget gate** — with ``static_budget_bytes_per_ms`` set, a
+   deadline-carrying chain query whose abschain lower bound on memory
+   traffic already proves the budget cannot be met is refused with a
+   504 (``stage="static-budget"``) before any engine work.
+4. **Admission** — the breaker and the bounded queue refuse work the
    service cannot take (:class:`~repro.service.admission.RejectedError`
    → HTTP 429/503).
-4. **Batching** — the scheduler drains the queue every batch window and
+5. **Batching** — the scheduler drains the queue every batch window and
    groups queries by trace, so each trace is generated, read-filtered,
    and predecoded exactly once per batch
    (:mod:`repro.engine.batch`) before its cells fan out.
-5. **Dispatch** — cells run on a thread pool, bounded by
+6. **Dispatch** — cells run on a thread pool, bounded by
    ``max_inflight`` slots; completions land in the result cache and
    resolve every coalesced waiter.
 
@@ -48,7 +52,7 @@ from repro.service.supervisor import Supervisor, SupervisorConfig
 from repro.stackdist.engine import MemberSpec, run_group_pass
 from repro.stackdist.planner import GRID_ENGINE_NAMES, trace_coverable
 from repro.trace.record import Trace
-from repro.workloads.suites import suite_trace
+from repro.workloads.suites import suite_specs, suite_trace
 
 __all__ = ["ServiceConfig", "SimResult", "SimulationService"]
 
@@ -101,6 +105,19 @@ class ServiceConfig:
             work before forcing shutdown.
         worker_env: Extra environment for supervised workers (the
             chaos harness's fault-injection channel).
+        static_budget_bytes_per_ms: Arms the static admission gate:
+            the nominal backing-store bandwidth (bytes of chain memory
+            traffic per millisecond of deadline budget) of this
+            service's budget class.  When set, a deadline-carrying
+            query whose miss-path chain and program-backed trace let
+            :func:`repro.staticcheck.abschain.classify_chain_program`
+            prove a *lower* bound on ``memory_bytes_fetched``, and
+            whose remaining budget is below ``lo / rate`` milliseconds,
+            is refused up front with a 504 (``stage="static-budget"``)
+            — the bound proves one complete cold execution of the
+            trace's program already exceeds the budget, so no engine
+            work is spent discovering that dynamically.  ``None``
+            (default) disables the gate.
     """
 
     workers: int = 2
@@ -121,6 +138,7 @@ class ServiceConfig:
     store_dir: Optional[str] = None
     drain_timeout: float = 10.0
     worker_env: Optional[Dict[str, str]] = None
+    static_budget_bytes_per_ms: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -209,6 +227,9 @@ class SimulationService:
             else default_trace_length()
         )
         self._fingerprints: "OrderedDict[SimQuery, str]" = OrderedDict()
+        self._static_floors: "OrderedDict[tuple, Optional[float]]" = (
+            OrderedDict()
+        )
         self._prepared_lengths: "Dict[tuple, int]" = {}
         if self.cache.store is not None:
             self._load_prepared_lengths()
@@ -378,6 +399,69 @@ class SimulationService:
             )
         return query
 
+    def _static_floor_ms(self, query: SimQuery) -> Optional[float]:
+        """Provable minimum service time of one query, in milliseconds.
+
+        The abschain static *lower* bound on the chain's
+        ``memory_bytes_fetched`` for the query's program-backed trace,
+        divided by the configured budget-class bandwidth.  ``None``
+        when the gate is off, the query has no chain, the trace is
+        synthetic (no program to analyze), or the analysis proves
+        nothing (lower bound 0).  Memoized: the analysis costs
+        tenths of a second, the answer never changes for a key.
+        """
+        rate = self.config.static_budget_bytes_per_ms
+        if not rate or query.miss_path is None:
+            return None
+        key = (
+            query.suite, query.trace, query.word_size, query.net,
+            query.block, query.sub, query.assoc, query.fetch,
+            query.miss_path.key(),
+        )
+        if key in self._static_floors:
+            self._static_floors.move_to_end(key)
+            return self._static_floors[key]
+        floor: Optional[float] = None
+        try:
+            spec = next(
+                s
+                for s in suite_specs(query.suite)
+                if s.name == query.trace
+            )
+            if spec.program:
+                import inspect
+
+                from repro.staticcheck.abschain import (
+                    classify_chain_program,
+                )
+                from repro.workloads.assembler import assemble
+                from repro.workloads.programs import PROGRAMS
+
+                builder = PROGRAMS[spec.program]
+                params = dict(spec.params)
+                if "seed" in inspect.signature(builder).parameters:
+                    params.setdefault("seed", spec.seed)
+                program = assemble(
+                    builder(**params).source, word_size=query.word_size
+                )
+                report = classify_chain_program(
+                    program,
+                    query.geometry(),
+                    miss_path=query.miss_path,
+                    fetch=query.fetch,
+                    name=query.trace,
+                    check=False,
+                )
+                bound = report.bound("memory_bytes_fetched")
+                if bound is not None and bound[0] > 0:
+                    floor = bound[0] / rate
+        except ReproError:
+            floor = None  # an unanalyzable query is simply not gated
+        self._static_floors[key] = floor
+        while len(self._static_floors) > 256:
+            self._static_floors.popitem(last=False)
+        return floor
+
     async def simulate(
         self, query: SimQuery, deadline: Optional[float] = None
     ) -> SimResult:
@@ -430,7 +514,25 @@ class SimulationService:
             entry, _ = await asyncio.shield(shared)
             return SimResult(query, entry, "coalesced", loop.time() - started)
 
-        # 3. Admission control.
+        # 3. Static budget gate: when the abschain lower bound on the
+        # chain's memory traffic already proves the remaining deadline
+        # budget cannot be met, refuse before any engine work.
+        if deadline is not None:
+            floor_ms = self._static_floor_ms(query)
+            if floor_ms is not None:
+                remaining_ms = (deadline - time.monotonic()) * 1000.0
+                if remaining_ms < floor_ms:
+                    self.metrics.deadline_exceeded_total.inc(
+                        labels={"stage": "static-budget"}
+                    )
+                    raise DeadlineExceededError(
+                        f"chain {query.miss_path.key()} provably needs "
+                        f">= {floor_ms:.1f} ms of this budget class's "
+                        f"memory bandwidth; {remaining_ms:.1f} ms remain",
+                        stage="static-budget",
+                    )
+
+        # 4. Admission control.
         try:
             self.admission.admit(queued=len(self._queue))
         except ReproError as exc:
@@ -438,7 +540,7 @@ class SimulationService:
             self.metrics.rejected_total.inc(labels={"reason": reason})
             raise
 
-        # 4. Enqueue for the batch scheduler.
+        # 5. Enqueue for the batch scheduler.
         future: "asyncio.Future[Tuple[CacheEntry, str]]" = loop.create_future()
         self._inflight_futures[query] = future
         self._queue.append(_Pending(query, future, started, deadline))

@@ -19,6 +19,12 @@ Three layers, all producing the same structured
   must/may abstract interpretation classifying every reference site as
   always-hit / always-miss / first-miss / unclassified for one concrete
   geometry, differentially verified against the simulator.
+* **Hierarchical chain analysis** (:mod:`repro.staticcheck.abschain`) —
+  the same fixpoint lifted through the miss-path chain (victim cache,
+  miss cache, stream buffers, backing L2): per-site hierarchical
+  proofs (``chain-hit@<structure>``, ``memory-bound``) plus static
+  ``[lo, hi]`` bounds on the chain's traffic counters, differentially
+  verified against a cold chained simulation.
 
 ``python -m repro lint`` runs the program analyzer over every bundled
 workload program; ``python -m repro classify`` runs the abstract cache
@@ -34,6 +40,16 @@ from repro.staticcheck.abscache import (
     classify_program,
     predict_knee,
     verify_classification,
+)
+from repro.staticcheck.abschain import (
+    ChainClassificationReport,
+    ChainSiteClass,
+    ChainSiteResult,
+    ChainVerificationResult,
+    classify_chain_program,
+    lint_chain_report,
+    predict_chain_knee,
+    verify_chain_classification,
 )
 from repro.staticcheck.cfg import BasicBlock, ControlFlowGraph, Loop, build_cfg
 from repro.staticcheck.checks import PROGRAM_RULES, check_program
@@ -69,6 +85,14 @@ __all__ = [
     "classify_program",
     "predict_knee",
     "verify_classification",
+    "ChainClassificationReport",
+    "ChainSiteClass",
+    "ChainSiteResult",
+    "ChainVerificationResult",
+    "classify_chain_program",
+    "lint_chain_report",
+    "predict_chain_knee",
+    "verify_chain_classification",
     "BasicBlock",
     "ControlFlowGraph",
     "Loop",

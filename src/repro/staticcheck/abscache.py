@@ -277,9 +277,12 @@ class _AbsState:
             (anything may be resident).
         pers: ``{block address: sticky age}`` — ``ways`` marks "possibly
             evicted after having been loaded", and is sticky.
+        ext: Optional extension state for analyses that piggyback extra
+            abstract domains on the same fixpoint (see
+            :class:`StateExtension` and ``abschain``).
     """
 
-    __slots__ = ("regs", "must", "may", "pers")
+    __slots__ = ("regs", "must", "may", "pers", "ext")
 
     def __init__(
         self,
@@ -287,11 +290,13 @@ class _AbsState:
         must: Dict[int, Tuple[int, int]],
         may: Optional[Dict[int, Tuple[int, int]]],
         pers: Dict[int, int],
+        ext: Optional["StateExtension"] = None,
     ) -> None:
         self.regs = list(regs)
         self.must = must
         self.may = may
         self.pers = pers
+        self.ext = ext
 
     def copy(self) -> "_AbsState":
         return _AbsState(
@@ -299,15 +304,36 @@ class _AbsState:
             dict(self.must),
             None if self.may is None else dict(self.may),
             dict(self.pers),
+            None if self.ext is None else self.ext.copy(),
         )
 
-    def snapshot(self) -> Tuple:
+    def snapshot(self) -> Tuple[Any, ...]:
         return (
             tuple(self.regs),
             tuple(sorted(self.must.items())),
             None if self.may is None else tuple(sorted(self.may.items())),
             tuple(sorted(self.pers.items())),
+            None if self.ext is None else self.ext.snapshot(),
         )
+
+
+class StateExtension:
+    """Extra per-program-point abstract state carried by :class:`_AbsState`.
+
+    Subclasses must keep the three operations consistent: ``snapshot``
+    is used for fixpoint change detection, so ``join_into`` must only
+    move the state up the subclass's lattice.
+    """
+
+    def copy(self) -> "StateExtension":
+        raise NotImplementedError
+
+    def snapshot(self) -> Tuple[Any, ...]:
+        raise NotImplementedError
+
+    def join_into(self, source: "StateExtension") -> None:
+        """Join ``source`` into ``self`` in place."""
+        raise NotImplementedError
 
 
 def _join_into(target: _AbsState, source: _AbsState) -> bool:
@@ -338,6 +364,8 @@ def _join_into(target: _AbsState, source: _AbsState) -> bool:
         mine = target.pers.get(block)
         if mine is None or age > mine:
             target.pers[block] = age
+    if target.ext is not None and source.ext is not None:
+        target.ext.join_into(source.ext)
     return target.snapshot() != before
 
 
@@ -388,6 +416,12 @@ class _Analyzer:
         return not any(
             diagnostic.rule == "stack-imbalance"
             for diagnostic in check_program(self.program)
+        )
+
+    def make_entry_state(self) -> _AbsState:
+        """Cold entry state: machine register file, empty cache."""
+        return _AbsState(
+            tuple([0] * 7 + [self.stack_top]), {}, {}, {}
         )
 
     # -- Piece decomposition ------------------------------------------
@@ -536,16 +570,30 @@ class _Analyzer:
             old_may_valid = 0
         proven_absent = may is not None and block not in may
 
+        must_gain, may_gain = self._gain_masks(
+            needed, first_sub, old_may_valid, proven_absent
+        )
+        must[block] = (0, old_must_valid | must_gain)
+        if may is not None:
+            may[block] = (0, old_may_valid | may_gain)
+        self._pers_touch(state, block, loads=True)
+
+    def _gain_masks(
+        self,
+        needed: int,
+        first_sub: int,
+        old_may_valid: int,
+        proven_absent: bool,
+    ) -> Tuple[int, int]:
+        """``(guaranteed, possible)`` valid-mask gains for one read piece."""
         if proven_absent:
             # The concrete valid mask is exactly empty: the fetch plan
             # is known precisely, for any policy.
             plan = self.fetch.plan(needed, first_sub, 0, self.nsub)
-            must_gain = plan.fetch_mask
-            may_gain = plan.fetch_mask
-        elif self.is_demand:
-            must_gain = needed
-            may_gain = needed
-        elif self.is_load_forward:
+            return plan.fetch_mask, plan.fetch_mask
+        if self.is_demand:
+            return needed, needed
+        if self.is_load_forward:
             # Guaranteed gain: if some needed sub-block is invalid in
             # every state, a fetch happens and starts at or before it.
             guaranteed_missing = needed & ~old_may_valid
@@ -558,17 +606,10 @@ class _Analyzer:
                 must_gain = needed
             # Possible gain: a fetch can start as early as the first
             # needed sub-block and runs to the end of the block.
-            may_gain = mask_of_range(first_sub, self.nsub - 1)
-        else:
-            # Unknown policy: it must at least validate the needed
-            # sub-blocks and may validate anything.
-            must_gain = needed
-            may_gain = self.full_mask
-
-        must[block] = (0, old_must_valid | must_gain)
-        if may is not None:
-            may[block] = (0, old_may_valid | may_gain)
-        self._pers_touch(state, block, loads=True)
+            return must_gain, mask_of_range(first_sub, self.nsub - 1)
+        # Unknown policy: it must at least validate the needed
+        # sub-blocks and may validate anything.
+        return needed, self.full_mask
 
     def apply_unknown(self, state: _AbsState, kind: AccessType) -> None:
         """Transfer for a reference through a statically unknown address."""
@@ -634,6 +675,28 @@ class _Analyzer:
             )
         return (SiteClass.UNCLASSIFIED, "must/may bounds too weak")
 
+    def describe_site(
+        self,
+        state: _AbsState,
+        addr: Optional[int],
+        kind: AccessType,
+        kind_label: str,
+    ) -> Tuple[Any, ...]:
+        """Record tuple for one site at its pre-reference state.
+
+        The first four elements are always ``(classification, reason,
+        target, kind label)``; subclasses may append further elements.
+        """
+        if addr is None:
+            return (
+                SiteClass.UNCLASSIFIED,
+                "address not statically known",
+                None,
+                kind_label,
+            )
+        cls, reason = self.classify_ref(state, addr, self.word, kind)
+        return (cls, reason, addr, kind_label)
+
 
 # -- Instruction walking ---------------------------------------------------
 
@@ -688,7 +751,7 @@ def _walk_instruction(
     state: _AbsState,
     index: int,
     inst: Instruction,
-    record: Optional[Dict[str, Tuple[SiteClass, str, Optional[int], str]]],
+    record: Optional[Dict[str, Tuple[Any, ...]]],
 ) -> None:
     """Apply one instruction: its fetches, its data reference, its
     register effects.  When ``record`` is given, classify each
@@ -700,16 +763,9 @@ def _walk_instruction(
         site: str, kind: AccessType, addr: Optional[int], kind_label: str
     ) -> None:
         if record is not None and site not in record:
-            if addr is None:
-                record[site] = (
-                    SiteClass.UNCLASSIFIED,
-                    "address not statically known",
-                    None,
-                    kind_label,
-                )
-            else:
-                cls, reason = analyzer.classify_ref(state, addr, word, kind)
-                record[site] = (cls, reason, addr, kind_label)
+            record[site] = analyzer.describe_site(
+                state, addr, kind, kind_label
+            )
         if addr is None or addr < 0:
             analyzer.apply_unknown(state, kind)
         else:
@@ -760,7 +816,7 @@ def _walk_block(
     analyzer: _Analyzer,
     state: _AbsState,
     block_index: int,
-    record: Optional[Dict[str, Tuple[SiteClass, str, Optional[int], str]]],
+    record: Optional[Dict[str, Tuple[Any, ...]]],
 ) -> _AbsState:
     cfg = analyzer.cfg
     block = cfg.blocks[block_index]
@@ -792,7 +848,7 @@ def _call_sites(cfg: ControlFlowGraph) -> List[Tuple[int, Optional[int]]]:
 
 def _analyze(analyzer: _Analyzer) -> Tuple[
     Dict[int, _AbsState],
-    Dict[str, Tuple[SiteClass, str, Optional[int], str]],
+    Dict[str, Tuple[Any, ...]],
 ]:
     """Run the combined fixpoint; returns block in-states and the
     per-site classification recorded on a final stable pass."""
@@ -810,9 +866,7 @@ def _analyze(analyzer: _Analyzer) -> Tuple[
     ]
     call_out_r7: Dict[int, Optional[int]] = {}
 
-    entry = _AbsState(
-        tuple([0] * 7 + [analyzer.stack_top]), {}, {}, {}
-    )
+    entry = analyzer.make_entry_state()
     in_states: Dict[int, _AbsState] = {0: entry}
     worklist = deque([0])
     queued = {0}
@@ -883,7 +937,7 @@ def _analyze(analyzer: _Analyzer) -> Tuple[
                 queued.add(successor)
 
     # Final pass: classify every reference against the stable states.
-    record: Dict[str, Tuple[SiteClass, str, Optional[int], str]] = {}
+    record: Dict[str, Tuple[Any, ...]] = {}
     for block_index in sorted(in_states):
         _walk_block(
             analyzer, in_states[block_index].copy(), block_index, record
@@ -961,7 +1015,7 @@ def classify_program(
             expected.append(f"{index}:data")
         for site in expected:
             if site in reachable_sites:
-                cls, reason, target, kind_label = record[site]
+                cls, reason, target, kind_label = record[site][:4]
                 sites.append(
                     SiteResult(
                         site=site,

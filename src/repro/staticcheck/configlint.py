@@ -38,6 +38,14 @@ rule                              severity  meaning
                                             silently configure no chain)
 ``misspath-bad-value``            error     a miss-path config value is not an
                                             integer in its field's range
+``misspath-degenerate``           warning   a chain structure that cannot help:
+                                            a victim cache holding at least as
+                                            many blocks as the L1 it backs, a
+                                            miss cache shadowed by an equal-
+                                            capacity victim cache ahead of it,
+                                            ``stream_depth`` set with zero
+                                            stream buffers, or an L2 no larger
+                                            than the L1 in front of it
 ``sweep-stackdist-coverage``      info      how many cells of a sweep grid the
                                             one-pass stack-distance engine
                                             covers, and in how many pass
@@ -91,6 +99,7 @@ CONFIG_RULES = (
     "grid-axis-type",
     "misspath-unknown-key",
     "misspath-bad-value",
+    "misspath-degenerate",
     "sweep-stackdist-coverage",
     "sweep-stackdist-fallback",
 )
@@ -335,6 +344,7 @@ def lint_miss_path(
     miss_path: Any,
     l1_block_size: Any = None,
     source: str = "misspath",
+    l1_net_size: Any = None,
 ) -> List[Diagnostic]:
     """Lint a miss-path chain configuration (dict form or parsed).
 
@@ -349,6 +359,10 @@ def lint_miss_path(
     :class:`~repro.core.config.CacheGeometry` only at cell-run time,
     deep inside a campaign); pass ``l1_block_size`` so the L2 block
     default can be resolved when the config omits ``l2_block_size``.
+
+    With L1 context (``l1_net_size`` + ``l1_block_size``) the
+    size-relative ``misspath-degenerate`` warnings also fire — a chain
+    structure shaped so it provably cannot help the L1 in front of it.
     """
     out: List[Diagnostic] = []
     if miss_path is None:
@@ -417,6 +431,80 @@ def lint_miss_path(
                 assoc=values.get("l2_associativity", 4),
                 source=f"{source}-l2",
             )
+
+    def degenerate(location: str, message: str, **data: Any) -> None:
+        out.append(
+            Diagnostic(
+                rule="misspath-degenerate",
+                severity=Severity.WARNING,
+                message=message,
+                source=source,
+                location=location,
+                data=data,
+            )
+        )
+
+    def good(field_name: str) -> Any:
+        value = values.get(field_name)
+        if field_name in bad_fields or not _is_int(value):
+            return None
+        return value
+
+    victim = good("victim_entries")
+    miss = good("miss_entries")
+    buffers = good("stream_buffers")
+    if buffers is None and "stream_buffers" not in values:
+        buffers = 0  # an absent count means no buffers, not unknown
+    depth = good("stream_depth")
+    l2_size = good("l2_net_size")
+    if (
+        victim and _is_int(l1_net_size) and _is_int(l1_block_size)
+        and l1_net_size > 0 and l1_block_size > 0
+        and victim >= l1_net_size // max(l1_block_size, 1)
+    ):
+        degenerate(
+            "victim_entries",
+            f"victim cache of {victim} entries holds at least as many "
+            f"blocks as the {l1_net_size // l1_block_size}-block L1 it "
+            "backs; evictions never age out, so it is a second L1, not "
+            "a victim buffer",
+            victim_entries=victim,
+            l1_blocks=l1_net_size // l1_block_size,
+        )
+    if victim and miss and victim == miss:
+        degenerate(
+            "miss_entries",
+            f"victim cache and miss cache both hold {victim} entries; "
+            "the tag-only miss cache is probed after the victim cache "
+            "and every L1 miss fills both, so the equal-capacity miss "
+            "cache is shadowed and can only hit on re-fetched blocks "
+            "the victim cache never saw evicted",
+            victim_entries=victim,
+            miss_entries=miss,
+        )
+    if (
+        buffers == 0 and depth is not None
+        and "stream_depth" in values
+        and depth != MissPathConfig().stream_depth
+    ):
+        degenerate(
+            "stream_depth",
+            f"stream_depth {depth} is configured with zero stream "
+            "buffers; the depth of no buffer prefetches nothing",
+            stream_depth=depth,
+        )
+    if (
+        l2_size and _is_int(l1_net_size) and l1_net_size > 0
+        and l2_size <= l1_net_size
+    ):
+        degenerate(
+            "l2_net_size",
+            f"backing L2 of {l2_size} B is no larger than the "
+            f"{l1_net_size} B L1 in front of it; almost everything the "
+            "L1 misses, an equal-or-smaller L2 misses too",
+            l2_net_size=l2_size,
+            l1_net_size=l1_net_size,
+        )
     return out
 
 

@@ -30,10 +30,11 @@ rule                      severity  meaning
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.config import CacheGeometry
 from repro.core.fetch import FetchPolicy
+from repro.core.misspath import MissPathConfig
 from repro.staticcheck.configlint import (
     lint_cell_options,
     lint_geometry,
@@ -51,7 +52,7 @@ def preflight_sweep(
     replacement: Optional[str] = None,
     warmup: Union[int, str, None] = None,
     strict: bool = True,
-    miss_path=None,
+    miss_path: Union["MissPathConfig", Dict[str, Any], None] = None,
     grid_engine: Optional[str] = None,
 ) -> List[Diagnostic]:
     """Validate a sweep's inputs before any cell executes.
@@ -87,16 +88,23 @@ def preflight_sweep(
     diagnostics: List[Diagnostic] = []
     diagnostics += lint_cell_options(fetch, replacement, warmup, source="sweep")
     if miss_path is not None:
-        # One lint per distinct L1 block size: the L2 block default
-        # follows the L1 block, so each distinct shape can resolve to a
-        # different L2 geometry.
-        block_sizes = sorted(
-            {geometry.block_size for geometry in geometries}
-        ) or [None]
+        # One lint per distinct L1 shape: the L2 block default follows
+        # the L1 block (so each distinct shape can resolve to a
+        # different L2 geometry), and the size-relative degenerate
+        # warnings compare against the L1 net size.
+        shapes = sorted(
+            {
+                (geometry.block_size, geometry.net_size)
+                for geometry in geometries
+            }
+        ) or [(None, None)]
         seen_findings = set()
-        for block_size in block_sizes:
+        for block_size, net_size in shapes:
             for finding in lint_miss_path(
-                miss_path, l1_block_size=block_size, source="sweep-misspath"
+                miss_path,
+                l1_block_size=block_size,
+                source="sweep-misspath",
+                l1_net_size=net_size,
             ):
                 marker = (finding.rule, finding.location, finding.message)
                 if marker not in seen_findings:

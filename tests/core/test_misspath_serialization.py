@@ -1,0 +1,163 @@
+"""MissPathStats serialization: lossless round-trip + conservation.
+
+Mirrors the ``CacheStats`` suite (``test_stats_serialization.py``):
+``to_dict``/``from_dict`` is the form chain counters take through
+checkpoint cell records, the service cache, and JSON responses, so it
+must be exactly invertible for *any* counter state — and serialization
+must never manufacture or destroy a conservation-law violation, since
+the checked engine's verdict may be recomputed on either side of a
+storage boundary.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cache import SubBlockCache
+from repro.core.config import CacheGeometry
+from repro.core.conservation import check_misspath_conservation
+from repro.core.misspath import MissPathStats, StructureStats
+from repro.core.sim import simulate
+
+counts = st.integers(min_value=0, max_value=10 ** 12)
+
+chains = st.sets(
+    st.sampled_from(["victim", "miss", "stream", "l2"])
+).map(
+    lambda names: tuple(
+        name
+        for name in ("victim", "miss", "stream", "l2")
+        if name in names
+    )
+)
+
+
+@st.composite
+def arbitrary_stats(draw):
+    """Any counter state at all — round-tripping must not care."""
+    stats = MissPathStats(draw(chains))
+    stats.demand_misses = draw(counts)
+    stats.memory_fetches = draw(counts)
+    stats.memory_bytes_fetched = draw(counts)
+    for structure in stats.structures.values():
+        structure.probes = draw(counts)
+        structure.hits = draw(counts)
+        structure.fills = draw(counts)
+        structure.evictions = draw(counts)
+    return stats
+
+
+@st.composite
+def law_abiding_stats(draw):
+    """States satisfying the chain conservation laws by construction.
+
+    Probes cascade front to back (each structure sees exactly the
+    misses everything before it failed to service), hits never exceed
+    probes, and memory is charged for exactly the misses nothing
+    serviced.
+    """
+    stats = MissPathStats(draw(chains))
+    remaining = draw(st.integers(min_value=0, max_value=10 ** 9))
+    stats.demand_misses = remaining
+    for structure in stats.structures.values():
+        structure.probes = remaining
+        structure.hits = draw(st.integers(min_value=0, max_value=remaining))
+        structure.fills = draw(counts)
+        structure.evictions = draw(counts)
+        remaining -= structure.hits
+    stats.memory_fetches = remaining
+    stats.memory_bytes_fetched = (
+        draw(st.integers(min_value=1, max_value=10 ** 12))
+        if remaining
+        else 0
+    )
+    return stats
+
+
+class TestRoundTripProperty:
+    @given(arbitrary_stats())
+    def test_every_counter_survives_a_json_round_trip(self, stats):
+        payload = json.loads(json.dumps(stats.to_dict()))
+        restored = MissPathStats.from_dict(payload)
+        assert restored == stats
+        assert restored.chain == stats.chain
+        assert restored.to_dict() == stats.to_dict()
+
+    @given(arbitrary_stats())
+    def test_derived_metrics_agree_after_round_trip(self, stats):
+        restored = MissPathStats.from_dict(stats.to_dict())
+        assert restored.structure_hits == stats.structure_hits
+        assert restored.l2_misses == stats.l2_misses
+        assert restored.hits_summary() == stats.hits_summary()
+
+
+class TestConservationProperty:
+    @given(law_abiding_stats())
+    def test_law_abiding_states_pass_and_stay_clean(self, stats):
+        assert check_misspath_conservation(stats) == []
+        restored = MissPathStats.from_dict(
+            json.loads(json.dumps(stats.to_dict()))
+        )
+        assert check_misspath_conservation(restored) == []
+
+    @given(arbitrary_stats())
+    def test_verdict_is_serialization_invariant(self, stats):
+        restored = MissPathStats.from_dict(
+            json.loads(json.dumps(stats.to_dict()))
+        )
+        assert check_misspath_conservation(restored) == (
+            check_misspath_conservation(stats)
+        )
+
+
+class TestRealRunRoundTrip:
+    def test_chained_run_round_trips_with_l2_stats(self, tiny_trace):
+        cache = SubBlockCache(
+            CacheGeometry(64, 16, 8),
+            miss_path={
+                "victim_entries": 2,
+                "miss_entries": 2,
+                "stream_buffers": 2,
+                "l2_net_size": 256,
+            },
+        )
+        stats = simulate(cache, tiny_trace)
+        misspath = stats.misspath
+        assert misspath is not None
+        assert misspath.l2_stats is not None  # the L2 leg is exercised
+        assert check_misspath_conservation(misspath, l1_stats=stats) == []
+        restored = MissPathStats.from_dict(
+            json.loads(json.dumps(misspath.to_dict()))
+        )
+        assert restored == misspath
+        assert restored.l2_stats.to_dict() == misspath.l2_stats.to_dict()
+        assert check_misspath_conservation(restored, l1_stats=stats) == []
+
+
+class TestStrictness:
+    def test_missing_key_rejected(self):
+        payload = MissPathStats(("victim",)).to_dict()
+        payload.pop("demand_misses")
+        with pytest.raises(ValueError, match="missing \\['demand_misses'\\]"):
+            MissPathStats.from_dict(payload)
+
+    def test_unknown_key_rejected(self):
+        payload = MissPathStats(()).to_dict()
+        payload["hit_streak"] = 7
+        with pytest.raises(ValueError, match="unknown \\['hit_streak'\\]"):
+            MissPathStats.from_dict(payload)
+
+    def test_chain_structure_mismatch_rejected(self):
+        payload = MissPathStats(("victim", "l2")).to_dict()
+        payload["structures"] = {"victim": StructureStats().to_dict()}
+        with pytest.raises(ValueError, match="do not match"):
+            MissPathStats.from_dict(payload)
+
+    def test_malformed_structure_entry_rejected(self):
+        payload = MissPathStats(("stream",)).to_dict()
+        payload["structures"]["stream"] = {"probes": 1}
+        with pytest.raises(ValueError, match="not a StructureStats dump"):
+            MissPathStats.from_dict(payload)

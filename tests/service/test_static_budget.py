@@ -1,0 +1,189 @@
+"""The static admission gate: abschain bounds versus deadline budgets.
+
+With ``static_budget_bytes_per_ms`` configured, a deadline-carrying
+chain query whose trace is backed by a bundled program gets a provable
+service-time floor — the abschain *lower* bound on the chain's
+``memory_bytes_fetched``, divided by the budget class's bandwidth.  A
+budget below the floor is refused with ``stage="static-budget"``
+before any engine work; everything the analysis cannot gate (no
+chain, no deadline, synthetic traces, gate off) must flow exactly as
+before.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.service.query import SimQuery
+from repro.service.simulator import ServiceConfig, SimulationService
+
+#: z8000 SORT is backed by the bundled qsort program, so it is
+#: statically analyzable; the chain makes the bound chain-aware.
+CHAIN_QUERY = {
+    "suite": "z8000", "trace": "SORT", "length": 2000,
+    "net": 256, "block": 16, "sub": 16, "assoc": 2,
+    "miss_path": {"victim_entries": 4, "l2_net_size": 4096},
+}
+
+#: s370 FGO1 is synthetic — there is no program to analyze.
+SYNTHETIC_QUERY = {
+    "suite": "s370", "trace": "FGO1", "length": 2000,
+    "net": 256, "block": 16, "sub": 16, "assoc": 2,
+    "miss_path": {"victim_entries": 4},
+}
+
+#: A bandwidth so low that any proven traffic exceeds any sane budget.
+HOPELESS_RATE = 1e-6
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def query(payload):
+    return SimQuery.from_payload(dict(payload), default_length=2000)
+
+
+async def with_service(config, body):
+    service = SimulationService(config)
+    await service.start()
+    try:
+        return await body(service)
+    finally:
+        await service.stop()
+
+
+class TestStaticBudgetGate:
+    def test_hopeless_budget_is_refused_before_any_work(self):
+        async def body(service):
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                await service.simulate(
+                    query(CHAIN_QUERY), deadline=time.monotonic() + 5.0
+                )
+            assert excinfo.value.stage == "static-budget"
+            # Refused at admission: nothing entered the queue or cache.
+            assert len(service.cache) == 0
+
+        run(
+            with_service(
+                ServiceConfig(static_budget_bytes_per_ms=HOPELESS_RATE), body
+            )
+        )
+
+    def test_metric_counts_the_static_stage(self):
+        async def body(service):
+            with pytest.raises(DeadlineExceededError):
+                await service.simulate(
+                    query(CHAIN_QUERY), deadline=time.monotonic() + 5.0
+                )
+            counter = service.metrics.deadline_exceeded_total
+            assert counter.value(labels={"stage": "static-budget"}) == 1
+
+        run(
+            with_service(
+                ServiceConfig(static_budget_bytes_per_ms=HOPELESS_RATE), body
+            )
+        )
+
+    def test_generous_budget_passes_the_gate(self):
+        async def body(service):
+            result = await service.simulate(
+                query(CHAIN_QUERY), deadline=time.monotonic() + 60.0
+            )
+            assert result.entry.stats["accesses"] > 0
+
+        # Bytes-per-ms high enough that the floor rounds to ~nothing.
+        run(
+            with_service(
+                ServiceConfig(static_budget_bytes_per_ms=1e12), body
+            )
+        )
+
+    def test_no_deadline_is_never_gated(self):
+        async def body(service):
+            result = await service.simulate(query(CHAIN_QUERY))
+            assert result.entry.stats["accesses"] > 0
+
+        run(
+            with_service(
+                ServiceConfig(static_budget_bytes_per_ms=HOPELESS_RATE), body
+            )
+        )
+
+    def test_gate_is_off_by_default(self):
+        async def body(service):
+            result = await service.simulate(
+                query(CHAIN_QUERY), deadline=time.monotonic() + 60.0
+            )
+            assert result.entry.stats["accesses"] > 0
+
+        run(with_service(ServiceConfig(), body))
+
+    def test_chainless_queries_are_never_gated(self):
+        bare = {
+            key: value
+            for key, value in CHAIN_QUERY.items()
+            if key != "miss_path"
+        }
+
+        async def body(service):
+            result = await service.simulate(
+                query(bare), deadline=time.monotonic() + 60.0
+            )
+            assert result.entry.stats["accesses"] > 0
+
+        run(
+            with_service(
+                ServiceConfig(static_budget_bytes_per_ms=HOPELESS_RATE), body
+            )
+        )
+
+    def test_synthetic_traces_are_never_gated(self):
+        async def body(service):
+            result = await service.simulate(
+                query(SYNTHETIC_QUERY), deadline=time.monotonic() + 60.0
+            )
+            assert result.entry.stats["accesses"] > 0
+
+        run(
+            with_service(
+                ServiceConfig(static_budget_bytes_per_ms=HOPELESS_RATE), body
+            )
+        )
+
+    def test_cached_results_bypass_the_gate(self):
+        """The fast path answers before the gate: a result the cache
+        already holds costs nothing, so a hopeless budget still gets
+        it."""
+
+        async def body(service):
+            await service.simulate(query(CHAIN_QUERY))  # populate
+            result = await service.simulate(
+                query(CHAIN_QUERY), deadline=time.monotonic() + 5.0
+            )
+            assert result.source in ("memory", "disk")
+
+        run(
+            with_service(
+                ServiceConfig(static_budget_bytes_per_ms=HOPELESS_RATE), body
+            )
+        )
+
+    def test_floor_is_memoized_per_query_shape(self):
+        async def body(service):
+            for _ in range(3):
+                with pytest.raises(DeadlineExceededError):
+                    await service.simulate(
+                        query(CHAIN_QUERY), deadline=time.monotonic() + 5.0
+                    )
+            assert len(service._static_floors) == 1
+
+        run(
+            with_service(
+                ServiceConfig(static_budget_bytes_per_ms=HOPELESS_RATE), body
+            )
+        )

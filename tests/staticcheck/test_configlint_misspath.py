@@ -77,6 +77,97 @@ class TestMisspathCorpus:
         assert all(d.source == "misspath-l2" for d in findings)
 
 
+#: (payload, lint kwargs) -> degenerate chains that cannot help.  Each
+#: case pins the exact rule id and the offending field.
+DEGENERATE_CONFIGS = [
+    (
+        {"victim_entries": 16},
+        {"l1_net_size": 256, "l1_block_size": 16},
+        "victim_entries",
+    ),
+    (
+        {"victim_entries": 64},
+        {"l1_net_size": 256, "l1_block_size": 16},
+        "victim_entries",
+    ),
+    ({"victim_entries": 4, "miss_entries": 4}, {}, "miss_entries"),
+    ({"stream_depth": 8}, {}, "stream_depth"),
+    ({"stream_buffers": 0, "stream_depth": 2}, {}, "stream_depth"),
+    (
+        {"l2_net_size": 256, "l2_block_size": 16},
+        {"l1_net_size": 1024},
+        "l2_net_size",
+    ),
+    (
+        {"l2_net_size": 1024},
+        {"l1_net_size": 1024, "l1_block_size": 16},
+        "l2_net_size",
+    ),
+]
+
+
+class TestMisspathDegenerate:
+    @pytest.mark.parametrize("payload,kwargs,location", DEGENERATE_CONFIGS)
+    def test_degenerate_chain_warns_with_exact_rule(
+        self, payload, kwargs, location
+    ):
+        diagnostics = lint_miss_path(payload, **kwargs)
+        assert {d.rule for d in diagnostics} == {"misspath-degenerate"}
+        assert all(d.severity is Severity.WARNING for d in diagnostics)
+        assert location in {d.location for d in diagnostics}
+
+    def test_rule_is_documented(self):
+        assert "misspath-degenerate" in CONFIG_RULES
+
+    def test_helpful_chains_stay_clean(self):
+        assert lint_miss_path(
+            {"victim_entries": 4},
+            l1_net_size=256, l1_block_size=16,
+        ) == []
+        assert lint_miss_path(
+            {"victim_entries": 4, "miss_entries": 8}
+        ) == []
+        assert lint_miss_path(
+            {"stream_buffers": 2, "stream_depth": 8}
+        ) == []
+        assert lint_miss_path(
+            {"l2_net_size": 4096},
+            l1_net_size=1024, l1_block_size=16,
+        ) == []
+
+    def test_parsed_config_and_dict_agree(self):
+        for payload in (
+            MissPathConfig(victim_entries=4, miss_entries=4),
+            {"victim_entries": 4, "miss_entries": 4},
+        ):
+            diagnostics = lint_miss_path(payload)
+            assert [d.rule for d in diagnostics] == ["misspath-degenerate"]
+
+    def test_size_relative_rules_need_l1_context(self):
+        # Without the L1 shape the victim-vs-L1 comparison cannot fire
+        # (the lint never guesses), but the intra-chain ones still do.
+        assert lint_miss_path({"victim_entries": 64}) == []
+        assert lint_miss_path({"l2_net_size": 256, "l2_block_size": 16}) == []
+
+    def test_degenerate_is_warning_not_gate(self):
+        # raise_on_errors-based gates (preflight, the service) must not
+        # reject a merely-degenerate chain.
+        trace = Trace([0, 16, 32], [0, 0, 0], 2, name="t")
+        findings = preflight_sweep(
+            [trace], [CacheGeometry(256, 16, 8)],
+            miss_path={"victim_entries": 4, "miss_entries": 4},
+        )
+        assert "misspath-degenerate" in {f.rule for f in findings}
+
+    def test_preflight_passes_l1_net_context(self):
+        trace = Trace([0, 16, 32], [0, 0, 0], 2, name="t")
+        findings = preflight_sweep(
+            [trace], [CacheGeometry(256, 16, 8)],
+            miss_path={"victim_entries": 16},
+        )
+        assert "misspath-degenerate" in {f.rule for f in findings}
+
+
 class TestPreflightMissPath:
     def _sweep_args(self):
         trace = Trace([0, 16, 32], [0, 0, 0], 2, name="t")

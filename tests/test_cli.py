@@ -293,3 +293,80 @@ class TestMisspathCli:
     def test_lint_misspath_invalid_json_rejected(self):
         with pytest.raises(SystemExit, match="not valid JSON"):
             main(["lint", "--misspath", "{nope"])
+
+
+class TestClassifyCommand:
+    CHAIN = [
+        "--victim-entries", "4", "--stream-buffers", "2", "--l2-net", "4096",
+    ]
+
+    def test_chain_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args([
+            "classify", "matmul", "--net", "256", "--assoc", "2",
+            "--victim-entries", "4", "--miss-entries", "0",
+            "--stream-buffers", "2", "--stream-depth", "8",
+            "--l2-net", "4096", "--l2-block", "32", "--l2-sub", "16",
+            "--l2-assoc", "8",
+        ])
+        assert args.victim_entries == 4
+        assert args.stream_buffers == 2
+        assert args.stream_depth == 8
+        assert args.l2_net == 4096
+        assert args.l2_block == 32
+        assert args.l2_assoc == 8
+
+    def test_bare_classify_has_no_chain_noise(self, capsys):
+        assert main(["classify", "matmul", "--net", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "site(s)" in out
+        assert "chain none" in out
+        assert "per-structure proofs" not in out
+
+    def test_chain_header_bounds_and_proof_table(self, capsys):
+        assert main([
+            "classify", "matmul", "--net", "256", "--assoc", "2",
+        ] + self.CHAIN) == 0
+        out = capsys.readouterr().out
+        assert "chain vc4+sb2x4+l2:4096/0/0@4" in out
+        assert "static counter bounds:" in out
+        assert "memory_bytes_fetched" in out
+        assert "per-structure proofs:" in out
+        # One proof row per configured structure, in chain order.
+        proofs = out.split("per-structure proofs:", 1)[1]
+        assert (
+            proofs.index("victim") < proofs.index("stream")
+            < proofs.index("l2 ")
+        )
+
+    def test_chain_verify_passes(self, capsys):
+        assert main([
+            "classify", "sieve", "--net", "256", "--assoc", "2", "--verify",
+        ] + self.CHAIN) == 0
+        assert "verification PASSED" in capsys.readouterr().out
+
+    def test_json_is_deterministic_and_carries_the_chain_key(self, capsys):
+        import json
+
+        argv = [
+            "classify", "matmul", "--net", "256", "--assoc", "2",
+            "--format", "json",
+        ] + self.CHAIN
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second  # byte-identical across runs
+        payload = json.loads(first)
+        assert payload["miss_path"]["key"] == "vc4+sb2x4+l2:4096/0/0@4"
+        sites = payload["sites"]
+        # Deterministic site order: sorted by instruction index.
+        indices = [int(s["site"].split(":", 1)[0]) for s in sites]
+        assert indices == sorted(indices)
+
+    def test_bad_chain_geometry_fails(self, capsys):
+        assert main([
+            "classify", "matmul", "--net", "256", "--l2-net", "100",
+        ]) == 1
+        assert "classify failed" in capsys.readouterr().err
