@@ -1,0 +1,211 @@
+"""CI sampling gate: error-bound coverage, accuracy, and speedup.
+
+A dependency-free check for the CI sample-smoke step::
+
+    PYTHONPATH=src python benchmarks/bench_sampling.py [--length N]
+
+Two halves, both against full-trace ground truth:
+
+1. **Bound coverage** — ``verify_sampling`` over every bundled program
+   x word sizes {2, 4}: the true cold miss ratio must fall inside the
+   sampled estimate's confidence interval in every cell.
+2. **Accuracy + speedup** — the long-trace suite: every bundled
+   program at ``--length`` accesses, timing a full exact run against
+   plan-plus-sampled-run wall clock (planning included, so the
+   speedup claim is honest).  Gates: mean absolute miss-ratio error
+   <= ``--max-error`` (default 1 percentage point) and aggregate
+   wall-clock speedup >= ``--min-speedup`` (default 5x).
+
+Writes ``BENCH_sampling.json`` next to this file and exits non-zero
+if any gate fails.  docs/sampling.md explains the estimator and when
+its bounds are (in)valid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import CacheGeometry
+from repro.core.replacement import make_replacement
+from repro.engine.base import make_engine
+from repro.engine.batch import prepare_trace
+from repro.engine.sampled import run_sampled, verify_sampling
+from repro.staticcheck.phases import SamplingConfig, analyze_trace
+from repro.workloads.assembler import assemble
+from repro.workloads.generator import program_trace
+from repro.workloads.programs import PROGRAMS
+
+WORD_SIZE = 2
+
+
+def _speedup_suite(length: int, interval: int, k: int, seed: int):
+    """Time exact vs sampled for every bundled program, one geometry."""
+    geometry = CacheGeometry(1024, 16, 8, associativity=4)
+    config = SamplingConfig(interval=interval, k=k, seed=seed)
+    engine = make_engine("vectorized")
+    rows = []
+    exact_seconds = 0.0
+    sampled_seconds = 0.0
+    for name in sorted(PROGRAMS):
+        trace = program_trace(name, length, word_size=WORD_SIZE)
+        prepared = prepare_trace(trace)
+        program = assemble(PROGRAMS[name]().source, word_size=WORD_SIZE)
+
+        start = time.perf_counter()
+        exact = engine.run(
+            geometry, prepared,
+            replacement=make_replacement("lru"), word_size=WORD_SIZE,
+        )
+        exact_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        plan = analyze_trace(
+            prepared, config.interval, config.k, seed=config.seed,
+            program=program,
+        )
+        sampled = run_sampled(
+            geometry, prepared, plan, config, word_size=WORD_SIZE
+        )
+        sampled_elapsed = time.perf_counter() - start
+
+        exact_seconds += exact_elapsed
+        sampled_seconds += sampled_elapsed
+        rows.append(
+            {
+                "program": name,
+                "accesses": len(prepared),
+                "true_miss_ratio": exact.miss_ratio,
+                "estimated_miss_ratio": sampled.miss_ratio,
+                "abs_error": abs(sampled.miss_ratio - exact.miss_ratio),
+                "ci": list(sampled.miss_ratio_ci),
+                "simulated_fraction": (
+                    sampled.simulated_accesses / sampled.total_accesses
+                ),
+                "exact_seconds": exact_elapsed,
+                "sampled_seconds": sampled_elapsed,
+            }
+        )
+        print(
+            f"{name:>12s}: true {exact.miss_ratio:.4f} "
+            f"est {sampled.miss_ratio:.4f} "
+            f"(err {abs(sampled.miss_ratio - exact.miss_ratio):.4f}) "
+            f"exact {exact_elapsed * 1e3:7.1f} ms "
+            f"sampled {sampled_elapsed * 1e3:7.1f} ms"
+        )
+    return rows, exact_seconds, sampled_seconds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # Long enough that the simulated fraction (<= 4k windows of two
+    # intervals each, independent of trace length) buys a real
+    # wall-clock win over the O(trace) planning pass; 400k accesses x
+    # 2000-access intervals with k=4 simulates <= 8% of each trace.
+    parser.add_argument("--length", type=int, default=400_000)
+    parser.add_argument("--interval", type=int, default=2_000)
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--max-error", type=float, default=0.01)
+    parser.add_argument(
+        "--verify-length", type=int, default=20_000,
+        help="trace length for the bound-coverage half",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"bound coverage: {len(PROGRAMS)} programs x word {{2, 4}} at "
+        f"{args.verify_length} accesses"
+    )
+    reports = verify_sampling(
+        word_sizes=(2, 4),
+        length=args.verify_length,
+        interval=args.interval,
+        seed=args.seed,
+        raise_on_failure=False,
+    )
+    uncovered = [r for r in reports if not r["covered"]]
+    for report in uncovered:
+        print(
+            f"  MISS: {report['program']}/w{report['word_size']} true "
+            f"{report['true_miss_ratio']:.4f} outside "
+            f"[{report['ci'][0]:.4f}, {report['ci'][1]:.4f}]"
+        )
+    print(f"  {len(reports) - len(uncovered)}/{len(reports)} cells covered")
+
+    print(
+        f"speedup suite: {len(PROGRAMS)} programs at {args.length} "
+        f"accesses, interval {args.interval}, k {args.k}"
+    )
+    rows, exact_seconds, sampled_seconds = _speedup_suite(
+        args.length, args.interval, args.k, args.seed
+    )
+    mean_error = sum(row["abs_error"] for row in rows) / len(rows)
+    speedup = exact_seconds / sampled_seconds if sampled_seconds else 0.0
+
+    artifact = Path(__file__).resolve().parent / "BENCH_sampling.json"
+    artifact.write_text(
+        json.dumps(
+            {
+                "geometry": "net 1024, block 16, sub 8, assoc 4, lru",
+                "sample": {
+                    "interval": args.interval,
+                    "k": args.k,
+                    "seed": args.seed,
+                },
+                "coverage": {
+                    "cells": len(reports),
+                    "covered": len(reports) - len(uncovered),
+                    "reports": reports,
+                },
+                "suite": {
+                    "length": args.length,
+                    "programs": rows,
+                    "exact_seconds": exact_seconds,
+                    "sampled_seconds": sampled_seconds,
+                    "speedup": speedup,
+                    "mean_abs_error": mean_error,
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(
+        f"   exact {exact_seconds:.2f} s, sampled {sampled_seconds:.2f} s "
+        f"-> speedup {speedup:.2f}x; mean |error| {mean_error:.4f} "
+        f"(artifact: {artifact})"
+    )
+
+    failed = False
+    if uncovered:
+        print(
+            f"bench-sampling: FAIL — {len(uncovered)} cell(s) with the "
+            "true miss ratio outside the sampled confidence interval"
+        )
+        failed = True
+    if mean_error > args.max_error:
+        print(
+            f"bench-sampling: FAIL — mean absolute miss-ratio error "
+            f"{mean_error:.4f} exceeds {args.max_error}"
+        )
+        failed = True
+    if speedup < args.min_speedup:
+        print(
+            f"bench-sampling: FAIL — sampled wall-clock speedup "
+            f"{speedup:.2f}x is below {args.min_speedup}x"
+        )
+        failed = True
+    if failed:
+        return 1
+    print("bench-sampling: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

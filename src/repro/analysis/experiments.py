@@ -126,6 +126,7 @@ def table7_experiment(
     arch: str,
     length: Optional[int] = None,
     runner: Optional[RunnerConfig] = None,
+    sample=None,
 ) -> List[SweepPoint]:
     """Reproduce one architecture's column of Table 7.
 
@@ -138,6 +139,8 @@ def table7_experiment(
         length: Trace length; :func:`default_trace_length` when None.
         runner: Resilience knobs forwarded to the sweep (checkpoints,
             retries, timeouts, lenient degradation).
+        sample: Optional ``--sample`` config — the table's ratios
+            become sampled estimates (docs/sampling.md).
     """
     if arch not in TABLE7:
         raise ConfigurationError(
@@ -150,7 +153,7 @@ def table7_experiment(
     ]
     return sweep(
         _experiment_traces(arch, length), geometries, word_size=word,
-        runner_config=runner,
+        runner_config=runner, sample=sample,
     )
 
 
@@ -174,6 +177,7 @@ class Table8Row:
 def table8_experiment(
     length: Optional[int] = None,
     runner: Optional[RunnerConfig] = None,
+    sample=None,
 ) -> List[Table8Row]:
     """Reproduce Table 8: load-forward on Z8000 traces CPP, C1, C2.
 
@@ -192,7 +196,7 @@ def table8_experiment(
         row_runner = runner.for_tag(f"row{index}") if runner is not None else None
         points = sweep(
             [*traces], [geometry], word_size=2, fetch=fetch,
-            runner_config=row_runner,
+            runner_config=row_runner, sample=sample,
         )
         point = points[0]
         engine_name = runner.engine if runner is not None else "auto"
@@ -239,6 +243,7 @@ def figure_experiment(
     net_sizes: Sequence[int],
     length: Optional[int] = None,
     runner: Optional[RunnerConfig] = None,
+    sample=None,
 ) -> Dict[int, List[SweepPoint]]:
     """Sweep the full geometry grid behind Figures 1–8.
 
@@ -254,6 +259,7 @@ def figure_experiment(
         geometries = geometry_grid([net], min_sub=word)
         net_runner = runner.for_tag(f"net{net}") if runner is not None else None
         results[net] = sweep(
-            traces, geometries, word_size=word, runner_config=net_runner
+            traces, geometries, word_size=word, runner_config=net_runner,
+            sample=sample,
         )
     return results

@@ -65,6 +65,7 @@ def sweep(
     filter_writes: bool = True,
     runner_config: Optional["RunnerConfig"] = None,
     miss_path=None,
+    sample=None,
 ) -> List[SweepPoint]:
     """Simulate each geometry over each trace and average the ratios.
 
@@ -88,6 +89,12 @@ def sweep(
             (:class:`~repro.core.misspath.MissPathConfig` or its dict
             form) applied to every cell; ratios then reflect the chain
             (traffic charged only for fetches no structure serviced).
+        sample: Optional sampling config
+            (:class:`~repro.staticcheck.phases.SamplingConfig`, its
+            ``INTERVAL[,K]`` string form, or a dict); cells then run
+            representative-interval sampled simulation and the ratios
+            are estimates with error bounds in the checkpoint records
+            (docs/sampling.md).
 
     Returns:
         One :class:`SweepPoint` per geometry, in input order.  Under a
@@ -109,6 +116,7 @@ def sweep(
         filter_writes=filter_writes,
         config=runner_config,
         miss_path=miss_path,
+        sample=sample,
     )
     return points
 

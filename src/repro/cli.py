@@ -14,6 +14,7 @@ Usage (after ``pip install -e .``)::
                           [--store-dir DIR]
     python -m repro lint [--format json] [--strict] [--misspath JSON]
     python -m repro classify PROGRAM [--net N] [--format json] [--verify]
+    python -m repro phases PROGRAM [--interval N] [--k N] [--format json]
     python -m repro --version
 
 ``--length`` defaults to the ``REPRO_TRACE_LEN`` environment variable
@@ -26,8 +27,11 @@ runaway cells, and ``--lenient`` to degrade to partial suite averages
 instead of failing; see ``docs/resilience.md``.  They also accept
 execution flags — ``--engine {auto,reference,vectorized,checked}`` to
 pick the simulation engine, ``--sanitize`` as a shorthand for the
-``checked`` (per-access invariant-asserting) engine, and ``--jobs N``
-to fan cells out over worker processes; see ``docs/engines.md``.
+``checked`` (per-access invariant-asserting) engine, ``--jobs N``
+to fan cells out over worker processes (see ``docs/engines.md``), and
+``--sample INTERVAL[,K]`` for representative-interval sampled
+simulation with error bounds (``phases`` previews the plan; see
+``docs/sampling.md``).
 ``chaos`` runs the fault-injection scenarios that prove the resilience
 guarantees, under any engine.  ``serve`` starts the interactive HTTP
 query service with its result cache, request coalescing, and admission
@@ -123,6 +127,14 @@ def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
     execution.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for sweep cells (default 1 = in-process)",
+    )
+    execution.add_argument(
+        "--sample", default=None, metavar="INTERVAL[,K]",
+        help="representative-interval sampled simulation: split each "
+             "trace into INTERVAL-access intervals, cluster them into "
+             "K phases (default 8), and simulate one representative "
+             "per phase — ratios become estimates with error bounds "
+             "(see docs/sampling.md)",
     )
 
 
@@ -296,6 +308,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "pass (auto), force it (stackdist), or disable it (percell)",
     )
     serve.add_argument(
+        "--allow-sampling", action="store_true",
+        help="serve queries carrying a 'sample' axis (representative-"
+             "interval estimates, clearly marked exact: false; refused "
+             "by default and incompatible with --supervised)",
+    )
+    serve.add_argument(
         "--log-level", default="info",
         choices=["debug", "info", "warning", "error"],
         help="structured request-log verbosity",
@@ -331,6 +349,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also report one-pass (stack-distance) coverage of the "
              "paper's geometry grid at these net sizes — info-level "
              "sweep-stackdist-* rules (see docs/stackdist.md)",
+    )
+    lint.add_argument(
+        "--sample", default=None, metavar="INTERVAL[,K]",
+        help="with --sweep-coverage: also report which cells of the "
+             "grid a sampled sweep would estimate — info-level "
+             "sweep-sample-* rules (see docs/sampling.md)",
+    )
+    phases = commands.add_parser(
+        "phases",
+        help="static phase analysis of one bundled program's trace",
+    )
+    phases.add_argument("program", help="bundled program name (see lint)")
+    phases.add_argument("--word", type=int, default=2, choices=[2, 4],
+                        help="data-path width to assemble for (default 2)")
+    phases.add_argument(
+        "--interval", type=int, default=2000, metavar="N",
+        help="interval length in accesses (default 2000)",
+    )
+    phases.add_argument(
+        "--k", type=int, default=None, metavar="N",
+        help="phase count (default: min(8, interval count))",
+    )
+    phases.add_argument(
+        "--seed", type=int, default=0, help="clustering seed (default 0)"
+    )
+    phases.add_argument(
+        "--format", dest="fmt", default="text", choices=["text", "json"],
+        help="report format",
     )
     classify = commands.add_parser(
         "classify",
@@ -510,20 +556,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_table6(table6_experiment(length=length)))
     elif args.command == "table7":
         points = table7_experiment(
-            args.arch, length=length, runner=_runner_config(args)
+            args.arch, length=length, runner=_runner_config(args),
+            sample=args.sample,
         )
         print(format_table7(args.arch, points))
         _warn_partial(points)
     elif args.command == "table8":
         print(
             format_table8(
-                table8_experiment(length=length, runner=_runner_config(args))
+                table8_experiment(
+                    length=length, runner=_runner_config(args),
+                    sample=args.sample,
+                )
             )
         )
     elif args.command == "figure":
         arch, nets, scaled = _FIGURES[args.number]
         results = figure_experiment(
-            arch, nets, length=length, runner=_runner_config(args)
+            arch, nets, length=length, runner=_runner_config(args),
+            sample=args.sample,
         )
         for points in results.values():
             _warn_partial(points)
@@ -551,6 +602,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
     elif args.command == "classify":
         return _cmd_classify(args)
+    elif args.command == "phases":
+        return _cmd_phases(args, length)
     elif args.command == "chaos":
         if args.serve:
             from repro.service.chaos import run_serve_chaos
@@ -591,6 +644,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 worker_processes=args.worker_processes,
                 heartbeat_timeout=args.heartbeat_timeout,
                 drain_timeout=args.drain_timeout,
+                allow_sampling=args.allow_sampling,
             ),
             log_level=args.log_level,
         )
@@ -645,6 +699,20 @@ def _cmd_lint(args) -> int:
         coverage_diagnostics = lint_stackdist_coverage(
             grid, source="paper-grid"
         )
+        if args.sample is not None:
+            from repro.staticcheck.configlint import lint_sample_coverage
+            from repro.staticcheck.phases import SamplingConfig
+
+            try:
+                SamplingConfig.coerce(args.sample)
+            except ReproError as exc:
+                raise SystemExit(f"repro: --sample: {exc}")
+            coverage_diagnostics = list(coverage_diagnostics)
+            coverage_diagnostics += lint_sample_coverage(
+                grid, args.sample, source="paper-grid"
+            )
+    elif args.sample is not None:
+        raise SystemExit("repro: --sample requires --sweep-coverage")
     for name in names:
         builder = PROGRAMS[name]
         params = (
@@ -709,6 +777,66 @@ def _cmd_lint(args) -> int:
         )
     failed = errors > 0 or (args.strict and warnings > 0)
     return 1 if failed else 0
+
+
+def _cmd_phases(args, length: int) -> int:
+    """Static phase analysis of one bundled program's generated trace.
+
+    Builds the program's trace, fingerprints its intervals from the
+    staticcheck CFG, clusters them, and prints the resulting
+    :class:`~repro.staticcheck.phases.PhasePlan` — the same plan a
+    ``--sample`` sweep would simulate from (see docs/sampling.md).
+    """
+    import inspect
+    import json
+
+    from repro.errors import ReproError
+    from repro.staticcheck.phases import analyze_trace
+    from repro.workloads.assembler import assemble
+    from repro.workloads.generator import program_trace
+    from repro.workloads.programs import PROGRAMS
+
+    if args.program not in PROGRAMS:
+        raise SystemExit(
+            f"repro: unknown program {args.program!r}; "
+            f"choose from {sorted(PROGRAMS)}"
+        )
+    builder = PROGRAMS[args.program]
+    params = (
+        {"seed": args.seed}
+        if "seed" in inspect.signature(builder).parameters
+        else {}
+    )
+    program = assemble(builder(**params).source, word_size=args.word)
+    trace = program_trace(args.program, length, args.word, seed=args.seed)
+    try:
+        plan = analyze_trace(
+            trace, args.interval, args.k, seed=args.seed, program=program
+        )
+    except ReproError as exc:
+        raise SystemExit(f"repro: {exc}")
+    if args.fmt == "json":
+        print(json.dumps(plan.to_dict(), indent=2))
+        return 0
+    print(
+        f"{args.program}: {plan.trace_length} accesses, "
+        f"{plan.intervals} interval(s) of {plan.interval_length}, "
+        f"{len(plan.phases)} phase(s), fingerprints from {plan.source}"
+    )
+    for phase in plan.phases:
+        witness = phase.witness if phase.witness is not None else "-"
+        print(
+            f"  phase {phase.index}: {len(phase.members)} interval(s), "
+            f"weight {phase.weight:.3f}, representative {phase.representative}, "
+            f"witness {witness}, spread {phase.spread:.4f}"
+        )
+    print(
+        f"simulated fraction {plan.simulated_fraction:.3f} "
+        f"({plan.simulated_accesses} of {plan.trace_length} accesses)"
+    )
+    for diagnostic in plan.diagnostics():
+        print(f"  {diagnostic.render()}")
+    return 0
 
 
 def _format_bound(bound) -> str:

@@ -44,13 +44,19 @@ logger = logging.getLogger("repro.runner")
 #: * **2** — the engine name is folded into the fingerprint params.
 #: * **3** — the miss-path chain key is folded into the fingerprint
 #:   params, and unknown fingerprint params are rejected loudly.
+#: * **4** — the sampling key is folded into the fingerprint params
+#:   (``"none"`` for exact sweeps), so sampled and exact cells can
+#:   never collide in resume or the service cache.
 #:
 #: Older checkpoints still resume when their fingerprint matches the
 #: sweep's *legacy* fingerprint for that version (computed without the
 #: params that version lacked) — sound for v1 because the engines are
-#: equivalence-pinned, and for v2 only when the sweep has no miss-path
-#: chain (a chainless v3 sweep records exactly what a v2 run recorded).
-CHECKPOINT_VERSION = 3
+#: equivalence-pinned, for v2 only when the sweep has no miss-path
+#: chain (a chainless v3 sweep records exactly what a v2 run recorded),
+#: and for v3 only when the sweep is *exact* (an unsampled v4 sweep
+#: records exactly what a v3 run recorded; sampled sweeps offer no
+#: legacy fingerprints at all).
+CHECKPOINT_VERSION = 4
 
 #: The params a sweep fingerprint may carry.  Closed set by design: a
 #: typo'd param (``victim_entires=...``) must fail immediately, not
@@ -65,6 +71,7 @@ FINGERPRINT_PARAMS = frozenset(
         "filter_writes",
         "engine",
         "miss_path",
+        "sample",
     }
 )
 

@@ -326,6 +326,38 @@ def _execute_cell(
     return ratios, misspath, attempts, engine_used
 
 
+def _execute_sampled_cell(
+    geometry: CacheGeometry,
+    trace: Trace,
+    plan: Any,
+    sample_config: Any,
+    replacement: str,
+    fetch_name: str,
+    word_size: int,
+    cell_timeout: Optional[float],
+):
+    """Run one sampled cell (docs/sampling.md).
+
+    The cell timeout becomes the engine deadline: interval simulations
+    are cancelled cooperatively mid-trace like any other cell.  Retry
+    is deliberately absent — the sampled path has no fault-injection
+    proxies, so a failure is deterministic and a retry would only
+    repeat it.
+    """
+    from repro.engine.sampled import run_sampled
+
+    deadline = (
+        time.monotonic() + cell_timeout if cell_timeout is not None else None
+    )
+    return run_sampled(
+        geometry, trace, plan, sample_config,
+        replacement=replacement,
+        fetch=fetch_name,
+        word_size=word_size,
+        deadline=deadline,
+    )
+
+
 # -- Process-pool plumbing -------------------------------------------------
 #
 # Workers are seeded once with the prepared traces and the sweep
@@ -395,6 +427,7 @@ def run_sweep(
     filter_writes: bool = True,
     config: Optional[RunnerConfig] = None,
     miss_path: "Union[MissPathConfig, Dict[str, Any], None]" = None,
+    sample: Any = None,
 ) -> "tuple[list, RunReport]":
     """Run the paper's sweep cell by cell under the resilience layer.
 
@@ -407,6 +440,23 @@ def run_sweep(
     sweep fingerprint, so a chained sweep can never resume a chainless
     checkpoint (or vice versa).
 
+    ``sample`` (a :class:`~repro.staticcheck.phases.SamplingConfig`,
+    its ``INTERVAL[,K]`` CLI string, or a dict) switches the sweep to
+    sampled simulation: each trace gets one
+    :class:`~repro.staticcheck.phases.PhasePlan`, every cell runs
+    :func:`repro.engine.sampled.run_sampled` (recorded with engine
+    ``"sampled"`` and the full :class:`SampledStats` payload, whose
+    ``stats["sampled"]["exact"]`` marker is ``False``), and the
+    sampling key joins the sweep fingerprint so sampled and exact
+    checkpoints can never resume each other.  Sampled estimates target
+    the *cold* full-trace run — the sweep ``warmup`` is ignored (the
+    preflight lint says so).  Incompatible axes fall back to exact
+    per-cell simulation with a named ``sample-fallback-*`` preflight
+    warning: fault injection, the checked engine, and miss-path
+    chains.  Sampled sweeps run in-process (``jobs`` is ignored) and
+    skip the stack-distance pass engine — the point of sampling is
+    that cells are already cheap.
+
     Returns:
         ``(points, report)`` — one
         :class:`~repro.analysis.sweep.SweepPoint` per geometry in input
@@ -418,9 +468,12 @@ def run_sweep(
         ReproError: In strict mode, the first unrecoverable cell
             failure; in lenient mode only the health breaker raises.
     """
+    from repro.staticcheck.phases import SamplingConfig
+
     config = config if config is not None else RunnerConfig()
     miss_path_config = MissPathConfig.coerce(miss_path)
     chained = miss_path_config is not None and miss_path_config.enabled
+    sample_config = SamplingConfig.coerce(sample)
     engine_name = config.engine.lower()
     if engine_name not in ENGINE_NAMES:
         raise ConfigurationError(
@@ -433,6 +486,12 @@ def run_sweep(
             "fault injection requires jobs=1: per-access fault proxies "
             "cannot cross process boundaries"
         )
+    # Sampling falls back to exact per-cell simulation on incompatible
+    # axes; each is a *named* preflight warning (sample-fallback-*) so
+    # the fallback is visible, never silent.
+    sampling_active = sample_config is not None and not (
+        config.injector is not None or engine_name == "checked" or chained
+    )
     # Grid-level plan: which geometries share a stack-distance pass and
     # which fall back to per-cell execution.  Computed up front so an
     # invalid grid_engine fails before the checkpoint file is touched.
@@ -465,6 +524,9 @@ def run_sweep(
                 config.grid_engine
                 if config.grid_engine != "auto" else None
             ),
+            sample=sample_config,
+            engine=engine_name,
+            injector_active=config.injector is not None,
         )
     prepared = [_prepare_trace(trace, filter_writes) for trace in traces]
     fetch_name = (
@@ -489,22 +551,30 @@ def run_sweep(
     miss_path_key = (
         miss_path_config.key() if miss_path_config is not None else "none"
     )
+    sample_key = sample_config.key() if sampling_active else "none"
     fingerprint = sweep_fingerprint(
         keys, trace_lengths, engine=engine_name, miss_path=miss_path_key,
-        **fingerprint_params,
+        sample=sample_key, **fingerprint_params,
     )
     # What the same sweep hashed to under older checkpoint formats:
-    # v2 lacked the miss-path key, v1 additionally lacked the engine.
-    # Offered only for chainless sweeps — a chained sweep's cells carry
-    # misspath counters an old checkpoint could not have recorded.
+    # v3 lacked the sample key, v2 additionally the miss-path key, v1
+    # additionally the engine.  A *sampled* sweep offers no legacy
+    # fingerprints at all — its cells carry estimates an exact
+    # checkpoint of any age could never have recorded — and the v2/v1
+    # forms stay chainless-only for the same reason.
     legacy_fingerprints: Dict[int, str] = {}
-    if not chained:
-        legacy_fingerprints = {
-            2: sweep_fingerprint(
+    if not sampling_active:
+        legacy_fingerprints[3] = sweep_fingerprint(
+            keys, trace_lengths, engine=engine_name,
+            miss_path=miss_path_key, **fingerprint_params,
+        )
+        if not chained:
+            legacy_fingerprints[2] = sweep_fingerprint(
                 keys, trace_lengths, engine=engine_name, **fingerprint_params
-            ),
-            1: sweep_fingerprint(keys, trace_lengths, **fingerprint_params),
-        }
+            )
+            legacy_fingerprints[1] = sweep_fingerprint(
+                keys, trace_lengths, **fingerprint_params
+            )
 
     completed: Dict[str, dict] = {}
     writer: Optional[CheckpointWriter] = None
@@ -535,7 +605,7 @@ def run_sweep(
     stack_results: Dict[str, "tuple[tuple[float, float, float], float]"] = {}
     passes_run = 0
     for trace in prepared:
-        if not plan.groups:
+        if sampling_active or not plan.groups:
             break
         if not trace_coverable(trace):
             continue
@@ -570,9 +640,24 @@ def run_sweep(
                 )
     report.pass_groups = passes_run
 
+    # Phase 1b: per-trace phase plans for sampled sweeps, computed once
+    # and shared by every geometry over that trace.  Empty traces get
+    # no plan and quietly take the exact path (their ratios are NaN
+    # either way).
+    plans: Dict[str, Any] = {}
+    if sampling_active:
+        from repro.staticcheck.phases import analyze_trace
+
+        for trace in prepared:
+            if len(trace):
+                plans[trace.name] = analyze_trace(
+                    trace, sample_config.interval, sample_config.k,
+                    seed=sample_config.seed,
+                )
+
     executor: Optional[ProcessPoolExecutor] = None
     futures: Dict[str, Any] = {}
-    if config.jobs > 1:
+    if config.jobs > 1 and not sampling_active:
         pending = [
             (gi, ti, cell_key(geometry, trace.name))
             for gi, geometry in enumerate(geometries)
@@ -667,6 +752,53 @@ def run_sweep(
                                 key, trace.name, "ok",
                                 ratios=cell_ratios, attempts=attempts,
                                 misspath=cell_misspath, engine=cell_engine,
+                            )
+                elif sampling_active and trace.name in plans:
+                    started = time.monotonic()
+                    try:
+                        sampled_stats = _execute_sampled_cell(
+                            geometry, trace, plans[trace.name],
+                            sample_config,
+                            replacement=replacement,
+                            fetch_name=fetch_name,
+                            word_size=word_size,
+                            cell_timeout=config.cell_timeout,
+                        )
+                    except ReproError as exc:
+                        if not config.lenient:
+                            raise
+                        reason = f"{type(exc).__name__}: {exc}"
+                        outcome = CellOutcome(
+                            key, trace.name, CellStatus.SKIPPED,
+                            attempts=1, reason=reason,
+                            elapsed=time.monotonic() - started,
+                        )
+                        if writer is not None:
+                            writer.record_cell(
+                                key, trace.name, "skipped",
+                                attempts=1, reason=reason,
+                            )
+                    else:
+                        cell_ratios = (
+                            sampled_stats.miss_ratio,
+                            sampled_stats.traffic_ratio(),
+                            sampled_stats.scaled_traffic_ratio(
+                                bus_model, word_size
+                            ),
+                        )
+                        ratios[key] = cell_ratios
+                        outcome = CellOutcome(
+                            key, trace.name, CellStatus.OK,
+                            attempts=1,
+                            elapsed=time.monotonic() - started,
+                            engine="sampled",
+                        )
+                        if writer is not None:
+                            writer.record_cell(
+                                key, trace.name, "ok",
+                                ratios=cell_ratios, attempts=1,
+                                stats=sampled_stats.to_dict(),
+                                engine="sampled",
                             )
                 else:
                     started = time.monotonic()

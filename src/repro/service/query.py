@@ -43,6 +43,7 @@ from repro.staticcheck.configlint import (
     lint_miss_path,
 )
 from repro.staticcheck.diagnostics import raise_on_errors
+from repro.staticcheck.phases import SamplingConfig
 from repro.workloads.architectures import get_architecture
 from repro.workloads.suites import suite_specs
 
@@ -56,7 +57,7 @@ _QUERY_KEYS = frozenset(
     {
         "suite", "trace", "length", "geometry", "net", "block", "sub",
         "assoc", "engine", "fetch", "replacement", "warmup", "word_size",
-        "filter_writes", "miss_path",
+        "filter_writes", "miss_path", "sample", "exact",
     }
 )
 
@@ -93,6 +94,7 @@ class SimQuery:
     word_size: int = 2
     filter_writes: bool = True
     miss_path: Optional[MissPathConfig] = None
+    sample: Optional["SamplingConfig"] = None
 
     @classmethod
     def from_payload(
@@ -196,12 +198,42 @@ class SimQuery:
         if miss_path is not None and not miss_path.enabled:
             miss_path = None
 
+        # Sampling: parse eagerly (400 on a malformed spec), then
+        # refuse the combinations the sweep runner would silently fall
+        # back from — a service client asking for sampled *and* checked
+        # or chained results would otherwise get exact results labeled
+        # by neither, and ``exact: true`` is the client's way of
+        # pinning down that estimates are unacceptable.
+        sample = SamplingConfig.coerce(payload.get("sample"))
+        exact = payload.get("exact", None)
+        if exact is not None and not isinstance(exact, bool):
+            raise ConfigurationError(
+                f"exact must be a boolean, got {exact!r}"
+            )
+        if sample is not None:
+            if exact:
+                raise ConfigurationError(
+                    "query asks for exact results (exact: true) and "
+                    "sampled simulation at once; drop one"
+                )
+            if engine == "checked":
+                raise ConfigurationError(
+                    "sampling is incompatible with the checked engine "
+                    "(rule sample-fallback-checked); use engine 'auto' "
+                    "or drop the sample"
+                )
+            if miss_path is not None:
+                raise ConfigurationError(
+                    "sampling is incompatible with a miss-path chain "
+                    "(rule sample-fallback-chain); drop one"
+                )
+
         query = cls(
             suite=suite, trace=trace, length=length,
             net=net, block=block, sub=sub, assoc=assoc,
             engine=engine, fetch=fetch, replacement=replacement,
             warmup=warmup, word_size=word_size, filter_writes=filter_writes,
-            miss_path=miss_path,
+            miss_path=miss_path, sample=sample,
         )
         query.geometry()  # validates the shape eagerly (400, not 500)
         return query
@@ -260,6 +292,7 @@ class SimQuery:
             miss_path=(
                 self.miss_path.key() if self.miss_path is not None else "none"
             ),
+            sample=self.sample.key() if self.sample is not None else "none",
             word_size=self.word_size,
             fetch=self.fetch,
             replacement=self.replacement,
@@ -286,6 +319,9 @@ class SimQuery:
             "filter_writes": self.filter_writes,
             "miss_path": (
                 self.miss_path.to_dict() if self.miss_path is not None else None
+            ),
+            "sample": (
+                self.sample.to_dict() if self.sample is not None else None
             ),
         }
 

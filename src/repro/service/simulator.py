@@ -118,6 +118,14 @@ class ServiceConfig:
             trace's program already exceeds the budget, so no engine
             work is spent discovering that dynamically.  ``None``
             (default) disables the gate.
+        allow_sampling: Opt-in for queries carrying a ``sample`` axis
+            (representative-interval sampled simulation,
+            docs/sampling.md).  Off by default: estimates are clearly
+            marked (``stats.sampled.exact == false``) but a fleet
+            should not serve them unless its operator opted in.
+            Refused (at construction) in supervised mode — workers
+            answer queries through :class:`~repro.engine.batch
+            .CellSpec`, which is exact by design.
     """
 
     workers: int = 2
@@ -139,6 +147,7 @@ class ServiceConfig:
     drain_timeout: float = 10.0
     worker_env: Optional[Dict[str, str]] = None
     static_budget_bytes_per_ms: Optional[float] = None
+    allow_sampling: bool = False
 
 
 @dataclass(frozen=True)
@@ -197,6 +206,11 @@ class SimulationService:
             raise ConfigurationError(
                 f"unknown grid engine {self.config.grid_engine!r}; choose "
                 f"from {list(GRID_ENGINE_NAMES)}"
+            )
+        if self.config.allow_sampling and self.config.supervised:
+            raise ConfigurationError(
+                "allow_sampling is incompatible with supervised mode: "
+                "worker processes execute exact cell specs only"
             )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = (
@@ -497,6 +511,20 @@ class SimulationService:
                 retry_after=self.config.retry_after,
             )
         query = self._normalize(query)
+        if query.sample is not None:
+            if not self.config.allow_sampling:
+                raise ConfigurationError(
+                    "this service does not serve sampled estimates; "
+                    "start it with --allow-sampling (or drop the "
+                    "query's 'sample' axis for an exact result)"
+                )
+            if query.engine == "checked":
+                # Only reachable via a forced config.engine: the query
+                # layer already refuses the combination at parse time.
+                raise ConfigurationError(
+                    "sampling is incompatible with the checked engine "
+                    "(rule sample-fallback-checked)"
+                )
 
         # 1. Fast path: known fingerprint + cached result.
         fingerprint = self._fingerprints.get(query)
@@ -652,6 +680,7 @@ class SimulationService:
                 or query.fetch != "demand"
                 or query.miss_path is not None
                 or query.engine != "auto"
+                or query.sample is not None
             ):
                 continue
             fingerprint = query.fingerprint(len(prepared))
@@ -855,6 +884,25 @@ class SimulationService:
         prepared: Trace, query: SimQuery, deadline: Optional[float] = None
     ):
         """Worker-side cell execution; returns (stats, engine name)."""
+        if query.sample is not None:
+            # Representative-interval sampled simulation: plan on the
+            # prepared trace (address-based fingerprints) and estimate
+            # every counter with error bounds.  The returned stats
+            # object mirrors the CacheStats surface the caller uses
+            # (miss_ratio, traffic_ratio, scaled_traffic_ratio,
+            # to_dict) but serializes with ``sampled.exact = false``.
+            from repro.engine.sampled import sample_trace
+
+            sampled = sample_trace(
+                query.geometry(),
+                prepared,
+                query.sample,
+                replacement=query.replacement,
+                fetch=query.fetch,
+                word_size=query.word_size,
+                deadline=deadline,
+            )
+            return sampled, "sampled"
         engine_name = resolve_engine(
             query.engine, prepared, miss_path=query.miss_path
         ).name

@@ -64,7 +64,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -76,7 +76,11 @@ __all__ = ["MemberSpec", "distance_histogram", "run_group_pass"]
 
 _KIND_OF = (AccessType.READ, AccessType.WRITE, AccessType.IFETCH)
 _INF = float("inf")
-_ZERO_SNAP = (0, 0, {}, 0, (0, 0, 0))
+
+#: Snapshot of the shared accumulators at a member's reset boundary:
+#: (sub misses, fetched bytes, transaction words, misses, by-kind).
+_Snap = Tuple[int, int, Dict[int, int], int, Tuple[int, ...]]
+_ZERO_SNAP: _Snap = (0, 0, {}, 0, (0, 0, 0))
 
 
 @dataclass(frozen=True)
@@ -103,7 +107,7 @@ class _Member:
         "bytes_fetched", "tw", "evictions", "ev_ref", "ev_total",
     )
 
-    def __init__(self, spec: MemberSpec, sub_index: int, spb: int, n: int):
+    def __init__(self, spec: MemberSpec, sub_index: int, spb: int, n: int) -> None:
         self.spec = spec
         self.ways = spec.ways
         self.sub_index = sub_index
@@ -113,16 +117,17 @@ class _Member:
         # the end of the trace never resets (the simulate() countdown
         # never reaches zero), so the stats cover the whole run.
         warmup = spec.warmup
+        self.start_r: Optional[int]
         if isinstance(warmup, int) and 1 <= warmup <= n:
             self.min_t = warmup
             self.start_r = warmup - 1
         else:
             self.min_t = 0
             self.start_r = None
-        self.snap = _ZERO_SNAP
+        self.snap: _Snap = _ZERO_SNAP
         self.zero(None)
 
-    def zero(self, start_r) -> None:
+    def zero(self, start_r: Optional[int]) -> None:
         """Reset accumulators at a warm-start boundary."""
         if start_r is not None:
             self.start_r = start_r
@@ -137,7 +142,12 @@ class _Member:
         self.ev_total = 0
 
 
-def _validate(block_size, num_sets, members, word_size):
+def _validate(
+    block_size: int,
+    num_sets: int,
+    members: Sequence[MemberSpec],
+    word_size: int,
+) -> None:
     if block_size < 1 or num_sets < 1 or word_size < 1:
         raise ConfigurationError(
             f"bad pass-group shape: block_size={block_size} "
@@ -162,7 +172,9 @@ def _validate(block_size, num_sets, members, word_size):
             raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
 
 
-def _portions(addrs, eff, block_size, num_sets, n):
+def _portions(
+    addrs: Any, eff: Any, block_size: int, num_sets: int, n: int
+) -> Tuple[Any, Any, Any, Any, Any]:
     """Flatten accesses into per-block portions (t, block, set, lo, hi)."""
     fb = addrs // block_size
     last = (addrs + eff - 1) // block_size
@@ -185,7 +197,7 @@ def _portions(addrs, eff, block_size, num_sets, n):
     return tvec, pb, pb % num_sets, plo, phi
 
 
-def _collapsible(pset, pb, plo, phi):
+def _collapsible(pset: Any, pb: Any, plo: Any, phi: Any) -> Any:
     """True where a portion repeats its set's previous (block, lo, hi).
 
     Such a portion has stack distance 1 and every needed sub-block
@@ -211,7 +223,7 @@ def _collapsible(pset, pb, plo, phi):
 
 
 def run_group_pass(
-    trace,
+    trace: Any,
     block_size: int,
     num_sets: int,
     members: Sequence[MemberSpec],
@@ -274,9 +286,9 @@ def run_group_pass(
     members_of_si: List[List[_Member]] = [[] for _ in subs]
     for member in mems:
         members_of_si[member.sub_index].append(member)
-    acell = []
+    acell: List[Tuple[int, List[Tuple[int, int, List[_Member]]]]] = []
     for assoc in ways:
-        cells = []
+        cells: List[Tuple[int, int, List[_Member]]] = []
         for si in range(nsubs):
             group = pair_members.get((assoc, si))
             if group:
@@ -333,15 +345,15 @@ def run_group_pass(
     distinct = [0] * num_sets
     # blocks[b] = [hist_t, hist_d, [T-list per sub]]; T[j] = last epoch
     # needing sub-block j (-1 = never), history as described above.
-    blocks: Dict[int, list] = {}
+    blocks: Dict[int, List[Any]] = {}
     fill_progress = {assoc: 0 for assoc in ways}
-    fill_done = {assoc: None for assoc in ways}
+    fill_done: Dict[int, Optional[int]] = {assoc: None for assoc in ways}
     fill_target = {assoc: num_sets * assoc for assoc in ways}
     pending_fills: List[int] = []
     # Access-level miss flags: explicit (A, sub) pairs plus whole-sub
     # markers (flag_all) for verdicts that miss under every A.
-    flag_pairs: set = set()
-    flag_all: set = set()
+    flag_pairs: Set[Tuple[int, int]] = set()
+    flag_all: Set[int] = set()
     prev_t = -1
 
     def flush(upto_t: int) -> None:
@@ -370,7 +382,7 @@ def run_group_pass(
                     take_snap(member)
             pending_fills.clear()
 
-    def victim_valid(vbst, assoc: int, si: int) -> int:
+    def victim_valid(vbst: Any, assoc: int, si: int) -> int:
         """Count the victim's valid sub-blocks (== referenced) under A."""
         vh_d = vbst[1]
         lo, hi = 0, len(vh_d)
@@ -387,7 +399,9 @@ def run_group_pass(
                 count += 1
         return count
 
-    def block_miss_all(t, d, db, stack, lo, hi):
+    def block_miss_all(
+        t: int, d: int, db: int, stack: List[int], lo: int, hi: int
+    ) -> None:
         """Account a block miss (A < d) for every affected associativity."""
         for assoc, cells in acell:
             if assoc >= d:
@@ -475,7 +489,7 @@ def run_group_pass(
         t_lists = bst[2]
         fresh = True
         finite_stale = False
-        stale_sis = None
+        stale_sis: Optional[List[Tuple[int, Sequence[int]]]] = None
         for si in range_n:
             sub = subs_local[si]
             first = lo // sub
@@ -494,7 +508,7 @@ def run_group_pass(
                         stale_sis = []
                     stale_sis.append((si, (first,)))
             else:
-                untouched = None
+                untouched: Optional[List[int]] = None
                 for j in range(first, last_sub + 1):
                     t_j = t_list[j]
                     if t_j >= tail:
@@ -532,10 +546,11 @@ def run_group_pass(
             if d <= a_min:
                 # Hot path: identical deltas for every member of the
                 # sub size — accumulate once into shared counters.
-                for si, untouched in stale_sis:
+                assert stale_sis is not None  # not fresh, so some stale
+                for si, stale in stale_sis:
                     flag_all_add(si)
                     shared_sub[si] += 1
-                    if len(untouched) == 1:
+                    if len(stale) == 1:
                         shared_bytes[si] += subs_local[si]
                         twd = shared_tw[si]
                         key = words_of[si]
@@ -544,8 +559,8 @@ def run_group_pass(
                         sub = subs_local[si]
                         twd = shared_tw[si]
                         run = 1
-                        prev_j = untouched[0]
-                        for j in untouched[1:]:
+                        prev_j = stale[0]
+                        for j in stale[1:]:
                             if j == prev_j + 1:
                                 run += 1
                             else:
@@ -562,13 +577,13 @@ def run_group_pass(
                 if stale_sis is not None:
                     # Sub-miss where the tag still hits (ways >= d);
                     # block-missing members already fetched the range.
-                    for si, untouched in stale_sis:
+                    for si, stale in stale_sis:
                         flag_all_add(si)
                         sub = subs_local[si]
-                        runs = []
+                        runs: List[int] = []
                         run = 1
-                        prev_j = untouched[0]
-                        for j in untouched[1:]:
+                        prev_j = stale[0]
+                        for j in stale[1:]:
                             if j == prev_j + 1:
                                 run += 1
                             else:
@@ -591,16 +606,16 @@ def run_group_pass(
             # each needed position's Dmax and walk the A axis.
             hist_t, hist_d = bst[0], bst[1]
             hist_len = len(hist_t)
-            dmaxes = []
-            thetas = []
-            theta_max = d
+            dmaxes: List[List[float]] = []
+            thetas: List[float] = []
+            theta_max: float = d
             for si in range_n:
                 sub = subs_local[si]
                 first = lo // sub
                 last_sub = hi // sub
                 t_list = t_lists[si]
-                dmax = []
-                theta = d
+                dmax: List[float] = []
+                theta: float = d
                 for j in range(first, last_sub + 1):
                     t_j = t_list[j]
                     if t_j < 0:
@@ -675,9 +690,9 @@ def run_group_pass(
                     for j in range(first, last_sub + 1):
                         t_list[j] = t
         elif stale_sis is not None:
-            for si, untouched in stale_sis:
+            for si, stale in stale_sis:
                 t_list = t_lists[si]
-                for j in untouched:
+                for j in stale:
                     t_list[j] = t
         if len(stack) > a_max:
             stack.pop()
@@ -698,7 +713,7 @@ def run_group_pass(
                     member.ev_ref += victim_valid(blocks[victim], assoc, si)
 
     # -- Materialize per-member CacheStats ----------------------------
-    results = []
+    results: List[CacheStats] = []
     for member in mems:
         stats = CacheStats()
         start = member.start_r
@@ -742,7 +757,7 @@ def run_group_pass(
 
 
 def distance_histogram(
-    trace, block_size: int, num_sets: int = 1
+    trace: Any, block_size: int, num_sets: int = 1
 ) -> Dict[int, int]:
     """Per-set LRU stack-distance histogram at block granularity.
 

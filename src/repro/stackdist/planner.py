@@ -21,7 +21,7 @@ with :func:`trace_coverable` before reusing a pass group for it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -139,7 +139,7 @@ def _sweep_blockers(
     return blockers
 
 
-def trace_coverable(trace) -> bool:
+def trace_coverable(trace: Any) -> bool:
     """Whether a prepared trace can feed a stack-distance pass.
 
     Write misses do not allocate, which breaks Mattson inclusion, so

@@ -59,6 +59,8 @@ from repro.staticcheck.configlint import (
     lint_cell_options,
     lint_geometry,
     lint_grid_axes,
+    lint_sample,
+    lint_sample_coverage,
 )
 from repro.staticcheck.diagnostics import (
     Diagnostic,
@@ -74,6 +76,13 @@ from repro.staticcheck.locality import (
     compare_with_sweep,
     footprint,
     knee_net,
+)
+from repro.staticcheck.phases import (
+    DEFAULT_K,
+    Phase,
+    PhasePlan,
+    SamplingConfig,
+    analyze_trace,
 )
 from repro.staticcheck.preflight import preflight_sweep
 
@@ -104,6 +113,13 @@ __all__ = [
     "lint_cell_options",
     "lint_geometry",
     "lint_grid_axes",
+    "lint_sample",
+    "lint_sample_coverage",
+    "DEFAULT_K",
+    "Phase",
+    "PhasePlan",
+    "SamplingConfig",
+    "analyze_trace",
     "Diagnostic",
     "Severity",
     "StaticCheckError",

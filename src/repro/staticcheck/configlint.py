@@ -55,6 +55,39 @@ rule                              severity  meaning
                                             engine, guard) forces cells onto
                                             the per-cell fallback path, with
                                             the affected cell count
+``sample-interval-invalid``       error     a ``--sample`` spec that does not
+                                            parse into a positive interval
+                                            (and optional positive k / seed)
+``sample-interval-exceeds-trace`` warning   the sampling interval is at least
+                                            the trace length, so the plan
+                                            degenerates to one whole-trace
+                                            interval (exact, but no speedup)
+``sample-k-exceeds-intervals``    warning   k exceeds the interval count and
+                                            will be clamped at plan time
+``sample-fallback-injector``      warning   sampling combined with fault
+                                            injection: the injector wraps the
+                                            whole trace, so sampled cells fall
+                                            back to exact per-cell simulation
+``sample-fallback-checked``       warning   sampling combined with the checked
+                                            (sanitizer) engine: invariants are
+                                            asserted over full runs only, so
+                                            cells fall back to exact
+``sample-fallback-chain``         warning   sampling combined with a miss-path
+                                            chain: chain state spans interval
+                                            boundaries, so cells fall back to
+                                            exact
+``sample-warmup-ignored``         info      a sweep warmup is configured but
+                                            sampled estimates always target
+                                            the cold full-trace run
+                                            (docs/sampling.md)
+``sweep-sample-coverage``         info      how many cells of a sweep grid a
+                                            PhasePlan covers under the given
+                                            sampling config, versus per-cell
+                                            exact fallback
+``sweep-sample-fallback``         info      which axis (injector, checked
+                                            engine, miss-path chain) forces
+                                            sampled cells onto the exact path,
+                                            with the affected cell count
 ================================  ========  ==================================
 
 Values that are not positive integers are reported under the geometry
@@ -80,6 +113,8 @@ __all__ = [
     "lint_cell_options",
     "lint_grid_axes",
     "lint_miss_path",
+    "lint_sample",
+    "lint_sample_coverage",
     "lint_stackdist_coverage",
     "check_geometry",
 ]
@@ -102,6 +137,15 @@ CONFIG_RULES = (
     "misspath-degenerate",
     "sweep-stackdist-coverage",
     "sweep-stackdist-fallback",
+    "sample-interval-invalid",
+    "sample-interval-exceeds-trace",
+    "sample-k-exceeds-intervals",
+    "sample-fallback-injector",
+    "sample-fallback-checked",
+    "sample-fallback-chain",
+    "sample-warmup-ignored",
+    "sweep-sample-coverage",
+    "sweep-sample-fallback",
 )
 
 _LOAD_FORWARD_NAMES = {"load-forward", "load-forward-optimized"}
@@ -605,6 +649,225 @@ def lint_stackdist_coverage(
                 message=f"{count} cell(s) fall back to per-cell: {reason}",
                 source=source,
                 data={"reason": reason, "cells": count},
+            )
+        )
+    return out
+
+
+def _sample_fallback_reasons(
+    engine: str,
+    injector_active: bool,
+    miss_path: Union[MissPathConfig, Dict[str, Any], None],
+) -> List[Diagnostic]:
+    """The named axes that force sampled cells back to exact runs."""
+    out: List[Diagnostic] = []
+    if injector_active:
+        out.append(
+            Diagnostic(
+                rule="sample-fallback-injector",
+                severity=Severity.WARNING,
+                message=(
+                    "sampling is combined with fault injection; the "
+                    "injector wraps the whole trace, so every cell falls "
+                    "back to exact per-cell simulation"
+                ),
+                source="sample",
+                data={"axis": "injector"},
+            )
+        )
+    if engine == "checked":
+        out.append(
+            Diagnostic(
+                rule="sample-fallback-checked",
+                severity=Severity.WARNING,
+                message=(
+                    "sampling is combined with the checked (sanitizer) "
+                    "engine; invariants are asserted over full runs only, "
+                    "so every cell falls back to exact per-cell simulation"
+                ),
+                source="sample",
+                data={"axis": "engine", "engine": engine},
+            )
+        )
+    try:
+        chain = MissPathConfig.coerce(miss_path)
+    except ConfigurationError:
+        chain = None  # lint_miss_path owns reporting malformed chains
+    if chain is not None and chain.enabled:
+        out.append(
+            Diagnostic(
+                rule="sample-fallback-chain",
+                severity=Severity.WARNING,
+                message=(
+                    f"sampling is combined with a miss-path chain "
+                    f"({chain.key()}); chain state spans interval "
+                    "boundaries, so every cell falls back to exact "
+                    "per-cell simulation"
+                ),
+                source="sample",
+                data={"axis": "miss_path", "chain": chain.key()},
+            )
+        )
+    return out
+
+
+def lint_sample(
+    sample: Any,
+    trace_length: Union[int, None] = None,
+    engine: str = "auto",
+    injector_active: bool = False,
+    miss_path: Union[MissPathConfig, Dict[str, Any], None] = None,
+    warmup: Union[int, str, None] = None,
+    source: str = "sample",
+) -> List[Diagnostic]:
+    """Lint a ``--sample`` configuration against its execution context.
+
+    Args:
+        sample: Anything ``SamplingConfig.coerce`` accepts — the config
+            itself, the CLI ``INTERVAL[,K]`` string, or a dict.
+        trace_length: When known, enables the interval-vs-trace and
+            k-vs-interval-count checks.
+        engine / injector_active / miss_path: The sweep's execution
+            axes; each incompatible axis yields its *named* fallback
+            warning (``sample-fallback-*``) — the sweep still runs, but
+            exactly, cell by cell.
+        warmup: The sweep's warmup setting; anything but 0 earns the
+            info-severity reminder that sampled estimates always target
+            the cold full-trace run (suppressed when a fallback means
+            the sweep runs exactly and honours its warmup after all).
+    """
+    from repro.staticcheck.phases import DEFAULT_K, SamplingConfig
+
+    try:
+        config = SamplingConfig.coerce(sample)
+    except ConfigurationError as exc:
+        return [
+            Diagnostic(
+                rule="sample-interval-invalid",
+                severity=Severity.ERROR,
+                message=str(exc),
+                source=source,
+                data={"sample": repr(sample)},
+            )
+        ]
+    if config is None:
+        return []
+    out: List[Diagnostic] = []
+    if trace_length is not None and trace_length > 0:
+        if config.interval >= trace_length:
+            out.append(
+                Diagnostic(
+                    rule="sample-interval-exceeds-trace",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"sampling interval {config.interval} is not "
+                        f"smaller than the trace ({trace_length} "
+                        "accesses); the plan degenerates to one "
+                        "whole-trace interval — exact, but without "
+                        "any speedup"
+                    ),
+                    source=source,
+                    data={
+                        "interval": config.interval,
+                        "trace_length": trace_length,
+                    },
+                )
+            )
+        intervals = -(-trace_length // config.interval)
+        k = config.k if config.k is not None else DEFAULT_K
+        if config.k is not None and k > intervals:
+            out.append(
+                Diagnostic(
+                    rule="sample-k-exceeds-intervals",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"k={k} exceeds the {intervals} interval(s) the "
+                        f"trace splits into; the plan clamps k to "
+                        f"{intervals}"
+                    ),
+                    source=source,
+                    data={"k": k, "intervals": intervals},
+                )
+            )
+    fallbacks = _sample_fallback_reasons(engine, injector_active, miss_path)
+    out.extend(fallbacks)
+    # With a fallback the sweep runs exactly and honours its warmup, so
+    # the "ignored" reminder would be wrong.
+    if not fallbacks and warmup not in (None, 0):
+        out.append(
+            Diagnostic(
+                rule="sample-warmup-ignored",
+                severity=Severity.INFO,
+                message=(
+                    f"warmup={warmup!r} is ignored under sampling: "
+                    "sampled estimates target the cold full-trace run "
+                    "(docs/sampling.md)"
+                ),
+                source=source,
+                data={"warmup": str(warmup)},
+            )
+        )
+    return out
+
+
+def lint_sample_coverage(
+    geometries: Sequence,
+    sample: Any,
+    trace_count: int = 1,
+    engine: str = "auto",
+    injector_active: bool = False,
+    miss_path: Union[MissPathConfig, Dict[str, Any], None] = None,
+    source: str = "sweep",
+) -> List[Diagnostic]:
+    """Report how many sweep cells a PhasePlan would cover (info only).
+
+    The sampled path is sweep-global: either every cell of the sweep
+    runs from per-trace PhasePlans, or an incompatible axis (fault
+    injection, checked engine, miss-path chain) sends *every* cell to
+    the exact per-cell fallback.  This mirrors
+    :func:`repro.runner.runner.run_sweep` exactly, the same way the
+    stack-distance coverage lint mirrors its planner.
+    """
+    from repro.staticcheck.phases import SamplingConfig
+
+    try:
+        config = SamplingConfig.coerce(sample)
+    except ConfigurationError:
+        config = None
+    if config is None:
+        return []
+    total = len(geometries) * max(trace_count, 1)
+    fallbacks = _sample_fallback_reasons(engine, injector_active, miss_path)
+    covered = 0 if fallbacks else total
+    out = [
+        Diagnostic(
+            rule="sweep-sample-coverage",
+            severity=Severity.INFO,
+            message=(
+                f"{covered} of {total} sweep cell(s) run sampled "
+                f"(sample {config.key()}); {total - covered} cell(s) "
+                "fall back to exact per-cell simulation"
+            ),
+            source=source,
+            data={
+                "covered": covered,
+                "total": total,
+                "sample": config.key(),
+                "fallback": total - covered,
+            },
+        )
+    ]
+    for finding in fallbacks:
+        out.append(
+            Diagnostic(
+                rule="sweep-sample-fallback",
+                severity=Severity.INFO,
+                message=(
+                    f"{total} cell(s) fall back to exact: "
+                    f"{finding.rule.replace('sample-fallback-', '')} axis"
+                ),
+                source=source,
+                data=dict(finding.data, cells=total),
             )
         )
     return out

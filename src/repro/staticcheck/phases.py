@@ -1,0 +1,604 @@
+"""Static phase analysis: intervals, fingerprints, and sampling plans.
+
+The paper's methodology is whole-trace simulation, which stops scaling
+exactly where the paper's own 1M-reference traces live.  The sampling
+literature's fix (SimPoint-style representative intervals) is a static
+analysis problem: split the trace into fixed-length intervals,
+fingerprint each one, cluster the fingerprints, and simulate only one
+representative per cluster, weighting its statistics by how much of the
+trace the cluster covers.
+
+This module is the *planning* half of that pipeline (the execution half
+is :mod:`repro.engine.sampled`):
+
+* **fingerprints** — per-interval basic-block vectors when the trace's
+  source program is available (instruction fetches are mapped onto the
+  :mod:`repro.staticcheck.cfg` basic blocks with one binary search per
+  access), degrading to address-region vectors for synthetic traces;
+  both carry a working-set signature scaled by the
+  :mod:`repro.staticcheck.locality` footprint when one can be computed.
+* **clustering** — deterministic k-means: seeded k-means++ style
+  initialisation, stable lowest-index tie-breaking, a fixed iteration
+  cap, and empty-cluster repair, so the same trace, interval length,
+  ``k`` and seed always produce the same :class:`PhasePlan`.
+* **representatives and witnesses** — per cluster, the member closest
+  to the centroid is simulated as the representative; the member
+  *farthest* from the centroid is kept as a witness, whose disagreement
+  with the representative feeds the error bound of
+  :class:`repro.engine.sampled.SampledStats`.
+
+Diagnostics use stable ``phase-*`` rule ids so reports and tests can
+match on them:
+
+==================  ========  =======================================
+rule                severity  meaning
+==================  ========  =======================================
+``phase-plan``      info      one per plan: interval count, cluster
+                              count, simulated fraction, fingerprint
+                              source (``cfg`` or ``address``)
+``phase-cluster``   info      one per cluster: weight, member count,
+                              representative, witness, spread
+``phase-singleton`` info      clusters with a single member have no
+                              witness, so their contribution to the
+                              error bound is blind (docs/sampling.md)
+==================  ========  =======================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.staticcheck.diagnostics import Diagnostic, Severity
+from repro.trace.record import AccessType
+from repro.workloads.assembler import AssembledProgram
+
+__all__ = [
+    "DEFAULT_K",
+    "SamplingConfig",
+    "Phase",
+    "PhasePlan",
+    "analyze_trace",
+]
+
+#: Default number of clusters when the user gives only an interval.
+DEFAULT_K = 8
+
+#: Histogram width of each fingerprint half (code half + data half).
+_DIM = 32
+
+#: Address-region granularity for the data half and the working-set
+#: signature: 64-byte regions, a few blocks at every geometry the paper
+#: sweeps.
+_REGION_SHIFT = 6
+
+#: k-means iteration cap; plans must terminate deterministically even
+#: on adversarial fingerprints.
+_MAX_ITERATIONS = 64
+
+#: Fingerprint subsampling target: long intervals are profiled on a
+#: deterministic stride keeping ~this many accesses per interval, so
+#: planning stays a small constant fraction of exact-simulation cost
+#: (it is O(trace) either way, and a plan that costs as much as the
+#: simulation it saves is useless).  Intervals at or below this size
+#: are profiled exactly.
+_SAMPLES_PER_INTERVAL = 256
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """User-facing sampling parameters (the ``--sample`` axis).
+
+    Attributes:
+        interval: Interval length in accesses (after read filtering).
+        k: Cluster count; ``None`` means :data:`DEFAULT_K`, and any
+            value is clamped to the number of intervals at plan time.
+        seed: Clustering seed; part of the identity because it changes
+            which intervals are simulated.
+    """
+
+    interval: int
+    k: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.interval, int) or isinstance(self.interval, bool):
+            raise ConfigurationError(
+                f"sample interval must be an int, got {self.interval!r}"
+            )
+        if self.interval < 1:
+            raise ConfigurationError(
+                f"sample interval must be >= 1, got {self.interval}"
+            )
+        if self.k is not None:
+            if not isinstance(self.k, int) or isinstance(self.k, bool):
+                raise ConfigurationError(
+                    f"sample k must be an int or None, got {self.k!r}"
+                )
+            if self.k < 1:
+                raise ConfigurationError(f"sample k must be >= 1, got {self.k}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigurationError(
+                f"sample seed must be an int, got {self.seed!r}"
+            )
+
+    def key(self) -> str:
+        """Canonical identity string, folded into sweep fingerprints.
+
+        Two cells with different sampling parameters (or one sampled and
+        one exact) must never share a fingerprint, so everything that
+        changes which intervals are simulated is in the key.
+        """
+        k = "auto" if self.k is None else str(self.k)
+        return f"i{self.interval},k{k},s{self.seed}"
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "SamplingConfig":
+        """Parse the CLI form ``INTERVAL`` or ``INTERVAL,K``."""
+        parts = [part.strip() for part in str(text).split(",")]
+        if len(parts) not in (1, 2) or not all(parts):
+            raise ConfigurationError(
+                f"--sample expects INTERVAL or INTERVAL,K, got {text!r}"
+            )
+        try:
+            interval = int(parts[0])
+            k = int(parts[1]) if len(parts) == 2 else None
+        except ValueError:
+            raise ConfigurationError(
+                f"--sample expects integers, got {text!r}"
+            ) from None
+        return cls(interval=interval, k=k, seed=seed)
+
+    @classmethod
+    def coerce(
+        cls,
+        value: Union["SamplingConfig", str, Mapping[str, Any], None],
+    ) -> Optional["SamplingConfig"]:
+        """Accept the config, its CLI string, its dict form, or None."""
+        if value is None or isinstance(value, SamplingConfig):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, Mapping):
+            unknown = set(value) - {"interval", "k", "seed"}
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown sample keys {sorted(unknown)}; "
+                    "expected interval, k, seed"
+                )
+            if "interval" not in value:
+                raise ConfigurationError(
+                    "sample config requires an 'interval' key"
+                )
+            return cls(
+                interval=value["interval"],
+                k=value.get("k"),
+                seed=value.get("seed", 0),
+            )
+        raise ConfigurationError(
+            f"cannot interpret {value!r} as a sampling config"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"interval": self.interval, "k": self.k, "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One cluster of the plan: what it covers and who stands for it.
+
+    Attributes:
+        index: Stable phase id, ordered by first member interval.
+        members: Interval indices assigned to this cluster.
+        representative: The member closest to the cluster centroid —
+            the only member the sampled engine must simulate.
+        witness: The member farthest from the centroid (``None`` for
+            singleton clusters); its disagreement with the
+            representative calibrates the error bound.
+        accesses: Total accesses across all members.
+        weight: ``accesses`` over the whole trace length.
+        spread: Largest member-to-centroid distance in fingerprint
+            space — 0.0 means the cluster is homogeneous.
+    """
+
+    index: int
+    members: Tuple[int, ...]
+    representative: int
+    witness: Optional[int]
+    accesses: int
+    weight: float
+    spread: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "members": list(self.members),
+            "representative": self.representative,
+            "witness": self.witness,
+            "accesses": self.accesses,
+            "weight": self.weight,
+            "spread": self.spread,
+        }
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """The full sampling plan for one prepared trace.
+
+    Attributes:
+        trace_name: Name of the analyzed trace.
+        trace_length: Accesses in the analyzed trace.
+        interval_length: Requested interval length.
+        intervals: Number of intervals (``ceil(length / interval)``).
+        k: Effective cluster count (after clamping to ``intervals``).
+        seed: Clustering seed.
+        source: ``"cfg"`` when fingerprints used the program's basic
+            blocks, ``"address"`` for the synthetic-trace fallback.
+        phases: The clusters, ordered by first member interval.
+    """
+
+    trace_name: str
+    trace_length: int
+    interval_length: int
+    intervals: int
+    k: int
+    seed: int
+    source: str
+    phases: Tuple[Phase, ...]
+
+    def bounds(self, interval: int) -> Tuple[int, int]:
+        """Access range ``[start, end)`` of one interval index."""
+        if not 0 <= interval < self.intervals:
+            raise ConfigurationError(
+                f"interval {interval} out of range [0, {self.intervals})"
+            )
+        start = interval * self.interval_length
+        return start, min(start + self.interval_length, self.trace_length)
+
+    @property
+    def simulated_intervals(self) -> int:
+        """Intervals the sampled engine actually runs (reps + witnesses)."""
+        return sum(
+            1 + (1 if phase.witness is not None else 0)
+            for phase in self.phases
+        )
+
+    @property
+    def simulated_accesses(self) -> int:
+        total = 0
+        for phase in self.phases:
+            start, end = self.bounds(phase.representative)
+            total += end - start
+            if phase.witness is not None:
+                start, end = self.bounds(phase.witness)
+                total += end - start
+        return total
+
+    @property
+    def simulated_fraction(self) -> float:
+        if self.trace_length == 0:
+            return 0.0
+        return self.simulated_accesses / self.trace_length
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace": self.trace_name,
+            "trace_length": self.trace_length,
+            "interval_length": self.interval_length,
+            "intervals": self.intervals,
+            "k": self.k,
+            "seed": self.seed,
+            "source": self.source,
+            "simulated_intervals": self.simulated_intervals,
+            "simulated_fraction": self.simulated_fraction,
+            "phases": [phase.to_dict() for phase in self.phases],
+        }
+
+    def diagnostics(self) -> List[Diagnostic]:
+        """The plan's stable ``phase-*`` findings (all info severity)."""
+        source = f"phases:{self.trace_name}"
+        findings = [
+            Diagnostic(
+                rule="phase-plan",
+                severity=Severity.INFO,
+                message=(
+                    f"{self.intervals} intervals of {self.interval_length} "
+                    f"accesses clustered into {len(self.phases)} phases; "
+                    f"sampled simulation runs {self.simulated_intervals} "
+                    f"intervals ({self.simulated_fraction:.1%} of the "
+                    f"trace) from {self.source} fingerprints"
+                ),
+                source=source,
+                location="plan",
+                data={
+                    "intervals": self.intervals,
+                    "interval_length": self.interval_length,
+                    "k": self.k,
+                    "seed": self.seed,
+                    "source": self.source,
+                    "simulated_intervals": self.simulated_intervals,
+                    "simulated_fraction": self.simulated_fraction,
+                },
+            )
+        ]
+        for phase in self.phases:
+            findings.append(
+                Diagnostic(
+                    rule="phase-cluster",
+                    severity=Severity.INFO,
+                    message=(
+                        f"phase {phase.index}: {len(phase.members)} "
+                        f"interval(s), weight {phase.weight:.3f}, "
+                        f"representative {phase.representative}, "
+                        + (
+                            f"witness {phase.witness}"
+                            if phase.witness is not None
+                            else "no witness (singleton)"
+                        )
+                    ),
+                    source=source,
+                    location=f"phase {phase.index}",
+                    data=phase.to_dict(),
+                )
+            )
+        singletons = [
+            phase.index for phase in self.phases if phase.witness is None
+        ]
+        if singletons:
+            findings.append(
+                Diagnostic(
+                    rule="phase-singleton",
+                    severity=Severity.INFO,
+                    message=(
+                        f"{len(singletons)} cluster(s) have a single "
+                        "member and therefore no witness; their share of "
+                        "the error bound rests on cold-start suspects "
+                        "alone (docs/sampling.md)"
+                    ),
+                    source=source,
+                    location="plan",
+                    data={"phases": singletons},
+                )
+            )
+        return findings
+
+
+def _interval_bounds(length: int, interval: int) -> List[Tuple[int, int]]:
+    return [
+        (start, min(start + interval, length))
+        for start in range(0, length, interval)
+    ]
+
+
+def _block_starts(program: AssembledProgram) -> Any:
+    """Sorted byte addresses of every basic-block start."""
+    from repro.staticcheck.cfg import build_cfg
+
+    cfg = build_cfg(program)
+    starts = sorted(
+        program.instructions[block.start].addr
+        for block in cfg.blocks
+        if block.size > 0
+    )
+    return np.asarray(starts, dtype=np.int64)
+
+
+def _fingerprints(
+    trace: Any,
+    bounds: Sequence[Tuple[int, int]],
+    program: Optional[AssembledProgram],
+) -> Any:
+    """Per-interval fingerprint matrix, one row per interval.
+
+    Row layout: ``_DIM`` basic-block (or code-region) histogram bins,
+    ``_DIM`` data-region histogram bins — each half normalized by the
+    interval's profiled access count — plus one working-set feature:
+    the interval's distinct 64-byte regions scaled by the program's
+    static footprint (or by profiled count for synthetic traces).
+
+    Long intervals are profiled on a deterministic stride
+    (~:data:`_SAMPLES_PER_INTERVAL` accesses per interval); intervals
+    at or below that size are profiled exactly.
+    """
+    count_full = len(trace.addrs)
+    rows_n = len(bounds)
+    interval = bounds[0][1] - bounds[0][0] if rows_n else 1
+    stride = max(1, interval // _SAMPLES_PER_INTERVAL)
+    picks = np.arange(0, count_full, stride, dtype=np.int64)
+
+    addrs = np.asarray(trace.addrs, dtype=np.int64)[picks]
+    kinds = np.asarray(trace.kinds)[picks]
+    fetch_mask = kinds == int(AccessType.IFETCH)
+    region = (addrs >> _REGION_SHIFT).astype(np.int64)
+
+    if program is not None:
+        starts = _block_starts(program)
+        if len(starts):
+            block_index = np.searchsorted(starts, addrs, side="right") - 1
+            block_index = np.clip(block_index, 0, len(starts) - 1)
+            code_bins = block_index % _DIM
+        else:  # pragma: no cover - a program always has one block
+            code_bins = region % _DIM
+        from repro.staticcheck.locality import footprint
+
+        footprint_bytes = max(footprint(program).total_bytes, 1)
+    else:
+        code_bins = region % _DIM
+        footprint_bytes = 0
+    data_bins = region % _DIM
+
+    # One batched bincount per histogram half (composite row*_DIM+bin
+    # index) and one composite-key sort for the per-interval
+    # distinct-region counts — the whole matrix in O(n log n) NumPy
+    # work over the strided sample, no Python loop over intervals.
+    count = len(addrs)
+    rows = np.minimum(picks // max(interval, 1), rows_n - 1)
+    spans = np.maximum(np.bincount(rows, minlength=rows_n), 1)
+
+    matrix = np.zeros((rows_n, 2 * _DIM + 1), dtype=np.float64)
+    code_hist = np.bincount(
+        rows[fetch_mask] * _DIM + code_bins[fetch_mask],
+        minlength=rows_n * _DIM,
+    ).reshape(rows_n, _DIM)
+    data_hist = np.bincount(
+        rows[~fetch_mask] * _DIM + data_bins[~fetch_mask],
+        minlength=rows_n * _DIM,
+    ).reshape(rows_n, _DIM)
+    matrix[:, :_DIM] = code_hist / spans[:, None]
+    matrix[:, _DIM : 2 * _DIM] = data_hist / spans[:, None]
+
+    shift = int(region.max()).bit_length() if count else 1
+    composite = np.sort((rows << shift) | region) if count else rows
+    fresh = np.ones(count, dtype=bool)
+    fresh[1:] = composite[1:] != composite[:-1]
+    distinct = np.bincount(
+        (composite[fresh] >> shift).astype(np.int64), minlength=rows_n
+    )
+    if footprint_bytes:
+        working_set = distinct * (1 << _REGION_SHIFT) / footprint_bytes
+    else:
+        working_set = distinct / spans
+    matrix[:, 2 * _DIM] = np.minimum(working_set, 4.0)
+    return matrix
+
+
+def _kmeans(matrix: Any, k: int, seed: int) -> Tuple[Any, Any]:
+    """Deterministic k-means; returns (assignments, centroids).
+
+    Seeded k-means++ style initialisation, lowest-index tie-breaking
+    everywhere (``argmin``/``argmax`` take the first maximum), empty
+    clusters repaired with the globally worst-fit point, and a fixed
+    iteration cap — the same inputs always yield the same clustering.
+    """
+    count = int(matrix.shape[0])
+    rng = random.Random(seed)
+    centers = [rng.randrange(count)]
+    distance_sq = ((matrix - matrix[centers[0]]) ** 2).sum(axis=1)
+    while len(centers) < k:
+        total = float(distance_sq.sum())
+        if total <= 0.0:
+            fallback = next(
+                (j for j in range(count) if j not in centers), None
+            )
+            if fallback is None:
+                break
+            centers.append(fallback)
+        else:
+            pick = rng.random() * total
+            index = int(
+                np.searchsorted(np.cumsum(distance_sq), pick, side="right")
+            )
+            centers.append(min(index, count - 1))
+        new_sq = ((matrix - matrix[centers[-1]]) ** 2).sum(axis=1)
+        distance_sq = np.minimum(distance_sq, new_sq)
+
+    centroids = matrix[np.asarray(centers)].copy()
+    k = centroids.shape[0]
+    assignments = np.full(count, -1, dtype=np.int64)
+    for _ in range(_MAX_ITERATIONS):
+        distances = (
+            (matrix[:, None, :] - centroids[None, :, :]) ** 2
+        ).sum(axis=2)
+        proposed = distances.argmin(axis=1)
+        for cluster in range(k):
+            if not (proposed == cluster).any():
+                worst = int(
+                    distances[np.arange(count), proposed].argmax()
+                )
+                proposed[worst] = cluster
+        if (proposed == assignments).all():
+            break
+        assignments = proposed
+        for cluster in range(k):
+            members = matrix[assignments == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+    return assignments, centroids
+
+
+def analyze_trace(
+    trace: Any,
+    interval: int,
+    k: Optional[int] = None,
+    seed: int = 0,
+    program: Optional[AssembledProgram] = None,
+) -> PhasePlan:
+    """Build the sampling plan for one (already prepared) trace.
+
+    Args:
+        trace: The trace the sampled engine will see — apply read
+            filtering *before* analysis so interval indices line up
+            with what is simulated.
+        interval: Interval length in accesses.
+        k: Cluster count; ``None`` for :data:`DEFAULT_K`.  Clamped to
+            the interval count (a ``sample-k-exceeds-intervals`` lint
+            warns about the clamp ahead of time).
+        seed: Clustering seed.
+        program: The trace's source program, when known — enables
+            basic-block fingerprints; ``None`` falls back to
+            address-region fingerprints (synthetic traces).
+
+    Raises:
+        ConfigurationError: Empty trace or non-positive interval.
+    """
+    length = len(trace)
+    if length == 0:
+        raise ConfigurationError(
+            f"cannot build a phase plan for empty trace "
+            f"{getattr(trace, 'name', '')!r}"
+        )
+    config = SamplingConfig(interval=interval, k=k, seed=seed)
+    bounds = _interval_bounds(length, config.interval)
+    intervals = len(bounds)
+    effective_k = min(config.k if config.k is not None else DEFAULT_K, intervals)
+
+    matrix = _fingerprints(trace, bounds, program)
+    assignments, centroids = _kmeans(matrix, effective_k, config.seed)
+
+    cluster_ids = sorted(
+        set(int(c) for c in assignments),
+        key=lambda c: int(np.where(assignments == c)[0][0]),
+    )
+    phases: List[Phase] = []
+    for new_index, cluster in enumerate(cluster_ids):
+        members = np.where(assignments == cluster)[0]
+        member_dist = np.sqrt(
+            ((matrix[members] - centroids[cluster]) ** 2).sum(axis=1)
+        )
+        representative = int(members[int(member_dist.argmin())])
+        witness: Optional[int] = None
+        if len(members) > 1:
+            for candidate in members[np.argsort(-member_dist, kind="stable")]:
+                if int(candidate) != representative:
+                    witness = int(candidate)
+                    break
+        accesses = sum(
+            bounds[int(member)][1] - bounds[int(member)][0]
+            for member in members
+        )
+        phases.append(
+            Phase(
+                index=new_index,
+                members=tuple(int(member) for member in members),
+                representative=representative,
+                witness=witness,
+                accesses=accesses,
+                weight=accesses / length,
+                spread=float(member_dist.max()) if len(member_dist) else 0.0,
+            )
+        )
+
+    return PhasePlan(
+        trace_name=str(getattr(trace, "name", "")),
+        trace_length=length,
+        interval_length=config.interval,
+        intervals=intervals,
+        k=len(phases),
+        seed=config.seed,
+        source="cfg" if program is not None else "address",
+        phases=tuple(phases),
+    )

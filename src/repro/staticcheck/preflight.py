@@ -54,6 +54,9 @@ def preflight_sweep(
     strict: bool = True,
     miss_path: Union["MissPathConfig", Dict[str, Any], None] = None,
     grid_engine: Optional[str] = None,
+    sample: Any = None,
+    engine: str = "auto",
+    injector_active: bool = False,
 ) -> List[Diagnostic]:
     """Validate a sweep's inputs before any cell executes.
 
@@ -77,6 +80,12 @@ def preflight_sweep(
             report (:func:`~repro.staticcheck.configlint
             .lint_stackdist_coverage`) for this grid; ``None`` (the
             runner's ``auto`` default) keeps preflight quiet.
+        sample: Optional sampling config (anything
+            ``SamplingConfig.coerce`` accepts); linted per trace length
+            via :func:`~repro.staticcheck.configlint.lint_sample`, so a
+            malformed spec, a degenerate interval, or a named fallback
+            axis (``engine``/``injector_active``/``miss_path``) is
+            reported before any cell runs.
 
     Raises:
         StaticCheckError: With the full diagnostic list, when ``strict``
@@ -157,6 +166,26 @@ def preflight_sweep(
             fetch=fetch,
             source=f"geometry {geometry.label}@{geometry.net_size}",
         )
+
+    if sample is not None:
+        from repro.staticcheck.configlint import lint_sample
+
+        lengths = sorted({len(trace) for trace in traces}) or [None]
+        seen_sample = set()
+        for trace_length in lengths:
+            for finding in lint_sample(
+                sample,
+                trace_length=trace_length,
+                engine=engine,
+                injector_active=injector_active,
+                miss_path=miss_path,
+                warmup=warmup,
+                source="sweep-sample",
+            ):
+                marker = (finding.rule, finding.message)
+                if marker not in seen_sample:
+                    seen_sample.add(marker)
+                    diagnostics.append(finding)
 
     if grid_engine is not None:
         from repro.staticcheck.configlint import lint_stackdist_coverage

@@ -35,7 +35,10 @@ GEOMETRY = CacheGeometry(256, 16, 8)
 class TestFingerprintParams:
     def test_param_set_is_closed_and_versioned(self):
         assert "miss_path" in FINGERPRINT_PARAMS
-        assert CHECKPOINT_VERSION == 3
+        # v4 additionally folds the sampling key into the fingerprint
+        # (tests/runner/test_sampled_runner.py pins its semantics).
+        assert "sample" in FINGERPRINT_PARAMS
+        assert CHECKPOINT_VERSION == 4
 
     def test_unknown_param_rejected_loudly(self):
         # The satellite requirement by name: a typo'd param must fail

@@ -69,6 +69,7 @@ class TestFingerprintIdentity:
                 [prepared_length],
                 engine=engine,
                 miss_path="none",
+                sample="none",
                 word_size=word_size,
                 fetch="demand",
                 replacement=replacement,

@@ -1,0 +1,165 @@
+"""Config-lint corpus for the ``sample-*`` rules.
+
+The sampling rules are stable ids that sweep preflights and service
+clients key on, so — like the geometry and miss-path corpora — each
+defect class pins its exact rule-id set here, including the named
+fallback axes and the warmup suppression they imply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CacheGeometry
+from repro.core.misspath import MissPathConfig
+from repro.staticcheck import CONFIG_RULES, Severity
+from repro.staticcheck.configlint import lint_sample, lint_sample_coverage
+from repro.staticcheck.phases import SamplingConfig
+
+SAMPLE_RULES = {
+    "sample-interval-invalid",
+    "sample-interval-exceeds-trace",
+    "sample-k-exceeds-intervals",
+    "sample-fallback-injector",
+    "sample-fallback-checked",
+    "sample-fallback-chain",
+    "sample-warmup-ignored",
+    "sweep-sample-coverage",
+    "sweep-sample-fallback",
+}
+
+#: (sample payload, lint kwargs) -> the exact rule ids expected.
+CORPUS = [
+    ("abc", {}, {"sample-interval-invalid"}),
+    ("2000,4,1", {}, {"sample-interval-invalid"}),
+    ({"interval": 0}, {}, {"sample-interval-invalid"}),
+    ({"interval": -5}, {}, {"sample-interval-invalid"}),
+    ({"interval": 2000, "stride": 3}, {}, {"sample-interval-invalid"}),
+    ({"k": 4}, {}, {"sample-interval-invalid"}),
+    (
+        "2000",
+        {"trace_length": 1000},
+        {"sample-interval-exceeds-trace"},
+    ),
+    (
+        {"interval": 100, "k": 50},
+        {"trace_length": 1000},
+        {"sample-k-exceeds-intervals"},
+    ),
+    (
+        {"interval": 2000, "k": 50},
+        {"trace_length": 1000},
+        {"sample-interval-exceeds-trace", "sample-k-exceeds-intervals"},
+    ),
+    ("100", {"engine": "checked"}, {"sample-fallback-checked"}),
+    ("100", {"injector_active": True}, {"sample-fallback-injector"}),
+    (
+        "100",
+        {"miss_path": {"victim_entries": 4}},
+        {"sample-fallback-chain"},
+    ),
+    (
+        "100",
+        {
+            "engine": "checked",
+            "injector_active": True,
+            "miss_path": {"victim_entries": 4},
+        },
+        {
+            "sample-fallback-checked",
+            "sample-fallback-injector",
+            "sample-fallback-chain",
+        },
+    ),
+    ("100", {"warmup": "fill"}, {"sample-warmup-ignored"}),
+    ("100", {"warmup": 500}, {"sample-warmup-ignored"}),
+    # A fallback means the sweep runs exactly and honours its warmup,
+    # so the "ignored" reminder is suppressed.
+    (
+        "100",
+        {"warmup": "fill", "engine": "checked"},
+        {"sample-fallback-checked"},
+    ),
+]
+
+
+class TestSampleCorpus:
+    @pytest.mark.parametrize("payload,kwargs,expected", CORPUS)
+    def test_known_config_maps_to_exact_rules(self, payload, kwargs, expected):
+        diagnostics = lint_sample(payload, **kwargs)
+        assert {d.rule for d in diagnostics} == expected
+
+    def test_severities(self):
+        assert [d.severity for d in lint_sample("abc")] == [Severity.ERROR]
+        assert [
+            d.severity for d in lint_sample("2000", trace_length=1000)
+        ] == [Severity.WARNING]
+        assert [
+            d.severity for d in lint_sample("100", engine="checked")
+        ] == [Severity.WARNING]
+        assert [
+            d.severity for d in lint_sample("100", warmup="fill")
+        ] == [Severity.INFO]
+
+    def test_clean_configs_are_clean(self):
+        assert lint_sample(None) == []
+        assert lint_sample("100", trace_length=1000) == []
+        assert lint_sample(SamplingConfig(100, 4), trace_length=1000) == []
+        # warmup 0 / None never earns the reminder.
+        assert lint_sample("100", warmup=0) == []
+        assert lint_sample("100", warmup=None) == []
+
+    def test_default_k_is_not_reported_as_exceeding(self):
+        # k=None clamps silently: the user never asked for a count.
+        assert lint_sample("400", trace_length=1000) == []
+
+    def test_disabled_chain_is_not_a_fallback(self):
+        assert lint_sample("100", miss_path={}) == []
+        assert (
+            lint_sample("100", miss_path=MissPathConfig()) == []
+        )
+
+    def test_rules_are_documented(self):
+        assert SAMPLE_RULES <= set(CONFIG_RULES)
+
+
+class TestSweepCoverage:
+    GRID = [CacheGeometry(256, 16, 8), CacheGeometry(512, 16, 8)]
+
+    def test_all_cells_covered_without_fallback(self):
+        findings = lint_sample_coverage(self.GRID, "2000,4", trace_count=3)
+        assert [f.rule for f in findings] == ["sweep-sample-coverage"]
+        finding = findings[0]
+        assert finding.severity is Severity.INFO
+        assert finding.data["covered"] == 6
+        assert finding.data["total"] == 6
+        assert finding.data["fallback"] == 0
+        assert finding.data["sample"] == "i2000,k4,s0"
+
+    @pytest.mark.parametrize(
+        "kwargs,axes",
+        [
+            ({"engine": "checked"}, 1),
+            ({"injector_active": True}, 1),
+            ({"miss_path": {"victim_entries": 4}}, 1),
+            ({"engine": "checked", "injector_active": True}, 2),
+        ],
+    )
+    def test_fallback_axes_zero_the_coverage(self, kwargs, axes):
+        findings = lint_sample_coverage(
+            self.GRID, "2000,4", trace_count=3, **kwargs
+        )
+        coverage = [f for f in findings if f.rule == "sweep-sample-coverage"]
+        fallback = [f for f in findings if f.rule == "sweep-sample-fallback"]
+        assert len(coverage) == 1
+        assert coverage[0].data["covered"] == 0
+        assert coverage[0].data["fallback"] == 6
+        assert len(fallback) == axes
+        assert all(f.severity is Severity.INFO for f in findings)
+        assert all(f.data["cells"] == 6 for f in fallback)
+
+    def test_no_sample_or_invalid_sample_reports_nothing(self):
+        # lint_sample owns reporting malformed configs; the coverage
+        # report never duplicates its errors.
+        assert lint_sample_coverage(self.GRID, None) == []
+        assert lint_sample_coverage(self.GRID, "abc") == []

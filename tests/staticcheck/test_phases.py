@@ -1,0 +1,250 @@
+"""Static phase analysis: plans, determinism, and diagnostics.
+
+``analyze_trace`` is the planning half of the sampled-simulation
+pipeline (docs/sampling.md): the same trace, interval, ``k``, and seed
+must always yield the same :class:`PhasePlan`, because the plan's
+identity participates in checkpoint fingerprints.  The ``phase-*``
+diagnostic rule ids are stable and pinned here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.staticcheck.diagnostics import Severity
+from repro.staticcheck.phases import (
+    DEFAULT_K,
+    PhasePlan,
+    SamplingConfig,
+    analyze_trace,
+)
+from repro.trace.record import Trace
+from repro.workloads.assembler import assemble
+from repro.workloads.generator import program_trace
+from repro.workloads.programs import PROGRAMS
+
+
+def synthetic_trace(n=4000, name="synth"):
+    """A two-phase synthetic trace: a hot loop, then a cold stride."""
+    half = n // 2
+    addrs = [0x100 + (i % 8) * 2 for i in range(half)]
+    addrs += [0x4000 + i * 64 for i in range(n - half)]
+    return Trace(addrs, [2] * n, 2, name=name)
+
+
+def matmul_inputs(length=4000, word=2):
+    trace = program_trace("matmul", length, word_size=word)
+    program = assemble(PROGRAMS["matmul"]().source, word_size=word)
+    return trace, program
+
+
+class TestSamplingConfig:
+    def test_parse_interval_only(self):
+        config = SamplingConfig.parse("2000")
+        assert config == SamplingConfig(interval=2000, k=None, seed=0)
+
+    def test_parse_interval_and_k(self):
+        assert SamplingConfig.parse("2000,4") == SamplingConfig(2000, 4)
+
+    @pytest.mark.parametrize("text", ["", "2000,", "2000,4,1", "abc", "2k"])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ConfigurationError, match="--sample"):
+            SamplingConfig.parse(text)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval": 0},
+            {"interval": -1},
+            {"interval": "2000"},
+            {"interval": True},
+            {"interval": 2000, "k": 0},
+            {"interval": 2000, "k": "4"},
+            {"interval": 2000, "seed": "0"},
+        ],
+    )
+    def test_constructor_validates(self, kwargs):
+        with pytest.raises(ConfigurationError, match="sample"):
+            SamplingConfig(**kwargs)
+
+    def test_coerce_accepts_all_forms(self):
+        config = SamplingConfig(2000, 4, seed=7)
+        assert SamplingConfig.coerce(None) is None
+        assert SamplingConfig.coerce(config) is config
+        assert SamplingConfig.coerce("2000,4") == SamplingConfig(2000, 4)
+        assert SamplingConfig.coerce(
+            {"interval": 2000, "k": 4, "seed": 7}
+        ) == config
+
+    def test_coerce_rejects_unknown_keys_and_missing_interval(self):
+        with pytest.raises(ConfigurationError, match="unknown sample keys"):
+            SamplingConfig.coerce({"interval": 2000, "stride": 3})
+        with pytest.raises(ConfigurationError, match="interval"):
+            SamplingConfig.coerce({"k": 4})
+        with pytest.raises(ConfigurationError, match="cannot interpret"):
+            SamplingConfig.coerce(2000)
+
+    def test_key_pins_every_identity_axis(self):
+        assert SamplingConfig(2000, 4, seed=1).key() == "i2000,k4,s1"
+        assert SamplingConfig(2000).key() == "i2000,kauto,s0"
+        # Everything that changes which intervals run changes the key.
+        base = SamplingConfig(2000, 4).key()
+        assert SamplingConfig(1000, 4).key() != base
+        assert SamplingConfig(2000, 5).key() != base
+        assert SamplingConfig(2000, 4, seed=1).key() != base
+
+    def test_to_dict_round_trips_through_coerce(self):
+        config = SamplingConfig(2000, 4, seed=3)
+        assert SamplingConfig.coerce(config.to_dict()) == config
+
+
+class TestPlanStructure:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return analyze_trace(synthetic_trace(), 500, 3, seed=0)
+
+    def test_members_partition_the_intervals(self, plan):
+        members = sorted(m for phase in plan.phases for m in phase.members)
+        assert members == list(range(plan.intervals))
+
+    def test_weights_sum_to_one(self, plan):
+        assert sum(phase.weight for phase in plan.phases) == pytest.approx(1.0)
+        assert sum(phase.accesses for phase in plan.phases) == plan.trace_length
+
+    def test_representative_and_witness_are_members(self, plan):
+        for phase in plan.phases:
+            assert phase.representative in phase.members
+            if len(phase.members) == 1:
+                assert phase.witness is None
+            else:
+                assert phase.witness in phase.members
+                assert phase.witness != phase.representative
+
+    def test_bounds_cover_the_trace_without_overlap(self, plan):
+        edges = [plan.bounds(i) for i in range(plan.intervals)]
+        assert edges[0][0] == 0
+        assert edges[-1][1] == plan.trace_length
+        for (_, end), (start, _) in zip(edges, edges[1:]):
+            assert end == start
+        with pytest.raises(ConfigurationError, match="out of range"):
+            plan.bounds(plan.intervals)
+
+    def test_simulated_accesses_match_reps_and_witnesses(self, plan):
+        expected = 0
+        for phase in plan.phases:
+            start, end = plan.bounds(phase.representative)
+            expected += end - start
+            if phase.witness is not None:
+                start, end = plan.bounds(phase.witness)
+                expected += end - start
+        assert plan.simulated_accesses == expected
+        assert 0.0 < plan.simulated_fraction <= 1.0
+
+    def test_k_clamps_to_interval_count(self):
+        plan = analyze_trace(synthetic_trace(1000), 250, 50)
+        assert plan.intervals == 4
+        assert plan.k == len(plan.phases) <= 4
+
+    def test_default_k(self):
+        plan = analyze_trace(synthetic_trace(8000), 500)
+        assert plan.intervals == 16
+        assert len(plan.phases) <= DEFAULT_K
+
+
+class TestDeterminism:
+    def test_same_inputs_same_plan(self):
+        trace = synthetic_trace()
+        one = analyze_trace(trace, 500, 3, seed=5)
+        two = analyze_trace(trace, 500, 3, seed=5)
+        assert one == two
+        assert one.to_dict() == two.to_dict()
+
+    def test_cfg_fingerprints_are_deterministic_too(self):
+        trace, program = matmul_inputs()
+        one = analyze_trace(trace, 500, 3, program=program)
+        two = analyze_trace(trace, 500, 3, program=program)
+        assert one.to_dict() == two.to_dict()
+
+    def test_seed_is_part_of_the_identity(self):
+        trace = synthetic_trace()
+        assert analyze_trace(trace, 500, 3, seed=0).seed == 0
+        assert analyze_trace(trace, 500, 3, seed=1).seed == 1
+
+
+class TestFingerprintSource:
+    def test_program_gives_cfg_source(self):
+        trace, program = matmul_inputs()
+        assert analyze_trace(trace, 1000, 2, program=program).source == "cfg"
+
+    def test_no_program_falls_back_to_address(self):
+        assert analyze_trace(synthetic_trace(), 1000, 2).source == "address"
+
+
+class TestDegeneratePlan:
+    def test_whole_trace_interval_is_one_singleton_phase(self):
+        trace = synthetic_trace(1000)
+        plan = analyze_trace(trace, 5000, 4)
+        assert plan.intervals == 1
+        assert len(plan.phases) == 1
+        phase = plan.phases[0]
+        assert phase.members == (0,)
+        assert phase.representative == 0
+        assert phase.witness is None
+        assert plan.simulated_fraction == 1.0
+
+    def test_empty_trace_is_refused(self):
+        with pytest.raises(ConfigurationError, match="empty trace"):
+            analyze_trace(Trace([], [], 2, name="void"), 100)
+
+    def test_non_positive_interval_is_refused(self):
+        with pytest.raises(ConfigurationError, match="interval"):
+            analyze_trace(synthetic_trace(100), 0)
+
+
+class TestDiagnostics:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return analyze_trace(synthetic_trace(name="twophase"), 500, 3)
+
+    def test_rule_ids_are_stable_and_info_severity(self, plan):
+        findings = plan.diagnostics()
+        rules = {finding.rule for finding in findings}
+        assert "phase-plan" in rules
+        assert "phase-cluster" in rules
+        assert rules <= {"phase-plan", "phase-cluster", "phase-singleton"}
+        assert all(f.severity is Severity.INFO for f in findings)
+        assert all(f.source == "phases:twophase" for f in findings)
+
+    def test_one_cluster_finding_per_phase(self, plan):
+        clusters = [
+            f for f in plan.diagnostics() if f.rule == "phase-cluster"
+        ]
+        assert len(clusters) == len(plan.phases)
+
+    def test_singleton_finding_tracks_witnessless_phases(self, plan):
+        singletons = [
+            phase.index for phase in plan.phases if phase.witness is None
+        ]
+        findings = [
+            f for f in plan.diagnostics() if f.rule == "phase-singleton"
+        ]
+        if singletons:
+            assert len(findings) == 1
+            assert findings[0].data["phases"] == singletons
+        else:
+            assert findings == []
+
+    def test_degenerate_plan_always_reports_a_singleton(self):
+        plan = analyze_trace(synthetic_trace(200), 1000, 1)
+        assert any(
+            f.rule == "phase-singleton" for f in plan.diagnostics()
+        )
+
+    def test_to_dict_is_json_shaped(self, plan):
+        import json
+
+        payload = plan.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["trace"] == "twophase"
+        assert len(payload["phases"]) == len(plan.phases)

@@ -370,3 +370,62 @@ class TestClassifyCommand:
             "classify", "matmul", "--net", "256", "--l2-net", "100",
         ]) == 1
         assert "classify failed" in capsys.readouterr().err
+
+
+class TestPhasesCommand:
+    def test_text_report(self, capsys):
+        assert main(LEN + ["phases", "matmul", "--interval", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul: 6000 accesses" in out
+        assert "phase 0:" in out
+        assert "simulated fraction" in out
+        assert "fingerprints from cfg" in out
+        assert "[phase-plan]" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        argv = LEN + [
+            "phases", "matmul", "--interval", "1000", "--k", "2",
+            "--format", "json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        payload = json.loads(first)
+        assert payload["trace"] == "matmul"
+        assert payload["interval_length"] == 1000
+        assert payload["source"] == "cfg"
+        assert payload["phases"]
+        # Deterministic plans: byte-identical across runs.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(SystemExit, match="unknown program"):
+            main(LEN + ["phases", "quux"])
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(SystemExit, match="interval"):
+            main(LEN + ["phases", "matmul", "--interval", "0"])
+
+
+class TestSampleFlag:
+    def test_table7_accepts_sample(self, capsys):
+        assert main(LEN + ["table7", "z8000", "--sample", "2000,2"]) == 0
+        assert "Table 7 (z8000)" in capsys.readouterr().out
+
+    def test_sample_requires_sweep_coverage_in_lint(self):
+        with pytest.raises(SystemExit, match="sweep-coverage"):
+            main(["lint", "--sample", "100"])
+
+    def test_lint_sweep_coverage_reports_sampled_cells(self, capsys):
+        assert main(
+            ["lint", "--sweep-coverage", "1024", "--sample", "2000,4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[sweep-sample-coverage]" in out
+        assert "i2000,k4,s0" in out
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(SystemExit, match="--sample"):
+            main(["lint", "--sweep-coverage", "1024", "--sample", "abc"])
